@@ -1,0 +1,254 @@
+//! Moment-based distribution fitting.
+//!
+//! The paper's future work proposes "formal methods to model the
+//! workload dynamics"; its §4.1 already notes the per-resource curves
+//! follow identifiable distributions. This module fits candidate
+//! families by matching moments and ranks them with a
+//! Kolmogorov–Smirnov distance, providing the "quantified by formal
+//! models" step.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted distribution family.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Fitted {
+    /// Normal(μ, σ).
+    Normal {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation.
+        std_dev: f64,
+    },
+    /// Exponential with mean `mean`.
+    Exponential {
+        /// Mean (1/λ).
+        mean: f64,
+    },
+    /// LogNormal with underlying (μ, σ).
+    LogNormal {
+        /// Underlying normal mean.
+        mu: f64,
+        /// Underlying normal std-dev.
+        sigma: f64,
+    },
+    /// Uniform(lo, hi).
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+}
+
+impl Fitted {
+    /// CDF of the fitted distribution at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        match *self {
+            Fitted::Normal { mean, std_dev } => {
+                if std_dev <= 0.0 {
+                    return if x >= mean { 1.0 } else { 0.0 };
+                }
+                0.5 * (1.0 + erf((x - mean) / (std_dev * std::f64::consts::SQRT_2)))
+            }
+            Fitted::Exponential { mean } => {
+                if x <= 0.0 || mean <= 0.0 {
+                    0.0
+                } else {
+                    1.0 - (-x / mean).exp()
+                }
+            }
+            Fitted::LogNormal { mu, sigma } => {
+                if x <= 0.0 {
+                    return 0.0;
+                }
+                if sigma <= 0.0 {
+                    return if x.ln() >= mu { 1.0 } else { 0.0 };
+                }
+                0.5 * (1.0 + erf((x.ln() - mu) / (sigma * std::f64::consts::SQRT_2)))
+            }
+            Fitted::Uniform { lo, hi } => {
+                if hi <= lo {
+                    return if x >= lo { 1.0 } else { 0.0 };
+                }
+                ((x - lo) / (hi - lo)).clamp(0.0, 1.0)
+            }
+        }
+    }
+}
+
+/// Abramowitz–Stegun 7.1.26 approximation of the error function
+/// (|error| < 1.5e-7, ample for fit ranking).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Result of fitting one family to data.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FitResult {
+    /// The fitted distribution.
+    pub dist: Fitted,
+    /// Kolmogorov–Smirnov distance to the empirical CDF.
+    pub ks: f64,
+}
+
+/// KS distance between data and a fitted CDF.
+pub fn ks_distance(sorted: &[f64], dist: &Fitted) -> f64 {
+    let n = sorted.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = dist.cdf(x);
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((f - lo).abs()).max((f - hi).abs());
+    }
+    d
+}
+
+/// Fit all candidate families by moments and rank by KS distance
+/// (best first). Returns an empty vector for fewer than 8 samples.
+pub fn fit_all(xs: &[f64]) -> Vec<FitResult> {
+    if xs.len() < 8 {
+        return Vec::new();
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    let std = var.sqrt();
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let lo = sorted[0];
+    let hi = sorted[sorted.len() - 1];
+
+    let mut fits = vec![
+        Fitted::Normal { mean, std_dev: std },
+        Fitted::Uniform { lo, hi },
+    ];
+    if mean > 0.0 && lo >= 0.0 {
+        fits.push(Fitted::Exponential { mean });
+    }
+    if lo > 0.0 {
+        // Moment-match the lognormal: σ² = ln(1 + var/mean²).
+        let sigma2 = (1.0 + var / (mean * mean)).ln();
+        fits.push(Fitted::LogNormal {
+            mu: mean.ln() - sigma2 / 2.0,
+            sigma: sigma2.sqrt(),
+        });
+    }
+
+    let mut results: Vec<FitResult> = fits
+        .into_iter()
+        .map(|dist| FitResult {
+            dist,
+            ks: ks_distance(&sorted, &dist),
+        })
+        .collect();
+    results.sort_by(|a, b| a.ks.partial_cmp(&b.ks).expect("no NaN ks"));
+    results
+}
+
+/// Fit and return the best family.
+pub fn best_fit(xs: &[f64]) -> Option<FitResult> {
+    fit_all(xs).into_iter().next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp_samples(mean: f64, n: usize, seed: u64) -> Vec<f64> {
+        // Local deterministic LCG: analysis must not depend on simcore.
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let u = ((state >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+                -mean * u.ln()
+            })
+            .collect()
+    }
+
+    fn normal_samples(mu: f64, sigma: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| {
+                let u1 = next();
+                let u2 = next();
+                mu + sigma * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn erf_reference_points() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.8427007).abs() < 1e-5);
+        assert!((erf(-1.0) + 0.8427007).abs() < 1e-5);
+        assert!(erf(4.0) > 0.99999);
+    }
+
+    #[test]
+    fn cdf_sanity() {
+        let n = Fitted::Normal { mean: 0.0, std_dev: 1.0 };
+        assert!((n.cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!(n.cdf(3.0) > 0.99);
+        let e = Fitted::Exponential { mean: 2.0 };
+        assert_eq!(e.cdf(-1.0), 0.0);
+        assert!((e.cdf(2.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        let u = Fitted::Uniform { lo: 0.0, hi: 10.0 };
+        assert_eq!(u.cdf(5.0), 0.5);
+        assert_eq!(u.cdf(20.0), 1.0);
+    }
+
+    #[test]
+    fn exponential_data_fits_exponential_best() {
+        let xs = exp_samples(5.0, 4000, 7);
+        let best = best_fit(&xs).unwrap();
+        assert!(
+            matches!(best.dist, Fitted::Exponential { .. }),
+            "best was {:?}",
+            best.dist
+        );
+        assert!(best.ks < 0.05, "ks {}", best.ks);
+    }
+
+    #[test]
+    fn normal_data_fits_normal_best() {
+        let xs = normal_samples(100.0, 5.0, 4000, 11);
+        let best = best_fit(&xs).unwrap();
+        assert!(
+            matches!(best.dist, Fitted::Normal { .. } | Fitted::LogNormal { .. }),
+            "best was {:?}",
+            best.dist
+        );
+        // A tight normal far from zero: lognormal ≈ normal, both fine.
+        assert!(best.ks < 0.05, "ks {}", best.ks);
+    }
+
+    #[test]
+    fn too_few_samples_yields_nothing() {
+        assert!(fit_all(&[1.0, 2.0, 3.0]).is_empty());
+        assert!(best_fit(&[]).is_none());
+    }
+
+    #[test]
+    fn results_sorted_by_ks() {
+        let xs = exp_samples(1.0, 1000, 3);
+        let all = fit_all(&xs);
+        assert!(all.len() >= 3);
+        for w in all.windows(2) {
+            assert!(w[0].ks <= w[1].ks);
+        }
+    }
+}

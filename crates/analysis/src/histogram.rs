@@ -1,0 +1,192 @@
+//! Histogram workload models.
+//!
+//! The paper's related work leans on histogram-based workload modelling
+//! ("Web server performance analysis using histogram workload models",
+//! its reference \[7\]); this module provides that representation: an
+//! equal-width histogram of a demand series that can be compared
+//! against another (1-D earth-mover's distance) and sampled as a
+//! synthetic workload model.
+
+use serde::{Deserialize, Serialize};
+
+/// An equal-width histogram over `[lo, hi]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramModel {
+    /// Lower edge of the first bin.
+    pub lo: f64,
+    /// Upper edge of the last bin.
+    pub hi: f64,
+    /// Bin counts.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub total: u64,
+}
+
+impl HistogramModel {
+    /// Build from data with `bins` equal-width bins spanning the data
+    /// range. Returns `None` for empty data or non-positive bin count.
+    pub fn fit(xs: &[f64], bins: usize) -> Option<HistogramModel> {
+        if xs.is_empty() || bins == 0 {
+            return None;
+        }
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut counts = vec![0u64; bins];
+        let width = (hi - lo).max(f64::MIN_POSITIVE);
+        for &x in xs {
+            let idx = (((x - lo) / width) * bins as f64) as usize;
+            counts[idx.min(bins - 1)] += 1;
+        }
+        Some(HistogramModel {
+            lo,
+            hi,
+            counts,
+            total: xs.len() as u64,
+        })
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Normalized frequencies (sum to 1).
+    pub fn frequencies(&self) -> Vec<f64> {
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total.max(1) as f64)
+            .collect()
+    }
+
+    /// Midpoint value of bin `i`.
+    pub fn bin_mid(&self, i: usize) -> f64 {
+        let width = (self.hi - self.lo) / self.bins() as f64;
+        self.lo + (i as f64 + 0.5) * width
+    }
+
+    /// Model mean (from bin midpoints).
+    pub fn mean(&self) -> f64 {
+        self.frequencies()
+            .iter()
+            .enumerate()
+            .map(|(i, f)| f * self.bin_mid(i))
+            .sum()
+    }
+
+    /// 1-D earth-mover's (Wasserstein-1) distance to another model with
+    /// the *same* binning, in units of the value axis. `None` when the
+    /// bin counts differ.
+    pub fn emd(&self, other: &HistogramModel) -> Option<f64> {
+        if self.bins() != other.bins() {
+            return None;
+        }
+        let fa = self.frequencies();
+        let fb = other.frequencies();
+        let width = (self.hi.max(other.hi) - self.lo.min(other.lo)) / self.bins() as f64;
+        let mut carry = 0.0;
+        let mut dist = 0.0;
+        for i in 0..self.bins() {
+            carry += fa[i] - fb[i];
+            dist += carry.abs() * width;
+        }
+        Some(dist)
+    }
+
+    /// Inverse-CDF sample given a uniform `u ∈ [0, 1)`: returns a value
+    /// drawn from the histogram model (bin midpoint interpolation).
+    pub fn quantile(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        let target = u * self.total as f64;
+        let mut cum = 0.0;
+        let width = (self.hi - self.lo) / self.bins() as f64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = cum + c as f64;
+            if next >= target && c > 0 {
+                // Interpolate within the bin.
+                let frac = if c > 0 { (target - cum) / c as f64 } else { 0.5 };
+                return self.lo + (i as f64 + frac.clamp(0.0, 1.0)) * width;
+            }
+            cum = next;
+        }
+        self.hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_counts_everything() {
+        let xs = [1.0, 2.0, 2.5, 3.0, 10.0];
+        let h = HistogramModel::fit(&xs, 3).unwrap();
+        assert_eq!(h.total, 5);
+        assert_eq!(h.counts.iter().sum::<u64>(), 5);
+        assert_eq!(h.lo, 1.0);
+        assert_eq!(h.hi, 10.0);
+        let f: f64 = h.frequencies().iter().sum();
+        assert!((f - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_or_zero_bins_is_none() {
+        assert!(HistogramModel::fit(&[], 4).is_none());
+        assert!(HistogramModel::fit(&[1.0], 0).is_none());
+    }
+
+    #[test]
+    fn constant_data_lands_in_one_bin() {
+        let h = HistogramModel::fit(&[5.0; 100], 4).unwrap();
+        assert_eq!(h.counts.iter().filter(|&&c| c > 0).count(), 1);
+        assert_eq!(h.total, 100);
+    }
+
+    #[test]
+    fn mean_approximates_data_mean() {
+        let xs: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let h = HistogramModel::fit(&xs, 50).unwrap();
+        let data_mean = 499.5;
+        assert!((h.mean() - data_mean).abs() < 10.0, "mean {}", h.mean());
+    }
+
+    #[test]
+    fn emd_identity_and_separation() {
+        let a = HistogramModel::fit(&[1.0, 2.0, 3.0, 4.0], 4).unwrap();
+        assert_eq!(a.emd(&a), Some(0.0));
+        // A mass shift of one full bin over distance `width`.
+        let b = HistogramModel {
+            lo: a.lo,
+            hi: a.hi,
+            counts: vec![0, 2, 1, 1],
+            total: 4,
+        };
+        let d = a.emd(&b).unwrap();
+        assert!(d > 0.0);
+        // Mismatched binning refuses.
+        let c = HistogramModel::fit(&[1.0, 2.0], 8).unwrap();
+        assert!(a.emd(&c).is_none());
+    }
+
+    #[test]
+    fn emd_is_symmetric() {
+        let a = HistogramModel::fit(&[1.0, 1.0, 2.0, 5.0, 9.0], 5).unwrap();
+        let b = HistogramModel::fit(&[1.0, 4.0, 4.0, 8.0, 9.0], 5).unwrap();
+        // Same range [1,9] → same binning.
+        let d1 = a.emd(&b).unwrap();
+        let d2 = b.emd(&a).unwrap();
+        assert!((d1 - d2).abs() < 1e-12);
+        assert!(d1 > 0.0);
+    }
+
+    #[test]
+    fn quantile_spans_the_range() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = HistogramModel::fit(&xs, 10).unwrap();
+        let q0 = h.quantile(0.0);
+        let q5 = h.quantile(0.5);
+        let q1 = h.quantile(1.0);
+        assert!(q0 <= q5 && q5 <= q1);
+        assert!((q5 - 49.5).abs() < 11.0, "median {q5}");
+        assert!(q1 <= h.hi);
+    }
+}

@@ -1,0 +1,131 @@
+//! Level-shift ("jump") detection in memory series.
+//!
+//! §4.1: "the browsing requests experience one or more jumps demanding
+//! more RAM, while the bidding requests have a more smooth curve"; §4.2
+//! adds that in the non-virtualized system the jumps "happen earlier in
+//! time". A jump is a sustained step in the level of the series —
+//! detected here by comparing the means of adjacent sliding windows.
+
+use serde::{Deserialize, Serialize};
+
+/// One detected level shift.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Jump {
+    /// Sample index where the new level begins.
+    pub index: usize,
+    /// Level change (after-mean − before-mean); positive for upward
+    /// jumps.
+    pub magnitude: f64,
+}
+
+/// Detect sustained level shifts.
+///
+/// * `window` — samples per side used to estimate the local level;
+/// * `threshold` — minimum |level change| to count as a jump, in
+///   absolute units of the series.
+///
+/// Adjacent detections within one window are merged (the largest kept).
+pub fn detect_jumps(xs: &[f64], window: usize, threshold: f64) -> Vec<Jump> {
+    assert!(window >= 1, "window must be >= 1");
+    assert!(threshold > 0.0, "threshold must be positive");
+    if xs.len() < 2 * window {
+        return Vec::new();
+    }
+    let mut raw: Vec<Jump> = Vec::new();
+    for i in window..=(xs.len() - window) {
+        let before: f64 = xs[i - window..i].iter().sum::<f64>() / window as f64;
+        let after: f64 = xs[i..i + window].iter().sum::<f64>() / window as f64;
+        let delta = after - before;
+        if delta.abs() >= threshold {
+            raw.push(Jump {
+                index: i,
+                magnitude: delta,
+            });
+        }
+    }
+    // Merge runs of detections closer than one window.
+    let mut merged: Vec<Jump> = Vec::new();
+    for j in raw {
+        match merged.last_mut() {
+            Some(last) if j.index - last.index < window => {
+                if j.magnitude.abs() > last.magnitude.abs() {
+                    *last = j;
+                }
+            }
+            _ => merged.push(j),
+        }
+    }
+    merged
+}
+
+/// Smoothness comparison: `true` when `a` has strictly fewer detected
+/// jumps than `b` under the same parameters — the paper's browse-vs-bid
+/// RAM contrast.
+pub fn is_smoother(a: &[f64], b: &[f64], window: usize, threshold: f64) -> bool {
+    detect_jumps(a, window, threshold).len() < detect_jumps(b, window, threshold).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_series(levels: &[(usize, f64)]) -> Vec<f64> {
+        let mut xs = Vec::new();
+        for &(n, level) in levels {
+            xs.extend(std::iter::repeat(level).take(n));
+        }
+        xs
+    }
+
+    #[test]
+    fn detects_single_step() {
+        let xs = step_series(&[(50, 100.0), (50, 200.0)]);
+        let jumps = detect_jumps(&xs, 10, 50.0);
+        assert_eq!(jumps.len(), 1);
+        let j = jumps[0];
+        assert!((45..=55).contains(&j.index), "index {}", j.index);
+        assert!((j.magnitude - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn detects_multiple_steps_and_direction() {
+        let xs = step_series(&[(40, 100.0), (40, 250.0), (40, 150.0)]);
+        let jumps = detect_jumps(&xs, 8, 60.0);
+        assert_eq!(jumps.len(), 2);
+        assert!(jumps[0].magnitude > 0.0);
+        assert!(jumps[1].magnitude < 0.0);
+        assert!(jumps[0].index < jumps[1].index);
+    }
+
+    #[test]
+    fn flat_series_has_no_jumps() {
+        let xs = vec![42.0; 200];
+        assert!(detect_jumps(&xs, 10, 1.0).is_empty());
+    }
+
+    #[test]
+    fn gradual_ramp_below_threshold_ignored() {
+        let xs: Vec<f64> = (0..200).map(|i| i as f64 * 0.1).collect();
+        // Window mean difference of a 0.1-slope ramp over window 10 is 1.0.
+        assert!(detect_jumps(&xs, 10, 5.0).is_empty());
+    }
+
+    #[test]
+    fn short_series_is_empty() {
+        assert!(detect_jumps(&[1.0, 2.0, 3.0], 10, 0.5).is_empty());
+    }
+
+    #[test]
+    fn smoother_comparison() {
+        let smooth = step_series(&[(100, 100.0)]);
+        let jumpy = step_series(&[(30, 100.0), (30, 300.0), (40, 500.0)]);
+        assert!(is_smoother(&smooth, &jumpy, 8, 80.0));
+        assert!(!is_smoother(&jumpy, &smooth, 8, 80.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn rejects_zero_threshold() {
+        detect_jumps(&[1.0; 100], 10, 0.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Inter-tier lag detection.
+//!
+//! §4.1: "there exist some lags between workload changes of the database
+//! server and the web and application servers as the client requests are
+//! received and processed first by the web server before being sent to
+//! the back-end database server." We quantify that lag as the shift
+//! maximizing the cross-correlation between the two tiers' demand
+//! series.
+
+use crate::summary::pearson;
+use serde::{Deserialize, Serialize};
+
+/// Result of a lag scan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LagResult {
+    /// Lag (in samples) of `follower` behind `leader` at the correlation
+    /// peak. Positive = follower trails leader.
+    pub lag_samples: i64,
+    /// Correlation at the peak.
+    pub correlation: f64,
+}
+
+/// Cross-correlation of `leader` and `follower` at a signed shift.
+/// Positive `shift` compares `leader[t]` with `follower[t + shift]`.
+pub fn cross_correlation(leader: &[f64], follower: &[f64], shift: i64) -> Option<f64> {
+    let n = leader.len().min(follower.len());
+    if n == 0 {
+        return None;
+    }
+    let (a, b) = if shift >= 0 {
+        let s = shift as usize;
+        if s >= n {
+            return None;
+        }
+        (&leader[..n - s], &follower[s..n])
+    } else {
+        let s = (-shift) as usize;
+        if s >= n {
+            return None;
+        }
+        (&leader[s..n], &follower[..n - s])
+    };
+    pearson(a, b)
+}
+
+/// Scan shifts in `[-max_lag, +max_lag]` and return the peak.
+pub fn find_lag(leader: &[f64], follower: &[f64], max_lag: usize) -> Option<LagResult> {
+    let mut best: Option<LagResult> = None;
+    for shift in -(max_lag as i64)..=(max_lag as i64) {
+        if let Some(c) = cross_correlation(leader, follower, shift) {
+            let better = match best {
+                None => true,
+                Some(b) => c > b.correlation,
+            };
+            if better {
+                best = Some(LagResult {
+                    lag_samples: shift,
+                    correlation: c,
+                });
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A noisy signal and the same signal delayed by `d` samples.
+    fn delayed_pair(d: usize, n: usize) -> (Vec<f64>, Vec<f64>) {
+        let base: Vec<f64> = (0..n + d)
+            .map(|i| {
+                let t = i as f64;
+                (t / 13.0).sin() * 10.0 + (t / 47.0).cos() * 4.0
+            })
+            .collect();
+        let leader = base[d..].to_vec();
+        let follower = base[..n].to_vec();
+        (leader, follower)
+    }
+
+    #[test]
+    fn detects_known_delay() {
+        let (leader, follower) = delayed_pair(3, 400);
+        let r = find_lag(&leader, &follower, 10).unwrap();
+        assert_eq!(r.lag_samples, 3);
+        assert!(r.correlation > 0.99);
+    }
+
+    #[test]
+    fn zero_lag_for_identical_series() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 / 7.0).sin()).collect();
+        let r = find_lag(&xs, &xs, 5).unwrap();
+        assert_eq!(r.lag_samples, 0);
+        assert!((r.correlation - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_lag_when_follower_leads() {
+        let (leader, follower) = delayed_pair(4, 400);
+        // Swap roles: now the "leader" argument actually trails.
+        let r = find_lag(&follower, &leader, 10).unwrap();
+        assert_eq!(r.lag_samples, -4);
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        assert!(find_lag(&[], &[], 5).is_none());
+        assert!(cross_correlation(&[1.0, 2.0], &[1.0, 2.0], 5).is_none());
+    }
+}

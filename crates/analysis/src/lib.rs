@@ -1,0 +1,38 @@
+//! # cloudchar-analysis
+//!
+//! Workload-characterization analytics over the testbed's sampled time
+//! series — the quantitative claims of the paper's Section 4 made
+//! executable:
+//!
+//! * [`summary`] — means, variances, CVs, percentiles, autocorrelation
+//!   ("different shapes/distributions with different means and
+//!   variances");
+//! * [`lag`] — cross-correlation lag between the web and database tiers;
+//! * [`jumps`] — RAM level-shift detection (browse jumps vs smooth bid
+//!   curves, earlier jumps on physical machines);
+//! * [`ratios`] — the aggregate demand ratio calculus behind R1–R4;
+//! * [`fit`] — moment-based distribution fitting with KS ranking
+//!   ("patterns that can be quantified by formal models");
+//! * [`spectrum`] — periodogram-based periodicity detection (commit
+//!   intervals, flush ticks).
+
+#![warn(missing_docs)]
+
+pub mod fit;
+pub mod histogram;
+pub mod jumps;
+pub mod lag;
+pub mod ratios;
+pub mod spectrum;
+pub mod summary;
+
+pub use fit::{best_fit, fit_all, FitResult, Fitted};
+pub use histogram::HistogramModel;
+pub use jumps::{detect_jumps, is_smoother, Jump};
+pub use lag::{cross_correlation, find_lag, LagResult};
+pub use ratios::{
+    aggregate_ratio, demand_ratio, elementwise_sum, mean_ratio, percent_more, Resource,
+    ResourceRatios,
+};
+pub use spectrum::{dominant_periods, periodogram, Peak};
+pub use summary::{autocorrelation, pearson, summarize, Summary};

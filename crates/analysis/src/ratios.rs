@@ -1,0 +1,180 @@
+//! Aggregate demand ratios.
+//!
+//! The paper condenses its figures into ratio claims:
+//!
+//! * R1 (§4.1): front-end vs back-end demand — "6.11, 3.29, 5.71, and
+//!   55.56 times more CPU cycles, RAM space, disk read/write, and
+//!   network data";
+//! * R2 (§4.1): aggregated VM demand vs hypervisor — "16.84, 0.58,
+//!   0.47, and 0.98 times";
+//! * R3 (§4.2): non-virtualized vs virtualized aggregates — "3.47,
+//!   0.97, 0.6 and 0.98 times";
+//! * R4 (§4.2): physical demand deltas — "+88% CPU, +21% RAM, +2%
+//!   network, −25% disk".
+//!
+//! This module provides the ratio calculus over demand series; the
+//! experiment layer (`cloudchar-core`) assembles the paper's specific
+//! numerator/denominator pairs.
+
+use serde::{Deserialize, Serialize};
+
+/// The four resource dimensions of the paper's comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Resource {
+    /// CPU cycles per sample.
+    Cpu,
+    /// Used RAM (MB) per sample.
+    Ram,
+    /// Disk read+write KB per sample.
+    Disk,
+    /// Network rx+tx KB per sample.
+    Net,
+}
+
+impl Resource {
+    /// All four, in the paper's presentation order.
+    pub const ALL: [Resource; 4] = [Resource::Cpu, Resource::Ram, Resource::Disk, Resource::Net];
+}
+
+/// A ratio across all four resources.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceRatios {
+    /// CPU ratio.
+    pub cpu: f64,
+    /// RAM ratio.
+    pub ram: f64,
+    /// Disk ratio.
+    pub disk: f64,
+    /// Network ratio.
+    pub net: f64,
+}
+
+impl ResourceRatios {
+    /// Access by resource.
+    pub fn get(&self, r: Resource) -> f64 {
+        match r {
+            Resource::Cpu => self.cpu,
+            Resource::Ram => self.ram,
+            Resource::Disk => self.disk,
+            Resource::Net => self.net,
+        }
+    }
+}
+
+/// Ratio of aggregate (summed) demand: `Σa / Σb`.
+///
+/// For *rate* resources (CPU cycles, disk KB, net KB per sample) this is
+/// the paper's "aggregated workload demands" comparison. Returns
+/// `f64::NAN` when the denominator is zero.
+pub fn aggregate_ratio(a: &[f64], b: &[f64]) -> f64 {
+    let sa: f64 = a.iter().sum();
+    let sb: f64 = b.iter().sum();
+    if sb == 0.0 {
+        f64::NAN
+    } else {
+        sa / sb
+    }
+}
+
+/// Ratio of per-sample means: appropriate for *level* resources (RAM),
+/// where summing over time has no physical meaning.
+pub fn mean_ratio(a: &[f64], b: &[f64]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return f64::NAN;
+    }
+    let ma: f64 = a.iter().sum::<f64>() / a.len() as f64;
+    let mb: f64 = b.iter().sum::<f64>() / b.len() as f64;
+    if mb == 0.0 {
+        f64::NAN
+    } else {
+        ma / mb
+    }
+}
+
+/// Demand ratio using the appropriate statistic per resource: aggregate
+/// for rates, mean for RAM.
+pub fn demand_ratio(resource: Resource, a: &[f64], b: &[f64]) -> f64 {
+    match resource {
+        Resource::Ram => mean_ratio(a, b),
+        _ => aggregate_ratio(a, b),
+    }
+}
+
+/// Percentage difference of `a` relative to `b`: `100·(a/b − 1)`.
+pub fn percent_more(ratio: f64) -> f64 {
+    100.0 * (ratio - 1.0)
+}
+
+/// Element-wise sum of several series (e.g. web-tier + db-tier demand).
+/// Shorter series are zero-extended.
+pub fn elementwise_sum(series: &[&[f64]]) -> Vec<f64> {
+    let n = series.iter().map(|s| s.len()).max().unwrap_or(0);
+    let mut out = vec![0.0; n];
+    for s in series {
+        for (i, v) in s.iter().enumerate() {
+            out[i] += v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_and_mean() {
+        let a = [2.0, 4.0, 6.0];
+        let b = [1.0, 2.0, 3.0];
+        assert!((aggregate_ratio(&a, &b) - 2.0).abs() < 1e-12);
+        assert!((mean_ratio(&a, &b) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominator_is_nan() {
+        assert!(aggregate_ratio(&[1.0], &[0.0]).is_nan());
+        assert!(mean_ratio(&[], &[1.0]).is_nan());
+    }
+
+    #[test]
+    fn demand_ratio_dispatch() {
+        let a = [10.0, 10.0];
+        let b = [5.0, 5.0];
+        for r in Resource::ALL {
+            assert!((demand_ratio(r, &a, &b) - 2.0).abs() < 1e-12);
+        }
+        // Different lengths: mean vs aggregate disagree.
+        let long = [10.0, 10.0, 10.0, 10.0];
+        let short = [10.0, 10.0];
+        assert!((demand_ratio(Resource::Ram, &long, &short) - 1.0).abs() < 1e-12);
+        assert!((demand_ratio(Resource::Cpu, &long, &short) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percent_more_signs() {
+        assert!((percent_more(1.88) - 88.0).abs() < 1e-9);
+        assert!((percent_more(0.75) + 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn elementwise_sum_pads() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0];
+        let s = elementwise_sum(&[&a, &b]);
+        assert_eq!(s, vec![11.0, 2.0, 3.0]);
+        assert!(elementwise_sum(&[]).is_empty());
+    }
+
+    #[test]
+    fn resource_accessors() {
+        let r = ResourceRatios {
+            cpu: 1.0,
+            ram: 2.0,
+            disk: 3.0,
+            net: 4.0,
+        };
+        assert_eq!(r.get(Resource::Cpu), 1.0);
+        assert_eq!(r.get(Resource::Net), 4.0);
+        assert_eq!(Resource::ALL.len(), 4);
+    }
+}

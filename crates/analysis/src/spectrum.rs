@@ -1,0 +1,138 @@
+//! Periodicity detection via the periodogram.
+//!
+//! Workload series often carry periodic components — the ext3 5-second
+//! commit, Apache log-flush ticks, MySQL group commits — superimposed on
+//! the request process. The paper's "patterns that can be quantified by
+//! formal models" include exactly such structure; this module estimates
+//! the power spectrum with the Goertzel recurrence (O(n) per frequency,
+//! no FFT dependency) and reports dominant periods.
+
+use serde::{Deserialize, Serialize};
+
+/// One spectral peak.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Peak {
+    /// Period in samples.
+    pub period_samples: f64,
+    /// Normalized power in `[0, 1]` (fraction of total AC power).
+    pub power: f64,
+}
+
+/// Power of the frequency `k / n` cycles-per-sample via Goertzel.
+fn goertzel_power(xs: &[f64], k: usize) -> f64 {
+    let n = xs.len() as f64;
+    let w = std::f64::consts::TAU * k as f64 / n;
+    let coeff = 2.0 * w.cos();
+    let (mut s_prev, mut s_prev2) = (0.0, 0.0);
+    for &x in xs {
+        let s = x + coeff * s_prev - s_prev2;
+        s_prev2 = s_prev;
+        s_prev = s;
+    }
+    // |X(k)|^2 of the DFT bin.
+    s_prev * s_prev + s_prev2 * s_prev2 - coeff * s_prev * s_prev2
+}
+
+/// Periodogram over DFT bins `1..n/2`, with the mean removed. Returns
+/// `(period_samples, normalized_power)` per bin; empty for fewer than 8
+/// samples or constant input.
+pub fn periodogram(xs: &[f64]) -> Vec<Peak> {
+    let n = xs.len();
+    if n < 8 {
+        return Vec::new();
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let centered: Vec<f64> = xs.iter().map(|x| x - mean).collect();
+    let total_power: f64 = centered.iter().map(|x| x * x).sum();
+    if total_power <= 0.0 {
+        return Vec::new();
+    }
+    (1..=n / 2)
+        .map(|k| {
+            let p = goertzel_power(&centered, k);
+            Peak {
+                period_samples: n as f64 / k as f64,
+                // Each bin's share of total AC power (factor 2 for the
+                // conjugate bin, except Nyquist).
+                power: (if 2 * k == n { 1.0 } else { 2.0 }) * p / (n as f64 * total_power),
+            }
+        })
+        .collect()
+}
+
+/// The strongest periodic components, most powerful first, keeping only
+/// peaks above `min_power` (fraction of AC power).
+pub fn dominant_periods(xs: &[f64], min_power: f64, max_peaks: usize) -> Vec<Peak> {
+    let mut peaks = periodogram(xs);
+    peaks.retain(|p| p.power >= min_power);
+    peaks.sort_by(|a, b| b.power.partial_cmp(&a.power).expect("no NaN"));
+    peaks.truncate(max_peaks);
+    peaks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(period: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * std::f64::consts::TAU / period).sin())
+            .collect()
+    }
+
+    #[test]
+    fn pure_sine_peaks_at_its_period() {
+        // Period 16 over 256 samples — an exact DFT bin.
+        let xs = sine(16.0, 256);
+        let peaks = dominant_periods(&xs, 0.1, 3);
+        assert!(!peaks.is_empty());
+        assert!((peaks[0].period_samples - 16.0).abs() < 1e-9);
+        assert!(peaks[0].power > 0.9, "power {}", peaks[0].power);
+    }
+
+    #[test]
+    fn two_tones_found_in_order() {
+        let a = sine(32.0, 256);
+        let b = sine(8.0, 256);
+        let xs: Vec<f64> = a.iter().zip(&b).map(|(x, y)| 3.0 * x + 1.0 * y).collect();
+        let peaks = dominant_periods(&xs, 0.01, 4);
+        assert!(peaks.len() >= 2);
+        assert!((peaks[0].period_samples - 32.0).abs() < 1e-9);
+        assert!((peaks[1].period_samples - 8.0).abs() < 1e-9);
+        assert!(peaks[0].power > peaks[1].power);
+    }
+
+    #[test]
+    fn dc_offset_is_ignored() {
+        let xs: Vec<f64> = sine(16.0, 128).iter().map(|x| x + 1000.0).collect();
+        let peaks = dominant_periods(&xs, 0.1, 2);
+        assert!((peaks[0].period_samples - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_and_short_series_are_empty() {
+        assert!(periodogram(&[5.0; 100]).is_empty());
+        assert!(periodogram(&[1.0, 2.0, 3.0]).is_empty());
+    }
+
+    #[test]
+    fn white_noise_has_no_dominant_peak() {
+        // Deterministic pseudo-noise.
+        let mut state = 12345u64;
+        let xs: Vec<f64> = (0..512)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            })
+            .collect();
+        let peaks = dominant_periods(&xs, 0.2, 3);
+        assert!(peaks.is_empty(), "noise produced peaks {peaks:?}");
+    }
+
+    #[test]
+    fn powers_sum_to_one() {
+        let xs = sine(10.0, 200);
+        let total: f64 = periodogram(&xs).iter().map(|p| p.power).sum();
+        assert!((total - 1.0).abs() < 1e-6, "total {total}");
+    }
+}

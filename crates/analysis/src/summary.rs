@@ -1,0 +1,154 @@
+//! Summary statistics of workload time series.
+//!
+//! §4.1 of the paper observes that "the workload curves for different
+//! types of resources display different shapes/distributions with
+//! different means and variances. But for each type of resource, the
+//! workload dynamics show some patterns that can be quantified by formal
+//! models." This module computes those quantities.
+
+use serde::{Deserialize, Serialize};
+
+/// Descriptive statistics of one series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population variance.
+    pub variance: f64,
+    /// Standard deviation.
+    pub std_dev: f64,
+    /// Coefficient of variation.
+    pub cv: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (p50).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Sum over the run (aggregate demand).
+    pub total: f64,
+}
+
+/// Compute a [`Summary`]; returns `None` for an empty series.
+pub fn summarize(xs: &[f64]) -> Option<Summary> {
+    if xs.is_empty() {
+        return None;
+    }
+    let n = xs.len();
+    let total: f64 = xs.iter().sum();
+    let mean = total / n as f64;
+    let variance = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+    let std_dev = variance.sqrt();
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in series"));
+    let q = |p: f64| {
+        let idx = ((n as f64 - 1.0) * p).round() as usize;
+        sorted[idx]
+    };
+    Some(Summary {
+        n,
+        mean,
+        variance,
+        std_dev,
+        cv: if mean != 0.0 { std_dev / mean } else { 0.0 },
+        min: sorted[0],
+        max: sorted[n - 1],
+        p50: q(0.5),
+        p95: q(0.95),
+        total,
+    })
+}
+
+/// Sample autocorrelation at integer lag `k` (Pearson of the series with
+/// its k-shifted self). Returns `None` when the overlap is < 2 samples
+/// or the series is constant.
+pub fn autocorrelation(xs: &[f64], k: usize) -> Option<f64> {
+    if xs.len() < k + 2 {
+        return None;
+    }
+    let n = xs.len() - k;
+    let a = &xs[..n];
+    let b = &xs[k..];
+    pearson(a, b)
+}
+
+/// Pearson correlation of two equal-length slices.
+pub fn pearson(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return None;
+    }
+    Some(cov / (va.sqrt() * vb.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.variance, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.total, 15.0);
+        assert!((s.cv - 2.0f64.sqrt() / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn p95_order() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = summarize(&xs).unwrap();
+        assert!(s.p95 >= 94.0 && s.p95 <= 97.0, "p95 {}", s.p95);
+    }
+
+    #[test]
+    fn pearson_perfect_and_anti() {
+        let a = [1.0, 2.0, 3.0];
+        assert!((pearson(&a, &[2.0, 4.0, 6.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&a, &[3.0, 2.0, 1.0]).unwrap() + 1.0).abs() < 1e-12);
+        assert!(pearson(&a, &[5.0, 5.0, 5.0]).is_none()); // constant
+        assert!(pearson(&a, &[1.0]).is_none()); // length mismatch
+    }
+
+    #[test]
+    fn autocorrelation_of_periodic_signal() {
+        let xs: Vec<f64> = (0..200)
+            .map(|i| (i as f64 * std::f64::consts::TAU / 20.0).sin())
+            .collect();
+        let r20 = autocorrelation(&xs, 20).unwrap();
+        let r10 = autocorrelation(&xs, 10).unwrap();
+        assert!(r20 > 0.95, "period lag should correlate, got {r20}");
+        assert!(r10 < -0.9, "half-period lag anti-correlates, got {r10}");
+    }
+
+    #[test]
+    fn autocorrelation_needs_overlap() {
+        assert!(autocorrelation(&[1.0, 2.0], 5).is_none());
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the characterization analytics.
+
+use cloudchar_analysis::{
+    aggregate_ratio, autocorrelation, detect_jumps, find_lag, fit_all, mean_ratio, pearson,
+    summarize,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Summary statistics respect their order relations on any data.
+    #[test]
+    fn summary_order_relations(xs in proptest::collection::vec(-1e9f64..1e9, 1..500)) {
+        let s = summarize(&xs).unwrap();
+        prop_assert!(s.min <= s.p50 + 1e-9);
+        prop_assert!(s.p50 <= s.p95 + 1e-9);
+        prop_assert!(s.p95 <= s.max + 1e-9);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.variance >= 0.0);
+        prop_assert!((s.std_dev * s.std_dev - s.variance).abs() < 1e-6 * (1.0 + s.variance));
+        prop_assert_eq!(s.n, xs.len());
+    }
+
+    /// Scaling data scales mean/std linearly and leaves CV invariant
+    /// (for positive data and scale).
+    #[test]
+    fn summary_scale_equivariance(
+        xs in proptest::collection::vec(0.1f64..1e4, 2..100),
+        k in 0.1f64..100.0,
+    ) {
+        let a = summarize(&xs).unwrap();
+        let scaled: Vec<f64> = xs.iter().map(|x| x * k).collect();
+        let b = summarize(&scaled).unwrap();
+        prop_assert!((b.mean - k * a.mean).abs() < 1e-6 * (1.0 + b.mean.abs()));
+        prop_assert!((b.cv - a.cv).abs() < 1e-9 + 1e-6 * a.cv);
+    }
+
+    /// Pearson correlation is bounded and symmetric.
+    #[test]
+    fn pearson_bounded_and_symmetric(
+        pairs in proptest::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 2..200),
+    ) {
+        let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let Some(r) = pearson(&a, &b) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r = {r}");
+            let r2 = pearson(&b, &a).unwrap();
+            prop_assert!((r - r2).abs() < 1e-12);
+        }
+    }
+
+    /// A series correlates perfectly with itself at lag zero.
+    #[test]
+    fn self_correlation_is_one(xs in proptest::collection::vec(-1e3f64..1e3, 3..100)) {
+        // Skip constant series (undefined correlation).
+        let constant = xs.windows(2).all(|w| w[0] == w[1]);
+        if !constant {
+            let r = autocorrelation(&xs, 0).unwrap();
+            prop_assert!((r - 1.0).abs() < 1e-9, "r = {r}");
+        }
+    }
+
+    /// find_lag recovers a known integer shift of a non-degenerate
+    /// signal.
+    #[test]
+    fn lag_recovers_shift(shift in 0usize..8, freq in 3u32..40) {
+        let n = 300;
+        let base: Vec<f64> = (0..n + shift)
+            .map(|i| (i as f64 / f64::from(freq)).sin() + 0.2 * (i as f64 / 17.0).cos())
+            .collect();
+        let leader = base[shift..].to_vec();
+        let follower = base[..n].to_vec();
+        let r = find_lag(&leader, &follower, 10).unwrap();
+        prop_assert_eq!(r.lag_samples, shift as i64);
+        prop_assert!(r.correlation > 0.99);
+    }
+
+    /// Jump detection: every reported jump exceeds the threshold, indices
+    /// are sorted, and a constant series reports none.
+    #[test]
+    fn jumps_respect_threshold(
+        levels in proptest::collection::vec((10usize..40, -1e4f64..1e4), 1..6),
+        threshold in 1.0f64..1e4,
+        window in 2usize..10,
+    ) {
+        let xs: Vec<f64> = levels
+            .iter()
+            .flat_map(|&(n, v)| std::iter::repeat(v).take(n))
+            .collect();
+        let jumps = detect_jumps(&xs, window, threshold);
+        for j in &jumps {
+            prop_assert!(j.magnitude.abs() >= threshold);
+            prop_assert!(j.index >= window && j.index <= xs.len() - window);
+        }
+        for pair in jumps.windows(2) {
+            prop_assert!(pair[0].index < pair[1].index);
+        }
+        let flat = vec![levels[0].1; 100];
+        prop_assert!(detect_jumps(&flat, window, threshold).is_empty());
+    }
+
+    /// Ratios: aggregate and mean ratios agree for equal-length series
+    /// and respect scaling.
+    #[test]
+    fn ratio_identities(
+        xs in proptest::collection::vec(0.1f64..1e5, 2..100),
+        k in 0.1f64..100.0,
+    ) {
+        let scaled: Vec<f64> = xs.iter().map(|x| x * k).collect();
+        let agg = aggregate_ratio(&scaled, &xs);
+        let mean = mean_ratio(&scaled, &xs);
+        prop_assert!((agg - k).abs() < 1e-9 * (1.0 + k));
+        prop_assert!((mean - k).abs() < 1e-9 * (1.0 + k));
+    }
+
+    /// Distribution fitting returns sorted, finite KS distances and at
+    /// least the normal+uniform candidates for positive data.
+    #[test]
+    fn fitting_is_well_formed(xs in proptest::collection::vec(0.1f64..1e4, 8..300)) {
+        let fits = fit_all(&xs);
+        prop_assert!(fits.len() >= 2);
+        for f in &fits {
+            prop_assert!(f.ks.is_finite() && f.ks >= 0.0 && f.ks <= 1.0 + 1e-9);
+        }
+        for pair in fits.windows(2) {
+            prop_assert!(pair[0].ks <= pair[1].ks);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Criterion benches: one per paper artifact group. Each bench runs the
+//! experiment that regenerates the artifact at a reduced scale, so the
+//! numbers double as a performance regression guard for the whole
+//! simulation stack.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cloudchar_core::{run, Deployment, ExperimentConfig};
+use cloudchar_monitor::catalog;
+use cloudchar_rubis::WorkloadMix;
+use cloudchar_simcore::SimDuration;
+
+fn small(deployment: Deployment, mix: WorkloadMix) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::fast(deployment, mix);
+    cfg.clients = 100;
+    cfg.duration = SimDuration::from_secs(60);
+    cfg
+}
+
+/// Table 1: building and querying the 518-metric catalog.
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_catalog_lookup", |b| {
+        let cat = catalog();
+        b.iter(|| {
+            let ids = cat.table1_sample();
+            black_box(ids.len())
+        })
+    });
+}
+
+/// Figures 1–4: the virtualized experiment (browse + bid panels).
+fn bench_figs_virtualized(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_to_fig4_virtualized");
+    g.sample_size(10);
+    g.bench_function("browse", |b| {
+        b.iter(|| black_box(run(small(Deployment::Virtualized, WorkloadMix::BROWSING))))
+    });
+    g.bench_function("bid", |b| {
+        b.iter(|| black_box(run(small(Deployment::Virtualized, WorkloadMix::BIDDING))))
+    });
+    g.finish();
+}
+
+/// Figures 5–8: the non-virtualized experiment.
+fn bench_figs_physical(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_to_fig8_physical");
+    g.sample_size(10);
+    g.bench_function("browse", |b| {
+        b.iter(|| black_box(run(small(Deployment::NonVirtualized, WorkloadMix::BROWSING))))
+    });
+    g.bench_function("bid", |b| {
+        b.iter(|| black_box(run(small(Deployment::NonVirtualized, WorkloadMix::BIDDING))))
+    });
+    g.finish();
+}
+
+/// R1–R4: the ratio pipeline over a virt/phys result pair.
+fn bench_ratios(c: &mut Criterion) {
+    let virt = run(small(Deployment::Virtualized, WorkloadMix::BROWSING));
+    let phys = run(small(Deployment::NonVirtualized, WorkloadMix::BROWSING));
+    c.bench_function("ratios_r1_to_r4", |b| {
+        b.iter(|| black_box(cloudchar_core::ratio_report(&virt, &phys)))
+    });
+}
+
+/// Q1–Q3: lag, jump and variance analytics.
+fn bench_qualitative(c: &mut Criterion) {
+    let virt = run(small(Deployment::Virtualized, WorkloadMix::BROWSING));
+    c.bench_function("q1_lag_scan", |b| {
+        b.iter(|| black_box(cloudchar_core::q1_tier_lag(&virt, 10)))
+    });
+    c.bench_function("q2_jump_detection", |b| {
+        b.iter(|| black_box(cloudchar_core::q2_ram_jumps(&virt, 15, 40.0)))
+    });
+    c.bench_function("q3_disk_cv", |b| {
+        b.iter(|| black_box(cloudchar_core::q3_disk_cv(&virt, "dom0")))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_figs_virtualized,
+    bench_figs_physical,
+    bench_ratios,
+    bench_qualitative
+);
+criterion_main!(benches);

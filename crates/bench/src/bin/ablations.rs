@@ -1,0 +1,139 @@
+//! `ablations` — measure the contribution of each design choice that
+//! DESIGN.md calls out, by switching the mechanism off and re-running
+//! the experiment.
+//!
+//! ```sh
+//! cargo run --release -p cloudchar-bench --bin ablations
+//! ```
+
+use cloudchar_analysis::summarize;
+use cloudchar_core::{q2_ram_jumps, run, Deployment, ExperimentConfig, ExperimentResult};
+use cloudchar_rubis::{MySqlConfig, WebConfig, WorkloadMix};
+use cloudchar_simcore::SimDuration;
+use cloudchar_xen::OverheadModel;
+
+fn base_cfg() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper(Deployment::Virtualized, WorkloadMix::BROWSING);
+    cfg.clients = 400;
+    cfg.duration = SimDuration::from_secs(300);
+    cfg
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    summarize(xs).map_or(0.0, |s| s.mean)
+}
+
+fn report(label: &str, on: &ExperimentResult, off: &ExperimentResult, metric: &str, host: &str) {
+    let series = |r: &ExperimentResult| match metric {
+        "cpu" => r.cpu_cycles(host),
+        "disk" => r.disk_kb(host),
+        "ram" => r.ram_mb(host),
+        _ => r.net_kb(host),
+    };
+    let a = mean(&series(on));
+    let b = mean(&series(off));
+    let delta = if b != 0.0 { 100.0 * (a - b) / b } else { f64::NAN };
+    println!(
+        "  {label:<42} {host}/{metric}: with {:.3e}  without {:.3e}  ({:+.0}%)",
+        a, b, delta
+    );
+}
+
+/// Ablation 1 (DESIGN §5.1): split-driver I/O through dom0.
+fn ablate_io_path() {
+    println!("== Ablation 1: split-driver I/O through dom0 ==");
+    let on = run(base_cfg());
+    let mut cfg = base_cfg();
+    cfg.overhead = OverheadModel {
+        // Keep CPU accounting identical; null out only the I/O path
+        // costs so the delta isolates the split-driver mechanism.
+        dom0_cycles_per_disk_req: 0.0,
+        dom0_cycles_per_disk_byte: 0.0,
+        dom0_cycles_per_packet: 0.0,
+        dom0_cycles_per_net_byte: 0.0,
+        disk_read_amplification: 1.0,
+        disk_write_amplification: 1.0,
+        dom0_read_cache_hit: 0.0,
+        ..OverheadModel::default()
+    };
+    let off = run(cfg);
+    report("dom0 backend work", &on, &off, "cpu", "dom0");
+    report("physical disk amplification", &on, &off, "disk", "dom0");
+    println!(
+        "  response time: with {:.1} ms, without {:.1} ms",
+        on.response_time_mean_s * 1e3,
+        off.response_time_mean_s * 1e3
+    );
+    println!();
+}
+
+/// Ablation 2 (DESIGN §5.2): credit-scheduler caps under contention.
+fn ablate_scheduler() {
+    println!("== Ablation 2: credit-scheduler cap on the guest VMs ==");
+    let mut cfg = ExperimentConfig::paper(Deployment::Virtualized, WorkloadMix::BROWSING);
+    cfg.duration = SimDuration::from_secs(300);
+    let uncapped = run(cfg.clone());
+    cfg.vm_cap_percent = Some(1); // 1% of one core per VM — binds hard
+    let capped = run(cfg);
+    println!(
+        "  response time: uncapped {:.1} ms, capped(1%) {:.1} ms",
+        uncapped.response_time_mean_s * 1e3,
+        capped.response_time_mean_s * 1e3
+    );
+    println!(
+        "  completed requests: uncapped {}, capped {}",
+        uncapped.completed, capped.completed
+    );
+    let w_on = mean(&uncapped.cpu_cycles("web-vm"));
+    let w_off = mean(&capped.cpu_cycles("web-vm"));
+    println!("  web VM reported cycles: {w_on:.3e} → {w_off:.3e}");
+    println!();
+}
+
+/// Ablation 3 (DESIGN §5.3): DB buffer pool and query cache.
+fn ablate_db_caches() {
+    println!("== Ablation 3: InnoDB buffer pool + MySQL query cache ==");
+    let on = run(base_cfg());
+    let mut cfg = base_cfg();
+    cfg.mysql = MySqlConfig {
+        buffer_pool_bytes: 2 * 1024 * 1024, // nearly no pool
+        query_cache_bytes: 0,               // cache off
+        ..MySqlConfig::default()
+    };
+    let off = run(cfg);
+    report("db disk traffic", &on, &off, "disk", "mysql-vm");
+    report("db cpu", &on, &off, "cpu", "mysql-vm");
+    println!(
+        "  response time: cached {:.1} ms, uncached {:.1} ms",
+        on.response_time_mean_s * 1e3,
+        off.response_time_mean_s * 1e3
+    );
+    println!();
+}
+
+/// Ablation 4 (DESIGN §5.4): worker-pool growth (the RAM-jump mechanism).
+fn ablate_worker_pool() {
+    println!("== Ablation 4: Apache worker-pool growth ==");
+    // The jump mechanism needs the paper-scale population.
+    let mut paper = ExperimentConfig::paper(Deployment::Virtualized, WorkloadMix::BROWSING);
+    paper.duration = SimDuration::from_secs(600);
+    let dynamic = run(paper.clone());
+    let mut cfg = paper;
+    cfg.web = WebConfig {
+        start_workers: 150, // pre-spawned: no growth, no jumps
+        ..WebConfig::default()
+    };
+    let fixed = run(cfg);
+    let jumps_dyn = q2_ram_jumps(&dynamic, 15, 40.0).len();
+    let jumps_fixed = q2_ram_jumps(&fixed, 15, 40.0).len();
+    println!("  RAM jumps: dynamic pool {jumps_dyn}, pre-spawned pool {jumps_fixed}");
+    report("web VM memory level", &dynamic, &fixed, "ram", "web-vm");
+    println!();
+}
+
+fn main() {
+    ablate_io_path();
+    ablate_scheduler();
+    ablate_db_caches();
+    ablate_worker_pool();
+}

@@ -1,0 +1,409 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run --release -p cloudchar-bench --bin repro -- all
+//! cargo run --release -p cloudchar-bench --bin repro -- fig1 fig2 ratios
+//! cargo run --release -p cloudchar-bench --bin repro -- --fast all
+//! ```
+//!
+//! Experiments: the virtualized (§4.1) and non-virtualized (§4.2)
+//! deployments, each under the browsing and bidding compositions, at
+//! the paper's scale (1000 clients, 7 s think time, 20 minutes, 2 s
+//! samples). CSVs with the full series are written to `results/`.
+
+use cloudchar_analysis::{summarize, Resource};
+use cloudchar_core::{
+    paper_values, q1_tier_lag, q2_ram_jumps, q3_disk_cv, ratio_report, run, Deployment,
+    ExperimentConfig, ExperimentResult,
+};
+use cloudchar_monitor::catalog;
+use cloudchar_rubis::WorkloadMix;
+use std::collections::HashMap;
+use std::io::Write as _;
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum Key {
+    VirtBrowse,
+    VirtBid,
+    PhysBrowse,
+    PhysBid,
+}
+
+struct Lab {
+    fast: bool,
+    cache: HashMap<Key, ExperimentResult>,
+}
+
+impl Lab {
+    fn config(&self, key: Key) -> ExperimentConfig {
+        let (deployment, mix) = match key {
+            Key::VirtBrowse => (Deployment::Virtualized, WorkloadMix::BROWSING),
+            Key::VirtBid => (Deployment::Virtualized, WorkloadMix::BIDDING),
+            Key::PhysBrowse => (Deployment::NonVirtualized, WorkloadMix::BROWSING),
+            Key::PhysBid => (Deployment::NonVirtualized, WorkloadMix::BIDDING),
+        };
+        if self.fast {
+            ExperimentConfig::fast(deployment, mix)
+        } else {
+            ExperimentConfig::paper(deployment, mix)
+        }
+    }
+
+    fn get(&mut self, key: Key) -> &ExperimentResult {
+        if !self.cache.contains_key(&key) {
+            let cfg = self.config(key);
+            let label = match key {
+                Key::VirtBrowse => "virtualized/browsing",
+                Key::VirtBid => "virtualized/bidding",
+                Key::PhysBrowse => "non-virtualized/browsing",
+                Key::PhysBid => "non-virtualized/bidding",
+            };
+            eprintln!(
+                "[repro] running {label}: {} clients × {:.0}s …",
+                cfg.clients,
+                cfg.duration.as_secs_f64()
+            );
+            let t0 = std::time::Instant::now();
+            let result = run(cfg);
+            eprintln!(
+                "[repro]   done in {:.1}s ({} requests, {} events)",
+                t0.elapsed().as_secs_f64(),
+                result.completed,
+                result.events
+            );
+            self.cache.insert(key, result);
+        }
+        &self.cache[&key]
+    }
+}
+
+fn write_csv(path: &str, header: &str, cols: &[&[f64]], dt_s: f64) {
+    std::fs::create_dir_all("results").expect("create results dir");
+    let mut f = std::fs::File::create(path).expect("create csv");
+    writeln!(f, "{header}").unwrap();
+    let n = cols.iter().map(|c| c.len()).max().unwrap_or(0);
+    for i in 0..n {
+        let mut row = format!("{:.1}", (i + 1) as f64 * dt_s);
+        for c in cols {
+            row.push_str(&format!(",{:.3}", c.get(i).copied().unwrap_or(f64::NAN)));
+        }
+        writeln!(f, "{row}").unwrap();
+    }
+    eprintln!("[repro]   wrote {path}");
+}
+
+fn series_stats(label: &str, xs: &[f64]) -> String {
+    match summarize(xs) {
+        None => format!("{label}: (empty)"),
+        Some(s) => format!(
+            "{label:<26} mean {:>12.4e}  max {:>12.4e}  cv {:>5.2}",
+            s.mean, s.max, s.cv
+        ),
+    }
+}
+
+/// Table 1: the metric catalog sample.
+fn table1() {
+    let c = catalog();
+    println!(
+        "== Table 1: sample of the {} profiled performance metrics ==",
+        c.len()
+    );
+    println!("{:<22} {:<15} {:<10} description", "metric", "source", "family");
+    for id in c.table1_sample() {
+        let d = c.def(id);
+        println!(
+            "{:<22} {:<15} {:<10} {}",
+            d.name,
+            d.source.to_string(),
+            format!("{:?}", d.family),
+            d.description
+        );
+    }
+    let (hv, vm, perf) = (
+        c.by_source(cloudchar_monitor::Source::HypervisorSysstat).len(),
+        c.by_source(cloudchar_monitor::Source::VmSysstat).len(),
+        c.by_source(cloudchar_monitor::Source::PerfCounter).len(),
+    );
+    println!(
+        "catalog: {hv} hypervisor sysstat + {vm} VM sysstat + {perf} perf = {}",
+        c.len()
+    );
+    println!();
+}
+
+/// One virtualized figure (1–4): three panels × two mixes.
+fn virt_figure(lab: &mut Lab, fig: u8) {
+    let (resource, unit) = match fig {
+        1 => (Resource::Cpu, "cycles/2s"),
+        2 => (Resource::Ram, "MB"),
+        3 => (Resource::Disk, "KB/2s"),
+        4 => (Resource::Net, "KB/2s"),
+        _ => unreachable!(),
+    };
+    println!("== Figure {fig}: {resource:?} ({unit}) — virtualized, browse vs bid ==");
+    let hosts = ["web-vm", "mysql-vm", "dom0"];
+    let panels = ["Web+App. (VM)", "Mysql (VM)", "Domain0"];
+    let dt = 2.0;
+    let browse: Vec<Vec<f64>> = {
+        let r = lab.get(Key::VirtBrowse);
+        hosts.iter().map(|h| r.resource_series(resource, h)).collect()
+    };
+    let bid: Vec<Vec<f64>> = {
+        let r = lab.get(Key::VirtBid);
+        hosts.iter().map(|h| r.resource_series(resource, h)).collect()
+    };
+    for (i, panel) in panels.iter().enumerate() {
+        println!("  {}", series_stats(&format!("{panel} browse"), &browse[i]));
+        println!("  {}", series_stats(&format!("{panel} bid"), &bid[i]));
+        write_csv(
+            &format!("results/fig{fig}_{}.csv", hosts[i]),
+            "t_s,browse,bid",
+            &[&browse[i], &bid[i]],
+            dt,
+        );
+    }
+    println!();
+}
+
+/// One non-virtualized figure (5–8): two panels × two mixes.
+fn phys_figure(lab: &mut Lab, fig: u8) {
+    let (resource, unit) = match fig {
+        5 => (Resource::Cpu, "cycles/2s"),
+        6 => (Resource::Ram, "MB"),
+        7 => (Resource::Disk, "KB/2s"),
+        8 => (Resource::Net, "KB/2s"),
+        _ => unreachable!(),
+    };
+    println!("== Figure {fig}: {resource:?} ({unit}) — non-virtualized, browse vs bid ==");
+    let hosts = ["web-pm", "mysql-pm"];
+    let panels = ["Web+App. (PM)", "Mysql (PM)"];
+    let dt = 2.0;
+    let browse: Vec<Vec<f64>> = {
+        let r = lab.get(Key::PhysBrowse);
+        hosts.iter().map(|h| r.resource_series(resource, h)).collect()
+    };
+    let bid: Vec<Vec<f64>> = {
+        let r = lab.get(Key::PhysBid);
+        hosts.iter().map(|h| r.resource_series(resource, h)).collect()
+    };
+    for (i, panel) in panels.iter().enumerate() {
+        println!("  {}", series_stats(&format!("{panel} browse"), &browse[i]));
+        println!("  {}", series_stats(&format!("{panel} bid"), &bid[i]));
+        write_csv(
+            &format!("results/fig{fig}_{}.csv", hosts[i]),
+            "t_s,browse,bid",
+            &[&browse[i], &bid[i]],
+            dt,
+        );
+    }
+    println!();
+}
+
+fn print_ratio_row(
+    paper: cloudchar_analysis::ResourceRatios,
+    ours: cloudchar_analysis::ResourceRatios,
+) {
+    println!("       {:>10} {:>10} {:>10} {:>10}", "cpu", "ram", "disk", "net");
+    println!(
+        "       {:>10.2} {:>10.2} {:>10.2} {:>10.2}   (paper)",
+        paper.cpu, paper.ram, paper.disk, paper.net
+    );
+    println!(
+        "       {:>10.2} {:>10.2} {:>10.2} {:>10.2}   (measured)",
+        ours.cpu, ours.ram, ours.disk, ours.net
+    );
+}
+
+fn ratios(lab: &mut Lab) {
+    println!("== Ratios R1–R4 (averaged over the two published mixes) ==");
+    let avg = |a: cloudchar_analysis::ResourceRatios, b: cloudchar_analysis::ResourceRatios| {
+        cloudchar_analysis::ResourceRatios {
+            cpu: 0.5 * (a.cpu + b.cpu),
+            ram: 0.5 * (a.ram + b.ram),
+            disk: 0.5 * (a.disk + b.disk),
+            net: 0.5 * (a.net + b.net),
+        }
+    };
+    let (rep_browse, rep_bid) = {
+        let vb = lab.get(Key::VirtBrowse).clone();
+        let vd = lab.get(Key::VirtBid).clone();
+        let pb = lab.get(Key::PhysBrowse).clone();
+        let pd = lab.get(Key::PhysBid).clone();
+        (ratio_report(&vb, &pb), ratio_report(&vd, &pd))
+    };
+    println!("R1: front-end vs back-end demand (virtualized, VM level)");
+    print_ratio_row(paper_values::R1, avg(rep_browse.r1, rep_bid.r1));
+    println!("R2: aggregated VMs vs hypervisor (dom0) view");
+    print_ratio_row(paper_values::R2, avg(rep_browse.r2, rep_bid.r2));
+    println!("R3: non-virtualized aggregate vs virtualized physical view");
+    print_ratio_row(paper_values::R3, avg(rep_browse.r3, rep_bid.r3));
+    println!("R4: physical-demand delta, % (front-end PM vs dom0 view)");
+    print_ratio_row(
+        paper_values::R4_PERCENT,
+        avg(rep_browse.r4_percent, rep_bid.r4_percent),
+    );
+    println!();
+}
+
+fn lag(lab: &mut Lab) {
+    println!("== Q1: web→db workload lag (cross-correlation peak) ==");
+    for (key, label) in [
+        (Key::VirtBrowse, "virtualized/browsing"),
+        (Key::VirtBid, "virtualized/bidding"),
+        (Key::PhysBrowse, "non-virtualized/browsing"),
+        (Key::PhysBid, "non-virtualized/bidding"),
+    ] {
+        let r = lab.get(key);
+        match q1_tier_lag(r, 10) {
+            Some(l) => println!(
+                "  {label:<26} lag {:>3} samples ({:>4.1}s)  r={:.3}",
+                l.lag_samples,
+                l.lag_samples as f64 * 2.0,
+                l.correlation
+            ),
+            None => println!("  {label:<26} (insufficient data)"),
+        }
+    }
+    println!("  paper: db tier trails the web tier (non-negative lag expected)");
+    println!();
+}
+
+fn jumps(lab: &mut Lab) {
+    println!("== Q2: RAM level shifts on the front-end (window 15, 40 MB) ==");
+    for (key, label) in [
+        (Key::VirtBrowse, "virtualized/browsing"),
+        (Key::VirtBid, "virtualized/bidding"),
+        (Key::PhysBrowse, "non-virtualized/browsing"),
+        (Key::PhysBid, "non-virtualized/bidding"),
+    ] {
+        let r = lab.get(key);
+        let js = q2_ram_jumps(r, 15, 40.0);
+        let first = js.first().map(|j| format!("{:.0}s", j.index as f64 * 2.0));
+        println!(
+            "  {label:<26} {} jump(s){}",
+            js.len(),
+            first.map(|t| format!(", first at {t}")).unwrap_or_default()
+        );
+    }
+    println!("  paper: browse jumps in virt; bid smooth in virt; jumps earlier on PMs");
+    println!();
+}
+
+fn variance(lab: &mut Lab) {
+    println!("== Q3: disk-traffic coefficient of variation ==");
+    for (key, host, label) in [
+        (Key::VirtBrowse, "dom0", "virtualized (dom0) browse"),
+        (Key::VirtBid, "dom0", "virtualized (dom0) bid"),
+        (Key::PhysBrowse, "web-pm", "non-virt (web PM) browse"),
+        (Key::PhysBid, "web-pm", "non-virt (web PM) bid"),
+    ] {
+        let r = lab.get(key);
+        println!("  {label:<28} cv {:.2}", q3_disk_cv(r, host));
+    }
+    println!("  paper: higher variance in the non-virtualized system");
+    println!();
+}
+
+/// The paper ran five request compositions but printed only two "due to
+/// the space limitation"; this command produces all five.
+fn mixes_cmd(fast: bool) {
+    println!("== All five paper compositions (virtualized) ==");
+    println!("{:<9} {:>14} {:>14} {:>12} {:>12} {:>10}", "mix", "web cyc/2s", "db cyc/2s", "web net KB", "web ram MB", "resp ms");
+    for (name, mix) in WorkloadMix::paper_compositions() {
+        let cfg = if fast {
+            ExperimentConfig::fast(Deployment::Virtualized, mix)
+        } else {
+            ExperimentConfig::paper(Deployment::Virtualized, mix)
+        };
+        let r = run(cfg);
+        let m = |xs: Vec<f64>| summarize(&xs).map_or(0.0, |s| s.mean);
+        println!(
+            "{name:<9} {:>14.3e} {:>14.3e} {:>12.1} {:>12.1} {:>10.1}",
+            m(r.cpu_cycles("web-vm")),
+            m(r.cpu_cycles("mysql-vm")),
+            m(r.net_kb("web-vm")),
+            m(r.ram_mb("web-vm")),
+            r.response_time_mean_s * 1e3,
+        );
+    }
+    println!();
+}
+
+fn report_cmd(lab: &mut Lab) {
+    let vb = lab.get(Key::VirtBrowse).clone();
+    let vd = lab.get(Key::VirtBid).clone();
+    let pb = lab.get(Key::PhysBrowse).clone();
+    let pd = lab.get(Key::PhysBid).clone();
+    let report = cloudchar_core::render_report(&cloudchar_core::ReportInputs {
+        virt_browse: &vb,
+        virt_bid: &vd,
+        phys_browse: &pb,
+        phys_bid: &pd,
+    });
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/REPORT.md", &report).expect("write report");
+    eprintln!("[repro]   wrote results/REPORT.md ({} bytes)", report.len());
+}
+
+fn characterize_cmd(lab: &mut Lab) {
+    println!("== Workload characterization (resource + transaction level) ==");
+    for (key, label) in [
+        (Key::VirtBrowse, "virtualized/browsing"),
+        (Key::VirtBid, "virtualized/bidding"),
+    ] {
+        let r = lab.get(key).clone();
+        println!("--- {label} ---");
+        println!("{}", cloudchar_core::characterize(&r));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let mut cmds: Vec<String> = args.into_iter().filter(|a| a != "--fast").collect();
+    if cmds.is_empty() {
+        cmds.push("all".to_string());
+    }
+    let mut lab = Lab {
+        fast,
+        cache: HashMap::new(),
+    };
+    let all = cmds.iter().any(|c| c == "all");
+    let want = |name: &str| all || cmds.iter().any(|c| c == name);
+
+    if want("table1") {
+        table1();
+    }
+    for fig in 1..=4u8 {
+        if want(&format!("fig{fig}")) {
+            virt_figure(&mut lab, fig);
+        }
+    }
+    for fig in 5..=8u8 {
+        if want(&format!("fig{fig}")) {
+            phys_figure(&mut lab, fig);
+        }
+    }
+    if want("ratios") {
+        ratios(&mut lab);
+    }
+    if want("lag") {
+        lag(&mut lab);
+    }
+    if want("jumps") {
+        jumps(&mut lab);
+    }
+    if want("variance") {
+        variance(&mut lab);
+    }
+    if want("characterize") {
+        characterize_cmd(&mut lab);
+    }
+    if want("report") {
+        report_cmd(&mut lab);
+    }
+    if want("mixes") {
+        mixes_cmd(fast);
+    }
+}

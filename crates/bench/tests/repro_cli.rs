@@ -1,0 +1,62 @@
+//! CLI integration tests for the `repro` harness (run with `--fast` so
+//! the whole suite stays quick).
+
+use std::process::Command;
+
+fn repro(args: &[&str]) -> (String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .current_dir(std::env::temp_dir())
+        .output()
+        .expect("repro runs");
+    assert!(out.status.success(), "repro {args:?} failed: {out:?}");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn table1_lists_the_catalog() {
+    let (stdout, _) = repro(&["table1"]);
+    assert!(stdout.contains("518 profiled performance metrics"));
+    assert!(stdout.contains("182 hypervisor sysstat + 182 VM sysstat + 154 perf = 518"));
+    assert!(stdout.contains("%steal"));
+    assert!(stdout.contains("cache-misses"));
+}
+
+#[test]
+fn fast_fig1_produces_all_panels() {
+    let (stdout, stderr) = repro(&["--fast", "fig1"]);
+    for panel in ["Web+App. (VM) browse", "Mysql (VM) bid", "Domain0 browse"] {
+        assert!(stdout.contains(panel), "missing panel {panel}\n{stdout}");
+    }
+    assert!(stderr.contains("wrote results/fig1_web-vm.csv"));
+}
+
+#[test]
+fn fast_ratios_prints_paper_and_measured() {
+    let (stdout, _) = repro(&["--fast", "ratios"]);
+    assert!(stdout.contains("R1: front-end vs back-end"));
+    assert!(stdout.contains("16.84")); // paper value present
+    assert!(stdout.contains("(measured)"));
+    assert_eq!(stdout.matches("(paper)").count(), 4);
+}
+
+#[test]
+fn fast_qualitative_commands_run() {
+    let (stdout, _) = repro(&["--fast", "lag", "jumps", "variance"]);
+    assert!(stdout.contains("Q1: web→db workload lag"));
+    assert!(stdout.contains("Q2: RAM level shifts"));
+    assert!(stdout.contains("Q3: disk-traffic coefficient of variation"));
+}
+
+#[test]
+fn fast_report_writes_markdown() {
+    let (_, stderr) = repro(&["--fast", "report"]);
+    assert!(stderr.contains("wrote results/REPORT.md"));
+    let report = std::fs::read_to_string(std::env::temp_dir().join("results/REPORT.md"))
+        .expect("report written");
+    assert!(report.contains("# cloudchar reproduction report"));
+    assert!(report.contains("### Figure 8"));
+}

@@ -1,0 +1,233 @@
+//! Workload characterization reports — the paper's stated goal
+//! ("extract the rules of thumb to aid cloud service providers") and
+//! its future work ("design and apply formal methods to model the
+//! workload dynamics at both resource level and transaction level"),
+//! made executable.
+//!
+//! [`characterize`] condenses one experiment into:
+//!
+//! * **resource level** — per host × resource: summary statistics, the
+//!   best-fitting distribution family (with KS distance), lag-1
+//!   autocorrelation and detected level shifts;
+//! * **transaction level** — per RUBiS interaction: completion counts
+//!   and latency means;
+//! * **structure** — the inter-tier lag.
+
+use crate::experiment::ExperimentResult;
+use cloudchar_analysis::{
+    autocorrelation, best_fit, detect_jumps, dominant_periods, find_lag, summarize, FitResult,
+    LagResult, Resource, Summary,
+};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Characterization of one `(host, resource)` demand series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResourceProfile {
+    /// Host label.
+    pub host: String,
+    /// Resource dimension.
+    pub resource: Resource,
+    /// Descriptive statistics.
+    pub summary: Summary,
+    /// Best-fitting distribution family, if enough samples.
+    pub fit: Option<FitResult>,
+    /// Lag-1 autocorrelation (burst persistence).
+    pub autocorr1: Option<f64>,
+    /// Detected level shifts (window 15 samples, threshold 10% of the
+    /// series mean).
+    pub jumps: usize,
+    /// Dominant periodic component, if any (period in seconds, power
+    /// fraction).
+    pub period: Option<(f64, f64)>,
+}
+
+/// Transaction-level statistics of one interaction class.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransactionProfile {
+    /// PHP script name.
+    pub script: String,
+    /// Completions over the run.
+    pub completed: u64,
+    /// Mean end-to-end latency in seconds.
+    pub latency_mean_s: f64,
+}
+
+/// The full characterization of one experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Characterization {
+    /// One profile per host × resource.
+    pub resources: Vec<ResourceProfile>,
+    /// One profile per interaction with at least one completion.
+    pub transactions: Vec<TransactionProfile>,
+    /// Lag of the DB tier behind the web tier (CPU series).
+    pub tier_lag: Option<LagResult>,
+    /// Total completed requests.
+    pub completed: u64,
+    /// Mean response time in seconds.
+    pub response_time_mean_s: f64,
+}
+
+/// Characterize an experiment result.
+pub fn characterize(result: &ExperimentResult) -> Characterization {
+    let mut resources = Vec::new();
+    for host in &result.hosts {
+        for resource in Resource::ALL {
+            let xs = result.resource_series(resource, host);
+            let Some(summary) = summarize(&xs) else { continue };
+            let threshold = (summary.mean.abs() * 0.10).max(1e-9);
+            let dt_s = result.config.sample_interval.as_secs_f64();
+            resources.push(ResourceProfile {
+                host: host.clone(),
+                resource,
+                fit: best_fit(&xs),
+                autocorr1: autocorrelation(&xs, 1),
+                jumps: detect_jumps(&xs, 15, threshold).len(),
+                period: dominant_periods(&xs, 0.10, 1)
+                    .first()
+                    .map(|p| (p.period_samples * dt_s, p.power)),
+                summary,
+            });
+        }
+    }
+    let tier_lag = {
+        let web = result.resource_series(Resource::Cpu, result.front_host());
+        let db = result.resource_series(Resource::Cpu, result.back_host());
+        find_lag(&web, &db, 10)
+    };
+    let transactions = result
+        .transactions
+        .iter()
+        .filter(|(_, n, _)| *n > 0)
+        .map(|(script, n, lat)| TransactionProfile {
+            script: script.clone(),
+            completed: *n,
+            latency_mean_s: *lat,
+        })
+        .collect();
+    Characterization {
+        resources,
+        transactions,
+        tier_lag,
+        completed: result.completed,
+        response_time_mean_s: result.response_time_mean_s,
+    }
+}
+
+impl fmt::Display for Characterization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "workload characterization: {} requests, mean response {:.1} ms",
+            self.completed,
+            self.response_time_mean_s * 1e3
+        )?;
+        if let Some(lag) = self.tier_lag {
+            writeln!(
+                f,
+                "tier structure: db trails web by {} sample(s) (r = {:.2})",
+                lag.lag_samples, lag.correlation
+            )?;
+        }
+        writeln!(f, "-- resource level --")?;
+        for r in &self.resources {
+            let fit = match &r.fit {
+                Some(fr) => format!("{:?} (KS {:.3})", fr.dist, fr.ks),
+                None => "(no fit)".to_string(),
+            };
+            writeln!(
+                f,
+                "{:>9} {:<5} mean {:>11.4e} cv {:>5.2} ac1 {:>5.2} jumps {} fit {}",
+                r.host,
+                format!("{:?}", r.resource),
+                r.summary.mean,
+                r.summary.cv,
+                r.autocorr1.unwrap_or(0.0),
+                r.jumps,
+                fit
+            )?;
+        }
+        writeln!(f, "-- transaction level --")?;
+        let mut txns = self.transactions.clone();
+        txns.sort_by_key(|t| std::cmp::Reverse(t.completed));
+        for t in &txns {
+            writeln!(
+                f,
+                "{:>32} {:>8} completions, {:>7.1} ms mean",
+                t.script,
+                t.completed,
+                t.latency_mean_s * 1e3
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Deployment, ExperimentConfig};
+    use crate::experiment::run;
+    use cloudchar_rubis::WorkloadMix;
+
+    fn quick() -> Characterization {
+        let cfg = ExperimentConfig::fast(Deployment::Virtualized, WorkloadMix::BIDDING);
+        characterize(&run(cfg))
+    }
+
+    #[test]
+    fn covers_all_host_resource_pairs() {
+        let c = quick();
+        // 3 hosts × 4 resources.
+        assert_eq!(c.resources.len(), 12);
+        for r in &c.resources {
+            assert!(r.summary.n > 0);
+            assert!(r.summary.mean.is_finite());
+        }
+    }
+
+    #[test]
+    fn transaction_level_reflects_the_mix() {
+        let c = quick();
+        assert!(!c.transactions.is_empty());
+        let total: u64 = c.transactions.iter().map(|t| t.completed).sum();
+        assert_eq!(total, c.completed);
+        // A bidding run must complete StoreBid transactions.
+        assert!(
+            c.transactions.iter().any(|t| t.script == "StoreBid.php"),
+            "no StoreBid transactions in a bidding run"
+        );
+        for t in &c.transactions {
+            assert!(t.latency_mean_s > 0.0, "{} latency", t.script);
+        }
+    }
+
+    #[test]
+    fn browsing_has_no_write_transactions() {
+        let cfg = ExperimentConfig::fast(Deployment::Virtualized, WorkloadMix::BROWSING);
+        let c = characterize(&run(cfg));
+        for t in &c.transactions {
+            assert!(
+                !t.script.starts_with("Store") && t.script != "RegisterUser.php",
+                "write transaction {} in browsing run",
+                t.script
+            );
+        }
+    }
+
+    #[test]
+    fn fits_are_reported_for_long_series() {
+        let c = quick();
+        let with_fit = c.resources.iter().filter(|r| r.fit.is_some()).count();
+        assert!(with_fit >= 8, "only {with_fit} fits");
+    }
+
+    #[test]
+    fn display_renders() {
+        let c = quick();
+        let s = c.to_string();
+        assert!(s.contains("resource level"));
+        assert!(s.contains("transaction level"));
+        assert!(s.contains("web-vm"));
+    }
+}

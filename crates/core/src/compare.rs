@@ -1,0 +1,217 @@
+//! The paper's quantitative comparisons (R1–R4, Q1–Q4), computed from
+//! experiment results.
+//!
+//! Definitions follow §4.1/§4.2 as closely as the text permits. Where
+//! the paper's own numbers are mutually inconsistent (its 3.47× CPU
+//! aggregate in R3 versus its "+88% CPU" in R4 describe the same
+//! comparison), we fix one definition per claim and record the choice —
+//! see EXPERIMENTS.md for the arithmetic.
+
+use crate::experiment::ExperimentResult;
+use cloudchar_analysis::{
+    demand_ratio, detect_jumps, find_lag, percent_more, Jump, LagResult, Resource, ResourceRatios,
+};
+use serde::{Deserialize, Serialize};
+
+fn ratios_for(
+    num: impl Fn(Resource) -> Vec<f64>,
+    den: impl Fn(Resource) -> Vec<f64>,
+) -> ResourceRatios {
+    let r = |resource| {
+        let a = num(resource);
+        let b = den(resource);
+        demand_ratio(resource, &a, &b)
+    };
+    ResourceRatios {
+        cpu: r(Resource::Cpu),
+        ram: r(Resource::Ram),
+        disk: r(Resource::Disk),
+        net: r(Resource::Net),
+    }
+}
+
+/// R1 (§4.1): front-end (web+app) demand over back-end (DB) demand,
+/// virtualized deployment, VM-level measurements.
+///
+/// Paper: CPU 6.11, RAM 3.29, disk 5.71, net 55.56.
+pub fn r1_front_vs_back(virt: &ExperimentResult) -> ResourceRatios {
+    ratios_for(
+        |res| virt.resource_series(res, virt.front_host()),
+        |res| virt.resource_series(res, virt.back_host()),
+    )
+}
+
+/// R2 (§4.1): aggregated VM demand over the hypervisor (dom0) view.
+///
+/// Paper: CPU 16.84, RAM 0.58, disk 0.47, net 0.98.
+pub fn r2_vms_vs_dom0(virt: &ExperimentResult) -> ResourceRatios {
+    let dom0 = virt.hypervisor_host().expect("virtualized result");
+    ratios_for(
+        |res| {
+            let a = virt.resource_series(res, virt.front_host());
+            let b = virt.resource_series(res, virt.back_host());
+            cloudchar_analysis::elementwise_sum(&[&a, &b])
+        },
+        |res| virt.resource_series(res, dom0),
+    )
+}
+
+/// R3 (§4.2): aggregate non-virtualized physical demand over the
+/// virtualized environment's physical (dom0) view.
+///
+/// Paper: CPU 3.47, RAM 0.97, disk 0.6, net 0.98.
+pub fn r3_nonvirt_vs_virt(phys: &ExperimentResult, virt: &ExperimentResult) -> ResourceRatios {
+    let dom0 = virt.hypervisor_host().expect("virtualized result");
+    ratios_for(
+        |res| {
+            let a = phys.resource_series(res, phys.front_host());
+            let b = phys.resource_series(res, phys.back_host());
+            cloudchar_analysis::elementwise_sum(&[&a, &b])
+        },
+        |res| virt.resource_series(res, dom0),
+    )
+}
+
+/// R4 (§4.2): percent difference of the application's physical demand,
+/// non-virtualized vs virtualized, compared per front-end server (the
+/// web PM against the dom0 view — the reading under which the paper's
+/// "+88% CPU" is consistent with its own figures).
+///
+/// Paper: +88% CPU, +21% RAM, +2% net, −25% disk.
+pub fn r4_physical_percent(phys: &ExperimentResult, virt: &ExperimentResult) -> ResourceRatios {
+    let dom0 = virt.hypervisor_host().expect("virtualized result");
+    let r = ratios_for(
+        |res| phys.resource_series(res, phys.front_host()),
+        |res| virt.resource_series(res, dom0),
+    );
+    ResourceRatios {
+        cpu: percent_more(r.cpu),
+        ram: percent_more(r.ram),
+        disk: percent_more(r.disk),
+        net: percent_more(r.net),
+    }
+}
+
+/// Q1 (§4.1): lag of the DB tier behind the web tier, from the CPU
+/// demand series. Positive lag = DB trails, as the paper observes.
+pub fn q1_tier_lag(result: &ExperimentResult, max_lag_samples: usize) -> Option<LagResult> {
+    let web = result.resource_series(Resource::Cpu, result.front_host());
+    let db = result.resource_series(Resource::Cpu, result.back_host());
+    find_lag(&web, &db, max_lag_samples)
+}
+
+/// Q2 (§4.1/§4.2): RAM level shifts on the front-end host.
+///
+/// `window`/`threshold_mb` tune the detector; the paper's jumps are
+/// ~100 MB steps.
+pub fn q2_ram_jumps(result: &ExperimentResult, window: usize, threshold_mb: f64) -> Vec<Jump> {
+    let ram = result.resource_series(Resource::Ram, result.front_host());
+    detect_jumps(&ram, window, threshold_mb)
+}
+
+/// Q3 (§4.2): coefficient of variation of disk traffic, for the
+/// variance comparison (non-virt should exceed virt).
+pub fn q3_disk_cv(result: &ExperimentResult, host: &str) -> f64 {
+    let xs = result.resource_series(Resource::Disk, host);
+    cloudchar_analysis::summarize(&xs).map_or(0.0, |s| s.cv)
+}
+
+/// A full paper-vs-measured ratio report for one virt/non-virt pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RatioReport {
+    /// R1 measured.
+    pub r1: ResourceRatios,
+    /// R2 measured.
+    pub r2: ResourceRatios,
+    /// R3 measured.
+    pub r3: ResourceRatios,
+    /// R4 measured (percent).
+    pub r4_percent: ResourceRatios,
+}
+
+/// Paper-reported values for R1–R4.
+pub mod paper_values {
+    use cloudchar_analysis::ResourceRatios;
+
+    /// §4.1 front-end vs back-end.
+    pub const R1: ResourceRatios = ResourceRatios { cpu: 6.11, ram: 3.29, disk: 5.71, net: 55.56 };
+    /// §4.1 VMs vs hypervisor.
+    pub const R2: ResourceRatios = ResourceRatios { cpu: 16.84, ram: 0.58, disk: 0.47, net: 0.98 };
+    /// §4.2 non-virt vs virt aggregates.
+    pub const R3: ResourceRatios = ResourceRatios { cpu: 3.47, ram: 0.97, disk: 0.6, net: 0.98 };
+    /// §4.2 physical-demand percent deltas.
+    pub const R4_PERCENT: ResourceRatios =
+        ResourceRatios { cpu: 88.0, ram: 21.0, disk: -25.0, net: 2.0 };
+}
+
+/// Compute all four ratio sets.
+pub fn ratio_report(virt: &ExperimentResult, phys: &ExperimentResult) -> RatioReport {
+    RatioReport {
+        r1: r1_front_vs_back(virt),
+        r2: r2_vms_vs_dom0(virt),
+        r3: r3_nonvirt_vs_virt(phys, virt),
+        r4_percent: r4_physical_percent(phys, virt),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Deployment, ExperimentConfig};
+    use crate::experiment::run;
+    use cloudchar_rubis::WorkloadMix;
+
+    fn pair() -> (ExperimentResult, ExperimentResult) {
+        let virt = run(ExperimentConfig::fast(
+            Deployment::Virtualized,
+            WorkloadMix::BROWSING,
+        ));
+        let phys = run(ExperimentConfig::fast(
+            Deployment::NonVirtualized,
+            WorkloadMix::BROWSING,
+        ));
+        (virt, phys)
+    }
+
+    #[test]
+    fn ratio_report_is_finite_and_shaped() {
+        let (virt, phys) = pair();
+        let rep = ratio_report(&virt, &phys);
+        // Front-end demands more of everything than the back-end.
+        assert!(rep.r1.cpu > 1.0, "r1 cpu {}", rep.r1.cpu);
+        assert!(rep.r1.ram > 1.0, "r1 ram {}", rep.r1.ram);
+        assert!(rep.r1.net > 5.0, "r1 net {}", rep.r1.net);
+        // VMs report far more CPU than dom0's physical view. (At the
+        // reduced test scale dom0's fixed housekeeping weighs more than
+        // in the paper-scale run, so the bar here is loose; the repro
+        // harness checks the paper-scale value.)
+        assert!(rep.r2.cpu > 1.3, "r2 cpu {}", rep.r2.cpu);
+        // dom0 sees more disk traffic than the VMs request.
+        assert!(rep.r2.disk < 1.0, "r2 disk {}", rep.r2.disk);
+        // At the reduced test scale dom0's fixed housekeeping dominates
+        // its view, so R3/R4 only need to be positive and finite here;
+        // the repro harness checks the paper-scale values (>1, +88%).
+        assert!(rep.r3.cpu > 0.0, "r3 cpu {}", rep.r3.cpu);
+        assert!(rep.r4_percent.cpu > -100.0, "r4 cpu {}", rep.r4_percent.cpu);
+        for r in [&rep.r1, &rep.r2, &rep.r3, &rep.r4_percent] {
+            for res in cloudchar_analysis::Resource::ALL {
+                assert!(r.get(res).is_finite(), "{res:?} not finite");
+            }
+        }
+    }
+
+    #[test]
+    fn tier_lag_is_detectable() {
+        let (virt, _) = pair();
+        let lag = q1_tier_lag(&virt, 5).expect("lag computable");
+        assert!(lag.correlation > 0.1, "tiers should co-vary: {lag:?}");
+        assert!(lag.lag_samples.abs() <= 5);
+    }
+
+    #[test]
+    fn disk_cv_positive() {
+        let (virt, phys) = pair();
+        assert!(q3_disk_cv(&virt, virt.front_host()) > 0.0);
+        assert!(q3_disk_cv(&phys, phys.front_host()) > 0.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Experiment configuration.
+
+use cloudchar_rubis::{DbScale, MySqlConfig, WebConfig, WorkloadMix};
+use cloudchar_simcore::{SimDuration, SimTime};
+use cloudchar_xen::OverheadModel;
+use serde::{Deserialize, Serialize};
+
+/// Which deployment the experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Deployment {
+    /// §4.1: both RUBiS tiers in VMs on one Xen host; dom0 is profiled
+    /// as the hypervisor view.
+    Virtualized,
+    /// §4.2: each tier on its own physical server.
+    NonVirtualized,
+}
+
+/// Full experiment configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Master seed; every stochastic component derives a named stream.
+    pub seed: u64,
+    /// Deployment under test.
+    pub deployment: Deployment,
+    /// Number of emulated clients (paper: 1000).
+    pub clients: u32,
+    /// Request composition.
+    pub mix: WorkloadMix,
+    /// Run length (paper: ~20 minutes).
+    pub duration: SimDuration,
+    /// Sampling interval (paper: 2 s).
+    pub sample_interval: SimDuration,
+    /// Clients connect staggered over this window at the start.
+    pub rampup: SimDuration,
+    /// Database population.
+    pub db_scale: DbScale,
+    /// Virtualization cost model (ignored for non-virtualized runs).
+    pub overhead: OverheadModel,
+    /// Credit-scheduler cap applied to each guest VM, in percent of one
+    /// physical CPU (`None` = uncapped, the paper's setting).
+    pub vm_cap_percent: Option<u32>,
+    /// Colocated background VMs on the virtualized host (the paper's
+    /// servers host up to ten VMs; its experiment uses two).
+    pub background_vms: u32,
+    /// CPU demand of each background VM (fraction of one VCPU).
+    pub background_util: f64,
+    /// Disk I/O rate of each background VM (48 KB random ops/s).
+    pub background_iops: f64,
+    /// Disk health factor for failure injection: 1.0 = healthy; k > 1
+    /// multiplies positioning latency and divides bandwidth by k
+    /// (a dying spindle relocating sectors).
+    pub disk_degradation: f64,
+    /// Web tier configuration.
+    pub web: WebConfig,
+    /// Database tier configuration.
+    pub mysql: MySqlConfig,
+}
+
+impl ExperimentConfig {
+    /// The paper's experiment: 1000 clients, 7 s think time (inside the
+    /// client model), ~20 min, 2 s samples.
+    pub fn paper(deployment: Deployment, mix: WorkloadMix) -> Self {
+        ExperimentConfig {
+            seed: 42,
+            deployment,
+            clients: 1000,
+            mix,
+            duration: SimDuration::from_secs(1200),
+            sample_interval: SimDuration::from_secs(2),
+            rampup: SimDuration::from_secs(45),
+            db_scale: DbScale::paper(),
+            overhead: OverheadModel::default(),
+            vm_cap_percent: None,
+            background_vms: 0,
+            background_util: 0.0,
+            background_iops: 0.0,
+            disk_degradation: 1.0,
+            web: WebConfig::default(),
+            mysql: MySqlConfig::default(),
+        }
+    }
+
+    /// A reduced-scale configuration for tests: 120 clients, 2 minutes.
+    pub fn fast(deployment: Deployment, mix: WorkloadMix) -> Self {
+        ExperimentConfig {
+            clients: 120,
+            duration: SimDuration::from_secs(120),
+            rampup: SimDuration::from_secs(10),
+            db_scale: DbScale::small(),
+            ..ExperimentConfig::paper(deployment, mix)
+        }
+    }
+
+    /// Number of samples the run will produce.
+    pub fn sample_count(&self) -> usize {
+        (self.duration.as_nanos() / self.sample_interval.as_nanos()) as usize
+    }
+
+    /// End-of-run instant.
+    pub fn end_time(&self) -> SimTime {
+        SimTime::ZERO + self.duration
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.clients == 0 {
+            return Err("clients must be > 0".into());
+        }
+        if self.sample_interval > self.duration {
+            return Err("sample interval exceeds run duration".into());
+        }
+        if !(0.0..=1.0).contains(&self.mix.browsing_fraction) {
+            return Err("browsing fraction must be in [0,1]".into());
+        }
+        if !(self.disk_degradation.is_finite() && self.disk_degradation >= 1.0) {
+            return Err("disk_degradation must be >= 1".into());
+        }
+        self.overhead.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_matches_published_setup() {
+        let c = ExperimentConfig::paper(Deployment::Virtualized, WorkloadMix::BROWSING);
+        assert_eq!(c.clients, 1000);
+        assert_eq!(c.duration, SimDuration::from_secs(1200));
+        assert_eq!(c.sample_interval, SimDuration::from_secs(2));
+        assert_eq!(c.sample_count(), 600);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn fast_is_reduced() {
+        let c = ExperimentConfig::fast(Deployment::NonVirtualized, WorkloadMix::BIDDING);
+        assert!(c.clients < 1000);
+        assert!(c.duration < SimDuration::from_secs(1200));
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_nonsense() {
+        let mut c = ExperimentConfig::fast(Deployment::Virtualized, WorkloadMix::BROWSING);
+        c.clients = 0;
+        assert!(c.validate().is_err());
+        let mut c2 = ExperimentConfig::fast(Deployment::Virtualized, WorkloadMix::BROWSING);
+        c2.sample_interval = SimDuration::from_secs(10_000);
+        assert!(c2.validate().is_err());
+        let mut c3 = ExperimentConfig::fast(Deployment::Virtualized, WorkloadMix::BROWSING);
+        c3.mix = WorkloadMix { browsing_fraction: 2.0 };
+        assert!(c3.validate().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = ExperimentConfig::paper(Deployment::Virtualized, WorkloadMix::percent_browsing(30));
+        let s = serde_json::to_string(&c).unwrap();
+        let back: ExperimentConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(c, back);
+    }
+}

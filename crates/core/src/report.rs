@@ -1,0 +1,217 @@
+//! Markdown report generation: one self-contained paper-vs-measured
+//! document from a set of experiment results, written by the repro
+//! harness to `results/REPORT.md`.
+
+use crate::compare::{paper_values, q1_tier_lag, q2_ram_jumps, q3_disk_cv, ratio_report};
+use crate::experiment::ExperimentResult;
+use cloudchar_analysis::{dominant_periods, summarize, Resource, ResourceRatios};
+use std::fmt::Write as _;
+
+/// The four runs a full report covers.
+#[derive(Debug)]
+pub struct ReportInputs<'a> {
+    /// Virtualized, browsing mix.
+    pub virt_browse: &'a ExperimentResult,
+    /// Virtualized, bidding mix.
+    pub virt_bid: &'a ExperimentResult,
+    /// Non-virtualized, browsing mix.
+    pub phys_browse: &'a ExperimentResult,
+    /// Non-virtualized, bidding mix.
+    pub phys_bid: &'a ExperimentResult,
+}
+
+fn ratio_table(out: &mut String, title: &str, paper: ResourceRatios, ours: ResourceRatios) {
+    writeln!(out, "### {title}\n").unwrap();
+    writeln!(out, "| | cpu | ram | disk | net |").unwrap();
+    writeln!(out, "|---|---|---|---|---|").unwrap();
+    writeln!(
+        out,
+        "| paper | {:.2} | {:.2} | {:.2} | {:.2} |",
+        paper.cpu, paper.ram, paper.disk, paper.net
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "| measured | {:.2} | {:.2} | {:.2} | {:.2} |\n",
+        ours.cpu, ours.ram, ours.disk, ours.net
+    )
+    .unwrap();
+}
+
+fn figure_table(out: &mut String, title: &str, rows: &[(&str, &ExperimentResult, &str, Resource)]) {
+    writeln!(out, "### {title}\n").unwrap();
+    writeln!(out, "| series | mean | max | cv | dominant period |").unwrap();
+    writeln!(out, "|---|---|---|---|---|").unwrap();
+    for (label, result, host, resource) in rows {
+        let xs = result.resource_series(*resource, host);
+        let Some(s) = summarize(&xs) else { continue };
+        let period = dominant_periods(&xs, 0.08, 1)
+            .first()
+            .map(|p| format!("{:.0} s", p.period_samples * 2.0))
+            .unwrap_or_else(|| "—".to_string());
+        writeln!(
+            out,
+            "| {label} | {:.3e} | {:.3e} | {:.2} | {period} |",
+            s.mean, s.max, s.cv
+        )
+        .unwrap();
+    }
+    writeln!(out).unwrap();
+}
+
+/// Render the full markdown report.
+pub fn render_report(inputs: &ReportInputs<'_>) -> String {
+    let mut out = String::new();
+    writeln!(out, "# cloudchar reproduction report\n").unwrap();
+    writeln!(
+        out,
+        "Generated from seed {} at paper scale ({} clients, {:.0} s, {:.0} s samples).\n",
+        inputs.virt_browse.config.seed,
+        inputs.virt_browse.config.clients,
+        inputs.virt_browse.config.duration.as_secs_f64(),
+        inputs.virt_browse.config.sample_interval.as_secs_f64(),
+    )
+    .unwrap();
+
+    writeln!(out, "## Run vitals\n").unwrap();
+    writeln!(out, "| run | requests | mean resp (ms) | events |").unwrap();
+    writeln!(out, "|---|---|---|---|").unwrap();
+    for (label, r) in [
+        ("virtualized/browsing", inputs.virt_browse),
+        ("virtualized/bidding", inputs.virt_bid),
+        ("non-virtualized/browsing", inputs.phys_browse),
+        ("non-virtualized/bidding", inputs.phys_bid),
+    ] {
+        writeln!(
+            out,
+            "| {label} | {} | {:.1} | {} |",
+            r.completed,
+            r.response_time_mean_s * 1e3,
+            r.events
+        )
+        .unwrap();
+    }
+    writeln!(out).unwrap();
+
+    // Figures.
+    for (fig, resource, unit) in [
+        (1u8, Resource::Cpu, "cycles/2s"),
+        (2, Resource::Ram, "MB"),
+        (3, Resource::Disk, "KB/2s"),
+        (4, Resource::Net, "KB/2s"),
+    ] {
+        figure_table(
+            &mut out,
+            &format!("Figure {fig} — {resource:?} ({unit}), virtualized"),
+            &[
+                ("Web+App VM browse", inputs.virt_browse, "web-vm", resource),
+                ("Web+App VM bid", inputs.virt_bid, "web-vm", resource),
+                ("MySQL VM browse", inputs.virt_browse, "mysql-vm", resource),
+                ("MySQL VM bid", inputs.virt_bid, "mysql-vm", resource),
+                ("Domain0 browse", inputs.virt_browse, "dom0", resource),
+                ("Domain0 bid", inputs.virt_bid, "dom0", resource),
+            ],
+        );
+    }
+    for (fig, resource, unit) in [
+        (5u8, Resource::Cpu, "cycles/2s"),
+        (6, Resource::Ram, "MB"),
+        (7, Resource::Disk, "KB/2s"),
+        (8, Resource::Net, "KB/2s"),
+    ] {
+        figure_table(
+            &mut out,
+            &format!("Figure {fig} — {resource:?} ({unit}), non-virtualized"),
+            &[
+                ("Web+App PM browse", inputs.phys_browse, "web-pm", resource),
+                ("Web+App PM bid", inputs.phys_bid, "web-pm", resource),
+                ("MySQL PM browse", inputs.phys_browse, "mysql-pm", resource),
+                ("MySQL PM bid", inputs.phys_bid, "mysql-pm", resource),
+            ],
+        );
+    }
+
+    // Ratios (mix-averaged, as in §4).
+    writeln!(out, "## Ratios\n").unwrap();
+    let avg = |a: ResourceRatios, b: ResourceRatios| ResourceRatios {
+        cpu: 0.5 * (a.cpu + b.cpu),
+        ram: 0.5 * (a.ram + b.ram),
+        disk: 0.5 * (a.disk + b.disk),
+        net: 0.5 * (a.net + b.net),
+    };
+    let rb = ratio_report(inputs.virt_browse, inputs.phys_browse);
+    let rd = ratio_report(inputs.virt_bid, inputs.phys_bid);
+    ratio_table(&mut out, "R1 — front-end vs back-end (virtualized)", paper_values::R1, avg(rb.r1, rd.r1));
+    ratio_table(&mut out, "R2 — VMs vs dom0 view", paper_values::R2, avg(rb.r2, rd.r2));
+    ratio_table(&mut out, "R3 — non-virt vs virt physical", paper_values::R3, avg(rb.r3, rd.r3));
+    ratio_table(
+        &mut out,
+        "R4 — physical-demand delta (%)",
+        paper_values::R4_PERCENT,
+        avg(rb.r4_percent, rd.r4_percent),
+    );
+
+    // Qualitative.
+    writeln!(out, "## Qualitative claims\n").unwrap();
+    for (label, r) in [
+        ("virtualized/browsing", inputs.virt_browse),
+        ("virtualized/bidding", inputs.virt_bid),
+        ("non-virtualized/browsing", inputs.phys_browse),
+        ("non-virtualized/bidding", inputs.phys_bid),
+    ] {
+        let lag = q1_tier_lag(r, 10)
+            .map(|l| format!("{} samples (r={:.2})", l.lag_samples, l.correlation))
+            .unwrap_or_else(|| "n/a".into());
+        let jumps = q2_ram_jumps(r, 15, 40.0).len();
+        let cv = q3_disk_cv(r, r.front_host());
+        writeln!(
+            out,
+            "* **{label}**: web→db lag {lag}; {jumps} front-end RAM jump(s); front-end disk cv {cv:.2}"
+        )
+        .unwrap();
+    }
+    writeln!(out).unwrap();
+    writeln!(
+        out,
+        "See EXPERIMENTS.md for the per-claim verdicts and the analysis of\nthe paper's internally inconsistent ratio definitions."
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Deployment, ExperimentConfig};
+    use crate::experiment::run;
+    use cloudchar_rubis::WorkloadMix;
+
+    #[test]
+    fn report_renders_all_sections() {
+        let vb = run(ExperimentConfig::fast(Deployment::Virtualized, WorkloadMix::BROWSING));
+        let vd = run(ExperimentConfig::fast(Deployment::Virtualized, WorkloadMix::BIDDING));
+        let pb = run(ExperimentConfig::fast(Deployment::NonVirtualized, WorkloadMix::BROWSING));
+        let pd = run(ExperimentConfig::fast(Deployment::NonVirtualized, WorkloadMix::BIDDING));
+        let report = render_report(&ReportInputs {
+            virt_browse: &vb,
+            virt_bid: &vd,
+            phys_browse: &pb,
+            phys_bid: &pd,
+        });
+        for needle in [
+            "# cloudchar reproduction report",
+            "## Run vitals",
+            "Figure 1",
+            "Figure 8",
+            "R1 — front-end vs back-end",
+            "R4 — physical-demand delta",
+            "## Qualitative claims",
+            "| paper | 16.84 |",
+        ] {
+            assert!(report.contains(needle), "missing: {needle}");
+        }
+        // All 8 figures and 4 ratio tables render.
+        assert_eq!(report.matches("### Figure").count(), 8);
+        assert_eq!(report.matches("### R").count(), 4);
+    }
+}

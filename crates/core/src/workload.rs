@@ -1,0 +1,403 @@
+//! The experiment orchestrator: the full request lifecycle of the RUBiS
+//! three-tier system, choreographed over the discrete-event engine.
+//!
+//! Each client request travels:
+//!
+//! ```text
+//! client --net--> web tier (worker pool) --CPU--> [query --net--> DB
+//!   --CPU+disk--> --net--> web]* --CPU render--> --net--> client
+//! ```
+//!
+//! CPU phases complete through the platform's scheduler ticks (credit
+//! scheduler on the virtualized deployment, host scheduler otherwise);
+//! disk and network phases complete at device-computed times. The same
+//! orchestration runs unchanged over both platforms — the experimental
+//! control the paper's comparison requires.
+
+use crate::config::ExperimentConfig;
+use crate::platform::{Platform, Tier, TierLoad};
+use cloudchar_hw::WorkToken;
+use cloudchar_monitor::{synthesize_perf, synthesize_sysstat, SeriesStore};
+use cloudchar_rubis::interactions::EntityRanges;
+use cloudchar_rubis::{
+    queries_for, ClientPopulation, Interaction, InteractionProfile, MySqlServer, Query,
+    WebAppServer,
+};
+use cloudchar_simcore::stats::{LogHistogram, Welford};
+use cloudchar_simcore::{Dist, Engine, Sample, SimRng, SimTime};
+use std::collections::{HashMap, VecDeque};
+
+/// Phase of an in-flight request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// PHP script executing on the web tier.
+    WebScript,
+    /// Query executing on the DB tier.
+    DbCpu,
+    /// Response HTML being rendered/marshalled on the web tier.
+    WebRender,
+}
+
+/// One in-flight HTTP transaction.
+#[derive(Debug)]
+struct Request {
+    session: u32,
+    interaction: Interaction,
+    profile: InteractionProfile,
+    queries: VecDeque<Query>,
+    db_bytes: u64,
+    last_db_resp: u64,
+    io_barrier: SimTime,
+    issued: SimTime,
+    phase: Phase,
+}
+
+/// The simulation world: platform + application models + monitors.
+pub struct World {
+    /// The deployment substrate.
+    pub platform: Platform,
+    /// Apache + PHP tier model.
+    pub web: WebAppServer,
+    /// MySQL tier model.
+    pub mysql: MySqlServer,
+    /// Emulated client population.
+    pub clients: ClientPopulation,
+    /// Sampled metric series.
+    pub store: SeriesStore,
+    /// Requests completed end-to-end.
+    pub completed: u64,
+    /// End-to-end response-time statistics (seconds).
+    pub response_time: Welford,
+    /// Response-time histogram for percentile extraction (1 µs – 300 s).
+    pub response_hist: LogHistogram,
+    /// Per-interaction completion counts (transaction-level view),
+    /// indexed by [`Interaction::index`].
+    pub interaction_counts: Vec<u64>,
+    /// Per-interaction response-time accumulators (seconds).
+    pub interaction_latency: Vec<Welford>,
+    cfg: ExperimentConfig,
+    rng: SimRng,
+    inflight: HashMap<u64, Request>,
+    pending_web: VecDeque<u64>,
+    next_req: u64,
+    tcp_opened: u64,
+    completions_scratch: Vec<(Tier, WorkToken)>,
+}
+
+impl World {
+    /// Assemble a world (platform and models are built by
+    /// [`crate::experiment::run`]).
+    pub fn new(
+        cfg: ExperimentConfig,
+        platform: Platform,
+        web: WebAppServer,
+        mysql: MySqlServer,
+        clients: ClientPopulation,
+        rng: SimRng,
+    ) -> Self {
+        World {
+            platform,
+            web,
+            mysql,
+            clients,
+            store: SeriesStore::new(),
+            completed: 0,
+            response_time: Welford::new(),
+            response_hist: LogHistogram::new(1e-6, 300.0, 10),
+            interaction_counts: vec![0; Interaction::ALL.len()],
+            interaction_latency: vec![Welford::new(); Interaction::ALL.len()],
+            cfg,
+            rng,
+            inflight: HashMap::new(),
+            pending_web: VecDeque::new(),
+            next_req: 0,
+            tcp_opened: 0,
+            completions_scratch: Vec::new(),
+        }
+    }
+
+    /// Requests currently in flight (for tests).
+    pub fn inflight_count(&self) -> usize {
+        self.inflight.len()
+    }
+
+    fn ranges(&self) -> EntityRanges {
+        let cards = self.mysql.db.cardinalities();
+        let scale = self.mysql.db.scale();
+        EntityRanges {
+            users: cards[0] as u32,
+            items: cards[1] as u32,
+            categories: scale.categories,
+            regions: scale.regions,
+        }
+    }
+}
+
+/// Install every initial event: staggered client starts, scheduler
+/// quanta, housekeeping and sampling.
+pub fn bootstrap(engine: &mut Engine<World>, world: &mut World) {
+    let end = world.cfg.end_time();
+    // Staggered session starts.
+    let ramp = world.cfg.rampup.as_secs_f64().max(0.001);
+    for session in 0..world.cfg.clients {
+        let offset = Dist::Uniform { lo: 0.0, hi: ramp }.sample(&mut world.rng);
+        engine.schedule_at(SimTime::from_secs_f64(offset), move |e, w| {
+            fire_request(e, w, session);
+        });
+    }
+    // Scheduler quantum.
+    let quantum = world.platform.quantum();
+    engine.schedule_periodic(SimTime::ZERO + quantum, quantum, move |e, w| {
+        let mut done = std::mem::take(&mut w.completions_scratch);
+        done.clear();
+        w.platform.tick(e.now(), quantum, &mut done);
+        for (tier, token) in done.drain(..) {
+            on_cpu_complete(e, w, tier, token);
+        }
+        w.completions_scratch = done;
+        e.now() < end
+    });
+    // Housekeeping (1 s).
+    let second = cloudchar_simcore::SimDuration::from_secs(1);
+    engine.schedule_periodic(SimTime::ZERO + second, second, move |e, w| {
+        housekeeping(e, w);
+        e.now() < end
+    });
+    // Sampling (2 s).
+    let interval = world.cfg.sample_interval;
+    engine.schedule_periodic(SimTime::ZERO + interval, interval, move |e, w| {
+        take_sample(e, w);
+        e.now() < end
+    });
+}
+
+fn fire_request(engine: &mut Engine<World>, world: &mut World, session: u32) {
+    if engine.now() >= world.cfg.end_time() {
+        return;
+    }
+    let interaction = world.clients.current_interaction(session);
+    let profile = InteractionProfile::of(interaction);
+    let ranges = world.ranges();
+    let queries: VecDeque<Query> =
+        queries_for(interaction, ranges, &mut world.rng).into_iter().collect();
+    let req_bytes = profile.sample_request_bytes(&mut world.rng);
+    let id = world.next_req;
+    world.next_req += 1;
+    world.inflight.insert(
+        id,
+        Request {
+            session,
+            interaction,
+            profile,
+            queries,
+            db_bytes: 0,
+            last_db_resp: 0,
+            io_barrier: SimTime::ZERO,
+            issued: engine.now(),
+            phase: Phase::WebScript,
+        },
+    );
+    world.tcp_opened += 1;
+    let arrive = world.platform.net_client_to_web(engine.now(), req_bytes);
+    engine.schedule_at(arrive, move |e, w| web_arrival(e, w, id));
+}
+
+fn web_arrival(engine: &mut Engine<World>, world: &mut World, id: u64) {
+    if world.web.on_arrival() {
+        start_script(engine, world, id);
+    } else {
+        world.pending_web.push_back(id);
+    }
+}
+
+fn start_script(engine: &mut Engine<World>, world: &mut World, id: u64) {
+    let cycles = {
+        let req = world.inflight.get_mut(&id).expect("request exists");
+        req.phase = Phase::WebScript;
+        req.profile.sample_script_cycles(&mut world.rng)
+    };
+    world.mysql.connections = world.web.busy();
+    world.platform.submit_work(Tier::Web, WorkToken(id), cycles);
+    let _ = engine; // CPU completion arrives via the quantum tick
+}
+
+fn on_cpu_complete(engine: &mut Engine<World>, world: &mut World, tier: Tier, token: WorkToken) {
+    let id = token.0;
+    let Some(req) = world.inflight.get(&id) else {
+        return; // request already finished (defensive)
+    };
+    match (tier, req.phase) {
+        (Tier::Web, Phase::WebScript) => {
+            if let Some(q) = world.inflight.get_mut(&id).unwrap().queries.pop_front() {
+                send_query(engine, world, id, q);
+            } else {
+                start_render(engine, world, id);
+            }
+        }
+        (Tier::Db, Phase::DbCpu) => {
+            let barrier = req.io_barrier.max(engine.now());
+            engine.schedule_at(barrier, move |e, w| db_respond(e, w, id));
+        }
+        (Tier::Web, Phase::WebRender) => {
+            finish_request(engine, world, id);
+        }
+        (t, p) => panic!("completion {t:?} in phase {p:?} for request {id}"),
+    }
+}
+
+fn send_query(engine: &mut Engine<World>, world: &mut World, id: u64, q: Query) {
+    // MySQL wire protocol request: ~90 bytes + parameters.
+    let bytes = 90 + (world.rng.below(50));
+    let arrive = world.platform.net_web_db(engine.now(), true, bytes);
+    engine.schedule_at(arrive, move |e, w| db_execute(e, w, id, q));
+}
+
+fn db_execute(engine: &mut Engine<World>, world: &mut World, id: u64, q: Query) {
+    let now_s = engine.now().as_secs_f64() as u32;
+    let work = world.mysql.execute(q, now_s);
+    let mut barrier = engine.now();
+    for io in &work.ios {
+        let done = world.platform.disk_io(engine.now(), Tier::Db, *io);
+        barrier = barrier.max(done);
+    }
+    {
+        let req = world.inflight.get_mut(&id).expect("request exists");
+        req.phase = Phase::DbCpu;
+        req.io_barrier = barrier;
+        req.db_bytes += work.response_bytes;
+        req.last_db_resp = work.response_bytes;
+    }
+    world.platform.submit_work(Tier::Db, WorkToken(id), work.cpu_cycles);
+}
+
+fn db_respond(engine: &mut Engine<World>, world: &mut World, id: u64) {
+    let resp = {
+        let Some(req) = world.inflight.get(&id) else { return };
+        // Protocol framing on top of row data.
+        req.last_db_resp + 30
+    };
+    let arrive = world.platform.net_web_db(engine.now(), false, resp);
+    engine.schedule_at(arrive, move |e, w| web_query_return(e, w, id));
+}
+
+fn web_query_return(engine: &mut Engine<World>, world: &mut World, id: u64) {
+    let next = {
+        let Some(req) = world.inflight.get_mut(&id) else { return };
+        req.queries.pop_front()
+    };
+    match next {
+        Some(q) => send_query(engine, world, id, q),
+        None => start_render(engine, world, id),
+    }
+}
+
+fn start_render(engine: &mut Engine<World>, world: &mut World, id: u64) {
+    let cycles = {
+        let req = world.inflight.get_mut(&id).expect("request exists");
+        req.phase = Phase::WebRender;
+        let resp = req.profile.response_bytes(req.db_bytes);
+        world.web.connection_cycles(resp)
+    };
+    world.platform.submit_work(Tier::Web, WorkToken(id), cycles);
+    let _ = engine;
+}
+
+fn finish_request(engine: &mut Engine<World>, world: &mut World, id: u64) {
+    let (session, resp_bytes, issued) = {
+        let req = world.inflight.get(&id).expect("request exists");
+        (
+            req.session,
+            req.profile.response_bytes(req.db_bytes),
+            req.issued,
+        )
+    };
+    // Worker writes the PHP session file and frees up.
+    let io = world.web.session_write();
+    world.platform.disk_io(engine.now(), Tier::Web, io);
+    world.web.on_finish();
+    if world.web.try_dequeue() {
+        let next = world
+            .pending_web
+            .pop_front()
+            .expect("queued count matches pending list");
+        start_script(engine, world, next);
+    }
+    let delivered = world.platform.net_web_to_client(engine.now(), resp_bytes);
+    let _ = issued;
+    engine.schedule_at(delivered, move |e, w| client_done(e, w, id, session));
+}
+
+fn client_done(engine: &mut Engine<World>, world: &mut World, id: u64, session: u32) {
+    if let Some(req) = world.inflight.remove(&id) {
+        world.completed += 1;
+        let latency = engine.now().duration_since(req.issued).as_secs_f64();
+        world.response_time.push(latency);
+        world.response_hist.push(latency);
+        let idx = req.interaction.index();
+        world.interaction_counts[idx] += 1;
+        world.interaction_latency[idx].push(latency);
+    }
+    world.clients.advance(session, &mut world.rng);
+    if engine.now() >= world.cfg.end_time() {
+        return;
+    }
+    let think = world.clients.think_time(session, &mut world.rng);
+    engine.schedule_in(think, move |e, w| fire_request(e, w, session));
+}
+
+fn housekeeping(engine: &mut Engine<World>, world: &mut World) {
+    let now = engine.now();
+    world.web.manage_pool(now);
+    if let Some(io) = world.web.flush_log() {
+        world.platform.disk_io(now, Tier::Web, io);
+    }
+    if let Some(io) = world.mysql.log_flush() {
+        world.platform.disk_io(now, Tier::Db, io);
+    }
+    world.platform.periodic(now);
+    let web_mem = world.web.memory_bytes();
+    let db_mem = world.mysql.memory_bytes();
+    world.platform.set_tier_memory(Tier::Web, web_mem);
+    world.platform.set_tier_memory(Tier::Db, db_mem);
+    // PHP session state accumulates as clients interact; cap at the
+    // population (sessions are reused in the closed loop).
+    world.web.tracked_sessions = world
+        .web
+        .tracked_sessions
+        .max((world.next_req.min(u64::from(world.cfg.clients))) as u32);
+    world.mysql.connections = world.web.busy();
+}
+
+fn take_sample(engine: &mut Engine<World>, world: &mut World) {
+    let dt = world.cfg.sample_interval;
+    let web_load = TierLoad {
+        runq: f64::from(world.web.busy()).min(16.0) * 0.25 + 1.0,
+        nproc: f64::from(world.web.workers()) + 70.0,
+        blocked: f64::from(world.web.queued()).min(12.0) * 0.25,
+        tcp_active: world.tcp_opened as f64,
+        tcp_sockets: f64::from(world.web.busy() + world.web.queued()) + 8.0,
+        forks: 0.2,
+    };
+    let db_load = TierLoad {
+        runq: 1.0 + f64::from(world.mysql.connections).min(8.0) * 0.2,
+        nproc: 30.0 + f64::from(world.mysql.connections),
+        blocked: 0.5,
+        tcp_active: world.tcp_opened as f64 * 1.5, // queries reopen
+        tcp_sockets: f64::from(world.mysql.connections) + 4.0,
+        forks: 0.0,
+    };
+    world.tcp_opened = 0;
+    let start = SimTime::ZERO + dt;
+    let samples = world.platform.sample_hosts(dt, web_load, db_load);
+    for s in samples {
+        for (metric, value) in synthesize_sysstat(&s.raw, s.sysstat_source) {
+            world.store.record(&s.host, metric, start, dt, value);
+        }
+        if s.has_perf {
+            for (metric, value) in synthesize_perf(&s.raw) {
+                world.store.record(&s.host, metric, start, dt, value);
+            }
+        }
+    }
+    let _ = engine;
+}

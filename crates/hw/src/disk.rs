@@ -1,0 +1,233 @@
+//! Disk modelling.
+//!
+//! A single-spindle disk with a FIFO command queue: each request pays a
+//! positioning overhead (seek + rotational latency, reduced for
+//! sequential access) plus transfer time at the media bandwidth. The
+//! model is deliberately simple — the paper's disk figures are KB
+//! read/written per 2-second sample, which depends on *when* and *how
+//! much* I/O the workload issues, not on intra-disk micro-behaviour.
+//!
+//! The device is passive: [`Disk::submit`] computes the completion time
+//! and the caller schedules its own engine event.
+
+use crate::memory::Bytes;
+use cloudchar_simcore::stats::Counter;
+use cloudchar_simcore::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Direction of an I/O request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IoKind {
+    /// Read from media.
+    Read,
+    /// Write to media.
+    Write,
+}
+
+/// One disk I/O request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IoRequest {
+    /// Direction.
+    pub kind: IoKind,
+    /// Payload size in bytes.
+    pub bytes: Bytes,
+    /// Whether the access is sequential with respect to the previous one
+    /// (skips most of the positioning cost).
+    pub sequential: bool,
+}
+
+/// Static description of a disk.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiskSpec {
+    /// Sustained media bandwidth in bytes/second.
+    pub bandwidth: u64,
+    /// Average positioning time (seek + rotation) for random access.
+    pub positioning: SimDuration,
+    /// Positioning cost for sequential access (track-to-track).
+    pub sequential_positioning: SimDuration,
+}
+
+impl DiskSpec {
+    /// A 7.2k-rpm SATA spindle of the paper's era (HP ProLiant, 2 TB):
+    /// ~120 MB/s sustained, ~8.5 ms average positioning.
+    pub fn sata_7200rpm() -> Self {
+        DiskSpec {
+            bandwidth: 120_000_000,
+            positioning: SimDuration::from_micros(8_500),
+            sequential_positioning: SimDuration::from_micros(300),
+        }
+    }
+
+    /// Pure service time of one request (no queueing).
+    pub fn service_time(&self, req: IoRequest) -> SimDuration {
+        let pos = if req.sequential {
+            self.sequential_positioning
+        } else {
+            self.positioning
+        };
+        let transfer = SimDuration::from_secs_f64(req.bytes as f64 / self.bandwidth as f64);
+        pos + transfer
+    }
+}
+
+/// A disk with FIFO queueing and cumulative activity counters.
+#[derive(Debug)]
+pub struct Disk {
+    spec: DiskSpec,
+    busy_until: SimTime,
+    bytes_read: Counter,
+    bytes_written: Counter,
+    reads: Counter,
+    writes: Counter,
+    busy_time_ns: Counter,
+}
+
+impl Disk {
+    /// A fresh idle disk.
+    pub fn new(spec: DiskSpec) -> Self {
+        Disk {
+            spec,
+            busy_until: SimTime::ZERO,
+            bytes_read: Counter::new(),
+            bytes_written: Counter::new(),
+            reads: Counter::new(),
+            writes: Counter::new(),
+            busy_time_ns: Counter::new(),
+        }
+    }
+
+    /// The disk's static spec.
+    pub fn spec(&self) -> DiskSpec {
+        self.spec
+    }
+
+    /// Submit a request at time `now`; returns the absolute completion
+    /// time, accounting for queueing behind earlier requests.
+    pub fn submit(&mut self, now: SimTime, req: IoRequest) -> SimTime {
+        let start = self.busy_until.max(now);
+        let service = self.spec.service_time(req);
+        let done = start + service;
+        self.busy_until = done;
+        self.busy_time_ns.add(service.as_nanos());
+        match req.kind {
+            IoKind::Read => {
+                self.bytes_read.add(req.bytes);
+                self.reads.add(1);
+            }
+            IoKind::Write => {
+                self.bytes_written.add(req.bytes);
+                self.writes.add(1);
+            }
+        }
+        done
+    }
+
+    /// Absolute time the disk becomes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Queueing delay a request submitted at `now` would experience.
+    pub fn queue_delay(&self, now: SimTime) -> SimDuration {
+        self.busy_until.duration_since(now)
+    }
+
+    /// Cumulative bytes read counter.
+    pub fn bytes_read(&mut self) -> &mut Counter {
+        &mut self.bytes_read
+    }
+
+    /// Cumulative bytes written counter.
+    pub fn bytes_written(&mut self) -> &mut Counter {
+        &mut self.bytes_written
+    }
+
+    /// Cumulative read-operation counter.
+    pub fn reads(&mut self) -> &mut Counter {
+        &mut self.reads
+    }
+
+    /// Cumulative write-operation counter.
+    pub fn writes(&mut self) -> &mut Counter {
+        &mut self.writes
+    }
+
+    /// Cumulative busy time in nanoseconds (for %util-style metrics).
+    pub fn busy_time(&mut self) -> &mut Counter {
+        &mut self.busy_time_ns
+    }
+
+    /// Totals without consuming deltas: (bytes read, bytes written).
+    pub fn totals(&self) -> (u64, u64) {
+        (self.bytes_read.total(), self.bytes_written.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(kind: IoKind, bytes: Bytes, sequential: bool) -> IoRequest {
+        IoRequest {
+            kind,
+            bytes,
+            sequential,
+        }
+    }
+
+    #[test]
+    fn service_time_components() {
+        let spec = DiskSpec::sata_7200rpm();
+        let random = spec.service_time(req(IoKind::Read, 120_000_000, false));
+        // 8.5ms positioning + 1s transfer
+        assert!((random.as_secs_f64() - 1.0085).abs() < 1e-6);
+        let seq = spec.service_time(req(IoKind::Read, 120_000_000, true));
+        assert!(seq < random);
+    }
+
+    #[test]
+    fn fifo_queueing_accumulates() {
+        let mut d = Disk::new(DiskSpec::sata_7200rpm());
+        let t0 = SimTime::from_secs(1);
+        let c1 = d.submit(t0, req(IoKind::Read, 1_200_000, false)); // 10ms transfer + 8.5ms
+        let c2 = d.submit(t0, req(IoKind::Write, 1_200_000, false));
+        assert!(c2 > c1);
+        let gap = (c2 - c1).as_secs_f64();
+        assert!((gap - 0.0185).abs() < 1e-6, "gap {gap}");
+    }
+
+    #[test]
+    fn idle_disk_starts_immediately() {
+        let mut d = Disk::new(DiskSpec::sata_7200rpm());
+        let now = SimTime::from_secs(100);
+        let done = d.submit(now, req(IoKind::Read, 0, true));
+        assert_eq!(
+            (done - now).as_nanos(),
+            DiskSpec::sata_7200rpm().sequential_positioning.as_nanos()
+        );
+        assert_eq!(d.queue_delay(SimTime::from_secs(200)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn counters_track_direction() {
+        let mut d = Disk::new(DiskSpec::sata_7200rpm());
+        d.submit(SimTime::ZERO, req(IoKind::Read, 4096, false));
+        d.submit(SimTime::ZERO, req(IoKind::Write, 8192, false));
+        d.submit(SimTime::ZERO, req(IoKind::Write, 100, true));
+        assert_eq!(d.totals(), (4096, 8292));
+        assert_eq!(d.reads().total(), 1);
+        assert_eq!(d.writes().total(), 2);
+        assert_eq!(d.bytes_read().take_delta(), 4096);
+        assert_eq!(d.bytes_written().take_delta(), 8292);
+        assert!(d.busy_time().total() > 0);
+    }
+
+    #[test]
+    fn queue_delay_reflects_backlog() {
+        let mut d = Disk::new(DiskSpec::sata_7200rpm());
+        let t0 = SimTime::ZERO;
+        d.submit(t0, req(IoKind::Read, 120_000_000, false)); // ~1s
+        let delay = d.queue_delay(t0);
+        assert!(delay.as_secs_f64() > 1.0);
+    }
+}

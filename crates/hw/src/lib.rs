@@ -1,0 +1,26 @@
+//! # cloudchar-hw
+//!
+//! Hardware substrate models for the `cloudchar` testbed: CPU cycle
+//! queues, memory pools, disks, NICs, and whole-server assemblies
+//! matching the paper's HP ProLiant cloud servers (8× Xeon 2.8 GHz,
+//! 32 GB RAM, 2 TB disk, gigabit Ethernet).
+//!
+//! Devices are *passive*: they compute service/completion times and keep
+//! cumulative activity counters, while the simulation layers above
+//! (`cloudchar-xen`, `cloudchar-rubis`, `cloudchar-core`) schedule the
+//! corresponding engine events. This keeps the hardware models reusable
+//! under both the virtualized and the non-virtualized deployment.
+
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod disk;
+pub mod memory;
+pub mod nic;
+pub mod server;
+
+pub use cpu::{CpuSpec, WorkQueue, WorkToken};
+pub use disk::{Disk, DiskSpec, IoKind, IoRequest};
+pub use memory::{Bytes, MemoryPool, MemorySpec, GIB, MIB};
+pub use nic::{Nic, NicSpec};
+pub use server::{KernelActivity, PhysicalServer, ServerSpec};

@@ -1,0 +1,143 @@
+//! Physical server assembly.
+//!
+//! A [`PhysicalServer`] bundles the devices of one host — CPU package,
+//! memory pool, disk, NIC — plus the kernel activity counters (context
+//! switches, interrupts, forks) that sysstat-style monitors sample.
+
+use crate::cpu::CpuSpec;
+use crate::disk::{Disk, DiskSpec};
+use crate::memory::{MemoryPool, MemorySpec};
+use crate::nic::{Nic, NicSpec};
+use cloudchar_simcore::stats::Counter;
+use serde::{Deserialize, Serialize};
+
+/// Static description of a server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerSpec {
+    /// Processor package.
+    pub cpu: CpuSpec,
+    /// Installed memory.
+    pub memory: MemorySpec,
+    /// Disk subsystem.
+    pub disk: DiskSpec,
+    /// Network interface.
+    pub nic: NicSpec,
+}
+
+impl ServerSpec {
+    /// The paper's cloud server: HP ProLiant, 8× Xeon 2.8 GHz, 32 GB RAM,
+    /// 2 TB SATA disk, gigabit Ethernet.
+    pub fn hp_proliant() -> Self {
+        ServerSpec {
+            cpu: CpuSpec::xeon_2_8ghz_8core(),
+            memory: MemorySpec::physical_32gb(),
+            disk: DiskSpec::sata_7200rpm(),
+            nic: NicSpec::gigabit(),
+        }
+    }
+}
+
+/// Kernel-level activity counters of one OS instance (host or guest).
+///
+/// These feed the "process creation, task switching activity, interrupts"
+/// families of the sysstat catalog.
+#[derive(Debug, Default)]
+pub struct KernelActivity {
+    /// Context switches.
+    pub context_switches: Counter,
+    /// Hardware/virtual interrupts handled.
+    pub interrupts: Counter,
+    /// Processes/threads created.
+    pub forks: Counter,
+    /// System calls serviced (coarse).
+    pub syscalls: Counter,
+    /// Pages faulted in (minor + major).
+    pub page_faults: Counter,
+}
+
+impl KernelActivity {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        KernelActivity::default()
+    }
+}
+
+/// One physical host: devices plus kernel counters.
+#[derive(Debug)]
+pub struct PhysicalServer {
+    spec: ServerSpec,
+    /// Memory pool (host-wide).
+    pub memory: MemoryPool,
+    /// The host disk.
+    pub disk: Disk,
+    /// The host NIC.
+    pub nic: Nic,
+    /// Host kernel activity.
+    pub kernel: KernelActivity,
+    /// Cumulative CPU cycles executed on this host (all consumers).
+    pub cycles: Counter,
+}
+
+impl PhysicalServer {
+    /// Build a server from its spec.
+    pub fn new(spec: ServerSpec) -> Self {
+        PhysicalServer {
+            spec,
+            memory: MemoryPool::new(spec.memory),
+            disk: Disk::new(spec.disk),
+            nic: Nic::new(spec.nic),
+            kernel: KernelActivity::new(),
+            cycles: Counter::new(),
+        }
+    }
+
+    /// The server's static spec.
+    pub fn spec(&self) -> ServerSpec {
+        self.spec
+    }
+
+    /// Cycles the package can execute in `seconds`.
+    pub fn cpu_capacity(&self, seconds: f64) -> f64 {
+        self.spec.cpu.capacity_cycles(seconds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::{IoKind, IoRequest};
+    use crate::memory::GIB;
+    use cloudchar_simcore::SimTime;
+
+    #[test]
+    fn hp_proliant_matches_paper() {
+        let s = ServerSpec::hp_proliant();
+        assert_eq!(s.cpu.cores, 8);
+        assert_eq!(s.cpu.hz, 2_800_000_000);
+        assert_eq!(s.memory.total, 32 * GIB);
+        assert_eq!(s.nic.bits_per_sec, 1_000_000_000);
+    }
+
+    #[test]
+    fn server_devices_are_usable() {
+        let mut srv = PhysicalServer::new(ServerSpec::hp_proliant());
+        srv.memory.set_component("os", GIB);
+        let done = srv.disk.submit(
+            SimTime::ZERO,
+            IoRequest {
+                kind: IoKind::Read,
+                bytes: 4096,
+                sequential: false,
+            },
+        );
+        assert!(done > SimTime::ZERO);
+        srv.nic.transmit(SimTime::ZERO, 1000);
+        srv.kernel.context_switches.add(5);
+        srv.cycles.add(1_000_000);
+        assert_eq!(srv.memory.used(), GIB);
+        assert_eq!(srv.disk.totals().0, 4096);
+        assert_eq!(srv.nic.totals().1, 1000);
+        assert_eq!(srv.kernel.context_switches.total(), 5);
+        assert_eq!(srv.cpu_capacity(2.0), 2.0 * 8.0 * 2.8e9);
+    }
+}

@@ -1,0 +1,568 @@
+//! The 518-metric catalog.
+//!
+//! The paper profiles "in total, 518 metrics … 182 for the hypervisor and
+//! 182 for VMs by sysstat and 154 for performance counters by perf".
+//! This module reconstructs that instrumentation surface: the full sar
+//! field set (CPU, per-CPU, processes, interrupts, swapping, paging,
+//! I/O, memory, swap space, huge pages, load, per-disk, per-interface
+//! network, sockets, IP stack, power, kernel tables) and a Nehalem-class
+//! perf event list (generic hardware events, cache/TLB hierarchies,
+//! software events, per-core counters, offcore/uncore events).
+
+use crate::metric::{Family, MetricDef, MetricId, Source, Unit};
+use std::sync::OnceLock;
+
+/// Number of sysstat metrics per host, as in the paper.
+pub const SYSSTAT_METRICS: usize = 182;
+/// Number of perf-counter metrics, as in the paper.
+pub const PERF_METRICS: usize = 154;
+/// Total profiled metrics, as in the paper.
+pub const TOTAL_METRICS: usize = 2 * SYSSTAT_METRICS + PERF_METRICS;
+
+/// The full metric catalog.
+#[derive(Debug)]
+pub struct MetricCatalog {
+    defs: Vec<MetricDef>,
+}
+
+fn sysstat_defs() -> Vec<(String, Family, Unit, String)> {
+    use Family::*;
+    use Unit::*;
+    let mut m: Vec<(String, Family, Unit, String)> = Vec::with_capacity(SYSSTAT_METRICS);
+    let mut push = |name: &str, family: Family, unit: Unit, desc: &str| {
+        m.push((name.to_string(), family, unit, desc.to_string()));
+    };
+
+    // CPU utilization (all CPUs) — sar -u ALL.
+    for (n, d) in [
+        ("%user", "time in unprivileged user code"),
+        ("%nice", "time in niced user code"),
+        ("%system", "time in kernel code"),
+        ("%iowait", "idle with outstanding disk I/O"),
+        ("%steal", "involuntary wait while hypervisor serviced another VCPU"),
+        ("%idle", "idle without outstanding I/O"),
+        ("%irq", "time servicing hardware interrupts"),
+        ("%soft", "time servicing softirqs"),
+        ("%guest", "time running a virtual processor"),
+        ("%gnice", "time running a niced guest"),
+    ] {
+        push(n, Cpu, Percent, d);
+    }
+    // Per-CPU utilization — sar -P 0..7.
+    for cpu in 0..8 {
+        for (n, d) in [("%user", "user time"), ("%system", "system time"), ("%idle", "idle time")] {
+            push(&format!("cpu{cpu}-{n}"), PerCpu, Percent, &format!("CPU {cpu} {d}"));
+        }
+    }
+    // Process creation and context switching — sar -w.
+    push("proc/s", Process, PerSecond, "tasks created per second");
+    push("cswch/s", Process, PerSecond, "context switches per second");
+    // Interrupts — sar -I.
+    push("intr/s", Interrupts, PerSecond, "total interrupts per second");
+    for irq in 0..16 {
+        push(
+            &format!("i{irq:03}/s"),
+            Interrupts,
+            PerSecond,
+            &format!("interrupts on IRQ {irq} per second"),
+        );
+    }
+    // Swapping — sar -W.
+    push("pswpin/s", Swap, PerSecond, "pages swapped in per second");
+    push("pswpout/s", Swap, PerSecond, "pages swapped out per second");
+    // Paging — sar -B.
+    for (n, d) in [
+        ("pgpgin/s", "KB paged in from disk per second"),
+        ("pgpgout/s", "KB paged out to disk per second"),
+        ("fault/s", "page faults per second"),
+        ("majflt/s", "major faults per second"),
+        ("pgfree/s", "pages freed per second"),
+        ("pgscank/s", "pages scanned by kswapd per second"),
+        ("pgscand/s", "pages scanned directly per second"),
+        ("pgsteal/s", "pages reclaimed per second"),
+        ("%vmeff", "page reclaim efficiency"),
+    ] {
+        push(n, Paging, if n == "%vmeff" { Percent } else { PerSecond }, d);
+    }
+    // I/O and transfer rates — sar -b.
+    for (n, d) in [
+        ("tps", "transfers per second to physical devices"),
+        ("rtps", "read requests per second"),
+        ("wtps", "write requests per second"),
+        ("bread/s", "blocks read per second"),
+        ("bwrtn/s", "blocks written per second"),
+    ] {
+        push(n, Io, PerSecond, d);
+    }
+    // Memory — sar -r.
+    for (n, u, d) in [
+        ("kbmemfree", Kilobytes, "free memory"),
+        ("kbmemused", Kilobytes, "used memory"),
+        ("%memused", Percent, "memory utilization"),
+        ("kbbuffers", Kilobytes, "kernel buffers"),
+        ("kbcached", Kilobytes, "page cache"),
+        ("kbcommit", Kilobytes, "committed memory"),
+        ("%commit", Percent, "committed vs total"),
+        ("kbactive", Kilobytes, "active memory"),
+        ("kbinact", Kilobytes, "inactive memory"),
+        ("kbdirty", Kilobytes, "dirty pages awaiting writeback"),
+    ] {
+        push(n, Memory, u, d);
+    }
+    // Swap space — sar -S.
+    for (n, u, d) in [
+        ("kbswpfree", Kilobytes, "free swap"),
+        ("kbswpused", Kilobytes, "used swap"),
+        ("%swpused", Percent, "swap utilization"),
+        ("kbswpcad", Kilobytes, "cached swap"),
+        ("%swpcad", Percent, "cached vs used swap"),
+    ] {
+        push(n, SwapSpace, u, d);
+    }
+    // Huge pages — sar -H.
+    push("kbhugfree", HugePages, Kilobytes, "free huge pages");
+    push("kbhugused", HugePages, Kilobytes, "used huge pages");
+    push("%hugused", HugePages, Percent, "huge page utilization");
+    // Queue/load — sar -q.
+    for (n, u, d) in [
+        ("runq-sz", Count, "run queue length"),
+        ("plist-sz", Count, "task list size"),
+        ("ldavg-1", Count, "1-minute load average"),
+        ("ldavg-5", Count, "5-minute load average"),
+        ("ldavg-15", Count, "15-minute load average"),
+        ("blocked", Count, "tasks blocked on I/O"),
+    ] {
+        push(n, Load, u, d);
+    }
+    // Per-device disk — sar -d (two devices).
+    for dev in ["dev8-0", "dev8-16"] {
+        for (n, u, d) in [
+            ("tps", PerSecond, "transfers per second"),
+            ("rd_sec/s", PerSecond, "sectors read per second"),
+            ("wr_sec/s", PerSecond, "sectors written per second"),
+            ("avgrq-sz", Count, "average request size (sectors)"),
+            ("avgqu-sz", Count, "average queue length"),
+            ("await", Count, "average I/O wait (ms)"),
+            ("svctm", Count, "average service time (ms)"),
+            ("%util", Percent, "device utilization"),
+        ] {
+            push(&format!("{dev}-{n}"), Disk, u, &format!("{dev}: {d}"));
+        }
+    }
+    // Per-interface network — sar -n DEV (eth0, lo).
+    for ifc in ["eth0", "lo"] {
+        for (n, u, d) in [
+            ("rxpck/s", PerSecond, "packets received per second"),
+            ("txpck/s", PerSecond, "packets transmitted per second"),
+            ("rxkB/s", KilobytesPerSecond, "KB received per second"),
+            ("txkB/s", KilobytesPerSecond, "KB transmitted per second"),
+            ("rxcmp/s", PerSecond, "compressed packets received"),
+            ("txcmp/s", PerSecond, "compressed packets transmitted"),
+            ("rxmcst/s", PerSecond, "multicast packets received"),
+        ] {
+            push(&format!("{ifc}-{n}"), Network, u, &format!("{ifc}: {d}"));
+        }
+    }
+    // Network errors — sar -n EDEV.
+    for ifc in ["eth0", "lo"] {
+        for n in [
+            "rxerr/s", "txerr/s", "coll/s", "rxdrop/s", "txdrop/s", "txcarr/s", "rxfram/s",
+            "rxfifo/s", "txfifo/s",
+        ] {
+            push(
+                &format!("{ifc}-{n}"),
+                NetworkErrors,
+                PerSecond,
+                &format!("{ifc}: {n} error rate"),
+            );
+        }
+    }
+    // Sockets — sar -n SOCK.
+    for (n, d) in [
+        ("totsck", "sockets in use"),
+        ("tcpsck", "TCP sockets"),
+        ("udpsck", "UDP sockets"),
+        ("rawsck", "raw sockets"),
+        ("ip-frag", "IP fragments queued"),
+        ("tcp-tw", "TCP TIME_WAIT sockets"),
+    ] {
+        push(n, Sockets, Count, d);
+    }
+    // IP / ICMP / TCP / UDP — sar -n IP,ICMP,TCP,UDP.
+    for (n, d) in [
+        ("irec/s", "IP datagrams received"),
+        ("fwddgm/s", "IP datagrams forwarded"),
+        ("idel/s", "IP datagrams delivered"),
+        ("orq/s", "IP datagrams sent"),
+        ("asmrq/s", "fragments needing reassembly"),
+        ("asmok/s", "datagrams reassembled"),
+        ("fragok/s", "datagrams fragmented"),
+        ("fragcrt/s", "fragments created"),
+        ("imsg/s", "ICMP messages received"),
+        ("omsg/s", "ICMP messages sent"),
+        ("iech/s", "ICMP echoes received"),
+        ("oech/s", "ICMP echoes sent"),
+        ("active/s", "TCP active opens"),
+        ("passive/s", "TCP passive opens"),
+        ("iseg/s", "TCP segments received"),
+        ("oseg/s", "TCP segments sent"),
+        ("idgm/s", "UDP datagrams received"),
+        ("odgm/s", "UDP datagrams sent"),
+        ("noport/s", "UDP no-port errors"),
+        ("idgmerr/s", "UDP datagram errors"),
+    ] {
+        push(n, IpStack, PerSecond, d);
+    }
+    // Power management — sar -m (per-core frequency + sensors).
+    for cpu in 0..8 {
+        push(
+            &format!("cpu{cpu}-MHz"),
+            Power,
+            Megahertz,
+            &format!("CPU {cpu} clock frequency"),
+        );
+    }
+    push("degC", Power, Celsius, "package temperature");
+    push("fan-rpm", Power, Count, "fan speed");
+    push("inV", Power, Count, "input voltage");
+    // Kernel tables — sar -v.
+    for (n, d) in [
+        ("dentunusd", "unused directory cache entries"),
+        ("file-nr", "file handles in use"),
+        ("inode-nr", "inode handles in use"),
+        ("pty-nr", "pseudo-terminals in use"),
+    ] {
+        push(n, Load, Count, d);
+    }
+
+    assert_eq!(m.len(), SYSSTAT_METRICS, "sysstat catalog drifted");
+    m
+}
+
+fn perf_defs() -> Vec<(String, Family, Unit, String)> {
+    use Family::*;
+    use Unit::*;
+    let mut m: Vec<(String, Family, Unit, String)> = Vec::with_capacity(PERF_METRICS);
+    let mut push = |name: &str, family: Family, desc: &str| {
+        m.push((name.to_string(), family, Events, desc.to_string()));
+    };
+
+    // Generic hardware events.
+    for (n, d) in [
+        ("cycles", "CPU cycles"),
+        ("instructions", "instructions retired"),
+        ("cache-references", "last-level cache references"),
+        ("cache-misses", "last-level cache misses"),
+        ("branches", "branch instructions"),
+        ("branch-misses", "mispredicted branches"),
+        ("bus-cycles", "bus cycles"),
+        ("ref-cycles", "reference cycles (unhalted)"),
+        ("stalled-cycles-frontend", "cycles stalled on instruction fetch"),
+        ("stalled-cycles-backend", "cycles stalled on resources"),
+    ] {
+        push(n, HwGeneric, d);
+    }
+    // Cache hierarchy.
+    for n in [
+        "L1-dcache-loads",
+        "L1-dcache-load-misses",
+        "L1-dcache-stores",
+        "L1-dcache-store-misses",
+        "L1-dcache-prefetches",
+        "L1-dcache-prefetch-misses",
+        "L1-icache-loads",
+        "L1-icache-load-misses",
+        "LLC-loads",
+        "LLC-load-misses",
+        "LLC-stores",
+        "LLC-store-misses",
+        "LLC-prefetches",
+        "LLC-prefetch-misses",
+    ] {
+        push(n, HwCache, "cache hierarchy event");
+    }
+    // TLBs.
+    for n in [
+        "dTLB-loads",
+        "dTLB-load-misses",
+        "dTLB-stores",
+        "dTLB-store-misses",
+        "iTLB-loads",
+        "iTLB-load-misses",
+    ] {
+        push(n, HwTlb, "TLB event");
+    }
+    // Software events.
+    for n in [
+        "cpu-clock",
+        "task-clock",
+        "page-faults",
+        "context-switches",
+        "cpu-migrations",
+        "minor-faults",
+        "major-faults",
+        "alignment-faults",
+        "emulation-faults",
+    ] {
+        push(n, Software, "kernel software event");
+    }
+    // Per-core counters.
+    for core in 0..8 {
+        for ev in ["cycles", "instructions", "LLC-load-misses", "branch-misses"] {
+            push(&format!("cpu{core}-{ev}"), PerCore, "per-core counter");
+        }
+    }
+    // Offcore / uncore raw events (Nehalem-class Xeon).
+    let raw: [&str; 83] = [
+        "UOPS_ISSUED.ANY",
+        "UOPS_ISSUED.FUSED",
+        "UOPS_ISSUED.STALL_CYCLES",
+        "UOPS_EXECUTED.PORT0",
+        "UOPS_EXECUTED.PORT1",
+        "UOPS_EXECUTED.PORT2_CORE",
+        "UOPS_EXECUTED.PORT3_CORE",
+        "UOPS_EXECUTED.PORT4_CORE",
+        "UOPS_EXECUTED.PORT5",
+        "UOPS_RETIRED.ANY",
+        "UOPS_RETIRED.MACRO_FUSED",
+        "UOPS_RETIRED.RETIRE_SLOTS",
+        "RESOURCE_STALLS.ANY",
+        "RESOURCE_STALLS.LOAD",
+        "RESOURCE_STALLS.RS_FULL",
+        "RESOURCE_STALLS.STORE",
+        "RESOURCE_STALLS.ROB_FULL",
+        "MEM_LOAD_RETIRED.L1D_HIT",
+        "MEM_LOAD_RETIRED.L2_HIT",
+        "MEM_LOAD_RETIRED.L3_MISS",
+        "MEM_LOAD_RETIRED.HIT_LFB",
+        "MEM_LOAD_RETIRED.DTLB_MISS",
+        "MEM_UNCORE_RETIRED.LOCAL_DRAM",
+        "MEM_UNCORE_RETIRED.REMOTE_DRAM",
+        "MEM_UNCORE_RETIRED.OTHER_CORE_L2_HIT",
+        "FP_COMP_OPS_EXE.X87",
+        "FP_COMP_OPS_EXE.SSE_FP",
+        "BR_INST_RETIRED.ALL_BRANCHES",
+        "BR_INST_RETIRED.CONDITIONAL",
+        "BR_INST_RETIRED.NEAR_CALL",
+        "BR_MISP_RETIRED.ALL_BRANCHES",
+        "BR_MISP_RETIRED.CONDITIONAL",
+        "DTLB_MISSES.ANY",
+        "DTLB_MISSES.WALK_COMPLETED",
+        "DTLB_MISSES.STLB_HIT",
+        "ITLB_MISSES.ANY",
+        "ITLB_MISSES.WALK_COMPLETED",
+        "L2_RQSTS.REFERENCES",
+        "L2_RQSTS.MISS",
+        "L2_RQSTS.IFETCH_HIT",
+        "L2_RQSTS.IFETCH_MISS",
+        "L2_RQSTS.LD_HIT",
+        "L2_RQSTS.LD_MISS",
+        "L2_LINES_IN.ANY",
+        "L2_LINES_IN.DEMAND",
+        "L2_LINES_IN.PREFETCH",
+        "L2_LINES_OUT.ANY",
+        "L2_LINES_OUT.DEMAND_CLEAN",
+        "L2_LINES_OUT.DEMAND_DIRTY",
+        "OFFCORE_REQUESTS.ANY",
+        "OFFCORE_REQUESTS.DEMAND_READ_DATA",
+        "OFFCORE_REQUESTS.DEMAND_RFO",
+        "OFFCORE_REQUESTS.UNCACHED_MEM",
+        "SNOOP_RESPONSE.HIT",
+        "SNOOP_RESPONSE.HITE",
+        "SNOOP_RESPONSE.HITM",
+        "UNC_QMC_NORMAL_READS.ANY",
+        "UNC_QMC_WRITES.FULL.ANY",
+        "UNC_QHL_REQUESTS.LOCAL_READS",
+        "UNC_QHL_REQUESTS.REMOTE_READS",
+        "UNC_QHL_REQUESTS.LOCAL_WRITES",
+        "UNC_QHL_REQUESTS.REMOTE_WRITES",
+        "UNC_LLC_MISS.READ",
+        "UNC_LLC_MISS.WRITE",
+        "UNC_LLC_MISS.ANY",
+        "UNC_LLC_HITS.READ",
+        "UNC_LLC_HITS.WRITE",
+        "UNC_LLC_HITS.ANY",
+        "UNC_CLK_UNHALTED",
+        "MACHINE_CLEARS.CYCLES",
+        "MACHINE_CLEARS.MEM_ORDER",
+        "MACHINE_CLEARS.SMC",
+        "ILD_STALL.ANY",
+        "ILD_STALL.LCP",
+        "ARITH.CYCLES_DIV_BUSY",
+        "ARITH.DIV",
+        "ARITH.MUL",
+        "INST_QUEUE_WRITES",
+        "INST_DECODED.DEC0",
+        "RAT_STALLS.ANY",
+        "LOAD_HIT_PRE",
+        "SQ_FULL_STALL_CYCLES",
+        "XSNP_RESPONSE.ANY",
+    ];
+    for n in raw {
+        push(n, Uncore, "raw PMU event");
+    }
+
+    assert_eq!(m.len(), PERF_METRICS, "perf catalog drifted");
+    m
+}
+
+impl MetricCatalog {
+    fn build() -> Self {
+        let mut defs = Vec::with_capacity(TOTAL_METRICS);
+        for source in [Source::HypervisorSysstat, Source::VmSysstat] {
+            for (name, family, unit, description) in sysstat_defs() {
+                defs.push(MetricDef {
+                    name,
+                    source,
+                    family,
+                    unit,
+                    description,
+                });
+            }
+        }
+        for (name, family, unit, description) in perf_defs() {
+            defs.push(MetricDef {
+                name,
+                source: Source::PerfCounter,
+                family,
+                unit,
+                description,
+            });
+        }
+        assert_eq!(defs.len(), TOTAL_METRICS);
+        MetricCatalog { defs }
+    }
+
+    /// Number of metrics (always [`TOTAL_METRICS`]).
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Catalog is never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Look up a metric definition.
+    pub fn def(&self, id: MetricId) -> &MetricDef {
+        &self.defs[id.0 as usize]
+    }
+
+    /// All metric ids.
+    pub fn ids(&self) -> impl Iterator<Item = MetricId> + '_ {
+        (0..self.defs.len() as u16).map(MetricId)
+    }
+
+    /// Find a metric by name and source.
+    pub fn find(&self, name: &str, source: Source) -> Option<MetricId> {
+        self.defs
+            .iter()
+            .position(|d| d.source == source && d.name == name)
+            .map(|i| MetricId(i as u16))
+    }
+
+    /// Metrics of a source.
+    pub fn by_source(&self, source: Source) -> Vec<MetricId> {
+        self.defs
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.source == source)
+            .map(|(i, _)| MetricId(i as u16))
+            .collect()
+    }
+
+    /// The curated sample of metrics reproduced in Table 1.
+    pub fn table1_sample(&self) -> Vec<MetricId> {
+        let picks: [(&str, Source); 14] = [
+            ("%user", Source::VmSysstat),
+            ("%system", Source::VmSysstat),
+            ("%steal", Source::VmSysstat),
+            ("kbmemused", Source::VmSysstat),
+            ("kbcached", Source::VmSysstat),
+            ("bread/s", Source::VmSysstat),
+            ("bwrtn/s", Source::VmSysstat),
+            ("eth0-rxkB/s", Source::VmSysstat),
+            ("eth0-txkB/s", Source::VmSysstat),
+            ("cswch/s", Source::HypervisorSysstat),
+            ("intr/s", Source::HypervisorSysstat),
+            ("%iowait", Source::HypervisorSysstat),
+            ("cycles", Source::PerfCounter),
+            ("cache-misses", Source::PerfCounter),
+        ];
+        picks
+            .iter()
+            .map(|(n, s)| self.find(n, *s).expect("table1 metric in catalog"))
+            .collect()
+    }
+}
+
+/// The process-wide catalog instance.
+pub fn catalog() -> &'static MetricCatalog {
+    static CATALOG: OnceLock<MetricCatalog> = OnceLock::new();
+    CATALOG.get_or_init(MetricCatalog::build)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_518_metrics() {
+        let c = catalog();
+        assert_eq!(c.len(), 518);
+        assert_eq!(c.by_source(Source::HypervisorSysstat).len(), 182);
+        assert_eq!(c.by_source(Source::VmSysstat).len(), 182);
+        assert_eq!(c.by_source(Source::PerfCounter).len(), 154);
+    }
+
+    #[test]
+    fn names_unique_within_source() {
+        use std::collections::HashSet;
+        let c = catalog();
+        for source in [Source::HypervisorSysstat, Source::VmSysstat, Source::PerfCounter] {
+            let ids = c.by_source(source);
+            let names: HashSet<_> = ids.iter().map(|&id| &c.def(id).name).collect();
+            assert_eq!(names.len(), ids.len(), "duplicate names in {source}");
+        }
+    }
+
+    #[test]
+    fn find_round_trips() {
+        let c = catalog();
+        let id = c.find("%steal", Source::VmSysstat).unwrap();
+        assert_eq!(c.def(id).name, "%steal");
+        assert_eq!(c.def(id).source, Source::VmSysstat);
+        assert!(c.find("%steal", Source::PerfCounter).is_none());
+        assert!(c.find("no-such-metric", Source::VmSysstat).is_none());
+    }
+
+    #[test]
+    fn hypervisor_and_vm_views_mirror_each_other() {
+        let c = catalog();
+        let hv = c.by_source(Source::HypervisorSysstat);
+        let vm = c.by_source(Source::VmSysstat);
+        for (h, v) in hv.iter().zip(vm.iter()) {
+            assert_eq!(c.def(*h).name, c.def(*v).name);
+            assert_eq!(c.def(*h).family, c.def(*v).family);
+        }
+    }
+
+    #[test]
+    fn table1_sample_resolves() {
+        let c = catalog();
+        let t1 = c.table1_sample();
+        assert_eq!(t1.len(), 14);
+        // All three sources represented, as in the paper's Table 1.
+        let sources: std::collections::HashSet<_> =
+            t1.iter().map(|&id| c.def(id).source).collect();
+        assert_eq!(sources.len(), 3);
+    }
+
+    #[test]
+    fn ids_cover_catalog() {
+        let c = catalog();
+        assert_eq!(c.ids().count(), 518);
+        let last = MetricId(517);
+        assert!(!c.def(last).name.is_empty());
+    }
+}

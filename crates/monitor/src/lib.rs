@@ -1,0 +1,27 @@
+//! # cloudchar-monitor
+//!
+//! The monitoring substrate of the `cloudchar` testbed, reconstructing
+//! the paper's instrumentation: **518 metrics** — 182 sysstat metrics in
+//! the hypervisor, 182 sysstat metrics per VM, and 154 perf hardware
+//! counters — sampled every 2 seconds.
+//!
+//! * [`metric`] — metric identity, sources, families, units;
+//! * [`catalog`](mod@catalog) — the full 518-entry catalog and the Table 1 sample;
+//! * [`synth`] — derivation of complete sysstat/perf vectors from raw
+//!   model activity, sar-style;
+//! * [`store`] — per-`(host, metric)` time series with figure-ready
+//!   export.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod metric;
+pub mod sar;
+pub mod store;
+pub mod synth;
+
+pub use catalog::{catalog, MetricCatalog, PERF_METRICS, SYSSTAT_METRICS, TOTAL_METRICS};
+pub use metric::{Family, MetricDef, MetricId, Source, Unit};
+pub use sar::render_sar;
+pub use store::{SeriesStore, TimeSeries};
+pub use synth::{synthesize_perf, synthesize_sysstat, RawHostSample};

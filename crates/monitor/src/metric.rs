@@ -1,0 +1,92 @@
+//! Metric identity and metadata.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index into the [`crate::catalog::MetricCatalog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MetricId(pub u16);
+
+/// Which collector produces a metric — the paper's three instrumentation
+/// planes: sysstat in dom0, sysstat inside each VM, and a modified perf
+/// reading hardware counters from the hypervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Source {
+    /// sysstat (sar) running in the hypervisor / host OS (dom0).
+    HypervisorSysstat,
+    /// sysstat (sar) running inside a VM.
+    VmSysstat,
+    /// Hardware performance counters via the modified perf.
+    PerfCounter,
+}
+
+impl fmt::Display for Source {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Source::HypervisorSysstat => "sysstat(dom0)",
+            Source::VmSysstat => "sysstat(vm)",
+            Source::PerfCounter => "perf",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Metric family, mirroring sar report sections / perf event groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Family {
+    Cpu,
+    PerCpu,
+    Process,
+    Interrupts,
+    Swap,
+    Paging,
+    Io,
+    Memory,
+    SwapSpace,
+    HugePages,
+    Load,
+    Disk,
+    Network,
+    NetworkErrors,
+    Sockets,
+    IpStack,
+    Power,
+    HwGeneric,
+    HwCache,
+    HwTlb,
+    Software,
+    PerCore,
+    Uncore,
+}
+
+/// Unit of a metric value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Unit {
+    Percent,
+    PerSecond,
+    Kilobytes,
+    KilobytesPerSecond,
+    Megahertz,
+    Count,
+    CountPerSecond,
+    Cycles,
+    Events,
+    Celsius,
+}
+
+/// Static description of one profiled metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricDef {
+    /// sar / perf style name, e.g. `%user`, `rxkB/s`, `LLC-load-misses`.
+    pub name: String,
+    /// Producing collector.
+    pub source: Source,
+    /// Report section / event group.
+    pub family: Family,
+    /// Value unit.
+    pub unit: Unit,
+    /// Human-readable description (Table 1 column).
+    pub description: String,
+}

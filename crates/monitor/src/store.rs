@@ -1,0 +1,296 @@
+//! Time-series storage for sampled metrics.
+//!
+//! The paper samples every 2 seconds for ~20 minutes, giving ~600 points
+//! per metric per host. [`SeriesStore`] holds one [`TimeSeries`] per
+//! `(host, metric)` pair and can export figure-ready columns.
+
+use crate::metric::MetricId;
+use cloudchar_simcore::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A regularly sampled series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Time of the first sample.
+    pub start: SimTime,
+    /// Sampling interval.
+    pub interval: SimDuration,
+    /// Sample values.
+    pub values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// An empty series with the given timing.
+    pub fn new(start: SimTime, interval: SimDuration) -> Self {
+        TimeSeries {
+            start,
+            interval,
+            values: Vec::new(),
+        }
+    }
+
+    /// Append one sample.
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Timestamp of sample `i`.
+    pub fn time_of(&self, i: usize) -> SimTime {
+        self.start + SimDuration::from_nanos(self.interval.as_nanos() * i as u64)
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Population variance (0 when < 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.values.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Sum of all samples (aggregate demand over the run).
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(m) if v > m => v,
+                Some(m) => m,
+            })
+        })
+    }
+}
+
+/// Label identifying a monitored host (e.g. `"web-vm"`, `"dom0"`).
+pub type HostLabel = String;
+
+/// Store of all sampled series, keyed by `(host, metric)`.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct SeriesStore {
+    // Serialized as an entry list: JSON map keys must be strings.
+    #[serde(with = "series_entries")]
+    series: BTreeMap<(HostLabel, MetricId), TimeSeries>,
+}
+
+mod series_entries {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(
+        map: &BTreeMap<(HostLabel, MetricId), TimeSeries>,
+        ser: S,
+    ) -> Result<S::Ok, S::Error> {
+        let entries: Vec<(&HostLabel, &MetricId, &TimeSeries)> =
+            map.iter().map(|((h, m), s)| (h, m, s)).collect();
+        serde::Serialize::serialize(&entries, ser)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        de: D,
+    ) -> Result<BTreeMap<(HostLabel, MetricId), TimeSeries>, D::Error> {
+        let entries: Vec<(HostLabel, MetricId, TimeSeries)> =
+            serde::Deserialize::deserialize(de)?;
+        Ok(entries.into_iter().map(|(h, m, s)| ((h, m), s)).collect())
+    }
+}
+
+impl SeriesStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        SeriesStore::default()
+    }
+
+    /// Append a sample, creating the series on first touch.
+    pub fn record(
+        &mut self,
+        host: &str,
+        metric: MetricId,
+        start: SimTime,
+        interval: SimDuration,
+        value: f64,
+    ) {
+        self.series
+            .entry((host.to_string(), metric))
+            .or_insert_with(|| TimeSeries::new(start, interval))
+            .push(value);
+    }
+
+    /// Fetch a series.
+    pub fn get(&self, host: &str, metric: MetricId) -> Option<&TimeSeries> {
+        self.series.get(&(host.to_string(), metric))
+    }
+
+    /// All hosts present.
+    pub fn hosts(&self) -> Vec<&str> {
+        let mut hosts: Vec<&str> = self.series.keys().map(|(h, _)| h.as_str()).collect();
+        hosts.dedup();
+        hosts
+    }
+
+    /// Number of `(host, metric)` series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Export one series as `(seconds, value)` rows.
+    pub fn to_rows(&self, host: &str, metric: MetricId) -> Vec<(f64, f64)> {
+        match self.get(host, metric) {
+            None => Vec::new(),
+            Some(s) => s
+                .values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (s.time_of(i).as_secs_f64(), v))
+                .collect(),
+        }
+    }
+
+    /// Export several series on a shared time axis as CSV with a header.
+    pub fn to_csv(&self, columns: &[(&str, MetricId, &str)]) -> String {
+        let mut out = String::from("t_s");
+        for (_, _, label) in columns {
+            out.push(',');
+            out.push_str(label);
+        }
+        out.push('\n');
+        let n = columns
+            .iter()
+            .filter_map(|(h, m, _)| self.get(h, *m).map(|s| s.len()))
+            .max()
+            .unwrap_or(0);
+        let timing = columns
+            .iter()
+            .find_map(|(h, m, _)| self.get(h, *m))
+            .map(|s| (s.start, s.interval))
+            .unwrap_or((SimTime::ZERO, SimDuration::from_secs(2)));
+        for i in 0..n {
+            let t = timing.0 + SimDuration::from_nanos(timing.1.as_nanos() * i as u64);
+            out.push_str(&format!("{:.1}", t.as_secs_f64()));
+            for (h, m, _) in columns {
+                let v = self
+                    .get(h, *m)
+                    .and_then(|s| s.values.get(i))
+                    .copied()
+                    .unwrap_or(f64::NAN);
+                out.push_str(&format!(",{v:.3}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mid(n: u16) -> MetricId {
+        MetricId(n)
+    }
+
+    #[test]
+    fn series_timing_and_stats() {
+        let mut s = TimeSeries::new(SimTime::from_secs(10), SimDuration::from_secs(2));
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            s.push(v);
+        }
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.time_of(0), SimTime::from_secs(10));
+        assert_eq!(s.time_of(3), SimTime::from_secs(16));
+        assert_eq!(s.mean(), 2.5);
+        assert_eq!(s.total(), 10.0);
+        assert_eq!(s.max(), Some(4.0));
+        assert!((s.variance() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_series_stats() {
+        let s = TimeSeries::new(SimTime::ZERO, SimDuration::from_secs(2));
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn store_records_and_retrieves() {
+        let mut st = SeriesStore::new();
+        for i in 0..5 {
+            st.record(
+                "web-vm",
+                mid(3),
+                SimTime::ZERO,
+                SimDuration::from_secs(2),
+                i as f64,
+            );
+        }
+        let s = st.get("web-vm", mid(3)).unwrap();
+        assert_eq!(s.len(), 5);
+        assert!(st.get("web-vm", mid(4)).is_none());
+        assert!(st.get("db-vm", mid(3)).is_none());
+        assert_eq!(st.len(), 1);
+        assert_eq!(st.hosts(), vec!["web-vm"]);
+    }
+
+    #[test]
+    fn rows_use_timestamps() {
+        let mut st = SeriesStore::new();
+        st.record("h", mid(0), SimTime::from_secs(4), SimDuration::from_secs(2), 7.0);
+        st.record("h", mid(0), SimTime::from_secs(4), SimDuration::from_secs(2), 9.0);
+        let rows = st.to_rows("h", mid(0));
+        assert_eq!(rows, vec![(4.0, 7.0), (6.0, 9.0)]);
+        assert!(st.to_rows("h", mid(9)).is_empty());
+    }
+
+    #[test]
+    fn csv_export_has_header_and_rows() {
+        let mut st = SeriesStore::new();
+        for v in [1.0, 2.0] {
+            st.record("a", mid(0), SimTime::ZERO, SimDuration::from_secs(2), v);
+            st.record("b", mid(0), SimTime::ZERO, SimDuration::from_secs(2), v * 10.0);
+        }
+        let csv = st.to_csv(&[("a", mid(0), "alpha"), ("b", mid(0), "beta")]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t_s,alpha,beta");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("0.0,1.000,10.000"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut st = SeriesStore::new();
+        st.record("h", mid(1), SimTime::ZERO, SimDuration::from_secs(2), 3.5);
+        let json = serde_json::to_string(&st).unwrap();
+        let back: SeriesStore = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.get("h", mid(1)).unwrap().values, vec![3.5]);
+    }
+}

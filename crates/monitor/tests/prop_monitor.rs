@@ -1,0 +1,151 @@
+//! Property-based tests for the monitoring substrate.
+
+use cloudchar_monitor::{
+    catalog, synthesize_perf, synthesize_sysstat, RawHostSample, SeriesStore, Source,
+};
+use cloudchar_simcore::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn arb_raw() -> impl Strategy<Value = RawHostSample> {
+    (
+        (0.0f64..1e10, 1.0f64..1e11, 0.0f64..1.0),
+        (1.0f64..1e8, 0.0f64..1e8, 0.0f64..1e8),
+        (0.0f64..1e8, 0.0f64..1e8, 0.0f64..1e4, 0.0f64..1e4),
+        (0.0f64..1e8, 0.0f64..1e8, 0.0f64..1e5, 0.0f64..1e5),
+        (0.0f64..1e5, 0.0f64..1e5, 1u32..9),
+    )
+        .prop_map(
+            |(
+                (cpu_cycles, cap, user_frac),
+                (mem_total_kb, mem_used_raw, mem_cached_raw),
+                (disk_r, disk_w, reads, writes),
+                (net_rx, net_tx, rx_p, tx_p),
+                (cswch, intr, cores),
+            )| {
+                RawHostSample {
+                    dt_s: 2.0,
+                    cpu_cycles,
+                    cpu_capacity_cycles: cap,
+                    user_frac,
+                    steal_frac: 0.1,
+                    iowait_frac: 0.05,
+                    mem_total_kb,
+                    mem_used_kb: mem_used_raw.min(mem_total_kb),
+                    mem_cached_kb: mem_cached_raw.min(mem_total_kb),
+                    mem_dirty_kb: 0.0,
+                    disk_read_bytes: disk_r,
+                    disk_write_bytes: disk_w,
+                    disk_reads: reads,
+                    disk_writes: writes,
+                    disk_busy_s: 0.5,
+                    net_rx_bytes: net_rx,
+                    net_tx_bytes: net_tx,
+                    net_rx_pkts: rx_p,
+                    net_tx_pkts: tx_p,
+                    cswch,
+                    intr,
+                    forks: 1.0,
+                    page_faults: 100.0,
+                    runq: 2.0,
+                    nproc: 100.0,
+                    blocked: 1.0,
+                    tcp_active: 10.0,
+                    tcp_sockets: 50.0,
+                    cores,
+                    core_hz: 2.8e9,
+                }
+            },
+        )
+}
+
+proptest! {
+    /// Any raw sample synthesizes complete, finite, unique metric
+    /// vectors for all three sources.
+    #[test]
+    fn synthesis_total_and_finite(raw in arb_raw()) {
+        for source in [Source::HypervisorSysstat, Source::VmSysstat] {
+            let v = synthesize_sysstat(&raw, source);
+            prop_assert_eq!(v.len(), 182);
+            let mut ids: Vec<_> = v.iter().map(|(id, _)| *id).collect();
+            ids.sort();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), 182);
+            for (id, x) in &v {
+                prop_assert!(x.is_finite(), "{:?} = {x}", catalog().def(*id).name);
+            }
+        }
+        let p = synthesize_perf(&raw);
+        prop_assert_eq!(p.len(), 154);
+        prop_assert!(p.iter().all(|(_, x)| x.is_finite() && *x >= 0.0));
+    }
+
+    /// CPU percentages are bounded and sum to ≤ 100 + ε.
+    #[test]
+    fn cpu_percentages_bounded(raw in arb_raw()) {
+        let v = synthesize_sysstat(&raw, Source::VmSysstat);
+        let c = catalog();
+        let get = |name: &str| {
+            let id = c.find(name, Source::VmSysstat).unwrap();
+            v.iter().find(|(i, _)| *i == id).unwrap().1
+        };
+        for name in ["%user", "%system", "%idle", "%steal", "%iowait"] {
+            let x = get(name);
+            prop_assert!((0.0..=100.0 + 1e-9).contains(&x), "{name} = {x}");
+        }
+        let total = get("%user") + get("%system") + get("%idle") + get("%steal") + get("%iowait");
+        prop_assert!(total <= 100.0 + 1e-6, "sum {total}");
+    }
+
+    /// Figure metrics are exact transcriptions of the raw sample.
+    #[test]
+    fn figure_metrics_exact(raw in arb_raw()) {
+        let v = synthesize_sysstat(&raw, Source::HypervisorSysstat);
+        let c = catalog();
+        let get = |name: &str| {
+            let id = c.find(name, Source::HypervisorSysstat).unwrap();
+            v.iter().find(|(i, _)| *i == id).unwrap().1
+        };
+        prop_assert!((get("kbmemused") - raw.mem_used_kb).abs() < 1e-6);
+        prop_assert!(
+            (get("bread/s") - raw.disk_read_bytes / 512.0 / 2.0).abs() < 1e-6
+        );
+        prop_assert!(
+            (get("eth0-txkB/s") - raw.net_tx_bytes / 1024.0 / 2.0).abs() < 1e-6
+        );
+        prop_assert!((get("cswch/s") - raw.cswch / 2.0).abs() < 1e-6);
+    }
+
+    /// Perf counters are monotone in CPU activity.
+    #[test]
+    fn perf_monotone_in_cycles(raw in arb_raw(), k in 1.1f64..10.0) {
+        let p1 = synthesize_perf(&raw);
+        let mut scaled = raw;
+        scaled.cpu_cycles *= k;
+        let p2 = synthesize_perf(&scaled);
+        let c = catalog();
+        for name in ["cycles", "instructions", "cache-misses", "branches", "UOPS_RETIRED.ANY"] {
+            let id = c.find(name, Source::PerfCounter).unwrap();
+            let a = p1.iter().find(|(i, _)| *i == id).unwrap().1;
+            let b = p2.iter().find(|(i, _)| *i == id).unwrap().1;
+            prop_assert!(b >= a, "{name} not monotone: {a} -> {b}");
+        }
+    }
+
+    /// The series store holds what was recorded, in order.
+    #[test]
+    fn store_roundtrip(values in proptest::collection::vec(-1e12f64..1e12, 1..200)) {
+        let mut st = SeriesStore::new();
+        let id = catalog().find("cycles", Source::PerfCounter).unwrap();
+        for &v in &values {
+            st.record("h", id, SimTime::ZERO, SimDuration::from_secs(2), v);
+        }
+        let s = st.get("h", id).unwrap();
+        prop_assert_eq!(&s.values, &values);
+        let rows = st.to_rows("h", id);
+        prop_assert_eq!(rows.len(), values.len());
+        for (i, (t, v)) in rows.iter().enumerate() {
+            prop_assert_eq!(*t, i as f64 * 2.0);
+            prop_assert_eq!(*v, values[i]);
+        }
+    }
+}

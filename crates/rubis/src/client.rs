@@ -1,0 +1,258 @@
+//! The RUBiS client emulator.
+//!
+//! A closed population of N emulated clients (the paper: 1000), each
+//! cycling through think time → interaction → think time according to a
+//! transition table. Session composition is the paper's experimental
+//! variable: browse-only, bid-only, or a percentage blend.
+
+use crate::interactions::Interaction;
+use crate::transition::{Mix, NextAction, TransitionTable};
+use cloudchar_simcore::{Dist, Sample, SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// The request composition driving an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadMix {
+    /// Fraction of sessions running the browsing table (the rest run the
+    /// bidding table).
+    pub browsing_fraction: f64,
+}
+
+impl WorkloadMix {
+    /// Browse-only (paper composition 1).
+    pub const BROWSING: WorkloadMix = WorkloadMix { browsing_fraction: 1.0 };
+    /// Bid-only (paper composition 2).
+    pub const BIDDING: WorkloadMix = WorkloadMix { browsing_fraction: 0.0 };
+
+    /// A blend: `browse_percent`% browsing sessions.
+    pub fn percent_browsing(browse_percent: u32) -> WorkloadMix {
+        assert!(browse_percent <= 100);
+        WorkloadMix {
+            browsing_fraction: f64::from(browse_percent) / 100.0,
+        }
+    }
+
+    /// The paper's five compositions, in presentation order.
+    pub fn paper_compositions() -> [(&'static str, WorkloadMix); 5] {
+        [
+            ("browsing", WorkloadMix::BROWSING),
+            ("bidding", WorkloadMix::BIDDING),
+            ("30/70", WorkloadMix::percent_browsing(30)),
+            ("50/50", WorkloadMix::percent_browsing(50)),
+            ("70/30", WorkloadMix::percent_browsing(70)),
+        ]
+    }
+}
+
+/// One emulated client session.
+#[derive(Debug, Clone)]
+pub struct Session {
+    /// Session index.
+    pub id: u32,
+    /// Which mix table this session follows.
+    pub mix: Mix,
+    /// Current page.
+    pub current: Interaction,
+    history: Vec<Interaction>,
+    /// Interactions completed by this session.
+    pub interactions: u64,
+}
+
+/// The emulated client population.
+#[derive(Debug)]
+pub struct ClientPopulation {
+    sessions: Vec<Session>,
+    browsing: TransitionTable,
+    bidding: TransitionTable,
+    think_browse: Dist,
+    think_bid: Dist,
+}
+
+impl ClientPopulation {
+    /// Mean think time, as configured in the paper (7 s).
+    pub const THINK_MEAN_S: f64 = 7.0;
+
+    /// Create `n` sessions split by `mix`.
+    pub fn new(n: u32, mix: WorkloadMix, rng: &mut SimRng) -> Self {
+        let sessions = (0..n)
+            .map(|id| Session {
+                id,
+                mix: if rng.chance(mix.browsing_fraction) {
+                    Mix::Browsing
+                } else {
+                    Mix::Bidding
+                },
+                current: TransitionTable::entry(),
+                history: vec![TransitionTable::entry()],
+                interactions: 0,
+            })
+            .collect();
+        ClientPopulation {
+            sessions,
+            browsing: TransitionTable::browsing(),
+            bidding: TransitionTable::bidding(),
+            // The benchmark's negative-exponential think time. Bidding
+            // sessions pause slightly longer (form filling), the effect
+            // §4.1 attributes the smoother bid curves to.
+            think_browse: Dist::exp(Self::THINK_MEAN_S),
+            think_bid: Dist::exp(Self::THINK_MEAN_S * 1.25),
+        }
+    }
+
+    /// Number of sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Access a session.
+    pub fn session(&self, id: u32) -> &Session {
+        &self.sessions[id as usize]
+    }
+
+    /// The interaction the session will issue next.
+    pub fn current_interaction(&self, id: u32) -> Interaction {
+        self.sessions[id as usize].current
+    }
+
+    /// Sample the think time before the session's next request.
+    pub fn think_time(&self, id: u32, rng: &mut SimRng) -> SimDuration {
+        let s = &self.sessions[id as usize];
+        let d = match s.mix {
+            Mix::Browsing => &self.think_browse,
+            Mix::Bidding => &self.think_bid,
+        };
+        SimDuration::from_secs_f64(d.sample(rng).min(120.0))
+    }
+
+    /// Record the completion of the session's current interaction and
+    /// move it to its next page. Session end restarts at the entry page
+    /// (closed population, as the RUBiS client emulator does).
+    pub fn advance(&mut self, id: u32, rng: &mut SimRng) -> Interaction {
+        let table = match self.sessions[id as usize].mix {
+            Mix::Browsing => &self.browsing,
+            Mix::Bidding => &self.bidding,
+        };
+        let s = &mut self.sessions[id as usize];
+        s.interactions += 1;
+        match table.next(s.current, rng) {
+            NextAction::Goto(next) => {
+                s.history.push(next);
+                if s.history.len() > 64 {
+                    s.history.remove(0);
+                }
+                s.current = next;
+            }
+            NextAction::Back => {
+                s.history.pop();
+                s.current = *s.history.last().unwrap_or(&TransitionTable::entry());
+            }
+            NextAction::End => {
+                s.current = TransitionTable::entry();
+                s.history.clear();
+                s.history.push(s.current);
+            }
+        }
+        s.current
+    }
+
+    /// Count of sessions currently following the browsing table.
+    pub fn browsing_sessions(&self) -> usize {
+        self.sessions.iter().filter(|s| s.mix == Mix::Browsing).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_split_matches_mix() {
+        let mut rng = SimRng::new(1);
+        let p = ClientPopulation::new(10_000, WorkloadMix::percent_browsing(30), &mut rng);
+        let frac = p.browsing_sessions() as f64 / p.len() as f64;
+        assert!((frac - 0.30).abs() < 0.02, "browsing fraction {frac}");
+        assert_eq!(
+            ClientPopulation::new(100, WorkloadMix::BROWSING, &mut rng).browsing_sessions(),
+            100
+        );
+        assert_eq!(
+            ClientPopulation::new(100, WorkloadMix::BIDDING, &mut rng).browsing_sessions(),
+            0
+        );
+    }
+
+    #[test]
+    fn sessions_start_at_home() {
+        let mut rng = SimRng::new(2);
+        let p = ClientPopulation::new(10, WorkloadMix::BIDDING, &mut rng);
+        for id in 0..10 {
+            assert_eq!(p.current_interaction(id), Interaction::Home);
+        }
+    }
+
+    #[test]
+    fn think_time_is_positive_and_near_mean() {
+        let mut rng = SimRng::new(3);
+        let p = ClientPopulation::new(2, WorkloadMix::BROWSING, &mut rng);
+        let n = 20_000;
+        let mut total = 0.0;
+        for _ in 0..n {
+            let t = p.think_time(0, &mut rng).as_secs_f64();
+            assert!(t >= 0.0);
+            total += t;
+        }
+        let mean = total / n as f64;
+        assert!((mean - 7.0).abs() < 0.25, "mean think {mean}");
+    }
+
+    #[test]
+    fn bidding_thinks_longer_than_browsing() {
+        let mut rng = SimRng::new(4);
+        let mut p = ClientPopulation::new(2, WorkloadMix::percent_browsing(50), &mut rng);
+        // Force known mixes.
+        p.sessions[0].mix = Mix::Browsing;
+        p.sessions[1].mix = Mix::Bidding;
+        let n = 50_000;
+        let (mut a, mut b) = (0.0, 0.0);
+        for _ in 0..n {
+            a += p.think_time(0, &mut rng).as_secs_f64();
+            b += p.think_time(1, &mut rng).as_secs_f64();
+        }
+        assert!(b / n as f64 > a / n as f64 * 1.1);
+    }
+
+    #[test]
+    fn advance_progresses_sessions() {
+        let mut rng = SimRng::new(5);
+        let mut p = ClientPopulation::new(1, WorkloadMix::BIDDING, &mut rng);
+        let mut visited = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            visited.insert(p.advance(0, &mut rng));
+        }
+        assert!(visited.len() > 10, "only visited {}", visited.len());
+        assert_eq!(p.session(0).interactions, 10_000);
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut rng = SimRng::new(6);
+        let mut p = ClientPopulation::new(1, WorkloadMix::BROWSING, &mut rng);
+        for _ in 0..100_000 {
+            p.advance(0, &mut rng);
+        }
+        assert!(p.sessions[0].history.len() <= 64);
+    }
+
+    #[test]
+    fn paper_compositions_are_five() {
+        let comps = WorkloadMix::paper_compositions();
+        assert_eq!(comps.len(), 5);
+        assert_eq!(comps[0].1.browsing_fraction, 1.0);
+        assert_eq!(comps[1].1.browsing_fraction, 0.0);
+    }
+}

@@ -1,0 +1,385 @@
+//! The RUBiS interaction set (PHP version).
+//!
+//! Each interaction is one HTTP transaction against the web/application
+//! tier: a request, PHP script execution, zero or more database queries,
+//! and an HTML response. The per-interaction resource profile (script
+//! cycles, payload sizes, query plan) is the workload's DNA — tier-level
+//! demand ratios in the paper emerge from these profiles combined with
+//! the transition tables in [`crate::transition`].
+
+use crate::db::Query;
+use crate::schema::{ItemId, UserId};
+use cloudchar_simcore::{Dist, Sample, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// The 23 RUBiS page interactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Interaction {
+    Home,
+    Register,
+    RegisterUser,
+    Browse,
+    BrowseCategories,
+    SearchItemsInCategory,
+    BrowseRegions,
+    BrowseCategoriesInRegion,
+    SearchItemsInRegion,
+    ViewItem,
+    ViewUserInfo,
+    ViewBidHistory,
+    BuyNowAuth,
+    BuyNow,
+    StoreBuyNow,
+    PutBidAuth,
+    PutBid,
+    StoreBid,
+    PutCommentAuth,
+    PutComment,
+    StoreComment,
+    AboutMeAuth,
+    AboutMe,
+}
+
+impl Interaction {
+    /// All interactions, in enum order.
+    pub const ALL: [Interaction; 23] = [
+        Interaction::Home,
+        Interaction::Register,
+        Interaction::RegisterUser,
+        Interaction::Browse,
+        Interaction::BrowseCategories,
+        Interaction::SearchItemsInCategory,
+        Interaction::BrowseRegions,
+        Interaction::BrowseCategoriesInRegion,
+        Interaction::SearchItemsInRegion,
+        Interaction::ViewItem,
+        Interaction::ViewUserInfo,
+        Interaction::ViewBidHistory,
+        Interaction::BuyNowAuth,
+        Interaction::BuyNow,
+        Interaction::StoreBuyNow,
+        Interaction::PutBidAuth,
+        Interaction::PutBid,
+        Interaction::StoreBid,
+        Interaction::PutCommentAuth,
+        Interaction::PutComment,
+        Interaction::StoreComment,
+        Interaction::AboutMeAuth,
+        Interaction::AboutMe,
+    ];
+
+    /// Dense index of the interaction.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&i| i == self).expect("in ALL")
+    }
+
+    /// Whether the interaction writes to the database.
+    pub fn is_write(self) -> bool {
+        matches!(
+            self,
+            Interaction::RegisterUser
+                | Interaction::StoreBuyNow
+                | Interaction::StoreBid
+                | Interaction::StoreComment
+        )
+    }
+
+    /// Script name as served by the PHP implementation.
+    pub fn script_name(self) -> &'static str {
+        match self {
+            Interaction::Home => "index.html",
+            Interaction::Register => "register.html",
+            Interaction::RegisterUser => "RegisterUser.php",
+            Interaction::Browse => "browse.html",
+            Interaction::BrowseCategories => "BrowseCategories.php",
+            Interaction::SearchItemsInCategory => "SearchItemsByCategory.php",
+            Interaction::BrowseRegions => "BrowseRegions.php",
+            Interaction::BrowseCategoriesInRegion => "BrowseCategories.php?region",
+            Interaction::SearchItemsInRegion => "SearchItemsByRegion.php",
+            Interaction::ViewItem => "ViewItem.php",
+            Interaction::ViewUserInfo => "ViewUserInfo.php",
+            Interaction::ViewBidHistory => "ViewBidHistory.php",
+            Interaction::BuyNowAuth => "BuyNowAuth.php",
+            Interaction::BuyNow => "BuyNow.php",
+            Interaction::StoreBuyNow => "StoreBuyNow.php",
+            Interaction::PutBidAuth => "PutBidAuth.php",
+            Interaction::PutBid => "PutBid.php",
+            Interaction::StoreBid => "StoreBid.php",
+            Interaction::PutCommentAuth => "PutCommentAuth.php",
+            Interaction::PutComment => "PutComment.php",
+            Interaction::StoreComment => "StoreComment.php",
+            Interaction::AboutMeAuth => "AboutMe.html",
+            Interaction::AboutMe => "AboutMe.php",
+        }
+    }
+}
+
+/// Resource profile of one interaction class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InteractionProfile {
+    /// HTTP request size distribution (bytes).
+    pub request_bytes: Dist,
+    /// PHP script CPU demand distribution (cycles), excluding per-query
+    /// marshalling (added per query executed).
+    pub script_cycles: Dist,
+    /// Static HTML skeleton bytes of the response; dynamic content from
+    /// query results is added on top.
+    pub static_html_bytes: u64,
+    /// HTML expansion factor applied to DB result bytes (markup around
+    /// each row).
+    pub html_expansion: f64,
+}
+
+impl InteractionProfile {
+    /// The calibrated default profile for an interaction. Script cycle
+    /// means are tuned so that 1000 clients at a 7 s think time land the
+    /// web tier in the paper's Figure 1 range.
+    pub fn of(i: Interaction) -> InteractionProfile {
+        use Interaction::*;
+        // (script kilo-cycles mean, static html bytes, expansion)
+        let (kcycles, static_html, expansion) = match i {
+            Home => (120.0, 5_000, 0.0),
+            Register => (90.0, 2_600, 0.0),
+            RegisterUser => (300.0, 2_400, 1.0),
+            Browse => (100.0, 3_400, 0.0),
+            BrowseCategories => (280.0, 10_500, 1.0),
+            SearchItemsInCategory => (700.0, 26_000, 1.0),
+            BrowseRegions => (240.0, 8_800, 1.0),
+            BrowseCategoriesInRegion => (300.0, 10_500, 1.0),
+            SearchItemsInRegion => (780.0, 25_000, 1.0),
+            ViewItem => (480.0, 17_500, 1.0),
+            ViewUserInfo => (380.0, 11_500, 1.0),
+            ViewBidHistory => (430.0, 13_500, 1.0),
+            BuyNowAuth => (140.0, 3_600, 0.0),
+            BuyNow => (380.0, 14_000, 1.0),
+            StoreBuyNow => (430.0, 3_000, 1.0),
+            PutBidAuth => (140.0, 3_600, 0.0),
+            PutBid => (430.0, 15_500, 1.0),
+            StoreBid => (480.0, 3_000, 1.0),
+            PutCommentAuth => (140.0, 3_600, 0.0),
+            PutComment => (290.0, 12_000, 1.0),
+            StoreComment => (380.0, 3_000, 1.0),
+            AboutMeAuth => (120.0, 3_400, 0.0),
+            AboutMe => (760.0, 22_500, 1.0),
+        };
+        InteractionProfile {
+            request_bytes: Dist::Uniform { lo: 280.0, hi: 700.0 },
+            script_cycles: Dist::Erlang {
+                k: 3,
+                mean: kcycles * 1_000.0,
+            },
+            static_html_bytes: static_html,
+            html_expansion: expansion,
+        }
+    }
+
+    /// Sample a request size.
+    pub fn sample_request_bytes(&self, rng: &mut SimRng) -> u64 {
+        self.request_bytes.sample(rng) as u64
+    }
+
+    /// Sample script cycles.
+    pub fn sample_script_cycles(&self, rng: &mut SimRng) -> f64 {
+        self.script_cycles.sample(rng)
+    }
+
+    /// HTML response size given total DB result bytes.
+    pub fn response_bytes(&self, db_result_bytes: u64) -> u64 {
+        self.static_html_bytes + (db_result_bytes as f64 * self.html_expansion) as u64
+    }
+}
+
+/// Context needed to instantiate concrete queries: the live entity
+/// ranges of the database.
+#[derive(Debug, Clone, Copy)]
+pub struct EntityRanges {
+    /// Number of users currently registered.
+    pub users: u32,
+    /// Number of items.
+    pub items: u32,
+    /// Number of categories.
+    pub categories: u16,
+    /// Number of regions.
+    pub regions: u16,
+}
+
+impl EntityRanges {
+    fn item(&self, rng: &mut SimRng) -> ItemId {
+        // Zipf-ish skew: popular items attract most views and bids.
+        let z = rng.f64_open();
+        ItemId(((z * z) * f64::from(self.items)) as u32 % self.items.max(1))
+    }
+
+    fn user(&self, rng: &mut SimRng) -> UserId {
+        UserId(rng.below(u64::from(self.users.max(1))) as u32)
+    }
+
+    fn category(&self, rng: &mut SimRng) -> crate::schema::CategoryId {
+        let z = rng.f64_open();
+        crate::schema::CategoryId(((z * z) * f64::from(self.categories)) as u16 % self.categories.max(1))
+    }
+
+    fn region(&self, rng: &mut SimRng) -> crate::schema::RegionId {
+        crate::schema::RegionId(rng.below(u64::from(self.regions.max(1))) as u16)
+    }
+}
+
+/// Instantiate the database queries one execution of `i` issues.
+pub fn queries_for(i: Interaction, ranges: EntityRanges, rng: &mut SimRng) -> Vec<Query> {
+    use Interaction::*;
+    match i {
+        Home | Register | Browse | BuyNowAuth | PutBidAuth | PutCommentAuth | AboutMeAuth => {
+            Vec::new() // static pages / auth forms
+        }
+        RegisterUser => vec![Query::RegisterUser { region: ranges.region(rng) }],
+        BrowseCategories => vec![Query::SelectCategories],
+        SearchItemsInCategory => vec![Query::SearchItemsByCategory {
+            category: ranges.category(rng),
+            page: (rng.f64() * rng.f64() * 5.0) as u32,
+        }],
+        BrowseRegions => vec![Query::SelectRegions],
+        BrowseCategoriesInRegion => vec![Query::SelectCategories],
+        SearchItemsInRegion => vec![Query::SearchItemsByRegion {
+            category: ranges.category(rng),
+            region: ranges.region(rng),
+            page: (rng.f64() * rng.f64() * 3.0) as u32,
+        }],
+        ViewItem => vec![Query::GetItem { item: ranges.item(rng) }],
+        ViewUserInfo => vec![Query::GetUserInfo { user: ranges.user(rng) }],
+        ViewBidHistory => vec![Query::GetBidHistory { item: ranges.item(rng) }],
+        BuyNow => vec![
+            Query::AuthUser { user: ranges.user(rng) },
+            Query::GetItem { item: ranges.item(rng) },
+        ],
+        StoreBuyNow => vec![Query::StoreBuyNow {
+            buyer: ranges.user(rng),
+            item: ranges.item(rng),
+        }],
+        PutBid => vec![
+            Query::AuthUser { user: ranges.user(rng) },
+            Query::GetItem { item: ranges.item(rng) },
+            Query::GetMaxBid { item: ranges.item(rng) },
+        ],
+        StoreBid => vec![Query::StoreBid {
+            user: ranges.user(rng),
+            item: ranges.item(rng),
+            increment: rng.range_inclusive(50, 500) as i64,
+        }],
+        PutComment => vec![
+            Query::AuthUser { user: ranges.user(rng) },
+            Query::GetItem { item: ranges.item(rng) },
+        ],
+        StoreComment => vec![Query::StoreComment {
+            from: ranges.user(rng),
+            to: ranges.user(rng),
+            item: ranges.item(rng),
+        }],
+        AboutMe => vec![
+            Query::AuthUser { user: ranges.user(rng) },
+            Query::AboutMe { user: ranges.user(rng) },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranges() -> EntityRanges {
+        EntityRanges {
+            users: 1000,
+            items: 500,
+            categories: 10,
+            regions: 5,
+        }
+    }
+
+    #[test]
+    fn all_is_dense_and_complete() {
+        assert_eq!(Interaction::ALL.len(), 23);
+        for (idx, &i) in Interaction::ALL.iter().enumerate() {
+            assert_eq!(i.index(), idx);
+        }
+    }
+
+    #[test]
+    fn writes_flagged() {
+        let writes: Vec<_> = Interaction::ALL.iter().filter(|i| i.is_write()).collect();
+        assert_eq!(writes.len(), 4);
+    }
+
+    #[test]
+    fn write_interactions_issue_write_queries() {
+        let mut rng = SimRng::new(1);
+        for &i in &Interaction::ALL {
+            let qs = queries_for(i, ranges(), &mut rng);
+            let any_write = qs.iter().any(|q| q.is_write());
+            assert_eq!(
+                any_write,
+                i.is_write(),
+                "{i:?} write flag vs queries mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn profiles_have_positive_costs() {
+        let mut rng = SimRng::new(2);
+        for &i in &Interaction::ALL {
+            let p = InteractionProfile::of(i);
+            assert!(p.script_cycles.validate().is_ok());
+            let c = p.sample_script_cycles(&mut rng);
+            assert!(c > 0.0, "{i:?} cycles {c}");
+            let req = p.sample_request_bytes(&mut rng);
+            assert!((280..700).contains(&(req as u32)), "{i:?} req {req}");
+            assert!(p.response_bytes(0) >= 1_000);
+        }
+    }
+
+    #[test]
+    fn search_pages_are_heavier_than_forms() {
+        let search = InteractionProfile::of(Interaction::SearchItemsInCategory);
+        let form = InteractionProfile::of(Interaction::PutBidAuth);
+        assert!(search.script_cycles.mean().unwrap() > 3.0 * form.script_cycles.mean().unwrap());
+    }
+
+    #[test]
+    fn queries_reference_valid_entities() {
+        let mut rng = SimRng::new(3);
+        let r = ranges();
+        for _ in 0..500 {
+            for &i in &Interaction::ALL {
+                for q in queries_for(i, r, &mut rng) {
+                    match q {
+                        Query::GetItem { item } | Query::GetBidHistory { item } | Query::GetMaxBid { item } => {
+                            assert!(item.0 < r.items)
+                        }
+                        Query::GetUserInfo { user } | Query::AuthUser { user } | Query::AboutMe { user } => {
+                            assert!(user.0 < r.users)
+                        }
+                        Query::SearchItemsByCategory { category, .. } => {
+                            assert!(category.0 < r.categories)
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn response_scales_with_db_bytes() {
+        let p = InteractionProfile::of(Interaction::SearchItemsInCategory);
+        assert!(p.response_bytes(4_000) > p.response_bytes(100));
+        let form = InteractionProfile::of(Interaction::Home);
+        assert_eq!(form.response_bytes(1_000), form.static_html_bytes);
+    }
+
+    #[test]
+    fn script_names_unique_enough() {
+        use std::collections::HashSet;
+        let names: HashSet<_> = Interaction::ALL.iter().map(|i| i.script_name()).collect();
+        assert!(names.len() >= 22); // BrowseCategories shares a script with ?region
+    }
+}

@@ -1,0 +1,38 @@
+//! # cloudchar-rubis
+//!
+//! A faithful model of the RUBiS auction-site benchmark — the workload
+//! the paper drives its testbed with. The crate provides:
+//!
+//! * [`schema`] — the eBay-like table schema and synthetic population
+//!   generator;
+//! * [`storage`] — InnoDB-style buffer pool and MySQL-style query cache;
+//! * [`db`] — the relational engine and the [`db::MySqlServer`] process
+//!   model producing CPU + disk work per query;
+//! * [`interactions`] — the 23 page interactions with calibrated
+//!   resource profiles;
+//! * [`transition`] — the browsing and bidding Markov mixes;
+//! * [`client`] — the closed-population client emulator (1000 clients,
+//!   7 s think time in the paper);
+//! * [`webserver`] — the Apache prefork + PHP tier with worker-pool
+//!   dynamics that generate the paper's RAM "jumps".
+//!
+//! The crate is engine-agnostic: all models are passive state machines
+//! driven by `cloudchar-core`'s orchestrator, so the same application
+//! runs unchanged on virtualized and non-virtualized deployments.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod db;
+pub mod interactions;
+pub mod schema;
+pub mod storage;
+pub mod transition;
+pub mod webserver;
+
+pub use client::{ClientPopulation, Session, WorkloadMix};
+pub use db::{Database, DbWork, MySqlConfig, MySqlServer, Query};
+pub use interactions::{queries_for, EntityRanges, Interaction, InteractionProfile};
+pub use schema::{DbScale, ItemId, UserId};
+pub use transition::{Mix, NextAction, TransitionTable};
+pub use webserver::{WebAppServer, WebConfig};

@@ -1,0 +1,337 @@
+//! The RUBiS auction-site schema and synthetic data generator.
+//!
+//! RUBiS models eBay: registered users in regions, items in categories,
+//! bids, buy-now purchases and comments. The table shapes follow the
+//! benchmark's MySQL schema; row byte sizes approximate the InnoDB
+//! on-disk footprint and drive the storage engine's page mathematics.
+
+use cloudchar_simcore::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// User identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UserId(pub u32);
+/// Item identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ItemId(pub u32);
+/// Category identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CategoryId(pub u16);
+/// Region identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RegionId(pub u16);
+
+/// A registered user (RUBiS `users` table).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct User {
+    /// Primary key.
+    pub id: UserId,
+    /// Seller/buyer rating accumulated from comments.
+    pub rating: i32,
+    /// Account balance in cents.
+    pub balance: i64,
+    /// Home region.
+    pub region: RegionId,
+    /// Number of items sold (denormalized counter).
+    pub items_sold: u32,
+}
+
+impl User {
+    /// Approximate InnoDB row footprint (columns + nickname/password
+    /// strings + row header).
+    pub const ROW_BYTES: u64 = 160;
+}
+
+/// An auction item (RUBiS `items` table).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Item {
+    /// Primary key.
+    pub id: ItemId,
+    /// Seller.
+    pub seller: UserId,
+    /// Category.
+    pub category: CategoryId,
+    /// Starting price in cents.
+    pub initial_price: i64,
+    /// Current highest bid in cents (0 when no bids).
+    pub max_bid: i64,
+    /// Number of bids received (denormalized counter).
+    pub nb_bids: u32,
+    /// Buy-now price in cents (0 = not offered).
+    pub buy_now: i64,
+    /// Remaining quantity.
+    pub quantity: u32,
+    /// Length of the description text in bytes (drives row size).
+    pub description_len: u32,
+}
+
+impl Item {
+    /// Fixed part of the row; the description adds `description_len`.
+    pub const ROW_BYTES_FIXED: u64 = 120;
+
+    /// Total row footprint.
+    pub fn row_bytes(&self) -> u64 {
+        Self::ROW_BYTES_FIXED + u64::from(self.description_len)
+    }
+}
+
+/// A bid (RUBiS `bids` table).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bid {
+    /// Bidding user.
+    pub user: UserId,
+    /// Item bid on.
+    pub item: ItemId,
+    /// Quantity requested.
+    pub qty: u32,
+    /// Bid amount in cents.
+    pub amount: i64,
+    /// Bid time (coarse, in simulation seconds).
+    pub date_s: u32,
+}
+
+impl Bid {
+    /// Approximate InnoDB row footprint.
+    pub const ROW_BYTES: u64 = 56;
+}
+
+/// A comment left for a user (RUBiS `comments` table).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Comment {
+    /// Author.
+    pub from: UserId,
+    /// Recipient (the seller/buyer being rated).
+    pub to: UserId,
+    /// Item the transaction concerned.
+    pub item: ItemId,
+    /// Rating delta (−5..=5).
+    pub rating: i8,
+    /// Comment text length in bytes.
+    pub text_len: u32,
+}
+
+impl Comment {
+    /// Fixed part of the row; the text adds `text_len`.
+    pub const ROW_BYTES_FIXED: u64 = 48;
+}
+
+/// A buy-now purchase (RUBiS `buy_now` table).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BuyNow {
+    /// Buyer.
+    pub buyer: UserId,
+    /// Item bought.
+    pub item: ItemId,
+    /// Quantity bought.
+    pub qty: u32,
+    /// Purchase time (simulation seconds).
+    pub date_s: u32,
+}
+
+impl BuyNow {
+    /// Approximate InnoDB row footprint.
+    pub const ROW_BYTES: u64 = 40;
+}
+
+/// Database population sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DbScale {
+    /// Registered users.
+    pub users: u32,
+    /// Items currently up for auction.
+    pub active_items: u32,
+    /// Average historical bids per item at generation time.
+    pub bids_per_item: u32,
+    /// Comments at generation time.
+    pub comments: u32,
+    /// Number of categories.
+    pub categories: u16,
+    /// Number of regions.
+    pub regions: u16,
+}
+
+impl DbScale {
+    /// The RUBiS default database the paper's deployment used:
+    /// 1 M users is the published default, but the workload only touches
+    /// active items; we keep the index-relevant population.
+    pub fn paper() -> Self {
+        DbScale {
+            users: 100_000,
+            active_items: 33_000,
+            bids_per_item: 10,
+            comments: 50_000,
+            categories: 20,
+            regions: 62,
+        }
+    }
+
+    /// A tiny population for unit tests.
+    pub fn small() -> Self {
+        DbScale {
+            users: 500,
+            active_items: 200,
+            bids_per_item: 3,
+            comments: 100,
+            categories: 5,
+            regions: 4,
+        }
+    }
+}
+
+/// Generate a synthetic population with the benchmark's distributions:
+/// items spread over categories by a truncated Zipf-ish skew, description
+/// lengths log-normal-ish, prices uniform.
+pub fn generate(scale: DbScale, rng: &mut SimRng) -> (Vec<User>, Vec<Item>, Vec<Bid>, Vec<Comment>) {
+    assert!(scale.users > 0 && scale.active_items > 0 && scale.categories > 0 && scale.regions > 0);
+    let mut users = Vec::with_capacity(scale.users as usize);
+    for i in 0..scale.users {
+        users.push(User {
+            id: UserId(i),
+            rating: rng.range_inclusive(0, 20) as i32 - 5,
+            balance: rng.range_inclusive(0, 500_000) as i64,
+            region: RegionId(rng.below(u64::from(scale.regions)) as u16),
+            items_sold: 0,
+        });
+    }
+
+    let mut items = Vec::with_capacity(scale.active_items as usize);
+    for i in 0..scale.active_items {
+        // Category skew: low-numbered categories are hot, matching the
+        // benchmark's uneven ebay_simple_categories distribution.
+        let z = rng.f64_open();
+        let cat = ((z * z) * f64::from(scale.categories)) as u16;
+        let seller = UserId(rng.below(u64::from(scale.users)) as u32);
+        let initial = rng.range_inclusive(100, 100_000) as i64;
+        items.push(Item {
+            id: ItemId(i),
+            seller,
+            category: CategoryId(cat.min(scale.categories - 1)),
+            initial_price: initial,
+            max_bid: 0,
+            nb_bids: 0,
+            buy_now: if rng.chance(0.4) { initial * 2 } else { 0 },
+            quantity: rng.range_inclusive(1, 10) as u32,
+            description_len: (50.0 * (1.0 + 9.0 * rng.f64() * rng.f64())) as u32 * 8,
+        });
+        users[seller.0 as usize].items_sold += 1;
+    }
+
+    let mut bids = Vec::new();
+    for item in items.iter_mut() {
+        let n = rng.range_inclusive(0, u64::from(scale.bids_per_item) * 2) as u32;
+        let mut price = item.initial_price;
+        for _ in 0..n {
+            price += rng.range_inclusive(50, 1_000) as i64;
+            bids.push(Bid {
+                user: UserId(rng.below(u64::from(scale.users)) as u32),
+                item: item.id,
+                qty: 1,
+                amount: price,
+                date_s: 0,
+            });
+        }
+        item.nb_bids = n;
+        item.max_bid = if n > 0 { price } else { 0 };
+    }
+
+    let mut comments = Vec::with_capacity(scale.comments as usize);
+    for _ in 0..scale.comments {
+        let from = UserId(rng.below(u64::from(scale.users)) as u32);
+        let to = UserId(rng.below(u64::from(scale.users)) as u32);
+        comments.push(Comment {
+            from,
+            to,
+            item: ItemId(rng.below(u64::from(scale.active_items)) as u32),
+            rating: rng.range_inclusive(0, 10) as i8 - 5,
+            text_len: rng.range_inclusive(20, 800) as u32,
+        });
+    }
+
+    (users, items, bids, comments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_respects_scale() {
+        let mut rng = SimRng::new(1);
+        let scale = DbScale::small();
+        let (users, items, bids, comments) = generate(scale, &mut rng);
+        assert_eq!(users.len(), 500);
+        assert_eq!(items.len(), 200);
+        assert_eq!(comments.len(), 100);
+        // Average ~3 bids/item drawn from U[0,6].
+        let avg = bids.len() as f64 / items.len() as f64;
+        assert!((2.0..4.5).contains(&avg), "avg bids {avg}");
+    }
+
+    #[test]
+    fn denormalized_counters_consistent() {
+        let mut rng = SimRng::new(2);
+        let (users, items, bids, _) = generate(DbScale::small(), &mut rng);
+        let total_nb: u32 = items.iter().map(|i| i.nb_bids).sum();
+        assert_eq!(total_nb as usize, bids.len());
+        let sold: u32 = users.iter().map(|u| u.items_sold).sum();
+        assert_eq!(sold as usize, items.len());
+        // max_bid reflects the bid chain.
+        for item in &items {
+            if item.nb_bids > 0 {
+                assert!(item.max_bid > item.initial_price);
+            } else {
+                assert_eq!(item.max_bid, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn ids_are_dense_and_in_range() {
+        let mut rng = SimRng::new(3);
+        let scale = DbScale::small();
+        let (users, items, bids, comments) = generate(scale, &mut rng);
+        for (i, u) in users.iter().enumerate() {
+            assert_eq!(u.id.0 as usize, i);
+            assert!(u.region.0 < scale.regions);
+        }
+        for (i, it) in items.iter().enumerate() {
+            assert_eq!(it.id.0 as usize, i);
+            assert!(it.category.0 < scale.categories);
+            assert!(it.seller.0 < scale.users);
+        }
+        for b in &bids {
+            assert!(b.user.0 < scale.users);
+            assert!((b.item.0 as usize) < items.len());
+        }
+        for c in &comments {
+            assert!(c.from.0 < scale.users && c.to.0 < scale.users);
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let (u1, i1, b1, c1) = generate(DbScale::small(), &mut SimRng::new(7));
+        let (u2, i2, b2, c2) = generate(DbScale::small(), &mut SimRng::new(7));
+        assert_eq!(u1, u2);
+        assert_eq!(i1, i2);
+        assert_eq!(b1, b2);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn row_sizes() {
+        assert_eq!(User::ROW_BYTES, 160);
+        let item = Item {
+            id: ItemId(0),
+            seller: UserId(0),
+            category: CategoryId(0),
+            initial_price: 1,
+            max_bid: 0,
+            nb_bids: 0,
+            buy_now: 0,
+            quantity: 1,
+            description_len: 400,
+        };
+        assert_eq!(item.row_bytes(), 520);
+    }
+}

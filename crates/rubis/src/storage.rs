@@ -1,0 +1,409 @@
+//! Storage-engine mechanics: pages, the buffer pool and the query cache.
+//!
+//! The MySQL tier's disk behaviour in the paper (low, bursty read traffic
+//! that decays as the run warms up; write traffic proportional to bid
+//! activity) is a direct consequence of InnoDB's buffer pool and MySQL's
+//! query cache. Both are modelled here at page granularity.
+
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+
+/// InnoDB default page size.
+pub const PAGE_BYTES: u64 = 16 * 1024;
+
+/// Identifies a table within the database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TableId {
+    /// `users`
+    Users,
+    /// `items`
+    Items,
+    /// `bids`
+    Bids,
+    /// `comments`
+    Comments,
+    /// `buy_now`
+    BuyNow,
+    /// `categories`
+    Categories,
+    /// `regions`
+    Regions,
+}
+
+impl TableId {
+    /// All tables, for iteration.
+    pub const ALL: [TableId; 7] = [
+        TableId::Users,
+        TableId::Items,
+        TableId::Bids,
+        TableId::Comments,
+        TableId::BuyNow,
+        TableId::Categories,
+        TableId::Regions,
+    ];
+}
+
+/// A page address: table + page number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PageRef {
+    /// Owning table.
+    pub table: TableId,
+    /// Page number within the table.
+    pub page: u64,
+}
+
+/// Map a row's byte offset to its page.
+pub fn page_of(row_index: u64, row_bytes: u64) -> u64 {
+    row_index * row_bytes / PAGE_BYTES
+}
+
+/// Outcome of a buffer-pool access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Page was resident.
+    Hit,
+    /// Page had to be read from disk (and possibly evicted a clean page).
+    Miss,
+    /// Page had to be read from disk and the evicted victim was dirty,
+    /// forcing a write-back first.
+    MissDirtyEvict,
+}
+
+/// A page-granularity LRU buffer pool with dirty-page tracking.
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity_pages: usize,
+    /// page → dirty flag
+    resident: HashMap<PageRef, bool>,
+    /// LRU order, most recent at the back. May contain stale entries;
+    /// `pending` counts occurrences so only a page's *last* entry is
+    /// authoritative.
+    lru: VecDeque<PageRef>,
+    /// Occurrences of each page currently in `lru`.
+    pending: HashMap<PageRef, u32>,
+    hits: u64,
+    misses: u64,
+    dirty_evictions: u64,
+}
+
+impl BufferPool {
+    /// Pool holding `capacity_bytes` of pages (min one page).
+    pub fn new(capacity_bytes: u64) -> Self {
+        let capacity_pages = (capacity_bytes / PAGE_BYTES).max(1) as usize;
+        BufferPool {
+            capacity_pages,
+            resident: HashMap::with_capacity(capacity_pages),
+            lru: VecDeque::with_capacity(capacity_pages),
+            pending: HashMap::with_capacity(capacity_pages),
+            hits: 0,
+            misses: 0,
+            dirty_evictions: 0,
+        }
+    }
+
+    /// Capacity in pages.
+    pub fn capacity_pages(&self) -> usize {
+        self.capacity_pages
+    }
+
+    /// Pages currently resident.
+    pub fn resident_pages(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Resident bytes (for memory accounting).
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident.len() as u64 * PAGE_BYTES
+    }
+
+    /// Access a page; `write` marks it dirty. Returns what happened.
+    pub fn access(&mut self, page: PageRef, write: bool) -> Access {
+        match self.resident.entry(page) {
+            Entry::Occupied(mut e) => {
+                if write {
+                    *e.get_mut() = true;
+                }
+                self.hits += 1;
+                self.touch(page);
+                Access::Hit
+            }
+            Entry::Vacant(e) => {
+                e.insert(write);
+                self.misses += 1;
+                self.touch(page);
+                let mut dirty_evicted = false;
+                while self.resident.len() > self.capacity_pages {
+                    if let Some(victim_dirty) = self.evict_lru() {
+                        if victim_dirty {
+                            dirty_evicted = true;
+                            self.dirty_evictions += 1;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                if dirty_evicted {
+                    Access::MissDirtyEvict
+                } else {
+                    Access::Miss
+                }
+            }
+        }
+    }
+
+    /// Hit ratio so far (0 when no accesses).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// (hits, misses, dirty evictions)
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.dirty_evictions)
+    }
+
+    fn touch(&mut self, page: PageRef) {
+        self.lru.push_back(page);
+        *self.pending.entry(page).or_insert(0) += 1;
+        // Compact the LRU deque when stale entries dominate: keep only
+        // the last occurrence of each resident page.
+        if self.lru.len() > self.capacity_pages.saturating_mul(4).max(64) {
+            let resident = &self.resident;
+            let mut last = HashMap::with_capacity(resident.len());
+            for (i, p) in self.lru.iter().enumerate() {
+                if resident.contains_key(p) {
+                    last.insert(*p, i);
+                }
+            }
+            let mut fresh: Vec<(usize, PageRef)> = last.into_iter().map(|(p, i)| (i, p)).collect();
+            fresh.sort_unstable_by_key(|(i, _)| *i);
+            self.lru = fresh.iter().map(|&(_, p)| p).collect();
+            self.pending = fresh.iter().map(|&(_, p)| (p, 1)).collect();
+        }
+    }
+
+    /// Evict the least-recently-used resident page. Returns the victim's
+    /// dirty flag, or `None` if nothing is evictable.
+    fn evict_lru(&mut self) -> Option<bool> {
+        while let Some(candidate) = self.lru.pop_front() {
+            let stale = match self.pending.get_mut(&candidate) {
+                Some(n) => {
+                    *n -= 1;
+                    let stale = *n > 0; // fresher occurrence exists later
+                    if *n == 0 {
+                        self.pending.remove(&candidate);
+                    }
+                    stale
+                }
+                None => true,
+            };
+            if stale {
+                continue;
+            }
+            if let Some(dirty) = self.resident.remove(&candidate) {
+                return Some(dirty);
+            }
+        }
+        None
+    }
+}
+
+/// A MySQL-style query cache: SELECT results keyed by query identity,
+/// invalidated wholesale per table on any write to that table.
+#[derive(Debug)]
+pub struct QueryCache {
+    capacity_bytes: u64,
+    used_bytes: u64,
+    /// key → (result bytes, table versions at insert)
+    entries: HashMap<u64, (u64, Vec<(TableId, u64)>)>,
+    versions: HashMap<TableId, u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl QueryCache {
+    /// A cache bounded at `capacity_bytes` of result data.
+    pub fn new(capacity_bytes: u64) -> Self {
+        QueryCache {
+            capacity_bytes,
+            used_bytes: 0,
+            entries: HashMap::new(),
+            versions: TableId::ALL.iter().map(|&t| (t, 0)).collect(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up a SELECT by key; returns the cached result size if fresh.
+    pub fn lookup(&mut self, key: u64) -> Option<u64> {
+        let fresh = match self.entries.get(&key) {
+            Some((bytes, deps)) => {
+                if deps.iter().all(|(t, v)| self.versions[t] == *v) {
+                    Some(*bytes)
+                } else {
+                    None
+                }
+            }
+            None => None,
+        };
+        match fresh {
+            Some(bytes) => {
+                self.hits += 1;
+                Some(bytes)
+            }
+            None => {
+                if let Some((bytes, _)) = self.entries.remove(&key) {
+                    self.used_bytes -= bytes;
+                }
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a SELECT result of `bytes` depending on `tables`.
+    pub fn insert(&mut self, key: u64, bytes: u64, tables: &[TableId]) {
+        if bytes > self.capacity_bytes {
+            return;
+        }
+        // Random-ish eviction: drop arbitrary entries until it fits.
+        while self.used_bytes + bytes > self.capacity_bytes {
+            let Some((&victim, _)) = self.entries.iter().next() else { break };
+            if let Some((b, _)) = self.entries.remove(&victim) {
+                self.used_bytes -= b;
+            }
+        }
+        let deps = tables.iter().map(|&t| (t, self.versions[&t])).collect();
+        if let Some((old, _)) = self.entries.insert(key, (bytes, deps)) {
+            self.used_bytes -= old;
+        }
+        self.used_bytes += bytes;
+    }
+
+    /// Invalidate every cached result that touched `table`.
+    pub fn invalidate(&mut self, table: TableId) {
+        *self.versions.get_mut(&table).unwrap() += 1;
+    }
+
+    /// Bytes of cached results (for memory accounting).
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// (hits, misses)
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pref(page: u64) -> PageRef {
+        PageRef {
+            table: TableId::Items,
+            page,
+        }
+    }
+
+    #[test]
+    fn page_math() {
+        assert_eq!(page_of(0, 160), 0);
+        assert_eq!(page_of(102, 160), 0); // 102*160 = 16320 < 16384
+        assert_eq!(page_of(103, 160), 1);
+    }
+
+    #[test]
+    fn pool_hit_after_miss() {
+        let mut bp = BufferPool::new(10 * PAGE_BYTES);
+        assert_eq!(bp.access(pref(1), false), Access::Miss);
+        assert_eq!(bp.access(pref(1), false), Access::Hit);
+        assert_eq!(bp.stats(), (1, 1, 0));
+        assert_eq!(bp.resident_pages(), 1);
+        assert!((bp.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pool_evicts_lru() {
+        let mut bp = BufferPool::new(2 * PAGE_BYTES);
+        bp.access(pref(1), false);
+        bp.access(pref(2), false);
+        bp.access(pref(1), false); // 1 is now MRU
+        bp.access(pref(3), false); // evicts 2
+        assert_eq!(bp.resident_pages(), 2);
+        assert_eq!(bp.access(pref(1), false), Access::Hit);
+        assert_eq!(bp.access(pref(2), false), Access::Miss);
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut bp = BufferPool::new(PAGE_BYTES); // 1 page
+        bp.access(pref(1), true); // dirty
+        let a = bp.access(pref(2), false); // evicts dirty 1
+        assert_eq!(a, Access::MissDirtyEvict);
+        assert_eq!(bp.stats().2, 1);
+    }
+
+    #[test]
+    fn pool_capacity_respected_under_churn() {
+        let mut bp = BufferPool::new(8 * PAGE_BYTES);
+        for i in 0..10_000u64 {
+            // Hot set of 4 pages interleaved with a cold scan of 50.
+            let page = if i % 2 == 0 { i % 4 } else { 100 + i % 50 };
+            bp.access(pref(page), i % 3 == 0);
+            assert!(bp.resident_pages() <= 8);
+        }
+        let (h, m, _) = bp.stats();
+        assert_eq!(h + m, 10_000);
+        assert!(h > 0 && m > 0, "hits {h} misses {m}");
+    }
+
+    #[test]
+    fn query_cache_roundtrip_and_invalidation() {
+        let mut qc = QueryCache::new(1 << 20);
+        assert_eq!(qc.lookup(42), None);
+        qc.insert(42, 1000, &[TableId::Items]);
+        assert_eq!(qc.lookup(42), Some(1000));
+        qc.invalidate(TableId::Items);
+        assert_eq!(qc.lookup(42), None);
+        assert_eq!(qc.stats(), (1, 2));
+    }
+
+    #[test]
+    fn query_cache_invalidation_is_per_table() {
+        let mut qc = QueryCache::new(1 << 20);
+        qc.insert(1, 100, &[TableId::Items]);
+        qc.insert(2, 200, &[TableId::Users]);
+        qc.invalidate(TableId::Items);
+        assert_eq!(qc.lookup(1), None);
+        assert_eq!(qc.lookup(2), Some(200));
+    }
+
+    #[test]
+    fn query_cache_respects_capacity() {
+        let mut qc = QueryCache::new(1000);
+        qc.insert(1, 600, &[TableId::Items]);
+        qc.insert(2, 600, &[TableId::Items]); // evicts 1 (or refuses)
+        assert!(qc.used_bytes() <= 1000);
+        // Oversized entries are refused outright.
+        qc.insert(3, 5000, &[TableId::Items]);
+        assert!(qc.used_bytes() <= 1000);
+        assert_eq!(qc.lookup(3), None);
+    }
+
+    #[test]
+    fn stale_entry_cleanup_on_lookup() {
+        let mut qc = QueryCache::new(1 << 20);
+        qc.insert(9, 300, &[TableId::Bids]);
+        qc.invalidate(TableId::Bids);
+        assert_eq!(qc.lookup(9), None);
+        // The stale bytes were reclaimed.
+        assert_eq!(qc.used_bytes(), 0);
+    }
+}

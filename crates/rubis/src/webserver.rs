@@ -1,0 +1,336 @@
+//! The Apache + PHP web/application tier model.
+//!
+//! RUBiS's PHP implementation merges the web and application servers
+//! into one Apache prefork instance (the paper: "the two servers are
+//! integrated together in the PHP implementation"). The model captures
+//! the mechanisms behind the paper's web-tier observations:
+//!
+//! * a **worker pool** that starts small and spawns batches of workers
+//!   when the request backlog grows — each spawn is a step increase in
+//!   resident memory, the "jumps" of Figures 2 and 6;
+//! * per-request **access-log appends** and **PHP file-backed session
+//!   writes**, the web tier's disk traffic (Figures 3 and 7);
+//! * connection-handling CPU on top of the PHP script cost.
+
+use cloudchar_hw::{IoKind, IoRequest};
+use cloudchar_simcore::stats::Counter;
+use cloudchar_simcore::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Apache prefork + PHP configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WebConfig {
+    /// Workers forked at startup (`StartServers`-ish).
+    pub start_workers: u32,
+    /// Hard worker limit (`MaxClients`).
+    pub max_workers: u32,
+    /// Workers forked per spawn decision.
+    pub spawn_batch: u32,
+    /// Minimum time between spawn decisions.
+    pub spawn_cooldown: SimDuration,
+    /// Spawn when queued requests exceed this fraction of current
+    /// workers.
+    pub spawn_backlog_ratio: f64,
+    /// Resident bytes per worker (Apache child + mod_php).
+    pub worker_memory: u64,
+    /// Base resident bytes (parent, shared code, OS page tables).
+    pub base_memory: u64,
+    /// Bytes per tracked client session (PHP `$_SESSION` in memory).
+    pub session_memory: u64,
+    /// Transient buffer bytes per in-flight request.
+    pub request_buffer: u64,
+    /// Access-log bytes appended per request.
+    pub log_bytes_per_request: u64,
+    /// PHP session file write per dynamic request.
+    pub session_write_bytes: u64,
+    /// Connection-handling cycles per request (accept, parse, TCP).
+    pub conn_cycles: f64,
+    /// Response-marshalling cycles per response byte.
+    pub cycles_per_resp_byte: f64,
+}
+
+impl Default for WebConfig {
+    fn default() -> Self {
+        WebConfig {
+            start_workers: 16,
+            max_workers: 150,
+            spawn_batch: 32,
+            spawn_cooldown: SimDuration::from_secs(60),
+            spawn_backlog_ratio: 0.25,
+            worker_memory: 2_800 * 1024,
+            base_memory: 160 * 1024 * 1024,
+            session_memory: 60 * 1024,
+            request_buffer: 768 * 1024,
+            log_bytes_per_request: 360,
+            session_write_bytes: 2_600,
+            conn_cycles: 80_000.0,
+            cycles_per_resp_byte: 4.0,
+        }
+    }
+}
+
+/// The web/application tier server.
+#[derive(Debug)]
+pub struct WebAppServer {
+    config: WebConfig,
+    workers: u32,
+    busy: u32,
+    queued: u32,
+    last_spawn: SimTime,
+    /// Client sessions with live PHP session state.
+    pub tracked_sessions: u32,
+    /// Requests fully served.
+    pub requests_served: Counter,
+    /// Worker-spawn events (for jump analysis).
+    pub spawn_events: Vec<(SimTime, u32)>,
+    log_pending: u64,
+}
+
+impl WebAppServer {
+    /// Start the server with its initial worker pool.
+    pub fn new(config: WebConfig) -> Self {
+        WebAppServer {
+            workers: config.start_workers,
+            busy: 0,
+            queued: 0,
+            last_spawn: SimTime::ZERO,
+            tracked_sessions: 0,
+            requests_served: Counter::new(),
+            spawn_events: Vec::new(),
+            config,
+            log_pending: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> WebConfig {
+        self.config
+    }
+
+    /// Current worker count.
+    pub fn workers(&self) -> u32 {
+        self.workers
+    }
+
+    /// Workers currently processing a request.
+    pub fn busy(&self) -> u32 {
+        self.busy
+    }
+
+    /// Requests waiting for a free worker.
+    pub fn queued(&self) -> u32 {
+        self.queued
+    }
+
+    /// A request arrived; returns `true` if a worker is free to start it
+    /// immediately, otherwise it is queued and the caller must retry via
+    /// [`WebAppServer::try_dequeue`] after a finish.
+    pub fn on_arrival(&mut self) -> bool {
+        if self.busy < self.workers {
+            self.busy += 1;
+            true
+        } else {
+            self.queued += 1;
+            false
+        }
+    }
+
+    /// A request finished; frees its worker.
+    pub fn on_finish(&mut self) {
+        assert!(self.busy > 0, "finish without a busy worker");
+        self.busy -= 1;
+        self.requests_served.add(1);
+        self.log_pending += self.config.log_bytes_per_request;
+    }
+
+    /// After a finish, start one queued request if possible. Returns
+    /// `true` when a queued request was assigned a worker.
+    pub fn try_dequeue(&mut self) -> bool {
+        if self.queued > 0 && self.busy < self.workers {
+            self.queued -= 1;
+            self.busy += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Periodic pool management (call every second or so): spawn a batch
+    /// when the backlog justifies it. Prefork never shrinks here —
+    /// `MaxSpareServers` in the paper-era default config is generous and
+    /// the run is short. Returns the number of workers spawned.
+    pub fn manage_pool(&mut self, now: SimTime) -> u32 {
+        let threshold = (self.workers as f64 * self.config.spawn_backlog_ratio).max(4.0);
+        let cooled = now.duration_since(self.last_spawn) >= self.config.spawn_cooldown
+            || self.last_spawn == SimTime::ZERO;
+        if self.workers < self.config.max_workers
+            && cooled
+            && (f64::from(self.queued) >= threshold
+                || self.busy == self.workers)
+        {
+            let spawn = self
+                .config
+                .spawn_batch
+                .min(self.config.max_workers - self.workers);
+            self.workers += spawn;
+            self.last_spawn = now;
+            self.spawn_events.push((now, spawn));
+            spawn
+        } else {
+            0
+        }
+    }
+
+    /// CPU cycles for connection handling + response marshalling of one
+    /// request (added to the PHP script cost).
+    pub fn connection_cycles(&self, response_bytes: u64) -> f64 {
+        self.config.conn_cycles + self.config.cycles_per_resp_byte * response_bytes as f64
+    }
+
+    /// The PHP session-file write each dynamic request performs.
+    pub fn session_write(&self) -> IoRequest {
+        IoRequest {
+            kind: IoKind::Write,
+            bytes: self.config.session_write_bytes,
+            sequential: false,
+        }
+    }
+
+    /// Flush buffered access-log bytes (Apache writes through the page
+    /// cache; we batch per tick). Returns the write, if any.
+    pub fn flush_log(&mut self) -> Option<IoRequest> {
+        if self.log_pending == 0 {
+            return None;
+        }
+        let bytes = self.log_pending;
+        self.log_pending = 0;
+        Some(IoRequest {
+            kind: IoKind::Write,
+            bytes,
+            sequential: true,
+        })
+    }
+
+    /// Resident memory of the whole tier process tree.
+    pub fn memory_bytes(&self) -> u64 {
+        self.config.base_memory
+            + u64::from(self.workers) * self.config.worker_memory
+            + u64::from(self.busy) * self.config.request_buffer
+            + u64::from(self.tracked_sessions) * self.config.session_memory
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_assignment_and_queueing() {
+        let mut w = WebAppServer::new(WebConfig {
+            start_workers: 2,
+            ..WebConfig::default()
+        });
+        assert!(w.on_arrival());
+        assert!(w.on_arrival());
+        assert!(!w.on_arrival()); // queued
+        assert_eq!(w.busy(), 2);
+        assert_eq!(w.queued(), 1);
+        w.on_finish();
+        assert!(w.try_dequeue());
+        assert_eq!(w.busy(), 2);
+        assert_eq!(w.queued(), 0);
+        assert!(!w.try_dequeue());
+    }
+
+    #[test]
+    #[should_panic(expected = "finish without a busy worker")]
+    fn finish_without_busy_panics() {
+        let mut w = WebAppServer::new(WebConfig::default());
+        w.on_finish();
+    }
+
+    #[test]
+    fn pool_spawns_on_backlog_and_respects_cooldown() {
+        let cfg = WebConfig {
+            start_workers: 8,
+            spawn_batch: 8,
+            max_workers: 32,
+            spawn_cooldown: SimDuration::from_secs(20),
+            ..WebConfig::default()
+        };
+        let mut w = WebAppServer::new(cfg);
+        for _ in 0..8 {
+            assert!(w.on_arrival());
+        }
+        for _ in 0..10 {
+            w.on_arrival(); // all queued
+        }
+        let t1 = SimTime::from_secs(5);
+        assert_eq!(w.manage_pool(t1), 8);
+        assert_eq!(w.workers(), 16);
+        // Cooldown: immediate second call does nothing.
+        assert_eq!(w.manage_pool(t1 + SimDuration::from_secs(1)), 0);
+        // After cooldown, spawns again while backlog persists.
+        assert_eq!(w.manage_pool(t1 + SimDuration::from_secs(25)), 8);
+        assert_eq!(w.spawn_events.len(), 2);
+    }
+
+    #[test]
+    fn pool_never_exceeds_max() {
+        let cfg = WebConfig {
+            start_workers: 8,
+            spawn_batch: 100,
+            max_workers: 20,
+            spawn_cooldown: SimDuration::ZERO,
+            ..WebConfig::default()
+        };
+        let mut w = WebAppServer::new(cfg);
+        for _ in 0..50 {
+            w.on_arrival();
+        }
+        w.manage_pool(SimTime::from_secs(1));
+        assert_eq!(w.workers(), 20);
+        w.manage_pool(SimTime::from_secs(2));
+        assert_eq!(w.workers(), 20);
+    }
+
+    #[test]
+    fn memory_steps_with_worker_spawns() {
+        let cfg = WebConfig {
+            start_workers: 8,
+            spawn_batch: 8,
+            spawn_cooldown: SimDuration::ZERO,
+            ..WebConfig::default()
+        };
+        let mut w = WebAppServer::new(cfg);
+        let m0 = w.memory_bytes();
+        for _ in 0..20 {
+            w.on_arrival();
+        }
+        w.manage_pool(SimTime::from_secs(1));
+        let m1 = w.memory_bytes();
+        // 8 new workers plus request buffers.
+        assert!(m1 > m0 + 8 * cfg.worker_memory);
+    }
+
+    #[test]
+    fn log_batches_and_flushes() {
+        let mut w = WebAppServer::new(WebConfig::default());
+        assert!(w.flush_log().is_none());
+        w.on_arrival();
+        w.on_finish();
+        w.on_arrival();
+        w.on_finish();
+        let io = w.flush_log().unwrap();
+        assert_eq!(io.bytes, 720);
+        assert!(io.sequential);
+        assert!(w.flush_log().is_none());
+    }
+
+    #[test]
+    fn connection_cycles_scale_with_response() {
+        let w = WebAppServer::new(WebConfig::default());
+        assert!(w.connection_cycles(20_000) > w.connection_cycles(1_000));
+        assert!(w.connection_cycles(0) >= 80_000.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Property-based tests for the RUBiS application model.
+
+use cloudchar_rubis::db::{Database, MySqlConfig, MySqlServer, Query};
+use cloudchar_rubis::schema::{DbScale, ItemId, RegionId, UserId};
+use cloudchar_rubis::storage::{BufferPool, PageRef, QueryCache, TableId, PAGE_BYTES};
+use cloudchar_rubis::transition::{Mix, NextAction, TransitionTable};
+use cloudchar_rubis::ClientPopulation;
+use cloudchar_rubis::WorkloadMix;
+use cloudchar_simcore::SimRng;
+use proptest::prelude::*;
+
+fn arbitrary_query(seed: (u8, u32, u32, u16)) -> Query {
+    let (kind, a, b, c) = seed;
+    match kind % 14 {
+        0 => Query::SelectCategories,
+        1 => Query::SelectRegions,
+        2 => Query::SearchItemsByCategory {
+            category: cloudchar_rubis::schema::CategoryId(c % 5),
+            page: b % 6,
+        },
+        3 => Query::SearchItemsByRegion {
+            category: cloudchar_rubis::schema::CategoryId(c % 5),
+            region: RegionId(c % 4),
+            page: b % 4,
+        },
+        4 => Query::GetItem { item: ItemId(a) },
+        5 => Query::GetUserInfo { user: UserId(a) },
+        6 => Query::GetBidHistory { item: ItemId(a) },
+        7 => Query::GetMaxBid { item: ItemId(a) },
+        8 => Query::AuthUser { user: UserId(a) },
+        9 => Query::AboutMe { user: UserId(a) },
+        10 => Query::RegisterUser { region: RegionId(c % 4) },
+        11 => Query::StoreBid {
+            user: UserId(a),
+            item: ItemId(b),
+            increment: i64::from(c % 500) + 1,
+        },
+        12 => Query::StoreComment {
+            from: UserId(a),
+            to: UserId(b),
+            item: ItemId(a ^ b),
+        },
+        _ => Query::StoreBuyNow {
+            buyer: UserId(a),
+            item: ItemId(b),
+        },
+    }
+}
+
+proptest! {
+    /// Buffer pool never exceeds capacity and accounts every access.
+    #[test]
+    fn buffer_pool_invariants(
+        accesses in proptest::collection::vec((0u64..64, any::<bool>()), 1..500),
+        cap_pages in 1u64..16,
+    ) {
+        let mut bp = BufferPool::new(cap_pages * PAGE_BYTES);
+        for &(page, write) in &accesses {
+            bp.access(PageRef { table: TableId::Items, page }, write);
+            prop_assert!(bp.resident_pages() <= cap_pages as usize);
+        }
+        let (h, m, d) = bp.stats();
+        prop_assert_eq!(h + m, accesses.len() as u64);
+        prop_assert!(d <= m);
+        prop_assert!(bp.hit_ratio() >= 0.0 && bp.hit_ratio() <= 1.0);
+        prop_assert_eq!(bp.resident_bytes(), bp.resident_pages() as u64 * PAGE_BYTES);
+    }
+
+    /// A resident page must hit on an immediate re-access.
+    #[test]
+    fn buffer_pool_immediate_reaccess_hits(
+        pages in proptest::collection::vec(0u64..32, 1..100),
+    ) {
+        let mut bp = BufferPool::new(8 * PAGE_BYTES);
+        for &page in &pages {
+            let p = PageRef { table: TableId::Bids, page };
+            bp.access(p, false);
+            let second = bp.access(p, false);
+            prop_assert_eq!(second, cloudchar_rubis::storage::Access::Hit);
+        }
+    }
+
+    /// Query-cache bytes never exceed capacity; invalidation always
+    /// clears affected entries.
+    #[test]
+    fn query_cache_invariants(
+        ops in proptest::collection::vec((0u64..40, 1u64..5_000, any::<bool>()), 1..300),
+        cap in 1_000u64..100_000,
+    ) {
+        let mut qc = QueryCache::new(cap);
+        for &(key, bytes, invalidate) in &ops {
+            if invalidate {
+                qc.invalidate(TableId::Items);
+                prop_assert_eq!(qc.lookup(key), None);
+            } else {
+                qc.insert(key, bytes, &[TableId::Items]);
+                if bytes <= cap {
+                    prop_assert_eq!(qc.lookup(key), Some(bytes));
+                }
+            }
+            prop_assert!(qc.used_bytes() <= cap);
+        }
+    }
+
+    /// Database invariants hold under arbitrary query sequences: bid
+    /// counters match, quantities never underflow, cardinalities only
+    /// grow.
+    #[test]
+    fn database_invariants_under_query_storm(
+        queries in proptest::collection::vec(any::<(u8, u32, u32, u16)>(), 1..150),
+    ) {
+        let mut rng = SimRng::new(9);
+        let db = Database::generate(DbScale::small(), &mut rng);
+        let mut server = MySqlServer::new(db, MySqlConfig::default());
+        let before = server.db.cardinalities();
+        let mut writes = 0u64;
+        for (i, seed) in queries.iter().enumerate() {
+            let q = arbitrary_query(*seed);
+            if q.is_write() {
+                writes += 1;
+            }
+            let work = server.execute(q, i as u32);
+            prop_assert!(work.cpu_cycles > 0.0);
+            prop_assert!(work.response_bytes > 0 || q.is_write());
+        }
+        let after = server.db.cardinalities();
+        for (b, a) in before.iter().zip(after.iter()) {
+            prop_assert!(a >= b, "cardinality shrank: {b} -> {a}");
+        }
+        prop_assert_eq!(server.queries_executed(), queries.len() as u64);
+        // Bid-count consistency: nb_bids sums to the bids table size.
+        let total_rows_grown: u64 = after.iter().sum::<u64>() - before.iter().sum::<u64>();
+        prop_assert!(total_rows_grown <= 2 * writes, "rows {total_rows_grown} writes {writes}");
+    }
+
+    /// The browsing table cannot reach a write state from any state in
+    /// any number of steps.
+    #[test]
+    fn browsing_never_writes(seed in any::<u64>(), steps in 1usize..2_000) {
+        let table = TransitionTable::browsing();
+        let mut rng = SimRng::new(seed);
+        let mut current = TransitionTable::entry();
+        let mut history = vec![current];
+        for _ in 0..steps {
+            prop_assert!(!current.is_write(), "write state {current:?} reached");
+            match table.next(current, &mut rng) {
+                NextAction::Goto(next) => {
+                    history.push(next);
+                    current = next;
+                }
+                NextAction::Back => {
+                    history.pop();
+                    current = *history.last().unwrap_or(&TransitionTable::entry());
+                }
+                NextAction::End => {
+                    current = TransitionTable::entry();
+                    history = vec![current];
+                }
+            }
+        }
+    }
+
+    /// Client populations keep sessions valid under arbitrary advance
+    /// sequences, and think times stay positive and bounded.
+    #[test]
+    fn client_population_robust(
+        seed in any::<u64>(),
+        n in 1u32..50,
+        advances in proptest::collection::vec(any::<u32>(), 1..300),
+    ) {
+        let mut rng = SimRng::new(seed);
+        let mut pop = ClientPopulation::new(n, WorkloadMix::percent_browsing(50), &mut rng);
+        for &a in &advances {
+            let id = a % n;
+            let next = pop.advance(id, &mut rng);
+            prop_assert!(cloudchar_rubis::Interaction::ALL.contains(&next));
+            let think = pop.think_time(id, &mut rng).as_secs_f64();
+            prop_assert!((0.0..=120.0).contains(&think));
+        }
+    }
+
+    /// Both mixes' transition rows stay valid distributions — guards
+    /// against future matrix edits breaking normalization.
+    #[test]
+    fn transition_tables_always_validate(_x in 0u8..1) {
+        for mix in [Mix::Browsing, Mix::Bidding] {
+            prop_assert!(TransitionTable::for_mix(mix).validate().is_ok());
+        }
+    }
+}

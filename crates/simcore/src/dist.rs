@@ -1,0 +1,309 @@
+//! Probability distributions used by workload and device models.
+//!
+//! All samplers draw from [`SimRng`] via inverse-CDF or classical exact
+//! transforms, so a given `(seed, distribution)` pair yields an identical
+//! sample path on every platform.
+
+use crate::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A sampleable distribution over non-negative reals.
+pub trait Sample {
+    /// Draw one value.
+    fn sample(&self, rng: &mut SimRng) -> f64;
+
+    /// Theoretical mean, if finite and known.
+    fn mean(&self) -> Option<f64>;
+}
+
+/// A serializable description of a distribution, the form used in
+/// experiment configuration files.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+#[allow(missing_docs)] // variant field meanings documented per variant
+pub enum Dist {
+    /// Always `value`.
+    Constant { value: f64 },
+    /// Uniform on `[lo, hi)`.
+    Uniform { lo: f64, hi: f64 },
+    /// Exponential with the given mean (`1/λ`).
+    Exponential { mean: f64 },
+    /// Erlang-`k` with the given overall mean.
+    Erlang { k: u32, mean: f64 },
+    /// Normal, truncated at zero.
+    Normal { mean: f64, std_dev: f64 },
+    /// Log-normal parameterized by the underlying normal's `mu`/`sigma`.
+    LogNormal { mu: f64, sigma: f64 },
+    /// Pareto (heavy-tailed) with scale `x_min > 0` and shape `alpha > 0`.
+    Pareto { x_min: f64, alpha: f64 },
+    /// Discrete empirical distribution over `(value, weight)` pairs.
+    Empirical { points: Vec<(f64, f64)> },
+}
+
+impl Dist {
+    /// Exponential helper, the most common case in the testbed
+    /// (think times, inter-arrivals).
+    pub fn exp(mean: f64) -> Dist {
+        Dist::Exponential { mean }
+    }
+
+    /// Constant helper.
+    pub fn constant(value: f64) -> Dist {
+        Dist::Constant { value }
+    }
+
+    /// Validate parameters, returning a human-readable error.
+    pub fn validate(&self) -> Result<(), String> {
+        fn nonneg(name: &str, v: f64) -> Result<(), String> {
+            if v.is_finite() && v >= 0.0 {
+                Ok(())
+            } else {
+                Err(format!("{name} must be finite and >= 0, got {v}"))
+            }
+        }
+        match self {
+            Dist::Constant { value } => nonneg("value", *value),
+            Dist::Uniform { lo, hi } => {
+                nonneg("lo", *lo)?;
+                if hi < lo {
+                    return Err(format!("uniform hi {hi} < lo {lo}"));
+                }
+                Ok(())
+            }
+            Dist::Exponential { mean } => nonneg("mean", *mean),
+            Dist::Erlang { k, mean } => {
+                if *k == 0 {
+                    return Err("erlang k must be >= 1".into());
+                }
+                nonneg("mean", *mean)
+            }
+            Dist::Normal { mean, std_dev } => {
+                nonneg("mean", *mean)?;
+                nonneg("std_dev", *std_dev)
+            }
+            Dist::LogNormal { mu, sigma } => {
+                if !mu.is_finite() {
+                    return Err("lognormal mu must be finite".into());
+                }
+                nonneg("sigma", *sigma)
+            }
+            Dist::Pareto { x_min, alpha } => {
+                if !(x_min.is_finite() && *x_min > 0.0) {
+                    return Err("pareto x_min must be > 0".into());
+                }
+                if !(alpha.is_finite() && *alpha > 0.0) {
+                    return Err("pareto alpha must be > 0".into());
+                }
+                Ok(())
+            }
+            Dist::Empirical { points } => {
+                if points.is_empty() {
+                    return Err("empirical distribution needs at least one point".into());
+                }
+                let total: f64 = points.iter().map(|(_, w)| *w).sum();
+                if !(total.is_finite() && total > 0.0) {
+                    return Err("empirical weights must sum to a positive number".into());
+                }
+                if points.iter().any(|(v, w)| !v.is_finite() || *w < 0.0) {
+                    return Err("empirical points must be finite with non-negative weights".into());
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Sample for Dist {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        match self {
+            Dist::Constant { value } => *value,
+            Dist::Uniform { lo, hi } => lo + (hi - lo) * rng.f64(),
+            Dist::Exponential { mean } => -mean * rng.f64_open().ln(),
+            Dist::Erlang { k, mean } => {
+                let per_stage = mean / f64::from(*k);
+                let mut total = 0.0;
+                for _ in 0..*k {
+                    total += -per_stage * rng.f64_open().ln();
+                }
+                total
+            }
+            Dist::Normal { mean, std_dev } => {
+                // Box-Muller; one draw discarded for statelessness.
+                let u1 = rng.f64_open();
+                let u2 = rng.f64();
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                (mean + std_dev * z).max(0.0)
+            }
+            Dist::LogNormal { mu, sigma } => {
+                let u1 = rng.f64_open();
+                let u2 = rng.f64();
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                (mu + sigma * z).exp()
+            }
+            Dist::Pareto { x_min, alpha } => x_min / rng.f64_open().powf(1.0 / alpha),
+            Dist::Empirical { points } => {
+                let total: f64 = points.iter().map(|(_, w)| *w).sum();
+                let mut target = rng.f64() * total;
+                for (v, w) in points {
+                    if target < *w {
+                        return *v;
+                    }
+                    target -= w;
+                }
+                points.last().map(|(v, _)| *v).unwrap_or(0.0)
+            }
+        }
+    }
+
+    fn mean(&self) -> Option<f64> {
+        match self {
+            Dist::Constant { value } => Some(*value),
+            Dist::Uniform { lo, hi } => Some(0.5 * (lo + hi)),
+            Dist::Exponential { mean } => Some(*mean),
+            Dist::Erlang { mean, .. } => Some(*mean),
+            Dist::Normal { mean, .. } => Some(*mean), // approximate: truncation ignored
+            Dist::LogNormal { mu, sigma } => Some((mu + sigma * sigma / 2.0).exp()),
+            Dist::Pareto { x_min, alpha } => {
+                if *alpha > 1.0 {
+                    Some(alpha * x_min / (alpha - 1.0))
+                } else {
+                    None
+                }
+            }
+            Dist::Empirical { points } => {
+                let total: f64 = points.iter().map(|(_, w)| *w).sum();
+                if total > 0.0 {
+                    Some(points.iter().map(|(v, w)| v * w).sum::<f64>() / total)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mean(d: &Dist, n: usize, seed: u64) -> f64 {
+        let mut rng = SimRng::new(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = Dist::constant(3.5);
+        let mut rng = SimRng::new(1);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 3.5);
+        }
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = Dist::exp(7.0);
+        let m = sample_mean(&d, 200_000, 42);
+        assert!((m - 7.0).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let d = Dist::Uniform { lo: 2.0, hi: 4.0 };
+        let mut rng = SimRng::new(2);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((2.0..4.0).contains(&x));
+        }
+        let m = sample_mean(&d, 100_000, 3);
+        assert!((m - 3.0).abs() < 0.02, "mean {m}");
+    }
+
+    #[test]
+    fn erlang_mean_and_lower_variance_than_exponential() {
+        let e = Dist::exp(10.0);
+        let g = Dist::Erlang { k: 4, mean: 10.0 };
+        let mut rng = SimRng::new(4);
+        let n = 100_000;
+        let (mut se, mut se2, mut sg, mut sg2) = (0.0, 0.0, 0.0, 0.0);
+        for _ in 0..n {
+            let x = e.sample(&mut rng);
+            let y = g.sample(&mut rng);
+            se += x;
+            se2 += x * x;
+            sg += y;
+            sg2 += y * y;
+        }
+        let nf = n as f64;
+        let var_e = se2 / nf - (se / nf).powi(2);
+        let var_g = sg2 / nf - (sg / nf).powi(2);
+        assert!((sg / nf - 10.0).abs() < 0.15);
+        assert!(var_g < var_e / 2.0, "erlang var {var_g} vs exp var {var_e}");
+    }
+
+    #[test]
+    fn normal_truncates_at_zero() {
+        let d = Dist::Normal { mean: 0.5, std_dev: 2.0 };
+        let mut rng = SimRng::new(5);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_mean_matches_formula() {
+        let d = Dist::LogNormal { mu: 1.0, sigma: 0.5 };
+        let m = sample_mean(&d, 300_000, 6);
+        let expect = (1.0f64 + 0.125).exp();
+        assert!((m - expect).abs() / expect < 0.02, "mean {m} expect {expect}");
+    }
+
+    #[test]
+    fn pareto_respects_x_min_and_mean() {
+        let d = Dist::Pareto { x_min: 1.0, alpha: 3.0 };
+        let mut rng = SimRng::new(7);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 1.0);
+        }
+        let m = sample_mean(&d, 300_000, 8);
+        assert!((m - 1.5).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn empirical_weights_respected() {
+        let d = Dist::Empirical { points: vec![(1.0, 1.0), (2.0, 3.0)] };
+        let mut rng = SimRng::new(9);
+        let n = 100_000;
+        let ones = (0..n).filter(|_| d.sample(&mut rng) == 1.0).count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn validate_catches_bad_params() {
+        assert!(Dist::Uniform { lo: 5.0, hi: 1.0 }.validate().is_err());
+        assert!(Dist::Erlang { k: 0, mean: 1.0 }.validate().is_err());
+        assert!(Dist::Pareto { x_min: 0.0, alpha: 1.0 }.validate().is_err());
+        assert!(Dist::Empirical { points: vec![] }.validate().is_err());
+        assert!(Dist::Exponential { mean: f64::NAN }.validate().is_err());
+        assert!(Dist::exp(7.0).validate().is_ok());
+    }
+
+    #[test]
+    fn mean_reports() {
+        assert_eq!(Dist::exp(7.0).mean(), Some(7.0));
+        assert_eq!(Dist::Pareto { x_min: 1.0, alpha: 0.5 }.mean(), None);
+        assert_eq!(
+            Dist::Empirical { points: vec![(2.0, 1.0), (4.0, 1.0)] }.mean(),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = Dist::Erlang { k: 3, mean: 2.5 };
+        let s = serde_json::to_string(&d).unwrap();
+        let back: Dist = serde_json::from_str(&s).unwrap();
+        assert_eq!(d, back);
+    }
+}

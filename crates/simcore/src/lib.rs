@@ -1,0 +1,51 @@
+//! # cloudchar-simcore
+//!
+//! Deterministic discrete-event simulation engine underpinning the
+//! `cloudchar` testbed — the reproduction of *"Characterizing Workload of
+//! Web Applications on Virtualized Servers"* (Wang et al.).
+//!
+//! The crate provides five building blocks:
+//!
+//! * [`time`] — integer-nanosecond simulated time ([`SimTime`],
+//!   [`SimDuration`]);
+//! * [`rng`] — seeded, named-stream random numbers ([`SimRng`]);
+//! * [`dist`] — the probability distributions workload and device models
+//!   draw from ([`Dist`]);
+//! * [`engine`] — the event queue and clock ([`Engine`]);
+//! * [`stats`] — streaming accumulators ([`Welford`], [`Counter`], …).
+//!
+//! Everything is deterministic: a `(seed, configuration)` pair fully
+//! determines a simulation run, which the higher layers rely on when
+//! comparing virtualized against non-virtualized deployments.
+//!
+//! ## Example
+//!
+//! ```
+//! use cloudchar_simcore::{Engine, SimDuration, SimTime};
+//!
+//! struct World { pings: u32 }
+//!
+//! let mut engine: Engine<World> = Engine::new();
+//! let mut world = World { pings: 0 };
+//! engine.schedule_periodic(SimTime::ZERO, SimDuration::from_secs(2), |_, w| {
+//!     w.pings += 1;
+//!     w.pings < 5
+//! });
+//! engine.run(&mut world);
+//! assert_eq!(world.pings, 5);
+//! assert_eq!(engine.now(), SimTime::from_secs(8));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod engine;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use dist::{Dist, Sample};
+pub use engine::{Engine, EventId};
+pub use rng::SimRng;
+pub use stats::{Counter, Ewma, LogHistogram, Welford};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,374 @@
+//! Streaming statistics accumulators used by device models and monitors.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford's online algorithm for mean and variance, plus min/max.
+///
+/// Numerically stable for long streams, O(1) per observation.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Welford {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample (unbiased) variance.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation (std-dev / mean); 0 when mean is 0.
+    pub fn cv(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.std_dev() / m
+        }
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merge another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Exponentially weighted moving average.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// `alpha` in `(0, 1]` is the weight of the newest observation.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        Ewma { alpha, value: None }
+    }
+
+    /// Record an observation and return the updated average.
+    pub fn push(&mut self, x: f64) -> f64 {
+        let v = match self.value {
+            None => x,
+            Some(prev) => prev + self.alpha * (x - prev),
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Current average, if any observation was recorded.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+/// Monotone counter with delta extraction, the shape of most sysstat
+/// sources (`/proc` counters are cumulative; sar reports per-interval
+/// deltas).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Counter {
+    total: u64,
+    last_read: u64,
+}
+
+impl Counter {
+    /// Fresh zeroed counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Add to the counter.
+    pub fn add(&mut self, n: u64) {
+        self.total = self.total.saturating_add(n);
+    }
+
+    /// Cumulative value.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Value accumulated since the previous `take_delta` call.
+    pub fn take_delta(&mut self) -> u64 {
+        let d = self.total - self.last_read;
+        self.last_read = self.total;
+        d
+    }
+
+    /// Peek at the delta without consuming it.
+    pub fn peek_delta(&self) -> u64 {
+        self.total - self.last_read
+    }
+}
+
+/// Fixed-boundary histogram with logarithmically spaced buckets,
+/// suitable for latency measurements spanning several decades.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// Upper bounds of each bucket (exclusive), ascending; final bucket
+    /// is unbounded.
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl LogHistogram {
+    /// Buckets spanning `[lo, hi]` with `per_decade` buckets per decade.
+    pub fn new(lo: f64, hi: f64, per_decade: usize) -> Self {
+        assert!(lo > 0.0 && hi > lo && per_decade > 0);
+        let mut bounds = Vec::new();
+        let step = 10f64.powf(1.0 / per_decade as f64);
+        let mut b = lo;
+        while b < hi * (1.0 + 1e-12) {
+            bounds.push(b);
+            b *= step;
+        }
+        let counts = vec![0; bounds.len() + 1];
+        LogHistogram {
+            bounds,
+            counts,
+            total: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, x: f64) {
+        let idx = self.bounds.partition_point(|&b| b <= x);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`; returns the upper bound of
+    /// the bucket containing the quantile. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Some(if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    *self.bounds.last().unwrap()
+                });
+            }
+        }
+        self.bounds.last().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.variance() - 4.0).abs() < 1e-12);
+        assert!((w.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(w.min(), Some(2.0));
+        assert_eq!(w.max(), Some(9.0));
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let mut w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.min(), None);
+        w.push(3.0);
+        assert_eq!(w.mean(), 3.0);
+        assert_eq!(w.variance(), 0.0);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 20.0).collect();
+        let mut all = Welford::new();
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for (i, &x) in xs.iter().enumerate() {
+            all.push(x);
+            if i % 2 == 0 {
+                a.push(x)
+            } else {
+                b.push(x)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welford_cv() {
+        let mut w = Welford::new();
+        for x in [1.0, 3.0] {
+            w.push(x);
+        }
+        assert!((w.cv() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_converges() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), None);
+        e.push(10.0);
+        assert_eq!(e.value(), Some(10.0));
+        for _ in 0..64 {
+            e.push(0.0);
+        }
+        assert!(e.value().unwrap() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0,1]")]
+    fn ewma_rejects_bad_alpha() {
+        let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    fn counter_deltas() {
+        let mut c = Counter::new();
+        c.add(10);
+        c.add(5);
+        assert_eq!(c.total(), 15);
+        assert_eq!(c.peek_delta(), 15);
+        assert_eq!(c.take_delta(), 15);
+        assert_eq!(c.take_delta(), 0);
+        c.add(7);
+        assert_eq!(c.take_delta(), 7);
+        assert_eq!(c.total(), 22);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = LogHistogram::new(1e-6, 10.0, 10);
+        for i in 1..=100 {
+            h.push(i as f64 * 0.001); // 1ms .. 100ms
+        }
+        assert_eq!(h.total(), 100);
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(p50 > 0.03 && p50 < 0.08, "p50 {p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 > 0.08, "p99 {p99}");
+        assert!(h.quantile(0.0).is_some());
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = LogHistogram::new(0.001, 1.0, 5);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_overflow_bucket() {
+        let mut h = LogHistogram::new(1.0, 10.0, 2);
+        h.push(1e9); // way past hi — lands in the unbounded final bucket
+        assert_eq!(h.total(), 1);
+        assert!(h.quantile(1.0).is_some());
+    }
+}

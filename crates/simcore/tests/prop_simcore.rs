@@ -1,0 +1,147 @@
+//! Property-based tests for the simulation core.
+
+use cloudchar_simcore::{Dist, Engine, Sample, SimDuration, SimRng, SimTime, Welford};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always execute in (time, insertion) order, regardless of
+    /// the order they were scheduled in.
+    #[test]
+    fn engine_executes_in_order(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        struct W { log: Vec<(u64, usize)> }
+        let mut engine: Engine<W> = Engine::new();
+        let mut world = W { log: Vec::new() };
+        for (i, &t) in times.iter().enumerate() {
+            engine.schedule_at(SimTime::from_nanos(t), move |e, w: &mut W| {
+                w.log.push((e.now().as_nanos(), i));
+            });
+        }
+        engine.run(&mut world);
+        prop_assert_eq!(world.log.len(), times.len());
+        // Times non-decreasing; ties broken by insertion index.
+        for pair in world.log.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0);
+            if pair[0].0 == pair[1].0 {
+                prop_assert!(pair[0].1 < pair[1].1);
+            }
+        }
+    }
+
+    /// Splitting a run at an arbitrary deadline never changes the result.
+    #[test]
+    fn engine_run_until_split_invariant(
+        times in proptest::collection::vec(0u64..1_000_000, 1..100),
+        split in 0u64..1_000_000,
+    ) {
+        struct W { log: Vec<u64> }
+        fn build(times: &[u64]) -> (Engine<W>, W) {
+            let mut engine: Engine<W> = Engine::new();
+            for &t in times {
+                engine.schedule_at(SimTime::from_nanos(t), move |e, w: &mut W| {
+                    w.log.push(e.now().as_nanos());
+                });
+            }
+            (engine, W { log: Vec::new() })
+        }
+        let (mut e1, mut w1) = build(&times);
+        e1.run(&mut w1);
+        let (mut e2, mut w2) = build(&times);
+        e2.run_until(&mut w2, SimTime::from_nanos(split));
+        e2.run(&mut w2);
+        prop_assert_eq!(w1.log, w2.log);
+    }
+
+    /// All distributions produce finite, non-negative samples (except
+    /// lognormal which is positive but may be large).
+    #[test]
+    fn distributions_sample_sanely(seed in any::<u64>(), mean in 0.001f64..1e6) {
+        let mut rng = SimRng::new(seed);
+        let dists = [
+            Dist::Constant { value: mean },
+            Dist::Uniform { lo: 0.0, hi: mean },
+            Dist::Exponential { mean },
+            Dist::Erlang { k: 4, mean },
+            Dist::Normal { mean, std_dev: mean / 3.0 },
+            Dist::Pareto { x_min: mean, alpha: 2.5 },
+        ];
+        for d in &dists {
+            prop_assert!(d.validate().is_ok());
+            for _ in 0..50 {
+                let x = d.sample(&mut rng);
+                prop_assert!(x.is_finite() && x >= 0.0, "{d:?} gave {x}");
+            }
+        }
+    }
+
+    /// Same seed, same stream — for any distribution.
+    #[test]
+    fn sampling_is_deterministic(seed in any::<u64>(), mean in 0.01f64..100.0) {
+        let d = Dist::Erlang { k: 3, mean };
+        let mut a = SimRng::new(seed);
+        let mut b = SimRng::new(seed);
+        for _ in 0..100 {
+            prop_assert_eq!(d.sample(&mut a), d.sample(&mut b));
+        }
+    }
+
+    /// `below(n)` stays in range for arbitrary bounds.
+    #[test]
+    fn rng_below_in_range(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+
+    /// Welford merge is equivalent to sequential accumulation for any
+    /// split point.
+    #[test]
+    fn welford_merge_associative(
+        xs in proptest::collection::vec(-1e6f64..1e6, 2..200),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = ((xs.len() as f64 * split_frac) as usize).min(xs.len());
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        for &x in &xs[..split] {
+            left.push(x);
+        }
+        for &x in &xs[split..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!(
+            (left.variance() - whole.variance()).abs()
+                < 1e-5 * (1.0 + whole.variance().abs())
+        );
+    }
+
+    /// Time arithmetic round-trips and never goes negative.
+    #[test]
+    fn time_arithmetic(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_nanos(a);
+        let d = SimDuration::from_nanos(b);
+        let t2 = t + d;
+        prop_assert_eq!(t2 - t, d);
+        prop_assert_eq!(t2.duration_since(t).as_nanos(), b);
+        prop_assert_eq!(t.duration_since(t2), SimDuration::ZERO);
+    }
+
+    /// Named substreams are independent of derivation order.
+    #[test]
+    fn derive_order_independent(seed in any::<u64>()) {
+        let root = SimRng::new(seed);
+        let mut a1 = root.derive("alpha");
+        let _b = root.derive("beta");
+        let mut a2 = root.derive("alpha");
+        for _ in 0..20 {
+            prop_assert_eq!(a1.next_u64_raw(), a2.next_u64_raw());
+        }
+    }
+}

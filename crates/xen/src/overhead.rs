@@ -1,0 +1,202 @@
+//! Virtualization overhead model.
+//!
+//! Xen's paravirtualized I/O funnels every guest disk request and network
+//! packet through dom0's backend drivers, each crossing costing dom0 CPU
+//! cycles (grant copies, event channels, bridge processing) and, for
+//! block I/O, extra physical disk traffic (image-file metadata, journal
+//! writes). The guest additionally observes *inflated* CPU accounting:
+//! sysstat inside a Xen 3.1 guest attributes stolen/scheduling time to
+//! the running task, so per-sample "CPU cycles" inside the VM
+//! substantially exceed the physical core time the VM received — the
+//! paper's Figure 1 (VM panels ~10⁹ cycles/2 s) versus its dom0 panel
+//! (~1.5×10⁸) and the non-virtualized Figure 5 (~3×10⁸) show exactly
+//! this gap.
+//!
+//! All constants live here so the ablation benches can switch individual
+//! mechanisms off and measure their contribution.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunable virtualization cost parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverheadModel {
+    /// Multiplier on guest application CPU demand (hypercall/PV driver
+    /// overhead executed *inside* the guest): demand ×= this.
+    pub guest_cpu_inflation: f64,
+    /// Multiplier applied to the guest's *reported* (virtualized) cycle
+    /// accounting on top of cycles actually executed. Models the
+    /// steal-time misattribution of in-guest sysstat under Xen 3.1.
+    pub guest_cycle_accounting_scale: f64,
+    /// Additional *reported* guest cycles per byte of vif traffic —
+    /// interrupt-driven clock misaccounting, which hits the
+    /// network-heavy web VM far harder than the DB VM (the gap between
+    /// the paper's Figure 1 VM panels and its Figure 5 PM panels).
+    pub guest_accounting_cycles_per_vif_byte: f64,
+    /// Dom0 backend cycles per disk request (blkback + event channel).
+    pub dom0_cycles_per_disk_req: f64,
+    /// Dom0 grant-copy cycles per disk byte.
+    pub dom0_cycles_per_disk_byte: f64,
+    /// Dom0 backend cycles per network packet (netback + bridge).
+    pub dom0_cycles_per_packet: f64,
+    /// Dom0 copy cycles per network byte.
+    pub dom0_cycles_per_net_byte: f64,
+    /// Physical-disk byte amplification for guest reads (image-file
+    /// metadata, readahead beyond the guest request).
+    pub disk_read_amplification: f64,
+    /// Physical-disk byte amplification for guest writes (journal,
+    /// image-file metadata).
+    pub disk_write_amplification: f64,
+    /// Probability a guest read is satisfied by dom0's page cache
+    /// without touching the physical disk.
+    pub dom0_read_cache_hit: f64,
+    /// Hypervisor housekeeping cycles per second (timer, scheduler).
+    pub hypervisor_cycles_per_sec: f64,
+    /// Extra hypervisor cycles per second per running domain.
+    pub hypervisor_cycles_per_sec_per_dom: f64,
+    /// Dom0 housekeeping cycles per second (xenstored, qemu-dm, kernel).
+    pub dom0_cycles_per_sec: f64,
+    /// Dom0's own disk writes per second (xenstored journal, syslog).
+    pub dom0_log_bytes_per_sec: f64,
+    /// Event-channel notification latency (seconds) added to each I/O
+    /// completion crossing dom0.
+    pub event_channel_latency_s: f64,
+    /// Software-bridge latency (seconds) for inter-VM packets.
+    pub bridge_latency_s: f64,
+}
+
+impl Default for OverheadModel {
+    fn default() -> Self {
+        OverheadModel {
+            guest_cpu_inflation: 1.15,
+            guest_cycle_accounting_scale: 3.3,
+            guest_accounting_cycles_per_vif_byte: 130.0,
+            dom0_cycles_per_disk_req: 120_000.0,
+            dom0_cycles_per_disk_byte: 0.40,
+            dom0_cycles_per_packet: 1_500.0,
+            dom0_cycles_per_net_byte: 0.25,
+            disk_read_amplification: 1.60,
+            disk_write_amplification: 2.00,
+            dom0_read_cache_hit: 0.30,
+            hypervisor_cycles_per_sec: 8.0e6,
+            hypervisor_cycles_per_sec_per_dom: 2.0e6,
+            dom0_cycles_per_sec: 8.0e6,
+            dom0_log_bytes_per_sec: 30_000.0,
+            event_channel_latency_s: 50e-6,
+            bridge_latency_s: 30e-6,
+        }
+    }
+}
+
+impl OverheadModel {
+    /// A model with every virtualization cost disabled — guests behave
+    /// as if running on bare metal. Used by ablation benches.
+    pub fn zero() -> Self {
+        OverheadModel {
+            guest_cpu_inflation: 1.0,
+            guest_cycle_accounting_scale: 1.0,
+            guest_accounting_cycles_per_vif_byte: 0.0,
+            dom0_cycles_per_disk_req: 0.0,
+            dom0_cycles_per_disk_byte: 0.0,
+            dom0_cycles_per_packet: 0.0,
+            dom0_cycles_per_net_byte: 0.0,
+            disk_read_amplification: 1.0,
+            disk_write_amplification: 1.0,
+            dom0_read_cache_hit: 0.0,
+            hypervisor_cycles_per_sec: 0.0,
+            hypervisor_cycles_per_sec_per_dom: 0.0,
+            dom0_cycles_per_sec: 0.0,
+            dom0_log_bytes_per_sec: 0.0,
+            event_channel_latency_s: 0.0,
+            bridge_latency_s: 0.0,
+        }
+    }
+
+    /// Dom0 CPU cost of one guest disk request of `bytes`.
+    pub fn disk_backend_cycles(&self, bytes: u64) -> f64 {
+        self.dom0_cycles_per_disk_req + self.dom0_cycles_per_disk_byte * bytes as f64
+    }
+
+    /// Dom0 CPU cost of moving `bytes` of network payload.
+    pub fn net_backend_cycles(&self, bytes: u64) -> f64 {
+        let packets = bytes.div_ceil(1448).max(1) as f64;
+        self.dom0_cycles_per_packet * packets + self.dom0_cycles_per_net_byte * bytes as f64
+    }
+
+    /// Sanity-check parameter ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        let checks: [(&str, f64, f64); 6] = [
+            ("guest_cpu_inflation", self.guest_cpu_inflation, 1.0),
+            (
+                "guest_cycle_accounting_scale",
+                self.guest_cycle_accounting_scale,
+                1.0,
+            ),
+            ("disk_read_amplification", self.disk_read_amplification, 1.0),
+            (
+                "disk_write_amplification",
+                self.disk_write_amplification,
+                1.0,
+            ),
+            ("dom0_read_cache_hit+1", self.dom0_read_cache_hit + 1.0, 1.0),
+            ("event_channel_latency_s+1", self.event_channel_latency_s + 1.0, 1.0),
+        ];
+        for (name, v, min) in checks {
+            if !(v.is_finite() && v >= min) {
+                return Err(format!("{name} must be finite and >= {min}, got {v}"));
+            }
+        }
+        if self.dom0_read_cache_hit > 1.0 {
+            return Err("dom0_read_cache_hit must be <= 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        OverheadModel::default().validate().unwrap();
+        OverheadModel::zero().validate().unwrap();
+    }
+
+    #[test]
+    fn disk_backend_cost_scales_with_bytes() {
+        let m = OverheadModel::default();
+        let small = m.disk_backend_cycles(512);
+        let big = m.disk_backend_cycles(1024 * 1024);
+        assert!(big > small);
+        assert!(small >= m.dom0_cycles_per_disk_req);
+    }
+
+    #[test]
+    fn net_backend_cost_counts_packets() {
+        let m = OverheadModel::default();
+        let one = m.net_backend_cycles(100);
+        let three = m.net_backend_cycles(3 * 1448);
+        assert!(three > 2.0 * one);
+    }
+
+    #[test]
+    fn zero_model_is_free() {
+        let m = OverheadModel::zero();
+        assert_eq!(m.disk_backend_cycles(1_000_000), 0.0);
+        assert_eq!(m.net_backend_cycles(1_000_000), 0.0);
+    }
+
+    #[test]
+    fn validate_rejects_sub_unity_amplification() {
+        let m = OverheadModel {
+            disk_write_amplification: 0.5,
+            ..OverheadModel::default()
+        };
+        assert!(m.validate().is_err());
+        let m2 = OverheadModel {
+            dom0_read_cache_hit: 1.5,
+            ..OverheadModel::default()
+        };
+        assert!(m2.validate().is_err());
+    }
+}

@@ -1,0 +1,372 @@
+//! The Xen credit scheduler (fluid approximation).
+//!
+//! Xen 3.x's default scheduler gives each domain *credits* in proportion
+//! to its weight every accounting period (30 ms), debits credits as
+//! VCPUs consume physical CPU, and schedules VCPUs with positive credits
+//! (**UNDER**) ahead of those that have overdrawn (**OVER**). A domain
+//! may also carry a *cap*, an upper bound on CPU consumption expressed
+//! as a percentage of one physical CPU.
+//!
+//! Our model allocates physical core-time per scheduling quantum with a
+//! two-class weighted max-min (water-filling) share: UNDER domains are
+//! served first in proportion to weight, then OVER domains share the
+//! remainder. Credits are refilled continuously (scaled by quantum
+//! length) and clamped to one period's worth, matching Xen's cap on
+//! credit accumulation.
+
+use crate::domain::DomId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-domain scheduling parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedParams {
+    /// Proportional-share weight (Xen default 256).
+    pub weight: u32,
+    /// Cap in percent of one physical CPU (`None` = uncapped).
+    pub cap_percent: Option<u32>,
+    /// Number of VCPUs (a domain can never exceed `vcpus` core-seconds
+    /// per second).
+    pub vcpus: u32,
+}
+
+/// A domain's CPU demand for one quantum, in core-seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Demand {
+    /// Which domain.
+    pub dom: DomId,
+    /// Core-seconds of runnable work this quantum.
+    pub core_secs: f64,
+}
+
+/// An allocation decision for one quantum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Allocation {
+    /// Which domain.
+    pub dom: DomId,
+    /// Core-seconds granted.
+    pub core_secs: f64,
+    /// Core-seconds of unmet demand (runnable but not run → steal time).
+    pub starved_core_secs: f64,
+}
+
+#[derive(Debug, Clone)]
+struct DomState {
+    params: SchedParams,
+    credits: f64,
+}
+
+/// The credit scheduler.
+#[derive(Debug, Clone)]
+pub struct CreditScheduler {
+    physical_cores: u32,
+    doms: BTreeMap<DomId, DomState>,
+    /// Credit period in seconds (Xen: 30 ms).
+    period_secs: f64,
+}
+
+impl CreditScheduler {
+    /// A scheduler for a host with `physical_cores` cores.
+    pub fn new(physical_cores: u32) -> Self {
+        assert!(physical_cores > 0);
+        CreditScheduler {
+            physical_cores,
+            doms: BTreeMap::new(),
+            period_secs: 0.030,
+        }
+    }
+
+    /// Register a domain.
+    pub fn add_domain(&mut self, dom: DomId, params: SchedParams) {
+        assert!(params.weight > 0, "weight must be positive");
+        assert!(params.vcpus > 0, "vcpus must be positive");
+        self.doms.insert(
+            dom,
+            DomState {
+                params,
+                credits: 0.0,
+            },
+        );
+    }
+
+    /// Remove a domain (e.g. VM destroyed).
+    pub fn remove_domain(&mut self, dom: DomId) {
+        self.doms.remove(&dom);
+    }
+
+    /// Registered domains, in id order.
+    pub fn domains(&self) -> impl Iterator<Item = DomId> + '_ {
+        self.doms.keys().copied()
+    }
+
+    /// Current credit balance of a domain (core-seconds).
+    pub fn credits(&self, dom: DomId) -> Option<f64> {
+        self.doms.get(&dom).map(|d| d.credits)
+    }
+
+    /// Allocate physical core-time for one quantum of length `dt_secs`.
+    ///
+    /// `demands` lists runnable domains with their core-second demands;
+    /// domains not listed are idle. Returns one [`Allocation`] per
+    /// demanding domain (same order). Idle capacity is simply unused.
+    pub fn allocate(&mut self, dt_secs: f64, demands: &[Demand]) -> Vec<Allocation> {
+        assert!(dt_secs > 0.0 && dt_secs.is_finite());
+        // 1. Refill credits in proportion to weight, scaled to quantum
+        //    length; clamp to ±1 period of full-machine capacity.
+        let capacity = self.physical_cores as f64 * dt_secs;
+        let total_weight: f64 = self
+            .doms
+            .values()
+            .map(|d| f64::from(d.params.weight))
+            .sum();
+        if total_weight > 0.0 {
+            let clamp = self.physical_cores as f64 * self.period_secs;
+            for st in self.doms.values_mut() {
+                st.credits += capacity * f64::from(st.params.weight) / total_weight;
+                st.credits = st.credits.clamp(-clamp, clamp);
+            }
+        }
+
+        // 2. Effective per-domain ceiling: demand ∧ vcpus·dt ∧ cap·dt.
+        let mut ceilings: Vec<(DomId, f64)> = demands
+            .iter()
+            .map(|d| {
+                let st = self
+                    .doms
+                    .get(&d.dom)
+                    .unwrap_or_else(|| panic!("unregistered domain {:?}", d.dom));
+                let mut ceil = d.core_secs.max(0.0);
+                ceil = ceil.min(f64::from(st.params.vcpus) * dt_secs);
+                if let Some(cap) = st.params.cap_percent {
+                    ceil = ceil.min(f64::from(cap) / 100.0 * dt_secs);
+                }
+                (d.dom, ceil)
+            })
+            .collect();
+
+        // 3. Two-class weighted water-filling.
+        let mut granted: BTreeMap<DomId, f64> = ceilings.iter().map(|(d, _)| (*d, 0.0)).collect();
+        let mut remaining = capacity;
+        for under_class in [true, false] {
+            if remaining <= 1e-15 {
+                break;
+            }
+            let mut class: Vec<&mut (DomId, f64)> = ceilings
+                .iter_mut()
+                .filter(|(d, ceil)| {
+                    *ceil > 1e-15 && (self.doms[d].credits >= 0.0) == under_class
+                })
+                .collect();
+            // Water-fill within the class.
+            while !class.is_empty() && remaining > 1e-15 {
+                let wsum: f64 = class
+                    .iter()
+                    .map(|(d, _)| f64::from(self.doms[d].params.weight))
+                    .sum();
+                // Find domains whose fair share covers their ceiling.
+                let mut saturated = false;
+                class.retain_mut(|entry| {
+                    let (d, ceil) = (entry.0, entry.1);
+                    let share = remaining * f64::from(self.doms[&d].params.weight) / wsum;
+                    if share >= ceil {
+                        *granted.get_mut(&d).unwrap() += ceil;
+                        entry.1 = 0.0;
+                        saturated = true;
+                        false
+                    } else {
+                        true
+                    }
+                });
+                // Deduct what saturated domains took.
+                let taken: f64 = granted.values().sum::<f64>();
+                remaining = capacity - taken;
+                if !saturated {
+                    // No one saturates: give proportional shares and stop.
+                    let wsum: f64 = class
+                        .iter()
+                        .map(|(d, _)| f64::from(self.doms[d].params.weight))
+                        .sum();
+                    for entry in &mut class {
+                        let share = remaining * f64::from(self.doms[&entry.0].params.weight) / wsum;
+                        *granted.get_mut(&entry.0).unwrap() += share;
+                        entry.1 -= share;
+                    }
+                    remaining = 0.0;
+                    break;
+                }
+            }
+        }
+
+        // 4. Debit credits and produce allocations.
+        demands
+            .iter()
+            .map(|d| {
+                let got = granted.get(&d.dom).copied().unwrap_or(0.0);
+                let st = self.doms.get_mut(&d.dom).unwrap();
+                st.credits -= got;
+                Allocation {
+                    dom: d.dom,
+                    core_secs: got,
+                    starved_core_secs: (d.core_secs.max(0.0) - got).max(0.0),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched(cores: u32, doms: &[(u32, u32, Option<u32>, u32)]) -> CreditScheduler {
+        // (id, weight, cap, vcpus)
+        let mut s = CreditScheduler::new(cores);
+        for &(id, weight, cap_percent, vcpus) in doms {
+            s.add_domain(
+                DomId(id),
+                SchedParams {
+                    weight,
+                    cap_percent,
+                    vcpus,
+                },
+            );
+        }
+        s
+    }
+
+    fn demand(id: u32, cs: f64) -> Demand {
+        Demand {
+            dom: DomId(id),
+            core_secs: cs,
+        }
+    }
+
+    #[test]
+    fn single_domain_gets_its_demand() {
+        let mut s = sched(8, &[(1, 256, None, 2)]);
+        let a = s.allocate(0.01, &[demand(1, 0.015)]);
+        assert_eq!(a.len(), 1);
+        assert!((a[0].core_secs - 0.015).abs() < 1e-12);
+        assert_eq!(a[0].starved_core_secs, 0.0);
+    }
+
+    #[test]
+    fn vcpu_count_limits_allocation() {
+        let mut s = sched(8, &[(1, 256, None, 2)]);
+        // Demand 5 core-quanta but only 2 VCPUs → at most 2·dt.
+        let a = s.allocate(0.01, &[demand(1, 0.05)]);
+        assert!((a[0].core_secs - 0.02).abs() < 1e-12);
+        assert!((a[0].starved_core_secs - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cap_limits_allocation() {
+        let mut s = sched(8, &[(1, 256, Some(50), 2)]);
+        let a = s.allocate(0.01, &[demand(1, 0.02)]);
+        // 50% of one CPU → 0.005 core-seconds per 10 ms quantum.
+        assert!((a[0].core_secs - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_split_contended_capacity() {
+        // 1 core, two saturating domains with 2:1 weights.
+        let mut s = sched(1, &[(1, 512, None, 4), (2, 256, None, 4)]);
+        let mut got = [0.0, 0.0];
+        for _ in 0..300 {
+            let a = s.allocate(0.01, &[demand(1, 1.0), demand(2, 1.0)]);
+            got[0] += a[0].core_secs;
+            got[1] += a[1].core_secs;
+        }
+        let ratio = got[0] / got[1];
+        assert!((ratio - 2.0).abs() < 0.2, "ratio {ratio}");
+        // Work-conserving: total equals capacity.
+        let total = got[0] + got[1];
+        assert!((total - 3.0).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn work_conserving_when_one_domain_idle() {
+        let mut s = sched(2, &[(1, 256, None, 4), (2, 256, None, 4)]);
+        let a = s.allocate(0.01, &[demand(1, 0.02), demand(2, 0.0)]);
+        assert!((a[0].core_secs - 0.02).abs() < 1e-12);
+        assert_eq!(a[1].core_secs, 0.0);
+    }
+
+    #[test]
+    fn under_class_preempts_over_class() {
+        let mut s = sched(1, &[(1, 256, None, 1), (2, 256, None, 1)]);
+        // Let dom1 burn its credits while dom2 idles.
+        for _ in 0..100 {
+            s.allocate(0.01, &[demand(1, 1.0)]);
+        }
+        assert!(s.credits(DomId(1)).unwrap() < 0.0);
+        assert!(s.credits(DomId(2)).unwrap() >= 0.0);
+        // Now both demand; dom2 (UNDER) should win most of the quantum.
+        let a = s.allocate(0.01, &[demand(1, 1.0), demand(2, 0.008)]);
+        assert!((a[1].core_secs - 0.008).abs() < 1e-9, "dom2 {:?}", a[1]);
+        // dom1 (OVER) picks up the remainder (work conserving).
+        assert!(a[0].core_secs > 0.0);
+    }
+
+    #[test]
+    fn credits_clamped_to_one_period() {
+        let mut s = sched(4, &[(1, 256, None, 2)]);
+        for _ in 0..10_000 {
+            s.allocate(0.01, &[]); // idle: credits accrue but clamp
+        }
+        let c = s.credits(DomId(1)).unwrap();
+        assert!(c <= 4.0 * 0.030 + 1e-9, "credits {c}");
+    }
+
+    #[test]
+    fn conservation_never_over_allocates() {
+        let mut s = sched(2, &[(1, 100, None, 2), (2, 300, None, 2), (3, 600, Some(25), 1)]);
+        for step in 0..1000 {
+            let d = [
+                demand(1, 0.001 * (step % 30) as f64),
+                demand(2, 0.02),
+                demand(3, 0.01),
+            ];
+            let a = s.allocate(0.01, &d);
+            let total: f64 = a.iter().map(|x| x.core_secs).sum();
+            assert!(total <= 2.0 * 0.01 + 1e-9, "over-allocated {total}");
+            for (alloc, dem) in a.iter().zip(&d) {
+                assert!(alloc.core_secs <= dem.core_secs + 1e-9);
+                assert!(alloc.core_secs >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn removed_domain_is_gone() {
+        let mut s = sched(4, &[(1, 256, None, 2), (2, 256, None, 2)]);
+        assert_eq!(s.domains().count(), 2);
+        s.remove_domain(DomId(1));
+        assert_eq!(s.domains().count(), 1);
+        assert!(s.credits(DomId(1)).is_none());
+        // Remaining domain still schedulable.
+        let a = s.allocate(0.01, &[demand(2, 0.01)]);
+        assert!(a[0].core_secs > 0.0);
+    }
+
+    #[test]
+    fn zero_demand_allocates_zero() {
+        let mut s = sched(4, &[(1, 256, None, 2)]);
+        let a = s.allocate(0.01, &[demand(1, 0.0)]);
+        assert_eq!(a[0].core_secs, 0.0);
+        assert_eq!(a[0].starved_core_secs, 0.0);
+    }
+
+    #[test]
+    fn empty_demand_list_is_fine() {
+        let mut s = sched(4, &[(1, 256, None, 2)]);
+        assert!(s.allocate(0.01, &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered domain")]
+    fn unknown_domain_panics() {
+        let mut s = sched(1, &[]);
+        s.allocate(0.01, &[demand(9, 0.01)]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Property-based tests for the Xen substrate: scheduler conservation
+//! and hypervisor accounting invariants.
+
+use cloudchar_hw::{IoKind, IoRequest, ServerSpec, WorkToken};
+use cloudchar_simcore::{SimDuration, SimRng, SimTime};
+use cloudchar_xen::{
+    CreditScheduler, Demand, DomId, DomainConfig, Hypervisor, OverheadModel, SchedParams,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// The credit scheduler never over-allocates capacity, never gives a
+    /// domain more than its demand/vcpu/cap ceiling, and is
+    /// work-conserving when demand saturates the host.
+    #[test]
+    fn scheduler_conservation(
+        cores in 1u32..16,
+        doms in proptest::collection::vec(
+            (1u32..1024, proptest::option::of(1u32..200), 1u32..8),
+            1..6
+        ),
+        demand_scale in 0.0f64..4.0,
+        quanta in 1usize..60,
+    ) {
+        let mut sched = CreditScheduler::new(cores);
+        for (i, &(weight, cap, vcpus)) in doms.iter().enumerate() {
+            sched.add_domain(
+                DomId(i as u32),
+                SchedParams { weight, cap_percent: cap, vcpus },
+            );
+        }
+        let dt = 0.01;
+        for step in 0..quanta {
+            let demands: Vec<Demand> = doms
+                .iter()
+                .enumerate()
+                .map(|(i, _)| Demand {
+                    dom: DomId(i as u32),
+                    core_secs: demand_scale * dt * ((step + i) % 3) as f64,
+                })
+                .collect();
+            let allocs = sched.allocate(dt, &demands);
+            let capacity = f64::from(cores) * dt;
+            let total: f64 = allocs.iter().map(|a| a.core_secs).sum();
+            prop_assert!(total <= capacity + 1e-9, "over-allocated {total} > {capacity}");
+            for (a, d) in allocs.iter().zip(&demands) {
+                prop_assert!(a.core_secs >= 0.0);
+                prop_assert!(a.core_secs <= d.core_secs + 1e-9, "alloc beyond demand");
+                prop_assert!(a.starved_core_secs >= -1e-9);
+                let (_, cap, vcpus) = doms[usize::try_from(a.dom.0).unwrap()];
+                prop_assert!(a.core_secs <= f64::from(vcpus) * dt + 1e-9);
+                if let Some(cap) = cap {
+                    prop_assert!(a.core_secs <= f64::from(cap) / 100.0 * dt + 1e-9);
+                }
+                // Accounting identity: allocation + starvation = demand
+                // (within ceiling effects).
+                prop_assert!(a.core_secs + a.starved_core_secs >= d.core_secs - 1e-9);
+            }
+        }
+    }
+
+    /// Saturated uncapped domains share the full machine.
+    #[test]
+    fn scheduler_work_conserving_under_saturation(
+        cores in 1u32..8,
+        weights in proptest::collection::vec(1u32..512, 2..5),
+    ) {
+        let mut sched = CreditScheduler::new(cores);
+        for (i, &w) in weights.iter().enumerate() {
+            sched.add_domain(
+                DomId(i as u32),
+                SchedParams { weight: w, cap_percent: None, vcpus: 16 },
+            );
+        }
+        let dt = 0.01;
+        let demands: Vec<Demand> = (0..weights.len())
+            .map(|i| Demand { dom: DomId(i as u32), core_secs: 10.0 })
+            .collect();
+        // Skip the first quantum (credit bootstrap), then check.
+        sched.allocate(dt, &demands);
+        let allocs = sched.allocate(dt, &demands);
+        let total: f64 = allocs.iter().map(|a| a.core_secs).sum();
+        let capacity = f64::from(cores) * dt;
+        prop_assert!((total - capacity).abs() < 1e-9, "not work conserving: {total} vs {capacity}");
+    }
+
+    /// Hypervisor guest work conservation: cycles in == cycles executed,
+    /// and every submitted token eventually completes.
+    #[test]
+    fn hypervisor_completes_all_work(
+        jobs in proptest::collection::vec(1.0e3f64..5.0e7, 1..40),
+        seed in any::<u64>(),
+    ) {
+        let mut hv = Hypervisor::new(
+            ServerSpec::hp_proliant(),
+            2 * cloudchar_hw::GIB,
+            OverheadModel::default(),
+            SimRng::new(seed),
+        );
+        let dom = hv.create_domain(DomainConfig::paper_vm("t"));
+        for (i, &cycles) in jobs.iter().enumerate() {
+            hv.submit_guest_work(dom, WorkToken(i as u64), cycles);
+        }
+        let mut done = Vec::new();
+        for _ in 0..10_000 {
+            hv.quantum_tick(SimDuration::from_millis(10), &mut done);
+            if done.len() == jobs.len() {
+                break;
+            }
+        }
+        prop_assert_eq!(done.len(), jobs.len(), "not all jobs completed");
+        let mut tokens: Vec<u64> = done.iter().map(|c| c.token.0).collect();
+        tokens.sort_unstable();
+        let expect: Vec<u64> = (0..jobs.len() as u64).collect();
+        prop_assert_eq!(tokens, expect);
+    }
+
+    /// Disk I/O accounting: virtual bytes on the frontend, amplified
+    /// bytes on the physical disk, monotone completion times per kind.
+    #[test]
+    fn hypervisor_disk_accounting(
+        ios in proptest::collection::vec((any::<bool>(), 1u64..1_000_000), 1..50),
+        seed in any::<u64>(),
+    ) {
+        let overhead = OverheadModel { dom0_read_cache_hit: 0.0, ..OverheadModel::default() };
+        let mut hv = Hypervisor::new(
+            ServerSpec::hp_proliant(),
+            2 * cloudchar_hw::GIB,
+            overhead,
+            SimRng::new(seed),
+        );
+        let dom = hv.create_domain(DomainConfig::paper_vm("t"));
+        let mut virt_total = 0u64;
+        for &(read, bytes) in &ios {
+            let kind = if read { IoKind::Read } else { IoKind::Write };
+            let done = hv.guest_disk_io(
+                SimTime::ZERO,
+                dom,
+                IoRequest { kind, bytes, sequential: false },
+            );
+            prop_assert!(done > SimTime::ZERO);
+            virt_total += bytes;
+        }
+        let d = hv.domain(dom);
+        prop_assert_eq!(
+            d.vbd.bytes_read.total() + d.vbd.bytes_written.total(),
+            virt_total
+        );
+        let (pr, pw) = hv.host.disk.totals();
+        // Physical ≥ virtual for every mix of reads and writes (both
+        // amplifications ≥ 1, no cache hits configured).
+        prop_assert!(pr + pw >= virt_total, "physical {} < virtual {}", pr + pw, virt_total);
+    }
+
+    /// Network paths never lose bytes between vif counters.
+    #[test]
+    fn hypervisor_net_accounting(
+        transfers in proptest::collection::vec((0u8..3, 1u64..500_000), 1..60),
+    ) {
+        let mut hv = Hypervisor::new(
+            ServerSpec::hp_proliant(),
+            2 * cloudchar_hw::GIB,
+            OverheadModel::default(),
+            SimRng::new(1),
+        );
+        let a = hv.create_domain(DomainConfig::paper_vm("a"));
+        let b = hv.create_domain(DomainConfig::paper_vm("b"));
+        let (mut a_rx, mut a_tx, mut b_rx) = (0u64, 0u64, 0u64);
+        let (mut ext_rx, mut ext_tx) = (0u64, 0u64);
+        for &(kind, bytes) in &transfers {
+            match kind {
+                0 => {
+                    hv.guest_net_ingress(SimTime::ZERO, a, bytes);
+                    a_rx += bytes;
+                    ext_rx += bytes;
+                }
+                1 => {
+                    hv.guest_net_egress(SimTime::ZERO, a, bytes);
+                    a_tx += bytes;
+                    ext_tx += bytes;
+                }
+                _ => {
+                    hv.intervm_transfer(SimTime::ZERO, a, b, bytes);
+                    a_tx += bytes;
+                    b_rx += bytes;
+                }
+            }
+        }
+        prop_assert_eq!(hv.domain(a).vif.rx_bytes.total(), a_rx);
+        prop_assert_eq!(hv.domain(a).vif.tx_bytes.total(), a_tx);
+        prop_assert_eq!(hv.domain(b).vif.rx_bytes.total(), b_rx);
+        let (nr, nt) = hv.host.nic.totals();
+        prop_assert_eq!(nr, ext_rx);
+        prop_assert_eq!(nt, ext_tx);
+    }
+}

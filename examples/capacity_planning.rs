@@ -1,0 +1,46 @@
+//! Capacity planning: sweep the client population and watch where each
+//! deployment's web tier saturates — the paper's motivating use case
+//! ("guide the decision making to support applications with the right
+//! hardware").
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning
+//! ```
+
+use cloudchar_core::{run, Deployment, ExperimentConfig};
+use cloudchar_rubis::WorkloadMix;
+
+fn main() {
+    println!("clients | deployment      | resp ms (mean) | completed | req/s | dom0/host cpu %");
+    println!("--------+-----------------+----------------+-----------+-------+----------------");
+    for &clients in &[200u32, 600, 1200, 2000] {
+        for deployment in [Deployment::Virtualized, Deployment::NonVirtualized] {
+            let mut cfg = ExperimentConfig::paper(deployment, WorkloadMix::BIDDING);
+            cfg.clients = clients;
+            cfg.duration = cloudchar_simcore::SimDuration::from_secs(240);
+            cfg.seed = 7;
+            let duration_s = cfg.duration.as_secs_f64();
+            let r = run(cfg);
+            // Physical CPU view: dom0 for virt, web PM for non-virt.
+            let phys_host = r.hypervisor_host().unwrap_or_else(|| r.front_host());
+            let cpu = r.cpu_cycles(phys_host);
+            let capacity_per_sample = 8.0 * 2.8e9 * 2.0;
+            let cpu_pct = 100.0 * cpu.iter().sum::<f64>() / (cpu.len() as f64 * capacity_per_sample);
+            println!(
+                "{clients:>7} | {:<15} | {:>14.1} | {:>9} | {:>5.1} | {:>14.2}",
+                match deployment {
+                    Deployment::Virtualized => "virtualized",
+                    Deployment::NonVirtualized => "non-virtualized",
+                },
+                r.response_time_mean_s * 1e3,
+                r.completed,
+                r.completed as f64 / duration_s,
+                cpu_pct,
+            );
+        }
+    }
+    println!();
+    println!("Reading: response time inflates and req/s flattens once the");
+    println!("worker pool or the disk saturates; the virtualized rows carry");
+    println!("the dom0 I/O tax, so saturation arrives at fewer clients.");
+}

@@ -1,0 +1,58 @@
+//! MapReduce extension: the paper's future work, running a batch job on
+//! both deployments and characterizing it with the same monitors.
+//!
+//! ```sh
+//! cargo run --release --example mapreduce
+//! ```
+
+use cloudchar_core::{run_batch, BatchConfig, Deployment};
+use cloudchar_monitor::{catalog, Source};
+
+fn main() {
+    println!("wordcount: 4 GB input, 64 mappers, 8 reducers, 8 slots/host");
+    println!();
+    println!("deployment      | makespan | map phase | shuffle+reduce | virt overhead");
+    println!("----------------+----------+-----------+----------------+--------------");
+    let mut phys_makespan = None;
+    for deployment in [Deployment::NonVirtualized, Deployment::Virtualized] {
+        let r = run_batch(BatchConfig::wordcount(deployment));
+        let makespan = r.makespan_s.expect("job finished");
+        let map = r.map_phase_s.expect("maps finished");
+        let overhead = match phys_makespan {
+            None => {
+                phys_makespan = Some(makespan);
+                "(baseline)".to_string()
+            }
+            Some(base) => format!("{:+.1}%", 100.0 * (makespan - base) / base),
+        };
+        println!(
+            "{:<15} | {:>7.1}s | {:>8.1}s | {:>13.1}s | {overhead}",
+            match deployment {
+                Deployment::Virtualized => "virtualized",
+                Deployment::NonVirtualized => "non-virtualized",
+            },
+            makespan,
+            map,
+            makespan - map,
+        );
+    }
+
+    // Show the batch job through the paper's instrumentation.
+    let r = run_batch(BatchConfig::wordcount(Deployment::Virtualized));
+    let c = catalog();
+    let cycles = c.find("cycles", Source::PerfCounter).unwrap();
+    let util = |host: &str| {
+        r.store
+            .get(host, cycles)
+            .map(|s| 100.0 * s.mean() / (2.0 * 2.0 * 2.8e9))
+            .unwrap_or(0.0)
+    };
+    println!();
+    println!(
+        "virtualized run, reported VCPU demand (inflated guest accounting): \
+         mapper VM {:.0}%, reducer VM {:.0}%",
+        util("web-vm"),
+        util("mysql-vm")
+    );
+    println!("(batch saturates CPU in phases, unlike the interactive RUBiS profile)");
+}

@@ -1,0 +1,51 @@
+//! Quickstart: run one reduced-scale browsing experiment on the
+//! virtualized deployment and print the headline observables.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cloudchar_core::{q1_tier_lag, run, Deployment, ExperimentConfig};
+use cloudchar_rubis::WorkloadMix;
+
+fn main() {
+    // The paper's setup is `ExperimentConfig::paper(...)`: 1000 clients
+    // for 20 minutes. `fast` keeps the quickstart under a few seconds.
+    let cfg = ExperimentConfig::fast(Deployment::Virtualized, WorkloadMix::BROWSING);
+    println!(
+        "running {} clients, {:.0}s, browsing mix, virtualized…",
+        cfg.clients,
+        cfg.duration.as_secs_f64()
+    );
+    let result = run(cfg);
+
+    println!(
+        "completed {} requests (mean response {:.1} ms, max {:.1} ms, {} events)",
+        result.completed,
+        result.response_time_mean_s * 1e3,
+        result.response_time_max_s * 1e3,
+        result.events,
+    );
+
+    for host in &result.hosts {
+        let cpu = result.cpu_cycles(host);
+        let ram = result.ram_mb(host);
+        let disk = result.disk_kb(host);
+        let net = result.net_kb(host);
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        println!(
+            "{host:>9}: cpu {:>12.3e} cyc/2s | ram {:>7.1} MB | disk {:>8.1} KB/2s | net {:>8.1} KB/2s",
+            mean(&cpu),
+            mean(&ram),
+            mean(&disk),
+            mean(&net),
+        );
+    }
+
+    if let Some(lag) = q1_tier_lag(&result, 5) {
+        println!(
+            "web→db lag: {} samples (r = {:.2})",
+            lag.lag_samples, lag.correlation
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Formal workload modelling: fit distribution families, histogram
+//! models, periodicities and autocorrelation to the measured demand
+//! series — the paper's future-work "formal methods to model the
+//! workload dynamics", end to end.
+//!
+//! ```sh
+//! cargo run --release --example workload_fitting
+//! ```
+
+use cloudchar_analysis::{
+    autocorrelation, best_fit, dominant_periods, HistogramModel, Resource,
+};
+use cloudchar_core::{run, Deployment, ExperimentConfig};
+use cloudchar_rubis::WorkloadMix;
+
+fn main() {
+    let browse = run(ExperimentConfig::fast(Deployment::Virtualized, WorkloadMix::BROWSING));
+    let bid = run(ExperimentConfig::fast(Deployment::Virtualized, WorkloadMix::BIDDING));
+
+    println!("series                       best fit (KS)                         ac1   period");
+    println!("---------------------------- ------------------------------------- ----- -------");
+    for (label, r) in [("browse", &browse), ("bid", &bid)] {
+        for resource in Resource::ALL {
+            let xs = r.resource_series(resource, "web-vm");
+            let fit = best_fit(&xs)
+                .map(|f| format!("{:?} ({:.3})", f.dist, f.ks))
+                .unwrap_or_else(|| "—".into());
+            let fit = if fit.len() > 37 { format!("{}…", &fit[..36]) } else { fit };
+            let ac1 = autocorrelation(&xs, 1).unwrap_or(0.0);
+            let period = dominant_periods(&xs, 0.10, 1)
+                .first()
+                .map(|p| format!("{:.0}s", p.period_samples * 2.0))
+                .unwrap_or_else(|| "—".into());
+            let name = format!("web-vm {resource:?} ({label})");
+            println!("{name:<28} {fit:<37} {ac1:>5.2} {period:>7}");
+        }
+    }
+
+    // Histogram workload models: how different are the two mixes'
+    // network demand distributions?
+    let a = browse.resource_series(Resource::Net, "web-vm");
+    let b = bid.resource_series(Resource::Net, "web-vm");
+    let lo = a.iter().chain(&b).cloned().fold(f64::INFINITY, f64::min);
+    let hi = a.iter().chain(&b).cloned().fold(f64::NEG_INFINITY, f64::max);
+    // Common binning: clamp both into the same range.
+    let clamp = |xs: &[f64]| -> Vec<f64> {
+        let mut v = xs.to_vec();
+        v.push(lo);
+        v.push(hi);
+        v
+    };
+    let ha = HistogramModel::fit(&clamp(&a), 20).unwrap();
+    let hb = HistogramModel::fit(&clamp(&b), 20).unwrap();
+    println!();
+    println!(
+        "histogram workload models (net KB/2s): browse mean {:.0}, bid mean {:.0}, EMD {:.0} KB",
+        ha.mean(),
+        hb.mean(),
+        ha.emd(&hb).unwrap()
+    );
+    println!("The earth-mover distance quantifies how far apart the two mixes'");
+    println!("demand distributions sit — the formal version of \"different");
+    println!("shapes with different means and variances\" (§4.1).");
+}

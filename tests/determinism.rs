@@ -1,0 +1,94 @@
+//! Reproducibility integration tests: identical seeds must give
+//! bit-identical results across the whole stack; different seeds must
+//! diverge; results must be robust to seed choice.
+
+use cloudchar_core::{run, Deployment, ExperimentConfig, ExperimentResult};
+use cloudchar_monitor::{catalog, Source};
+use cloudchar_rubis::WorkloadMix;
+
+fn cfg(seed: u64) -> ExperimentConfig {
+    let mut c = ExperimentConfig::fast(Deployment::Virtualized, WorkloadMix::percent_browsing(50));
+    c.seed = seed;
+    c
+}
+
+/// Hash every sampled series of a result.
+fn fingerprint(r: &ExperimentResult) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let c = catalog();
+    for host in &r.hosts {
+        for id in c.ids() {
+            if let Some(s) = r.store.get(host, id) {
+                for &v in &s.values {
+                    h ^= v.to_bits();
+                    h = h.wrapping_mul(0x100_0000_01b3);
+                }
+            }
+        }
+    }
+    h
+}
+
+#[test]
+fn identical_seed_identical_everything() {
+    let a = run(cfg(1234));
+    let b = run(cfg(1234));
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.response_time_mean_s, b.response_time_mean_s);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn different_seed_different_fingerprint() {
+    let a = run(cfg(1));
+    let b = run(cfg(2));
+    assert_ne!(fingerprint(&a), fingerprint(&b));
+    // But the workload level should be comparable (same closed
+    // population): completions within 10%.
+    let ratio = a.completed as f64 / b.completed as f64;
+    assert!((0.9..1.1).contains(&ratio), "completions ratio {ratio}");
+}
+
+#[test]
+fn headline_findings_hold_across_seeds() {
+    // The paper's qualitative findings must not be a seed artifact.
+    for seed in [11, 22, 33] {
+        let mut vcfg = cfg(seed);
+        vcfg.mix = WorkloadMix::BROWSING;
+        let v = run(vcfg);
+        let web: f64 = v.cpu_cycles("web-vm").iter().sum();
+        let db: f64 = v.cpu_cycles("mysql-vm").iter().sum();
+        let dom0: f64 = v.cpu_cycles("dom0").iter().sum();
+        assert!(web > db, "seed {seed}: front-end must dominate");
+        assert!(web + db > dom0, "seed {seed}: VMs must exceed dom0 view");
+        let web_net: f64 = v.net_kb("web-vm").iter().sum();
+        let db_net: f64 = v.net_kb("mysql-vm").iter().sum();
+        assert!(web_net > 5.0 * db_net, "seed {seed}: net ratio");
+    }
+}
+
+#[test]
+fn deterministic_across_deployments_independently() {
+    // The physical run's determinism must not depend on the virt run
+    // having executed (no hidden global state).
+    let p1 = run(ExperimentConfig::fast(
+        Deployment::NonVirtualized,
+        WorkloadMix::BIDDING,
+    ));
+    let _side_effect = run(cfg(999));
+    let p2 = run(ExperimentConfig::fast(
+        Deployment::NonVirtualized,
+        WorkloadMix::BIDDING,
+    ));
+    assert_eq!(fingerprint(&p1), fingerprint(&p2));
+}
+
+#[test]
+fn catalog_is_global_and_stable() {
+    let c1 = catalog();
+    let c2 = catalog();
+    assert!(std::ptr::eq(c1, c2));
+    assert_eq!(c1.len(), 518);
+    assert_eq!(c1.by_source(Source::PerfCounter).len(), 154);
+}
