@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Local CI gate: formatting, build, tests, lint pass.
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo run -p cloudchar-lint -- --json"
+cargo run --release -p cloudchar-lint -- --json
+
+echo "==> ci.sh: all gates passed"

@@ -113,9 +113,10 @@ pub fn ks_distance(sorted: &[f64], dist: &Fitted) -> f64 {
 }
 
 /// Fit all candidate families by moments and rank by KS distance
-/// (best first). Returns an empty vector for fewer than 8 samples.
+/// (best first). Returns an empty vector for fewer than 8 samples or
+/// when any sample is non-finite (moments would be meaningless).
 pub fn fit_all(xs: &[f64]) -> Vec<FitResult> {
-    if xs.len() < 8 {
+    if xs.len() < 8 || xs.iter().any(|x| !x.is_finite()) {
         return Vec::new();
     }
     let n = xs.len() as f64;
@@ -123,7 +124,7 @@ pub fn fit_all(xs: &[f64]) -> Vec<FitResult> {
     let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
     let std = var.sqrt();
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    sorted.sort_by(f64::total_cmp);
     let lo = sorted[0];
     let hi = sorted[sorted.len() - 1];
 
@@ -150,7 +151,7 @@ pub fn fit_all(xs: &[f64]) -> Vec<FitResult> {
             ks: ks_distance(&sorted, &dist),
         })
         .collect();
-    results.sort_by(|a, b| a.ks.partial_cmp(&b.ks).expect("no NaN ks"));
+    results.sort_by(|a, b| a.ks.total_cmp(&b.ks));
     results
 }
 
@@ -168,7 +169,9 @@ mod tests {
         let mut state = seed;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let u = ((state >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
                 -mean * u.ln()
             })
@@ -178,7 +181,9 @@ mod tests {
     fn normal_samples(mu: f64, sigma: f64, n: usize, seed: u64) -> Vec<f64> {
         let mut state = seed;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 + 1.0) / (1u64 << 53) as f64
         };
         (0..n)
@@ -200,7 +205,10 @@ mod tests {
 
     #[test]
     fn cdf_sanity() {
-        let n = Fitted::Normal { mean: 0.0, std_dev: 1.0 };
+        let n = Fitted::Normal {
+            mean: 0.0,
+            std_dev: 1.0,
+        };
         assert!((n.cdf(0.0) - 0.5).abs() < 1e-7);
         assert!(n.cdf(3.0) > 0.99);
         let e = Fitted::Exponential { mean: 2.0 };
@@ -240,6 +248,16 @@ mod tests {
     fn too_few_samples_yields_nothing() {
         assert!(fit_all(&[1.0, 2.0, 3.0]).is_empty());
         assert!(best_fit(&[]).is_none());
+    }
+
+    #[test]
+    fn non_finite_samples_yield_nothing() {
+        let mut xs = vec![1.0; 16];
+        xs[7] = f64::NAN;
+        assert!(fit_all(&xs).is_empty());
+        xs[7] = f64::INFINITY;
+        assert!(fit_all(&xs).is_empty());
+        assert!(best_fit(&xs).is_none());
     }
 
     #[test]

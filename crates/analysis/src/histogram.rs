@@ -103,7 +103,11 @@ impl HistogramModel {
             let next = cum + c as f64;
             if next >= target && c > 0 {
                 // Interpolate within the bin.
-                let frac = if c > 0 { (target - cum) / c as f64 } else { 0.5 };
+                let frac = if c > 0 {
+                    (target - cum) / c as f64
+                } else {
+                    0.5
+                };
                 return self.lo + (i as f64 + frac.clamp(0.0, 1.0)) * width;
             }
             cum = next;

@@ -61,39 +61,48 @@ impl ResourceRatios {
     }
 }
 
+/// Guarded quotient: `None` unless the denominator is a nonzero finite
+/// number and the quotient itself is finite.
+fn checked_div(num: f64, den: f64) -> Option<f64> {
+    // `is_normal()` rejects zero, subnormals, infinities and NaN without
+    // a bare float comparison; a subnormal denominator would only yield
+    // an overflowing, physically meaningless ratio.
+    if !den.is_normal() {
+        return None;
+    }
+    let r = num / den;
+    r.is_finite().then_some(r)
+}
+
 /// Ratio of aggregate (summed) demand: `Σa / Σb`.
 ///
 /// For *rate* resources (CPU cycles, disk KB, net KB per sample) this is
-/// the paper's "aggregated workload demands" comparison. Returns
-/// `f64::NAN` when the denominator is zero.
-pub fn aggregate_ratio(a: &[f64], b: &[f64]) -> f64 {
+/// the paper's "aggregated workload demands" comparison. Returns `None`
+/// when either input is empty or the denominator sums to zero.
+pub fn aggregate_ratio(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
     let sa: f64 = a.iter().sum();
     let sb: f64 = b.iter().sum();
-    if sb == 0.0 {
-        f64::NAN
-    } else {
-        sa / sb
-    }
+    checked_div(sa, sb)
 }
 
 /// Ratio of per-sample means: appropriate for *level* resources (RAM),
-/// where summing over time has no physical meaning.
-pub fn mean_ratio(a: &[f64], b: &[f64]) -> f64 {
+/// where summing over time has no physical meaning. Returns `None` when
+/// either input is empty or the denominator mean is zero.
+pub fn mean_ratio(a: &[f64], b: &[f64]) -> Option<f64> {
     if a.is_empty() || b.is_empty() {
-        return f64::NAN;
+        return None;
     }
     let ma: f64 = a.iter().sum::<f64>() / a.len() as f64;
     let mb: f64 = b.iter().sum::<f64>() / b.len() as f64;
-    if mb == 0.0 {
-        f64::NAN
-    } else {
-        ma / mb
-    }
+    checked_div(ma, mb)
 }
 
 /// Demand ratio using the appropriate statistic per resource: aggregate
 /// for rates, mean for RAM.
-pub fn demand_ratio(resource: Resource, a: &[f64], b: &[f64]) -> f64 {
+pub fn demand_ratio(resource: Resource, a: &[f64], b: &[f64]) -> Option<f64> {
     match resource {
         Resource::Ram => mean_ratio(a, b),
         _ => aggregate_ratio(a, b),
@@ -126,14 +135,32 @@ mod tests {
     fn aggregate_and_mean() {
         let a = [2.0, 4.0, 6.0];
         let b = [1.0, 2.0, 3.0];
-        assert!((aggregate_ratio(&a, &b) - 2.0).abs() < 1e-12);
-        assert!((mean_ratio(&a, &b) - 2.0).abs() < 1e-12);
+        assert!((aggregate_ratio(&a, &b).unwrap() - 2.0).abs() < 1e-12);
+        assert!((mean_ratio(&a, &b).unwrap() - 2.0).abs() < 1e-12);
     }
 
     #[test]
-    fn zero_denominator_is_nan() {
-        assert!(aggregate_ratio(&[1.0], &[0.0]).is_nan());
-        assert!(mean_ratio(&[], &[1.0]).is_nan());
+    fn zero_denominator_is_none() {
+        assert_eq!(aggregate_ratio(&[1.0], &[0.0]), None);
+        assert_eq!(mean_ratio(&[1.0], &[0.0]), None);
+    }
+
+    #[test]
+    fn empty_inputs_are_none() {
+        assert_eq!(aggregate_ratio(&[], &[1.0]), None);
+        assert_eq!(aggregate_ratio(&[1.0], &[]), None);
+        assert_eq!(mean_ratio(&[], &[1.0]), None);
+        assert_eq!(mean_ratio(&[1.0], &[]), None);
+        for r in Resource::ALL {
+            assert_eq!(demand_ratio(r, &[], &[]), None);
+        }
+    }
+
+    #[test]
+    fn non_finite_denominator_is_none() {
+        assert_eq!(aggregate_ratio(&[1.0], &[f64::NAN]), None);
+        assert_eq!(aggregate_ratio(&[1.0], &[f64::INFINITY]), None);
+        assert_eq!(mean_ratio(&[f64::INFINITY], &[1.0]), None);
     }
 
     #[test]
@@ -141,13 +168,13 @@ mod tests {
         let a = [10.0, 10.0];
         let b = [5.0, 5.0];
         for r in Resource::ALL {
-            assert!((demand_ratio(r, &a, &b) - 2.0).abs() < 1e-12);
+            assert!((demand_ratio(r, &a, &b).unwrap() - 2.0).abs() < 1e-12);
         }
         // Different lengths: mean vs aggregate disagree.
         let long = [10.0, 10.0, 10.0, 10.0];
         let short = [10.0, 10.0];
-        assert!((demand_ratio(Resource::Ram, &long, &short) - 1.0).abs() < 1e-12);
-        assert!((demand_ratio(Resource::Cpu, &long, &short) - 2.0).abs() < 1e-12);
+        assert!((demand_ratio(Resource::Ram, &long, &short).unwrap() - 1.0).abs() < 1e-12);
+        assert!((demand_ratio(Resource::Cpu, &long, &short).unwrap() - 2.0).abs() < 1e-12);
     }
 
     #[test]

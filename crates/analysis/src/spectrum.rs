@@ -65,7 +65,7 @@ pub fn periodogram(xs: &[f64]) -> Vec<Peak> {
 pub fn dominant_periods(xs: &[f64], min_power: f64, max_peaks: usize) -> Vec<Peak> {
     let mut peaks = periodogram(xs);
     peaks.retain(|p| p.power >= min_power);
-    peaks.sort_by(|a, b| b.power.partial_cmp(&a.power).expect("no NaN"));
+    peaks.sort_by(|a, b| b.power.total_cmp(&a.power));
     peaks.truncate(max_peaks);
     peaks
 }
@@ -121,7 +121,9 @@ mod tests {
         let mut state = 12345u64;
         let xs: Vec<f64> = (0..512)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
             })
             .collect();

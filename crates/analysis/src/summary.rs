@@ -33,9 +33,10 @@ pub struct Summary {
     pub total: f64,
 }
 
-/// Compute a [`Summary`]; returns `None` for an empty series.
+/// Compute a [`Summary`]; returns `None` for an empty series or one
+/// containing non-finite samples.
 pub fn summarize(xs: &[f64]) -> Option<Summary> {
-    if xs.is_empty() {
+    if xs.is_empty() || xs.iter().any(|x| !x.is_finite()) {
         return None;
     }
     let n = xs.len();
@@ -44,7 +45,7 @@ pub fn summarize(xs: &[f64]) -> Option<Summary> {
     let variance = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
     let std_dev = variance.sqrt();
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in series"));
+    sorted.sort_by(f64::total_cmp);
     let q = |p: f64| {
         let idx = ((n as f64 - 1.0) * p).round() as usize;
         sorted[idx]
@@ -54,7 +55,11 @@ pub fn summarize(xs: &[f64]) -> Option<Summary> {
         mean,
         variance,
         std_dev,
-        cv: if mean != 0.0 { std_dev / mean } else { 0.0 },
+        cv: if mean.is_normal() {
+            std_dev / mean
+        } else {
+            0.0
+        },
         min: sorted[0],
         max: sorted[n - 1],
         p50: q(0.5),
@@ -92,7 +97,9 @@ pub fn pearson(a: &[f64], b: &[f64]) -> Option<f64> {
         va += (x - ma) * (x - ma);
         vb += (y - mb) * (y - mb);
     }
-    if va == 0.0 || vb == 0.0 {
+    // `is_normal()` also rejects constant series whose sum of squares is
+    // zero or subnormal, without a bare float comparison.
+    if !va.is_normal() || !vb.is_normal() {
         return None;
     }
     Some(cov / (va.sqrt() * vb.sqrt()))

@@ -106,8 +106,8 @@ proptest! {
         k in 0.1f64..100.0,
     ) {
         let scaled: Vec<f64> = xs.iter().map(|x| x * k).collect();
-        let agg = aggregate_ratio(&scaled, &xs);
-        let mean = mean_ratio(&scaled, &xs);
+        let agg = aggregate_ratio(&scaled, &xs).expect("positive denominator");
+        let mean = mean_ratio(&scaled, &xs).expect("positive denominator");
         prop_assert!((agg - k).abs() < 1e-9 * (1.0 + k));
         prop_assert!((mean - k).abs() < 1e-9 * (1.0 + k));
     }

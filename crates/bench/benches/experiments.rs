@@ -47,7 +47,12 @@ fn bench_figs_physical(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig5_to_fig8_physical");
     g.sample_size(10);
     g.bench_function("browse", |b| {
-        b.iter(|| black_box(run(small(Deployment::NonVirtualized, WorkloadMix::BROWSING))))
+        b.iter(|| {
+            black_box(run(small(
+                Deployment::NonVirtualized,
+                WorkloadMix::BROWSING,
+            )))
+        })
     });
     g.bench_function("bid", |b| {
         b.iter(|| black_box(run(small(Deployment::NonVirtualized, WorkloadMix::BIDDING))))

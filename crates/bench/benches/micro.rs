@@ -34,11 +34,18 @@ fn bench_scheduler(c: &mut Criterion) {
         for i in 0..4 {
             sched.add_domain(
                 DomId(i),
-                SchedParams { weight: 256, cap_percent: None, vcpus: 2 },
+                SchedParams {
+                    weight: 256,
+                    cap_percent: None,
+                    vcpus: 2,
+                },
             );
         }
         let demands: Vec<Demand> = (0..4)
-            .map(|i| Demand { dom: DomId(i), core_secs: 0.02 })
+            .map(|i| Demand {
+                dom: DomId(i),
+                core_secs: 0.02,
+            })
             .collect();
         b.iter(|| black_box(sched.allocate(0.01, &demands)))
     });
@@ -52,7 +59,13 @@ fn bench_buffer_pool(c: &mut Criterion) {
         b.iter(|| {
             i = i.wrapping_add(1);
             let page = if i % 4 == 0 { i % 5000 } else { i % 64 };
-            black_box(bp.access(PageRef { table: TableId::Items, page }, i % 7 == 0))
+            black_box(bp.access(
+                PageRef {
+                    table: TableId::Items,
+                    page,
+                },
+                i % 7 == 0,
+            ))
         })
     });
 }
@@ -67,7 +80,12 @@ fn bench_db_query(c: &mut Criterion) {
     c.bench_function("mysql_get_item", |b| {
         b.iter(|| {
             i = i.wrapping_add(1);
-            black_box(server.execute(Query::GetItem { item: ItemId(i % 200) }, 0))
+            black_box(server.execute(
+                Query::GetItem {
+                    item: ItemId(i % 200),
+                },
+                0,
+            ))
         })
     });
 }
@@ -113,10 +131,8 @@ fn bench_metric_synthesis(c: &mut Criterion) {
     };
     c.bench_function("synthesize_518_metrics", |b| {
         b.iter(|| {
-            let s = cloudchar_monitor::synthesize_sysstat(
-                &raw,
-                cloudchar_monitor::Source::VmSysstat,
-            );
+            let s =
+                cloudchar_monitor::synthesize_sysstat(&raw, cloudchar_monitor::Source::VmSysstat);
             let p = cloudchar_monitor::synthesize_perf(&raw);
             black_box((s.len(), p.len()))
         })
@@ -128,8 +144,12 @@ fn bench_distributions(c: &mut Criterion) {
     let mut rng = SimRng::new(7);
     let exp = Dist::exp(7.0);
     let erl = Dist::Erlang { k: 3, mean: 1e6 };
-    c.bench_function("dist_exponential", |b| b.iter(|| black_box(exp.sample(&mut rng))));
-    c.bench_function("dist_erlang3", |b| b.iter(|| black_box(erl.sample(&mut rng))));
+    c.bench_function("dist_exponential", |b| {
+        b.iter(|| black_box(exp.sample(&mut rng)))
+    });
+    c.bench_function("dist_erlang3", |b| {
+        b.iter(|| black_box(erl.sample(&mut rng)))
+    });
 }
 
 /// Simulated-seconds-per-wall-second for the full stack (headline
@@ -141,8 +161,7 @@ fn bench_sim_speed(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("virt_1000_clients_30s", |b| {
         b.iter(|| {
-            let mut cfg =
-                ExperimentConfig::paper(Deployment::Virtualized, WorkloadMix::BROWSING);
+            let mut cfg = ExperimentConfig::paper(Deployment::Virtualized, WorkloadMix::BROWSING);
             cfg.duration = SimDuration::from_secs(30);
             black_box(run(cfg))
         })

@@ -32,7 +32,11 @@ fn report(label: &str, on: &ExperimentResult, off: &ExperimentResult, metric: &s
     };
     let a = mean(&series(on));
     let b = mean(&series(off));
-    let delta = if b != 0.0 { 100.0 * (a - b) / b } else { f64::NAN };
+    let delta = if b != 0.0 {
+        100.0 * (a - b) / b
+    } else {
+        f64::NAN
+    };
     println!(
         "  {label:<42} {host}/{metric}: with {:.3e}  without {:.3e}  ({:+.0}%)",
         a, b, delta

@@ -4,7 +4,12 @@
 //! cargo run --release -p cloudchar-bench --bin repro -- all
 //! cargo run --release -p cloudchar-bench --bin repro -- fig1 fig2 ratios
 //! cargo run --release -p cloudchar-bench --bin repro -- --fast all
+//! cargo run --release -p cloudchar-bench --bin repro -- --audit --fast all
 //! ```
+//!
+//! `--audit` enables the runtime invariant auditor for the whole run and
+//! exits non-zero if any invariant (event-time monotonicity, CPU capacity
+//! conservation, utilization ranges, sample cadence, ...) was violated.
 //!
 //! Experiments: the virtualized (§4.1) and non-virtualized (§4.2)
 //! deployments, each under the browsing and bidding compositions, at
@@ -109,7 +114,10 @@ fn table1() {
         "== Table 1: sample of the {} profiled performance metrics ==",
         c.len()
     );
-    println!("{:<22} {:<15} {:<10} description", "metric", "source", "family");
+    println!(
+        "{:<22} {:<15} {:<10} description",
+        "metric", "source", "family"
+    );
     for id in c.table1_sample() {
         let d = c.def(id);
         println!(
@@ -121,7 +129,8 @@ fn table1() {
         );
     }
     let (hv, vm, perf) = (
-        c.by_source(cloudchar_monitor::Source::HypervisorSysstat).len(),
+        c.by_source(cloudchar_monitor::Source::HypervisorSysstat)
+            .len(),
         c.by_source(cloudchar_monitor::Source::VmSysstat).len(),
         c.by_source(cloudchar_monitor::Source::PerfCounter).len(),
     );
@@ -147,11 +156,17 @@ fn virt_figure(lab: &mut Lab, fig: u8) {
     let dt = 2.0;
     let browse: Vec<Vec<f64>> = {
         let r = lab.get(Key::VirtBrowse);
-        hosts.iter().map(|h| r.resource_series(resource, h)).collect()
+        hosts
+            .iter()
+            .map(|h| r.resource_series(resource, h))
+            .collect()
     };
     let bid: Vec<Vec<f64>> = {
         let r = lab.get(Key::VirtBid);
-        hosts.iter().map(|h| r.resource_series(resource, h)).collect()
+        hosts
+            .iter()
+            .map(|h| r.resource_series(resource, h))
+            .collect()
     };
     for (i, panel) in panels.iter().enumerate() {
         println!("  {}", series_stats(&format!("{panel} browse"), &browse[i]));
@@ -181,11 +196,17 @@ fn phys_figure(lab: &mut Lab, fig: u8) {
     let dt = 2.0;
     let browse: Vec<Vec<f64>> = {
         let r = lab.get(Key::PhysBrowse);
-        hosts.iter().map(|h| r.resource_series(resource, h)).collect()
+        hosts
+            .iter()
+            .map(|h| r.resource_series(resource, h))
+            .collect()
     };
     let bid: Vec<Vec<f64>> = {
         let r = lab.get(Key::PhysBid);
-        hosts.iter().map(|h| r.resource_series(resource, h)).collect()
+        hosts
+            .iter()
+            .map(|h| r.resource_series(resource, h))
+            .collect()
     };
     for (i, panel) in panels.iter().enumerate() {
         println!("  {}", series_stats(&format!("{panel} browse"), &browse[i]));
@@ -204,7 +225,10 @@ fn print_ratio_row(
     paper: cloudchar_analysis::ResourceRatios,
     ours: cloudchar_analysis::ResourceRatios,
 ) {
-    println!("       {:>10} {:>10} {:>10} {:>10}", "cpu", "ram", "disk", "net");
+    println!(
+        "       {:>10} {:>10} {:>10} {:>10}",
+        "cpu", "ram", "disk", "net"
+    );
     println!(
         "       {:>10.2} {:>10.2} {:>10.2} {:>10.2}   (paper)",
         paper.cpu, paper.ram, paper.disk, paper.net
@@ -309,7 +333,10 @@ fn variance(lab: &mut Lab) {
 /// the space limitation"; this command produces all five.
 fn mixes_cmd(fast: bool) {
     println!("== All five paper compositions (virtualized) ==");
-    println!("{:<9} {:>14} {:>14} {:>12} {:>12} {:>10}", "mix", "web cyc/2s", "db cyc/2s", "web net KB", "web ram MB", "resp ms");
+    println!(
+        "{:<9} {:>14} {:>14} {:>12} {:>12} {:>10}",
+        "mix", "web cyc/2s", "db cyc/2s", "web net KB", "web ram MB", "resp ms"
+    );
     for (name, mix) in WorkloadMix::paper_compositions() {
         let cfg = if fast {
             ExperimentConfig::fast(Deployment::Virtualized, mix)
@@ -361,9 +388,16 @@ fn characterize_cmd(lab: &mut Lab) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
-    let mut cmds: Vec<String> = args.into_iter().filter(|a| a != "--fast").collect();
+    let audit = args.iter().any(|a| a == "--audit");
+    let mut cmds: Vec<String> = args
+        .into_iter()
+        .filter(|a| a != "--fast" && a != "--audit")
+        .collect();
     if cmds.is_empty() {
         cmds.push("all".to_string());
+    }
+    if audit {
+        cloudchar_simcore::audit::enable();
     }
     let mut lab = Lab {
         fast,
@@ -405,5 +439,23 @@ fn main() {
     }
     if want("mixes") {
         mixes_cmd(fast);
+    }
+
+    if audit {
+        let report = cloudchar_simcore::audit::take_report();
+        eprintln!("[repro] {}", report.summary());
+        if !report.is_clean() {
+            for v in &report.violations {
+                eprintln!(
+                    "[repro]   {} @{}ns: {}",
+                    v.invariant, v.sim_time_ns, v.detail
+                );
+            }
+            eprintln!(
+                "[repro] audit FAILED: {} invariant violations",
+                report.violations_total
+            );
+            std::process::exit(1);
+        }
     }
 }

@@ -149,8 +149,7 @@ fn start_map(engine: &mut Engine<BatchWorld>, world: &mut BatchWorld, token: u64
         },
     );
     engine.schedule_at(read_done, move |_, w| {
-        let cycles = w.split_bytes() as f64 * w.cfg.map_cycles_per_byte
-            * (0.9 + 0.2 * w.rng.f64()); // data skew
+        let cycles = w.split_bytes() as f64 * w.cfg.map_cycles_per_byte * (0.9 + 0.2 * w.rng.f64()); // data skew
         w.platform.submit_work(Tier::Web, WorkToken(token), cycles);
     });
 }
@@ -159,7 +158,9 @@ fn start_reduce(engine: &mut Engine<BatchWorld>, world: &mut BatchWorld, token: 
     world.running[1] += 1;
     let bytes = world.shuffle_arrived / u64::from(world.cfg.reducers.max(1));
     let cycles = bytes as f64 * world.cfg.reduce_cycles_per_byte * (0.9 + 0.2 * world.rng.f64());
-    world.platform.submit_work(Tier::Db, WorkToken(token), cycles);
+    world
+        .platform
+        .submit_work(Tier::Db, WorkToken(token), cycles);
     let _ = engine;
 }
 
@@ -221,7 +222,10 @@ fn maybe_start_reduce_phase(engine: &mut Engine<BatchWorld>, world: &mut BatchWo
     // (non-speculative, barrier semantics).
     let all_shuffled =
         world.shuffle_arrived >= world.shuffle_per_map() * u64::from(world.cfg.mappers);
-    if all_shuffled && world.reduces_done == 0 && world.running[1] == 0 && !world.pending_reduces.is_empty()
+    if all_shuffled
+        && world.reduces_done == 0
+        && world.running[1] == 0
+        && !world.pending_reduces.is_empty()
     {
         let slots = world.cfg.slots.min(world.cfg.reducers);
         for _ in 0..slots {
@@ -242,10 +246,9 @@ fn take_sample(engine: &mut Engine<BatchWorld>, world: &mut BatchWorld) {
         tcp_sockets: 8.0,
         forks: 0.5,
     };
-    let samples =
-        world
-            .platform
-            .sample_hosts(dt, load(world.running[0]), load(world.running[1]));
+    let samples = world
+        .platform
+        .sample_hosts(dt, load(world.running[0]), load(world.running[1]));
     let start = SimTime::ZERO + dt;
     for s in samples {
         for (metric, value) in synthesize_sysstat(&s.raw, s.sysstat_source) {
@@ -276,14 +279,17 @@ pub fn run_batch(cfg: BatchConfig) -> BatchResult {
             master.derive("platform"),
         ))),
     };
-    let hosts: Vec<String> = platform.host_labels().iter().map(|s| s.to_string()).collect();
+    let hosts: Vec<String> = platform
+        .host_labels()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let mut world = BatchWorld {
         platform,
         cfg,
         rng: master.derive("batch"),
         pending_maps: (0..u64::from(cfg.mappers)).rev().collect(),
-        pending_reduces: (u64::from(cfg.mappers)
-            ..u64::from(cfg.mappers) + u64::from(cfg.reducers))
+        pending_reduces: (u64::from(cfg.mappers)..u64::from(cfg.mappers) + u64::from(cfg.reducers))
             .rev()
             .collect(),
         running: [0, 0],
@@ -347,7 +353,10 @@ mod tests {
             let makespan = r.makespan_s.expect("job must finish");
             let map_phase = r.map_phase_s.expect("maps must finish");
             assert!(map_phase <= makespan, "{deployment:?}");
-            assert!(makespan > 0.0 && makespan < 3600.0, "{deployment:?}: {makespan}");
+            assert!(
+                makespan > 0.0 && makespan < 3600.0,
+                "{deployment:?}: {makespan}"
+            );
         }
     }
 

@@ -74,7 +74,9 @@ pub fn characterize(result: &ExperimentResult) -> Characterization {
     for host in &result.hosts {
         for resource in Resource::ALL {
             let xs = result.resource_series(resource, host);
-            let Some(summary) = summarize(&xs) else { continue };
+            let Some(summary) = summarize(&xs) else {
+                continue;
+            };
             let threshold = (summary.mean.abs() * 0.10).max(1e-9);
             let dt_s = result.config.sample_interval.as_secs_f64();
             resources.push(ResourceProfile {

@@ -20,7 +20,10 @@ fn ratios_for(
     let r = |resource| {
         let a = num(resource);
         let b = den(resource);
-        demand_ratio(resource, &a, &b)
+        // Experiments always produce non-empty demand series; a missing
+        // ratio (empty input or zero denominator) is reported as NaN so
+        // downstream report tables can show a hole instead of panicking.
+        demand_ratio(resource, &a, &b).unwrap_or(f64::NAN)
     };
     ResourceRatios {
         cpu: r(Resource::Cpu),
@@ -134,14 +137,33 @@ pub mod paper_values {
     use cloudchar_analysis::ResourceRatios;
 
     /// §4.1 front-end vs back-end.
-    pub const R1: ResourceRatios = ResourceRatios { cpu: 6.11, ram: 3.29, disk: 5.71, net: 55.56 };
+    pub const R1: ResourceRatios = ResourceRatios {
+        cpu: 6.11,
+        ram: 3.29,
+        disk: 5.71,
+        net: 55.56,
+    };
     /// §4.1 VMs vs hypervisor.
-    pub const R2: ResourceRatios = ResourceRatios { cpu: 16.84, ram: 0.58, disk: 0.47, net: 0.98 };
+    pub const R2: ResourceRatios = ResourceRatios {
+        cpu: 16.84,
+        ram: 0.58,
+        disk: 0.47,
+        net: 0.98,
+    };
     /// §4.2 non-virt vs virt aggregates.
-    pub const R3: ResourceRatios = ResourceRatios { cpu: 3.47, ram: 0.97, disk: 0.6, net: 0.98 };
+    pub const R3: ResourceRatios = ResourceRatios {
+        cpu: 3.47,
+        ram: 0.97,
+        disk: 0.6,
+        net: 0.98,
+    };
     /// §4.2 physical-demand percent deltas.
-    pub const R4_PERCENT: ResourceRatios =
-        ResourceRatios { cpu: 88.0, ram: 21.0, disk: -25.0, net: 2.0 };
+    pub const R4_PERCENT: ResourceRatios = ResourceRatios {
+        cpu: 88.0,
+        ram: 21.0,
+        disk: -25.0,
+        net: 2.0,
+    };
 }
 
 /// Compute all four ratio sets.

@@ -150,7 +150,9 @@ mod tests {
         c2.sample_interval = SimDuration::from_secs(10_000);
         assert!(c2.validate().is_err());
         let mut c3 = ExperimentConfig::fast(Deployment::Virtualized, WorkloadMix::BROWSING);
-        c3.mix = WorkloadMix { browsing_fraction: 2.0 };
+        c3.mix = WorkloadMix {
+            browsing_fraction: 2.0,
+        };
         assert!(c3.validate().is_err());
     }
 

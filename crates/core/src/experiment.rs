@@ -9,7 +9,7 @@ use cloudchar_analysis::Resource;
 use cloudchar_hw::ServerSpec;
 use cloudchar_monitor::{catalog, SeriesStore, Source};
 use cloudchar_rubis::{ClientPopulation, Database, MySqlServer, WebAppServer};
-use cloudchar_simcore::{Engine, SimRng};
+use cloudchar_simcore::{audit, Engine, SimRng};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of one experiment run.
@@ -84,12 +84,38 @@ pub fn run(cfg: ExperimentConfig) -> ExperimentResult {
             platform_rng,
         ))),
     };
-    let hosts: Vec<String> = platform.host_labels().iter().map(|s| s.to_string()).collect();
+    let hosts: Vec<String> = platform
+        .host_labels()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
 
     let mut world = World::new(cfg.clone(), platform, web, mysql, clients, workload_rng);
     let mut engine: Engine<World> = Engine::new();
     bootstrap(&mut engine, &mut world);
     engine.run_until(&mut world, cfg.end_time());
+
+    if audit::is_enabled() {
+        // Every sampled series must hold exactly one point per sampling
+        // tick at the configured cadence (the paper's 2 s interval).
+        let expected = cfg.sample_count();
+        for ((host, metric), series) in world.store.iter() {
+            audit::check(
+                "monitor.sample_cadence",
+                series.start.as_nanos(),
+                series.len() == expected && series.interval == cfg.sample_interval,
+                || {
+                    format!(
+                        "{host}/{metric:?}: {} samples at {} ns interval, expected {} at {} ns",
+                        series.len(),
+                        series.interval.as_nanos(),
+                        expected,
+                        cfg.sample_interval.as_nanos()
+                    )
+                },
+            );
+        }
+    }
 
     let transactions = cloudchar_rubis::Interaction::ALL
         .iter()

@@ -168,7 +168,11 @@ impl PhysPlatform {
     /// Client request arriving at the web server's NIC.
     pub fn net_client_to_web(&mut self, now: SimTime, bytes: u64) -> SimTime {
         self.web.server.nic.receive(bytes);
-        self.web.server.kernel.interrupts.add(bytes.div_ceil(1448).max(1));
+        self.web
+            .server
+            .kernel
+            .interrupts
+            .add(bytes.div_ceil(1448).max(1));
         self.web.kernel_cycles += Self::net_kernel_cycles(bytes);
         now + self.web.server.spec().nic.latency
     }
@@ -190,7 +194,10 @@ impl PhysPlatform {
         let arrival = src.server.nic.transmit(now, bytes);
         src.kernel_cycles += Self::net_kernel_cycles(bytes);
         dst.server.nic.receive(bytes);
-        dst.server.kernel.interrupts.add(bytes.div_ceil(1448).max(1));
+        dst.server
+            .kernel
+            .interrupts
+            .add(bytes.div_ceil(1448).max(1));
         dst.kernel_cycles += Self::net_kernel_cycles(bytes);
         arrival
     }
@@ -229,6 +236,9 @@ impl PhysPlatform {
         let dt_s = dt.as_secs_f64();
         let host = self.host_mut(tier);
         let spec = host.server.spec();
+        // Exercises the hw.memory.utilization_range audit check on the
+        // live sampling path.
+        let _ = host.server.memory.utilization();
         RawHostSample {
             dt_s,
             cpu_cycles: host.server.cycles.take_delta() as f64,
@@ -327,13 +337,25 @@ mod tests {
             );
         }
         // Nothing on the physical disk yet.
-        let s = p.sample_hosts(SimDuration::from_secs(2), TierLoad::default(), TierLoad::default());
+        let s = p.sample_hosts(
+            SimDuration::from_secs(2),
+            TierLoad::default(),
+            TierLoad::default(),
+        );
         assert_eq!(s[0].raw.disk_write_bytes, 0.0);
         assert!(s[0].raw.mem_dirty_kb > 0.0);
         // Commit fires after the interval: one large sequential write.
         p.periodic(SimTime::from_secs(6));
-        let s2 = p.sample_hosts(SimDuration::from_secs(2), TierLoad::default(), TierLoad::default());
-        assert!(s2[0].raw.disk_write_bytes >= 500_000.0, "{}", s2[0].raw.disk_write_bytes);
+        let s2 = p.sample_hosts(
+            SimDuration::from_secs(2),
+            TierLoad::default(),
+            TierLoad::default(),
+        );
+        assert!(
+            s2[0].raw.disk_write_bytes >= 500_000.0,
+            "{}",
+            s2[0].raw.disk_write_bytes
+        );
     }
 
     #[test]
@@ -348,7 +370,11 @@ mod tests {
                 sequential: true,
             },
         );
-        let s = p.sample_hosts(SimDuration::from_secs(2), TierLoad::default(), TierLoad::default());
+        let s = p.sample_hosts(
+            SimDuration::from_secs(2),
+            TierLoad::default(),
+            TierLoad::default(),
+        );
         assert_eq!(s[1].raw.disk_write_bytes, 512.0);
     }
 
@@ -381,7 +407,11 @@ mod tests {
         p.net_web_db(SimTime::ZERO, true, 300);
         p.net_web_db(SimTime::ZERO, false, 900);
         p.net_web_to_client(SimTime::ZERO, 20_000);
-        let s = p.sample_hosts(SimDuration::from_secs(2), TierLoad::default(), TierLoad::default());
+        let s = p.sample_hosts(
+            SimDuration::from_secs(2),
+            TierLoad::default(),
+            TierLoad::default(),
+        );
         let web = &s[0].raw;
         let db = &s[1].raw;
         assert_eq!(web.net_rx_bytes, 1_900.0); // client + db response
@@ -393,7 +423,11 @@ mod tests {
     #[test]
     fn hosts_report_via_host_sysstat_with_perf() {
         let mut p = platform();
-        let s = p.sample_hosts(SimDuration::from_secs(2), TierLoad::default(), TierLoad::default());
+        let s = p.sample_hosts(
+            SimDuration::from_secs(2),
+            TierLoad::default(),
+            TierLoad::default(),
+        );
         assert_eq!(s.len(), 2);
         for h in &s {
             assert_eq!(h.sysstat_source, Source::HypervisorSysstat);

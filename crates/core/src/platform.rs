@@ -155,7 +155,11 @@ impl Platform {
     /// hypervisor view if any).
     pub fn host_labels(&self) -> Vec<&'static str> {
         match self {
-            Platform::Virt(_) => vec![VirtPlatform::WEB_HOST, VirtPlatform::DB_HOST, VirtPlatform::DOM0_HOST],
+            Platform::Virt(_) => vec![
+                VirtPlatform::WEB_HOST,
+                VirtPlatform::DB_HOST,
+                VirtPlatform::DOM0_HOST,
+            ],
             Platform::Phys(_) => vec![PhysPlatform::WEB_HOST, PhysPlatform::DB_HOST],
         }
     }

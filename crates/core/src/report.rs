@@ -141,9 +141,24 @@ pub fn render_report(inputs: &ReportInputs<'_>) -> String {
     };
     let rb = ratio_report(inputs.virt_browse, inputs.phys_browse);
     let rd = ratio_report(inputs.virt_bid, inputs.phys_bid);
-    ratio_table(&mut out, "R1 — front-end vs back-end (virtualized)", paper_values::R1, avg(rb.r1, rd.r1));
-    ratio_table(&mut out, "R2 — VMs vs dom0 view", paper_values::R2, avg(rb.r2, rd.r2));
-    ratio_table(&mut out, "R3 — non-virt vs virt physical", paper_values::R3, avg(rb.r3, rd.r3));
+    ratio_table(
+        &mut out,
+        "R1 — front-end vs back-end (virtualized)",
+        paper_values::R1,
+        avg(rb.r1, rd.r1),
+    );
+    ratio_table(
+        &mut out,
+        "R2 — VMs vs dom0 view",
+        paper_values::R2,
+        avg(rb.r2, rd.r2),
+    );
+    ratio_table(
+        &mut out,
+        "R3 — non-virt vs virt physical",
+        paper_values::R3,
+        avg(rb.r3, rd.r3),
+    );
     ratio_table(
         &mut out,
         "R4 — physical-demand delta (%)",
@@ -188,10 +203,22 @@ mod tests {
 
     #[test]
     fn report_renders_all_sections() {
-        let vb = run(ExperimentConfig::fast(Deployment::Virtualized, WorkloadMix::BROWSING));
-        let vd = run(ExperimentConfig::fast(Deployment::Virtualized, WorkloadMix::BIDDING));
-        let pb = run(ExperimentConfig::fast(Deployment::NonVirtualized, WorkloadMix::BROWSING));
-        let pd = run(ExperimentConfig::fast(Deployment::NonVirtualized, WorkloadMix::BIDDING));
+        let vb = run(ExperimentConfig::fast(
+            Deployment::Virtualized,
+            WorkloadMix::BROWSING,
+        ));
+        let vd = run(ExperimentConfig::fast(
+            Deployment::Virtualized,
+            WorkloadMix::BIDDING,
+        ));
+        let pb = run(ExperimentConfig::fast(
+            Deployment::NonVirtualized,
+            WorkloadMix::BROWSING,
+        ));
+        let pd = run(ExperimentConfig::fast(
+            Deployment::NonVirtualized,
+            WorkloadMix::BIDDING,
+        ));
         let report = render_report(&ReportInputs {
             virt_browse: &vb,
             virt_bid: &vd,

@@ -3,7 +3,7 @@
 //! A single run answers "what happened under this seed"; the paper's
 //! claims are about the *system*, so the repro harness validates them
 //! over seed ensembles. Runs are embarrassingly parallel and each is
-//! single-threaded deterministic, so a crossbeam scope with one thread
+//! single-threaded deterministic, so a thread scope with one thread
 //! per seed keeps results bit-identical to serial execution.
 
 use crate::config::ExperimentConfig;
@@ -16,17 +16,18 @@ use serde::{Deserialize, Serialize};
 pub fn run_seeds(base: &ExperimentConfig, seeds: &[u64]) -> Vec<ExperimentResult> {
     let mut results: Vec<Option<ExperimentResult>> = Vec::new();
     results.resize_with(seeds.len(), || None);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, &seed) in results.iter_mut().zip(seeds) {
             let mut cfg = base.clone();
             cfg.seed = seed;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some(run(cfg));
             });
         }
-    })
-    .expect("sweep thread panicked");
-    results.into_iter().map(|r| r.expect("slot filled")).collect()
+    });
+    // The scope joins (and propagates panics from) every thread before
+    // returning, so each slot is filled here.
+    results.into_iter().flatten().collect()
 }
 
 /// Across-seed stability of one scalar statistic.

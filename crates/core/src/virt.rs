@@ -137,7 +137,11 @@ impl VirtPlatform {
                         now,
                         dom,
                         IoRequest {
-                            kind: if write { cloudchar_hw::IoKind::Write } else { cloudchar_hw::IoKind::Read },
+                            kind: if write {
+                                cloudchar_hw::IoKind::Write
+                            } else {
+                                cloudchar_hw::IoKind::Read
+                            },
                             bytes: 48 * 1024,
                             sequential: false,
                         },
@@ -210,6 +214,9 @@ impl VirtPlatform {
         let d = self.hv.domain_mut(dom_id);
         let vcpus = f64::from(d.config.vcpus);
         let steal_s = d.steal_ns.take_delta() as f64 / 1e9;
+        // Exercises the hw.memory.utilization_range audit check on the
+        // live sampling path.
+        let _ = d.memory.utilization();
         RawHostSample {
             dt_s,
             cpu_cycles: d.virt_cycles.take_delta() as f64,
@@ -275,6 +282,7 @@ impl VirtPlatform {
         let net_rxp = host.nic.rx_packets().take_delta() as f64;
         let net_txp = host.nic.tx_packets().take_delta() as f64;
         let dom0 = self.hv.domain_mut(DomId::DOM0);
+        let _ = dom0.memory.utilization();
         let dom0_raw = RawHostSample {
             dt_s,
             cpu_cycles: dom0.virt_cycles.take_delta() as f64 + hv_cycles,
@@ -344,7 +352,11 @@ mod tests {
     use cloudchar_hw::IoKind;
 
     fn platform() -> VirtPlatform {
-        VirtPlatform::new(ServerSpec::hp_proliant(), VirtOptions::default(), SimRng::new(1))
+        VirtPlatform::new(
+            ServerSpec::hp_proliant(),
+            VirtOptions::default(),
+            SimRng::new(1),
+        )
     }
 
     #[test]
@@ -370,10 +382,18 @@ mod tests {
     fn sampling_resets_deltas() {
         let mut p = platform();
         p.net_client_to_web(SimTime::ZERO, 10_000);
-        let s1 = p.sample_hosts(SimDuration::from_secs(2), TierLoad::default(), TierLoad::default());
+        let s1 = p.sample_hosts(
+            SimDuration::from_secs(2),
+            TierLoad::default(),
+            TierLoad::default(),
+        );
         let web1 = &s1[0];
         assert_eq!(web1.raw.net_rx_bytes, 10_000.0);
-        let s2 = p.sample_hosts(SimDuration::from_secs(2), TierLoad::default(), TierLoad::default());
+        let s2 = p.sample_hosts(
+            SimDuration::from_secs(2),
+            TierLoad::default(),
+            TierLoad::default(),
+        );
         assert_eq!(s2[0].raw.net_rx_bytes, 0.0, "delta must reset");
     }
 
@@ -389,7 +409,11 @@ mod tests {
                 sequential: false,
             },
         );
-        let s = p.sample_hosts(SimDuration::from_secs(2), TierLoad::default(), TierLoad::default());
+        let s = p.sample_hosts(
+            SimDuration::from_secs(2),
+            TierLoad::default(),
+            TierLoad::default(),
+        );
         let db = &s[1];
         let dom0 = &s[2];
         assert_eq!(db.raw.disk_write_bytes, 100_000.0);
@@ -401,11 +425,15 @@ mod tests {
     fn intervm_stays_off_the_wire() {
         let mut p = platform();
         p.net_web_db(SimTime::ZERO, true, 5_000);
-        let s = p.sample_hosts(SimDuration::from_secs(2), TierLoad::default(), TierLoad::default());
+        let s = p.sample_hosts(
+            SimDuration::from_secs(2),
+            TierLoad::default(),
+            TierLoad::default(),
+        );
         assert_eq!(s[0].raw.net_tx_bytes, 5_000.0); // web vif tx
         assert_eq!(s[1].raw.net_rx_bytes, 5_000.0); // db vif rx
-        // The physical NIC is untouched, but dom0's sar sees the
-        // bridged bytes on its vif backends in both directions.
+                                                    // The physical NIC is untouched, but dom0's sar sees the
+                                                    // bridged bytes on its vif backends in both directions.
         assert_eq!(s[2].raw.net_rx_bytes, 5_000.0);
         assert_eq!(s[2].raw.net_tx_bytes, 5_000.0);
     }
@@ -414,18 +442,29 @@ mod tests {
     fn background_vms_consume_host_cycles() {
         let mut with_bg = VirtPlatform::new(
             ServerSpec::hp_proliant(),
-            VirtOptions { background_vms: 4, background_util: 0.8, ..VirtOptions::default() },
+            VirtOptions {
+                background_vms: 4,
+                background_util: 0.8,
+                ..VirtOptions::default()
+            },
             SimRng::new(1),
         );
         let mut out = Vec::new();
         for i in 0..100 {
-            with_bg.tick(SimTime::from_millis(i * 10), SimDuration::from_millis(10), &mut out);
+            with_bg.tick(
+                SimTime::from_millis(i * 10),
+                SimDuration::from_millis(10),
+                &mut out,
+            );
         }
         assert!(out.is_empty(), "background work is untokened");
         // The host executed roughly 4 × 0.8 VCPU of background demand.
         let host_cycles = with_bg.hypervisor().host.cycles.total() as f64;
         let expect = 4.0 * 0.8 * 2.8e9 * 1.0;
-        assert!(host_cycles > expect * 0.8, "host {host_cycles} expect ≥ {expect}");
+        assert!(
+            host_cycles > expect * 0.8,
+            "host {host_cycles} expect ≥ {expect}"
+        );
     }
 
     #[test]

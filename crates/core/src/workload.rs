@@ -178,8 +178,9 @@ fn fire_request(engine: &mut Engine<World>, world: &mut World, session: u32) {
     let interaction = world.clients.current_interaction(session);
     let profile = InteractionProfile::of(interaction);
     let ranges = world.ranges();
-    let queries: VecDeque<Query> =
-        queries_for(interaction, ranges, &mut world.rng).into_iter().collect();
+    let queries: VecDeque<Query> = queries_for(interaction, ranges, &mut world.rng)
+        .into_iter()
+        .collect();
     let req_bytes = profile.sample_request_bytes(&mut world.rng);
     let id = world.next_req;
     world.next_req += 1;
@@ -228,7 +229,13 @@ fn on_cpu_complete(engine: &mut Engine<World>, world: &mut World, tier: Tier, to
     };
     match (tier, req.phase) {
         (Tier::Web, Phase::WebScript) => {
-            if let Some(q) = world.inflight.get_mut(&id).unwrap().queries.pop_front() {
+            if let Some(q) = world
+                .inflight
+                .get_mut(&id)
+                .expect("request exists")
+                .queries
+                .pop_front()
+            {
                 send_query(engine, world, id, q);
             } else {
                 start_render(engine, world, id);
@@ -267,12 +274,16 @@ fn db_execute(engine: &mut Engine<World>, world: &mut World, id: u64, q: Query) 
         req.db_bytes += work.response_bytes;
         req.last_db_resp = work.response_bytes;
     }
-    world.platform.submit_work(Tier::Db, WorkToken(id), work.cpu_cycles);
+    world
+        .platform
+        .submit_work(Tier::Db, WorkToken(id), work.cpu_cycles);
 }
 
 fn db_respond(engine: &mut Engine<World>, world: &mut World, id: u64) {
     let resp = {
-        let Some(req) = world.inflight.get(&id) else { return };
+        let Some(req) = world.inflight.get(&id) else {
+            return;
+        };
         // Protocol framing on top of row data.
         req.last_db_resp + 30
     };
@@ -282,7 +293,9 @@ fn db_respond(engine: &mut Engine<World>, world: &mut World, id: u64) {
 
 fn web_query_return(engine: &mut Engine<World>, world: &mut World, id: u64) {
     let next = {
-        let Some(req) = world.inflight.get_mut(&id) else { return };
+        let Some(req) = world.inflight.get_mut(&id) else {
+            return;
+        };
         req.queries.pop_front()
     };
     match next {

@@ -93,7 +93,10 @@ impl WorkQueue {
     /// tokens are appended to `completed_out`. Returns the number of
     /// cycles actually executed (≤ budget; less when the queue drains).
     pub fn drain(&mut self, budget: f64, completed_out: &mut Vec<WorkToken>) -> f64 {
-        assert!(budget.is_finite() && budget >= 0.0, "invalid budget: {budget}");
+        assert!(
+            budget.is_finite() && budget >= 0.0,
+            "invalid budget: {budget}"
+        );
         // Accumulate executed cycles directly rather than via
         // `budget - remaining`: with very large budgets, subtracting a
         // small job from the budget is absorbed by floating point and
@@ -101,7 +104,9 @@ impl WorkQueue {
         let mut remaining = budget;
         let mut executed = 0.0;
         while remaining > 0.0 {
-            let Some(head) = self.items.front_mut() else { break };
+            let Some(head) = self.items.front_mut() else {
+                break;
+            };
             if head.cycles_remaining <= remaining {
                 remaining -= head.cycles_remaining;
                 executed += head.cycles_remaining;
@@ -126,6 +131,20 @@ impl WorkQueue {
             }
         }
         self.executed.add(executed.round() as u64);
+        cloudchar_simcore::audit::check(
+            "hw.cpu.budget_respected",
+            0,
+            executed <= budget * (1.0 + 1e-9) + 1.0,
+            || format!("queue executed {executed} cycles against a budget of {budget}"),
+        );
+        cloudchar_simcore::audit::check(
+            "hw.cpu.backlog_nonnegative",
+            0,
+            // Tolerate sub-cycle floating-point residue; anything larger
+            // means accounting lost track of queued work.
+            self.backlog_cycles > -1.0,
+            || format!("backlog drifted to {} cycles", self.backlog_cycles),
+        );
         // Guard against floating-point drift pushing the backlog negative.
         if self.backlog_cycles < 0.0 {
             self.backlog_cycles = 0.0;

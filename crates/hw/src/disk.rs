@@ -107,6 +107,18 @@ impl Disk {
         let start = self.busy_until.max(now);
         let service = self.spec.service_time(req);
         let done = start + service;
+        cloudchar_simcore::audit::check(
+            "hw.disk.busy_monotonic",
+            now.as_nanos(),
+            done >= self.busy_until && done >= now,
+            || {
+                format!(
+                    "completion {} ns before busy horizon {} ns",
+                    done.as_nanos(),
+                    self.busy_until.as_nanos()
+                )
+            },
+        );
         self.busy_until = done;
         self.busy_time_ns.add(service.as_nanos());
         match req.kind {

@@ -132,7 +132,20 @@ impl MemoryPool {
 
     /// Fraction of total memory in use, in `[0, 1]`.
     pub fn utilization(&self) -> f64 {
-        self.used() as f64 / self.spec.total as f64
+        let util = self.used() as f64 / self.spec.total as f64;
+        cloudchar_simcore::audit::check(
+            "hw.memory.utilization_range",
+            0,
+            (0.0..=1.0).contains(&util),
+            || {
+                format!(
+                    "memory utilization {util} outside [0, 1] ({} of {} bytes)",
+                    self.used(),
+                    self.spec.total
+                )
+            },
+        );
+        util
     }
 
     /// Resize the pool (memory ballooning): the balloon driver inflates

@@ -1,0 +1,21 @@
+// Seeded-violation fixture for the cloudchar-lint self-test.
+//
+// This file is NEVER compiled (fixtures/ is outside any target and the
+// scanner's workspace walk skips it). The integration test and the
+// `--fixture` CLI flag scan it as if it were simulation-library code and
+// must report every rule below — proving the linter exits non-zero when
+// a rule regresses.
+
+use std::collections::HashMap; // CL003 when scanned as a report file
+use std::time::Instant; // CL001
+
+pub fn seeded_violations(samples: &HashMap<String, f64>) -> f64 {
+    let started = Instant::now(); // CL001: wall clock in a sim crate
+    let first = samples.values().next().unwrap(); // CL002
+    let second = samples.get("x").expect("missing sample"); // CL002
+    if *first == 0.0 {
+        // CL004 when scanned as analysis code
+        panic!("zero sample after {:?}", started.elapsed()); // CL002
+    }
+    first + second
+}

@@ -1,0 +1,711 @@
+//! cloudchar-lint: determinism/correctness lint pass over the workspace.
+//!
+//! The simulation's headline guarantee is *reproducibility*: the same
+//! master seed must give byte-identical results, and figure/table output
+//! must not depend on hash-map iteration order or wall-clock reads.
+//! This crate enforces that guarantee statically with a small,
+//! dependency-free scanner (line/token level — no full parser needed):
+//!
+//! * **CL001** — no `Instant::now` / `SystemTime::now` / `thread_rng`
+//!   inside simulation crates (`simcore`, `hw`, `xen`, `rubis`,
+//!   `monitor`, `core`). Wall-clock reads belong only in the `bench`
+//!   harness.
+//! * **CL002** — no `.unwrap()` / `.expect(` / `panic!` in library code
+//!   paths. Tests, benches, examples and binaries are allowlisted;
+//!   audited exceptions live in `crates/lint/suppressions.txt`.
+//! * **CL003** — no `HashMap` / `HashSet` in the report-producing files
+//!   (`monitor::store`, `core::report`, `core::compare`): anything that
+//!   feeds CSV/markdown output must iterate in a deterministic order
+//!   (`BTreeMap` or explicitly sorted).
+//! * **CL004** — no bare `f64` `==`/`!=` against float literals in the
+//!   `analysis` crate; use epsilon comparisons or `is_normal()` guards.
+//!
+//! The scanner masks comments, strings and char literals before
+//! matching, tracks `#[cfg(test)]` regions by brace matching, and
+//! reports `file:line` diagnostics with rule IDs. A machine-readable
+//! JSON summary is available from the binary via `--json`.
+//!
+//! Run it as `cargo run -p cloudchar-lint`; the integration test
+//! `crates/lint/tests/lint_workspace.rs` runs the same pass so plain
+//! `cargo test` gates it.
+
+use serde::Serialize;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crate directory names whose library code models the simulation and
+/// therefore must be free of wall-clock / ambient-randomness reads.
+pub const SIM_CRATES: [&str; 6] = ["simcore", "hw", "xen", "rubis", "monitor", "core"];
+
+/// Files whose output feeds reports/CSVs and therefore must iterate
+/// deterministically (CL003).
+pub const SORTED_OUTPUT_FILES: [&str; 3] = [
+    "crates/monitor/src/store.rs",
+    "crates/core/src/report.rs",
+    "crates/core/src/compare.rs",
+];
+
+/// Rule registry: `(id, summary)` for every rule the scanner knows.
+pub const RULES: [(&str, &str); 4] = [
+    (
+        "CL001",
+        "no Instant::now/SystemTime::now/thread_rng in simulation crates",
+    ),
+    (
+        "CL002",
+        "no .unwrap()/.expect(/panic! in library code paths",
+    ),
+    (
+        "CL003",
+        "no HashMap/HashSet in report-producing files (use BTreeMap/sorted)",
+    ),
+    (
+        "CL004",
+        "no bare f64 ==/!= against float literals in analysis",
+    ),
+];
+
+/// How a file participates in the build, which decides rule applicability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library code — all rules apply.
+    Lib,
+    /// Binary target (`src/main.rs`, `src/bin/*`) — CL002 allowlisted.
+    Bin,
+    /// Integration/unit test file — CL002 allowlisted.
+    Test,
+    /// Example — CL002 allowlisted.
+    Example,
+    /// Bench target — CL001/CL002 allowlisted (wall-clock timing lives here).
+    Bench,
+}
+
+/// One `file:line` finding.
+#[derive(Debug, Clone, Serialize)]
+pub struct Diagnostic {
+    /// Rule ID, e.g. `"CL002"`.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// Result of a full workspace pass.
+#[derive(Debug, Default, Serialize)]
+pub struct LintReport {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Findings silenced by `crates/lint/suppressions.txt`.
+    pub suppressed: usize,
+    /// Unsuppressed findings, sorted by `(path, line, rule)`.
+    pub violations: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Whether the pass found nothing (after suppressions).
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} files scanned, {} violations, {} suppressed",
+            self.files_scanned,
+            self.violations.len(),
+            self.suppressed
+        )
+    }
+}
+
+/// An audited exception: silences `rule` findings in `path` on source
+/// lines containing `needle`.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Rule ID the exception applies to.
+    pub rule: String,
+    /// Workspace-relative path it applies to.
+    pub path: String,
+    /// Substring of the raw source line that identifies the audited site.
+    pub needle: String,
+}
+
+/// Parse a suppressions file: one `RULE PATH NEEDLE...` triple per line,
+/// `#` comments and blank lines ignored. The needle is everything after
+/// the second field and may contain spaces.
+pub fn parse_suppressions(text: &str) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.splitn(3, char::is_whitespace);
+        let (Some(rule), Some(path), Some(needle)) = (it.next(), it.next(), it.next()) else {
+            continue;
+        };
+        out.push(Suppression {
+            rule: rule.to_string(),
+            path: path.to_string(),
+            needle: needle.trim().to_string(),
+        });
+    }
+    out
+}
+
+/// Replace comments, string literals and char literals with spaces,
+/// preserving newlines and byte positions of the remaining code, so
+/// substring rules never fire inside text.
+pub fn mask_source(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    // True when the previously emitted char could continue an identifier,
+    // so an `r"` here is the tail of `var"` (invalid anyway), not a raw string.
+    let mut prev_ident = false;
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    while i < n {
+        let c = b[i];
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            while i < n && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            prev_ident = false;
+            continue;
+        }
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 0;
+            while i < n {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    out.push_str("  ");
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            prev_ident = false;
+            continue;
+        }
+        // Raw (byte) strings: r"..", r#".."#, br#".."#.
+        if (c == 'r' || c == 'b') && !prev_ident {
+            let mut j = i;
+            if b[j] == 'b' && j + 1 < n && b[j + 1] == 'r' {
+                j += 1;
+            }
+            if b[j] == 'r' {
+                let mut k = j + 1;
+                let mut hashes = 0;
+                while k < n && b[k] == '#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < n && b[k] == '"' {
+                    for idx in i..=k {
+                        out.push(blank(b[idx]));
+                    }
+                    i = k + 1;
+                    while i < n {
+                        if b[i] == '"' {
+                            let mut h = 0;
+                            while h < hashes && i + 1 + h < n && b[i + 1 + h] == '#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                for _ in 0..=hashes {
+                                    out.push(' ');
+                                }
+                                i += 1 + hashes;
+                                break;
+                            }
+                        }
+                        out.push(blank(b[i]));
+                        i += 1;
+                    }
+                    prev_ident = false;
+                    continue;
+                }
+            }
+            // Not a raw string start (e.g. raw identifier `r#type`):
+            // fall through and emit the char.
+        }
+        if c == '"' {
+            out.push(' ');
+            i += 1;
+            while i < n {
+                if b[i] == '\\' && i + 1 < n {
+                    out.push(' ');
+                    out.push(blank(b[i + 1]));
+                    i += 2;
+                } else if b[i] == '"' {
+                    out.push(' ');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            prev_ident = false;
+            continue;
+        }
+        if c == '\'' {
+            // Distinguish char literals from lifetimes: '\x..' and 'x'
+            // are literals; 'a (no closing quote after one char) is a
+            // lifetime and is kept verbatim.
+            if i + 1 < n && b[i + 1] == '\\' {
+                out.push_str("  ");
+                i += 2;
+                while i < n && b[i] != '\'' {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+                if i < n {
+                    out.push(' ');
+                    i += 1;
+                }
+                prev_ident = false;
+                continue;
+            }
+            if i + 2 < n && b[i + 2] == '\'' && b[i + 1] != '\'' {
+                out.push_str("   ");
+                i += 3;
+                prev_ident = false;
+                continue;
+            }
+            out.push('\'');
+            i += 1;
+            prev_ident = false;
+            continue;
+        }
+        out.push(c);
+        prev_ident = c.is_alphanumeric() || c == '_';
+        i += 1;
+    }
+    out
+}
+
+/// Per-line flags marking `#[cfg(test)]` regions (attribute line through
+/// the closing brace of the following item), found by brace matching on
+/// the masked source.
+pub fn test_line_flags(masked: &str) -> Vec<bool> {
+    let n_lines = masked.split('\n').count();
+    let mut flags = vec![false; n_lines];
+    let b = masked.as_bytes();
+    let line_of = |pos: usize| -> usize {
+        b[..pos.min(b.len())]
+            .iter()
+            .filter(|&&c| c == b'\n')
+            .count()
+    };
+    for (start, _) in masked.match_indices("#[cfg(test)]") {
+        let mut i = start + "#[cfg(test)]".len();
+        while i < b.len() && b[i] != b'{' && b[i] != b';' {
+            i += 1;
+        }
+        let end = if i < b.len() && b[i] == b'{' {
+            let mut depth = 0usize;
+            let mut j = i;
+            loop {
+                if j >= b.len() {
+                    break j;
+                }
+                match b[j] {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break j;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        } else {
+            i
+        };
+        let (ls, le) = (line_of(start), line_of(end));
+        for flag in flags.iter_mut().take(le + 1).skip(ls) {
+            *flag = true;
+        }
+    }
+    flags
+}
+
+/// Classify a workspace-relative path into `(crate dir name, class)`.
+/// Paths outside `crates/` (top-level `tests/`, `examples/`) get an
+/// empty crate name.
+pub fn classify(rel: &str) -> (String, FileClass) {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let (krate, rest): (&str, &[&str]) = if parts.first() == Some(&"crates") && parts.len() > 1 {
+        (parts[1], &parts[2..])
+    } else {
+        ("", &parts[..])
+    };
+    let class = if rest.contains(&"tests") {
+        FileClass::Test
+    } else if rest.contains(&"examples") {
+        FileClass::Example
+    } else if rest.contains(&"benches") {
+        FileClass::Bench
+    } else if rest.contains(&"bin") || rest.last() == Some(&"main.rs") {
+        FileClass::Bin
+    } else {
+        FileClass::Lib
+    };
+    (krate.to_string(), class)
+}
+
+fn push_diag(out: &mut Vec<Diagnostic>, rule: &str, rel: &str, line: usize, msg: &str, raw: &str) {
+    out.push(Diagnostic {
+        rule: rule.to_string(),
+        path: rel.to_string(),
+        line,
+        message: msg.to_string(),
+        snippet: raw.trim().to_string(),
+    });
+}
+
+/// Last token before byte `pos` in `s` (identifier/number chars plus `.`).
+fn token_before(s: &str, pos: usize) -> &str {
+    let b = s.as_bytes();
+    let mut end = pos;
+    while end > 0 && b[end - 1] == b' ' {
+        end -= 1;
+    }
+    let mut start = end;
+    while start > 0 {
+        let c = b[start - 1];
+        if c.is_ascii_alphanumeric() || c == b'_' || c == b'.' {
+            start -= 1;
+        } else if (c == b'-' || c == b'+')
+            && start >= 2
+            && (b[start - 2] == b'e' || b[start - 2] == b'E')
+        {
+            // Exponent sign of a float literal like `1e-9`.
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    &s[start..end]
+}
+
+/// First token after byte `pos` in `s`.
+fn token_after(s: &str, pos: usize) -> &str {
+    let b = s.as_bytes();
+    let mut start = pos;
+    while start < b.len() && b[start] == b' ' {
+        start += 1;
+    }
+    let mut end = start;
+    while end < b.len() {
+        let c = b[end];
+        if c.is_ascii_alphanumeric() || c == b'_' || c == b'.' {
+            end += 1;
+        } else if (c == b'-' || c == b'+')
+            && end > start
+            && (b[end - 1] == b'e' || b[end - 1] == b'E')
+        {
+            end += 1;
+        } else {
+            break;
+        }
+    }
+    &s[start..end]
+}
+
+/// Whether a token is a float literal (`0.0`, `1.`, `1e-9`, `2.5f64`).
+fn is_float_literal(tok: &str) -> bool {
+    let tok = tok
+        .trim_end_matches("f64")
+        .trim_end_matches("f32")
+        .trim_end_matches('_');
+    if tok.is_empty() || !tok.as_bytes()[0].is_ascii_digit() {
+        return false;
+    }
+    (tok.contains('.') || tok.contains('e') || tok.contains('E')) && tok.parse::<f64>().is_ok()
+}
+
+/// Whether a masked line contains an `==`/`!=` whose operand is a float
+/// literal.
+fn has_float_eq(masked_line: &str) -> bool {
+    for (idx, _) in masked_line.match_indices("==") {
+        let before_op = if idx > 0 && masked_line.as_bytes()[idx - 1] == b'!' {
+            idx - 1
+        } else {
+            idx
+        };
+        if is_float_literal(token_before(masked_line, before_op))
+            || is_float_literal(token_after(masked_line, idx + 2))
+        {
+            return true;
+        }
+    }
+    // `!=` has a single `=` so it is not covered by the `==` search.
+    for (idx, _) in masked_line.match_indices("!=") {
+        if masked_line.as_bytes().get(idx + 2) == Some(&b'=') {
+            continue;
+        }
+        if is_float_literal(token_before(masked_line, idx))
+            || is_float_literal(token_after(masked_line, idx + 2))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Run every rule against one file's source, given its workspace-relative
+/// path (which decides crate and class). Returns unsuppressed findings.
+pub fn scan_source(rel: &str, text: &str) -> Vec<Diagnostic> {
+    let (krate, class) = classify(rel);
+    let masked = mask_source(text);
+    let in_test = test_line_flags(&masked);
+    let raw_lines: Vec<&str> = text.split('\n').collect();
+    let masked_lines: Vec<&str> = masked.split('\n').collect();
+    let mut out = Vec::new();
+
+    let sim_lib = class == FileClass::Lib && SIM_CRATES.contains(&krate.as_str());
+    let lib = class == FileClass::Lib;
+    let sorted_output = SORTED_OUTPUT_FILES.contains(&rel);
+    let analysis_lib = class == FileClass::Lib && krate == "analysis";
+
+    for (l, m) in masked_lines.iter().enumerate() {
+        if in_test.get(l).copied().unwrap_or(false) {
+            continue;
+        }
+        let raw = raw_lines.get(l).copied().unwrap_or("");
+        let lineno = l + 1;
+        if sim_lib {
+            for pat in ["Instant::now", "SystemTime::now", "thread_rng"] {
+                if m.contains(pat) {
+                    push_diag(
+                        &mut out,
+                        "CL001",
+                        rel,
+                        lineno,
+                        &format!("`{pat}` in simulation crate `{krate}` breaks replay determinism; derive all time/randomness from the simulation clock and seeded SimRng"),
+                        raw,
+                    );
+                }
+            }
+        }
+        if lib {
+            for pat in [".unwrap()", ".expect(", "panic!"] {
+                if m.contains(pat) {
+                    push_diag(
+                        &mut out,
+                        "CL002",
+                        rel,
+                        lineno,
+                        &format!("`{pat}` in library code; return Result/Option or add an audited entry to crates/lint/suppressions.txt"),
+                        raw,
+                    );
+                }
+            }
+        }
+        if sorted_output {
+            for pat in ["HashMap", "HashSet"] {
+                if m.contains(pat) {
+                    push_diag(
+                        &mut out,
+                        "CL003",
+                        rel,
+                        lineno,
+                        &format!("`{pat}` in report-producing file; iteration order feeds output — use BTreeMap/BTreeSet or sort explicitly"),
+                        raw,
+                    );
+                }
+            }
+        }
+        if analysis_lib && has_float_eq(m) {
+            push_diag(
+                &mut out,
+                "CL004",
+                rel,
+                lineno,
+                "bare f64 equality against a float literal; use an epsilon or is_normal()/is_finite() guards",
+                raw,
+            );
+        }
+    }
+    out
+}
+
+/// Recursively collect `.rs` files under `crates/`, `tests/` and
+/// `examples/`, skipping `target/`, `fixtures/` and `vendor/`. Returns
+/// `(absolute, workspace-relative)` pairs sorted by relative path.
+pub fn collect_rust_files(root: &Path) -> io::Result<Vec<(PathBuf, String)>> {
+    let mut out = Vec::new();
+    for top in ["crates", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, root, &mut out)?;
+        }
+    }
+    out.sort_by(|a, b| a.1.cmp(&b.1));
+    Ok(out)
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<(PathBuf, String)>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if matches!(name.as_str(), "target" | "fixtures" | "vendor" | ".git") {
+                continue;
+            }
+            walk(&path, root, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push((path, rel));
+        }
+    }
+    Ok(())
+}
+
+/// Workspace root as seen from this crate at compile time.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+/// Run the full pass over the workspace, applying the checked-in
+/// suppressions file.
+pub fn scan_workspace(root: &Path) -> io::Result<LintReport> {
+    let sup_path = root.join("crates/lint/suppressions.txt");
+    let sups = if sup_path.is_file() {
+        parse_suppressions(&fs::read_to_string(&sup_path)?)
+    } else {
+        Vec::new()
+    };
+    let mut report = LintReport::default();
+    for (abs, rel) in collect_rust_files(root)? {
+        let text = fs::read_to_string(&abs)?;
+        report.files_scanned += 1;
+        for d in scan_source(&rel, &text) {
+            let suppressed = sups
+                .iter()
+                .any(|s| s.rule == d.rule && s.path == d.path && d.snippet.contains(&s.needle));
+            if suppressed {
+                report.suppressed += 1;
+            } else {
+                report.violations.push(d);
+            }
+        }
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_strips_comments_strings_chars() {
+        let src = "let x = \"Instant::now\"; // Instant::now\nlet c = 'a'; /* panic! */ let l: &'static str = y;";
+        let m = mask_source(src);
+        assert!(!m.contains("Instant::now"));
+        assert!(!m.contains("panic!"));
+        assert!(m.contains("'static"), "lifetimes survive: {m}");
+        assert_eq!(m.split('\n').count(), 2);
+    }
+
+    #[test]
+    fn masking_handles_raw_strings() {
+        let src = "let s = r#\"panic! .unwrap() \"inner\" \"#; let t = 1;";
+        let m = mask_source(src);
+        assert!(!m.contains("panic!"));
+        assert!(!m.contains(".unwrap()"));
+        assert!(m.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_flagged() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}";
+        let flags = test_line_flags(&mask_source(src));
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn classify_by_path() {
+        assert_eq!(
+            classify("crates/simcore/src/engine.rs"),
+            ("simcore".to_string(), FileClass::Lib)
+        );
+        assert_eq!(classify("crates/bench/src/bin/repro.rs").1, FileClass::Bin);
+        assert_eq!(classify("crates/hw/benches/b.rs").1, FileClass::Bench);
+        assert_eq!(classify("tests/audit.rs").1, FileClass::Test);
+        assert_eq!(classify("examples/quickstart.rs").1, FileClass::Example);
+        assert_eq!(classify("crates/lint/tests/x.rs").1, FileClass::Test);
+    }
+
+    #[test]
+    fn float_eq_detection() {
+        assert!(has_float_eq("if x == 0.0 {"));
+        assert!(has_float_eq("if 1e-9 != y {"));
+        assert!(has_float_eq("a == 2.5f64"));
+        assert!(!has_float_eq("if n == 0 {"));
+        assert!(!has_float_eq("a.len() == b.len()"));
+        assert!(!has_float_eq("let c = a <= 0.0;"));
+    }
+
+    #[test]
+    fn suppression_matching() {
+        let sups = parse_suppressions(
+            "# comment\nCL002 crates/x/src/a.rs contract panic here\n\nbadline\n",
+        );
+        assert_eq!(sups.len(), 1);
+        assert_eq!(sups[0].rule, "CL002");
+        assert_eq!(sups[0].needle, "contract panic here");
+    }
+
+    #[test]
+    fn scan_source_fires_each_rule() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); x.unwrap(); }\n";
+        let d = scan_source("crates/simcore/src/x.rs", src);
+        assert!(d.iter().any(|d| d.rule == "CL001"));
+        assert!(d.iter().any(|d| d.rule == "CL002"));
+        let d = scan_source(
+            "crates/monitor/src/store.rs",
+            "use std::collections::HashMap;\n",
+        );
+        assert!(d.iter().any(|d| d.rule == "CL003"));
+        let d = scan_source(
+            "crates/analysis/src/x.rs",
+            "fn f(x: f64) -> bool { x == 0.0 }\n",
+        );
+        assert!(d.iter().any(|d| d.rule == "CL004"));
+        // Same patterns in a test file are allowlisted for CL002.
+        let d = scan_source("crates/simcore/tests/x.rs", "fn f() { x.unwrap(); }\n");
+        assert!(d.is_empty());
+    }
+}

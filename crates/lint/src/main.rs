@@ -1,0 +1,73 @@
+//! Command-line front end for the cloudchar lint pass.
+//!
+//! ```sh
+//! cargo run -p cloudchar-lint            # human-readable diagnostics
+//! cargo run -p cloudchar-lint -- --json  # machine-readable summary
+//! cargo run -p cloudchar-lint -- --fixture crates/lint/fixtures/violations.rs
+//! ```
+//!
+//! Exits 0 when the workspace is clean, 1 when violations are found,
+//! 2 on I/O errors. `--fixture FILE` scans one file *as if* it were
+//! simulation-library code (self-test: it must exit non-zero on the
+//! checked-in fixture).
+
+use cloudchar_lint::{scan_source, scan_workspace, workspace_root, LintReport};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let fixture = args
+        .iter()
+        .position(|a| a == "--fixture")
+        .and_then(|i| args.get(i + 1));
+
+    let report = match fixture {
+        Some(path) => {
+            let root = workspace_root();
+            match std::fs::read_to_string(root.join(path)) {
+                Ok(text) => {
+                    // Scan the fixture under paths that activate every
+                    // rule: a sim-crate report file and an analysis file.
+                    let mut violations = scan_source("crates/monitor/src/store.rs", &text);
+                    violations.extend(scan_source("crates/analysis/src/fixture.rs", &text));
+                    violations.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+                    LintReport {
+                        files_scanned: 1,
+                        suppressed: 0,
+                        violations,
+                    }
+                }
+                Err(e) => {
+                    eprintln!("cloudchar-lint: cannot read fixture {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => match scan_workspace(&workspace_root()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cloudchar-lint: scan failed: {e}");
+                std::process::exit(2);
+            }
+        },
+    };
+
+    if json {
+        match serde_json::to_string(&report) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("cloudchar-lint: serialization failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        for d in &report.violations {
+            println!("{}:{}: [{}] {}", d.path, d.line, d.rule, d.message);
+            println!("    {}", d.snippet);
+        }
+        println!("cloudchar-lint: {}", report.summary());
+    }
+    if !report.is_clean() {
+        std::process::exit(1);
+    }
+}

@@ -39,7 +39,10 @@ fn sysstat_defs() -> Vec<(String, Family, Unit, String)> {
         ("%nice", "time in niced user code"),
         ("%system", "time in kernel code"),
         ("%iowait", "idle with outstanding disk I/O"),
-        ("%steal", "involuntary wait while hypervisor serviced another VCPU"),
+        (
+            "%steal",
+            "involuntary wait while hypervisor serviced another VCPU",
+        ),
         ("%idle", "idle without outstanding I/O"),
         ("%irq", "time servicing hardware interrupts"),
         ("%soft", "time servicing softirqs"),
@@ -50,15 +53,29 @@ fn sysstat_defs() -> Vec<(String, Family, Unit, String)> {
     }
     // Per-CPU utilization — sar -P 0..7.
     for cpu in 0..8 {
-        for (n, d) in [("%user", "user time"), ("%system", "system time"), ("%idle", "idle time")] {
-            push(&format!("cpu{cpu}-{n}"), PerCpu, Percent, &format!("CPU {cpu} {d}"));
+        for (n, d) in [
+            ("%user", "user time"),
+            ("%system", "system time"),
+            ("%idle", "idle time"),
+        ] {
+            push(
+                &format!("cpu{cpu}-{n}"),
+                PerCpu,
+                Percent,
+                &format!("CPU {cpu} {d}"),
+            );
         }
     }
     // Process creation and context switching — sar -w.
     push("proc/s", Process, PerSecond, "tasks created per second");
     push("cswch/s", Process, PerSecond, "context switches per second");
     // Interrupts — sar -I.
-    push("intr/s", Interrupts, PerSecond, "total interrupts per second");
+    push(
+        "intr/s",
+        Interrupts,
+        PerSecond,
+        "total interrupts per second",
+    );
     for irq in 0..16 {
         push(
             &format!("i{irq:03}/s"),
@@ -82,7 +99,12 @@ fn sysstat_defs() -> Vec<(String, Family, Unit, String)> {
         ("pgsteal/s", "pages reclaimed per second"),
         ("%vmeff", "page reclaim efficiency"),
     ] {
-        push(n, Paging, if n == "%vmeff" { Percent } else { PerSecond }, d);
+        push(
+            n,
+            Paging,
+            if n == "%vmeff" { Percent } else { PerSecond },
+            d,
+        );
     }
     // I/O and transfer rates — sar -b.
     for (n, d) in [
@@ -257,7 +279,10 @@ fn perf_defs() -> Vec<(String, Family, Unit, String)> {
         ("branch-misses", "mispredicted branches"),
         ("bus-cycles", "bus cycles"),
         ("ref-cycles", "reference cycles (unhalted)"),
-        ("stalled-cycles-frontend", "cycles stalled on instruction fetch"),
+        (
+            "stalled-cycles-frontend",
+            "cycles stalled on instruction fetch",
+        ),
         ("stalled-cycles-backend", "cycles stalled on resources"),
     ] {
         push(n, HwGeneric, d);
@@ -519,7 +544,11 @@ mod tests {
     fn names_unique_within_source() {
         use std::collections::HashSet;
         let c = catalog();
-        for source in [Source::HypervisorSysstat, Source::VmSysstat, Source::PerfCounter] {
+        for source in [
+            Source::HypervisorSysstat,
+            Source::VmSysstat,
+            Source::PerfCounter,
+        ] {
             let ids = c.by_source(source);
             let names: HashSet<_> = ids.iter().map(|&id| &c.def(id).name).collect();
             assert_eq!(names.len(), ids.len(), "duplicate names in {source}");
@@ -553,8 +582,7 @@ mod tests {
         let t1 = c.table1_sample();
         assert_eq!(t1.len(), 14);
         // All three sources represented, as in the paper's Table 1.
-        let sources: std::collections::HashSet<_> =
-            t1.iter().map(|&id| c.def(id).source).collect();
+        let sources: std::collections::HashSet<_> = t1.iter().map(|&id| c.def(id).source).collect();
         assert_eq!(sources.len(), 3);
     }
 

@@ -13,7 +13,13 @@ use std::fmt::Write as _;
 /// Render a sar-like report for `host` covering sample indices
 /// `[from, to)`. Sections: CPU, memory, I/O, network — the families the
 /// paper's figures draw from.
-pub fn render_sar(store: &SeriesStore, host: &str, source: Source, from: usize, to: usize) -> String {
+pub fn render_sar(
+    store: &SeriesStore,
+    host: &str,
+    source: Source,
+    from: usize,
+    to: usize,
+) -> String {
     let c = catalog();
     let mut out = String::new();
     let get = |name: &str, i: usize| -> f64 {
@@ -50,22 +56,34 @@ pub fn render_sar(store: &SeriesStore, host: &str, source: Source, from: usize, 
     writeln!(out, "Linux 2.6.18-xen ({host})\tsimulated\t_x86_64_\n").unwrap();
     span(
         &mut out,
-        &format!("{:>8} {:>10} {:>10} {:>10} {:>10} {:>10}", "time", "%user", "%system", "%iowait", "%steal", "%idle"),
+        &format!(
+            "{:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "time", "%user", "%system", "%iowait", "%steal", "%idle"
+        ),
         &["%user", "%system", "%iowait", "%steal", "%idle"],
     );
     span(
         &mut out,
-        &format!("{:>8} {:>10} {:>10} {:>10}", "time", "kbmemused", "kbcached", "%memused"),
+        &format!(
+            "{:>8} {:>10} {:>10} {:>10}",
+            "time", "kbmemused", "kbcached", "%memused"
+        ),
         &["kbmemused", "kbcached", "%memused"],
     );
     span(
         &mut out,
-        &format!("{:>8} {:>10} {:>10} {:>10}", "time", "tps", "bread/s", "bwrtn/s"),
+        &format!(
+            "{:>8} {:>10} {:>10} {:>10}",
+            "time", "tps", "bread/s", "bwrtn/s"
+        ),
         &["tps", "bread/s", "bwrtn/s"],
     );
     span(
         &mut out,
-        &format!("{:>8} {:>10} {:>10} {:>10} {:>10}", "time", "rxpck/s", "txpck/s", "rxkB/s", "txkB/s"),
+        &format!(
+            "{:>8} {:>10} {:>10} {:>10} {:>10}",
+            "time", "rxpck/s", "txpck/s", "rxkB/s", "txkB/s"
+        ),
         &["eth0-rxpck/s", "eth0-txpck/s", "eth0-rxkB/s", "eth0-txkB/s"],
     );
     out
@@ -102,7 +120,13 @@ mod tests {
                 ..Default::default()
             };
             for (id, v) in synthesize_sysstat(&raw, Source::VmSysstat) {
-                store.record("web-vm", id, SimTime::ZERO + SimDuration::from_secs(2), SimDuration::from_secs(2), v);
+                store.record(
+                    "web-vm",
+                    id,
+                    SimTime::ZERO + SimDuration::from_secs(2),
+                    SimDuration::from_secs(2),
+                    v,
+                );
             }
         }
         store

@@ -98,22 +98,26 @@ pub struct SeriesStore {
 
 mod series_entries {
     use super::*;
-    use serde::{Deserializer, Serializer};
+    use serde::Value;
 
-    pub fn serialize<S: Serializer>(
-        map: &BTreeMap<(HostLabel, MetricId), TimeSeries>,
-        ser: S,
-    ) -> Result<S::Ok, S::Error> {
-        let entries: Vec<(&HostLabel, &MetricId, &TimeSeries)> =
-            map.iter().map(|((h, m), s)| (h, m, s)).collect();
-        serde::Serialize::serialize(&entries, ser)
+    pub fn serialize(map: &BTreeMap<(HostLabel, MetricId), TimeSeries>) -> Value {
+        Value::Seq(
+            map.iter()
+                .map(|((h, m), s)| {
+                    Value::Seq(vec![
+                        serde::Serialize::to_value(h),
+                        serde::Serialize::to_value(m),
+                        serde::Serialize::to_value(s),
+                    ])
+                })
+                .collect(),
+        )
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(
-        de: D,
-    ) -> Result<BTreeMap<(HostLabel, MetricId), TimeSeries>, D::Error> {
-        let entries: Vec<(HostLabel, MetricId, TimeSeries)> =
-            serde::Deserialize::deserialize(de)?;
+    pub fn deserialize(
+        v: &Value,
+    ) -> Result<BTreeMap<(HostLabel, MetricId), TimeSeries>, serde::Error> {
+        let entries: Vec<(HostLabel, MetricId, TimeSeries)> = serde::Deserialize::from_value(v)?;
         Ok(entries.into_iter().map(|(h, m, s)| ((h, m), s)).collect())
     }
 }
@@ -133,15 +137,27 @@ impl SeriesStore {
         interval: SimDuration,
         value: f64,
     ) {
-        self.series
+        let series = self
+            .series
             .entry((host.to_string(), metric))
-            .or_insert_with(|| TimeSeries::new(start, interval))
-            .push(value);
+            .or_insert_with(|| TimeSeries::new(start, interval));
+        cloudchar_simcore::audit::check(
+            "monitor.sample_finite",
+            series.time_of(series.len()).as_nanos(),
+            value.is_finite(),
+            || format!("{host}/{metric:?} sample {} is {value}", series.len()),
+        );
+        series.push(value);
     }
 
     /// Fetch a series.
     pub fn get(&self, host: &str, metric: MetricId) -> Option<&TimeSeries> {
         self.series.get(&(host.to_string(), metric))
+    }
+
+    /// Iterate every `(host, metric) → series` entry, in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&(HostLabel, MetricId), &TimeSeries)> {
+        self.series.iter()
     }
 
     /// All hosts present.
@@ -264,8 +280,20 @@ mod tests {
     #[test]
     fn rows_use_timestamps() {
         let mut st = SeriesStore::new();
-        st.record("h", mid(0), SimTime::from_secs(4), SimDuration::from_secs(2), 7.0);
-        st.record("h", mid(0), SimTime::from_secs(4), SimDuration::from_secs(2), 9.0);
+        st.record(
+            "h",
+            mid(0),
+            SimTime::from_secs(4),
+            SimDuration::from_secs(2),
+            7.0,
+        );
+        st.record(
+            "h",
+            mid(0),
+            SimTime::from_secs(4),
+            SimDuration::from_secs(2),
+            9.0,
+        );
         let rows = st.to_rows("h", mid(0));
         assert_eq!(rows, vec![(4.0, 7.0), (6.0, 9.0)]);
         assert!(st.to_rows("h", mid(9)).is_empty());
@@ -276,7 +304,13 @@ mod tests {
         let mut st = SeriesStore::new();
         for v in [1.0, 2.0] {
             st.record("a", mid(0), SimTime::ZERO, SimDuration::from_secs(2), v);
-            st.record("b", mid(0), SimTime::ZERO, SimDuration::from_secs(2), v * 10.0);
+            st.record(
+                "b",
+                mid(0),
+                SimTime::ZERO,
+                SimDuration::from_secs(2),
+                v * 10.0,
+            );
         }
         let csv = st.to_csv(&[("a", mid(0), "alpha"), ("b", mid(0), "beta")]);
         let lines: Vec<&str> = csv.lines().collect();

@@ -99,7 +99,10 @@ const DTLB_MISS_PER_KI: f64 = 1.3;
 /// Returns `(MetricId, value)` pairs covering every metric of that
 /// source.
 pub fn synthesize_sysstat(raw: &RawHostSample, source: Source) -> Vec<(MetricId, f64)> {
-    assert!(matches!(source, Source::HypervisorSysstat | Source::VmSysstat));
+    assert!(matches!(
+        source,
+        Source::HypervisorSysstat | Source::VmSysstat
+    ));
     let c = catalog();
     let dt = raw.dt_s.max(1e-9);
     let steal_frac = raw.steal_frac.clamp(0.0, 1.0);
@@ -194,11 +197,17 @@ pub fn synthesize_sysstat(raw: &RawHostSample, source: Source) -> Vec<(MetricId,
     let free = (raw.mem_total_kb - raw.mem_used_kb).max(0.0);
     set("kbmemfree", free);
     set("kbmemused", raw.mem_used_kb);
-    set("%memused", 100.0 * raw.mem_used_kb / raw.mem_total_kb.max(1.0));
+    set(
+        "%memused",
+        100.0 * raw.mem_used_kb / raw.mem_total_kb.max(1.0),
+    );
     set("kbbuffers", raw.mem_cached_kb * 0.08);
     set("kbcached", raw.mem_cached_kb);
     set("kbcommit", raw.mem_used_kb * 1.3);
-    set("%commit", 100.0 * raw.mem_used_kb * 1.3 / raw.mem_total_kb.max(1.0));
+    set(
+        "%commit",
+        100.0 * raw.mem_used_kb * 1.3 / raw.mem_total_kb.max(1.0),
+    );
     set("kbactive", raw.mem_used_kb * 0.6);
     set("kbinact", raw.mem_used_kb * 0.25);
     set("kbdirty", raw.mem_dirty_kb);
@@ -228,9 +237,18 @@ pub fn synthesize_sysstat(raw: &RawHostSample, source: Source) -> Vec<(MetricId,
     };
     for (dev, active) in [("dev8-0", true), ("dev8-16", false)] {
         let k = if active { 1.0 } else { 0.0 };
-        set(&format!("{dev}-tps"), k * (raw.disk_reads + raw.disk_writes) / dt);
-        set(&format!("{dev}-rd_sec/s"), k * raw.disk_read_bytes / 512.0 / dt);
-        set(&format!("{dev}-wr_sec/s"), k * raw.disk_write_bytes / 512.0 / dt);
+        set(
+            &format!("{dev}-tps"),
+            k * (raw.disk_reads + raw.disk_writes) / dt,
+        );
+        set(
+            &format!("{dev}-rd_sec/s"),
+            k * raw.disk_read_bytes / 512.0 / dt,
+        );
+        set(
+            &format!("{dev}-wr_sec/s"),
+            k * raw.disk_write_bytes / 512.0 / dt,
+        );
         let rq = if raw.disk_reads + raw.disk_writes > 0.0 {
             (raw.disk_read_bytes + raw.disk_write_bytes)
                 / 512.0
@@ -240,9 +258,15 @@ pub fn synthesize_sysstat(raw: &RawHostSample, source: Source) -> Vec<(MetricId,
         };
         set(&format!("{dev}-avgrq-sz"), k * rq);
         set(&format!("{dev}-avgqu-sz"), k * raw.blocked.min(8.0));
-        set(&format!("{dev}-await"), k * svctm_ms * (1.0 + raw.blocked.min(8.0)));
+        set(
+            &format!("{dev}-await"),
+            k * svctm_ms * (1.0 + raw.blocked.min(8.0)),
+        );
         set(&format!("{dev}-svctm"), k * svctm_ms);
-        set(&format!("{dev}-%util"), k * (100.0 * raw.disk_busy_s / dt).min(100.0));
+        set(
+            &format!("{dev}-%util"),
+            k * (100.0 * raw.disk_busy_s / dt).min(100.0),
+        );
     }
     // Network: external traffic on eth0; loopback idle.
     for (ifc, active) in [("eth0", true), ("lo", false)] {
@@ -388,7 +412,10 @@ pub fn synthesize_perf(raw: &RawHostSample) -> Vec<(MetricId, f64)> {
         let share = weights[core as usize] / wsum;
         set(&format!("cpu{core}-cycles"), cycles * share);
         set(&format!("cpu{core}-instructions"), instructions * share);
-        set(&format!("cpu{core}-LLC-load-misses"), cache_misses * 0.7 * share);
+        set(
+            &format!("cpu{core}-LLC-load-misses"),
+            cache_misses * 0.7 * share,
+        );
         set(&format!("cpu{core}-branch-misses"), branch_misses * share);
     }
     // Offcore/uncore raw events: consistent derived ratios.

@@ -20,9 +20,13 @@ pub struct WorkloadMix {
 
 impl WorkloadMix {
     /// Browse-only (paper composition 1).
-    pub const BROWSING: WorkloadMix = WorkloadMix { browsing_fraction: 1.0 };
+    pub const BROWSING: WorkloadMix = WorkloadMix {
+        browsing_fraction: 1.0,
+    };
     /// Bid-only (paper composition 2).
-    pub const BIDDING: WorkloadMix = WorkloadMix { browsing_fraction: 0.0 };
+    pub const BIDDING: WorkloadMix = WorkloadMix {
+        browsing_fraction: 0.0,
+    };
 
     /// A blend: `browse_percent`% browsing sessions.
     pub fn percent_browsing(browse_percent: u32) -> WorkloadMix {
@@ -162,7 +166,10 @@ impl ClientPopulation {
 
     /// Count of sessions currently following the browsing table.
     pub fn browsing_sessions(&self) -> usize {
-        self.sessions.iter().filter(|s| s.mix == Mix::Browsing).count()
+        self.sessions
+            .iter()
+            .filter(|s| s.mix == Mix::Browsing)
+            .count()
     }
 }
 

@@ -149,7 +149,12 @@ impl Query {
                 category,
                 region,
                 page,
-            } => (4, u64::from(category.0), u64::from(region.0), u64::from(page)),
+            } => (
+                4,
+                u64::from(category.0),
+                u64::from(region.0),
+                u64::from(page),
+            ),
             Query::GetItem { item } => (5, u64::from(item.0), 0, 0),
             Query::GetUserInfo { user } => (6, u64::from(user.0), 0, 0),
             Query::GetBidHistory { item } => (7, u64::from(item.0), 0, 0),
@@ -259,7 +264,10 @@ impl Database {
         };
         for item in &db.items {
             db.items_by_category[usize::from(item.category.0)].push(item.id);
-            db.items_by_seller.entry(item.seller).or_default().push(item.id);
+            db.items_by_seller
+                .entry(item.seller)
+                .or_default()
+                .push(item.id);
         }
         for bid in bids {
             db.index_bid(bid);
@@ -350,29 +358,44 @@ impl Database {
                 r.tables = vec![TableId::Categories];
                 r.rows = u64::from(self.scale.categories);
                 r.result_bytes = r.rows * 40;
-                r.pages.push(PageRef { table: TableId::Categories, page: 0 });
+                r.pages.push(PageRef {
+                    table: TableId::Categories,
+                    page: 0,
+                });
             }
             Query::SelectRegions => {
                 r.tables = vec![TableId::Regions];
                 r.rows = u64::from(self.scale.regions);
                 r.result_bytes = r.rows * 30;
-                r.pages.push(PageRef { table: TableId::Regions, page: 0 });
+                r.pages.push(PageRef {
+                    table: TableId::Regions,
+                    page: 0,
+                });
             }
             Query::SearchItemsByCategory { category, page } => {
                 r.tables = vec![TableId::Items];
                 let cat = usize::from(category.0).min(self.items_by_category.len() - 1);
                 let ids = &self.items_by_category[cat];
                 let start = page as usize * ITEMS_PER_PAGE;
-                let slice: Vec<ItemId> =
-                    ids.iter().skip(start).take(ITEMS_PER_PAGE).copied().collect();
+                let slice: Vec<ItemId> = ids
+                    .iter()
+                    .skip(start)
+                    .take(ITEMS_PER_PAGE)
+                    .copied()
+                    .collect();
                 Self::index_pages(TableId::Items, u64::from(category.0), &mut r.pages);
                 for id in &slice {
-                    r.pages.push(Self::data_page(TableId::Items, u64::from(id.0)));
+                    r.pages
+                        .push(Self::data_page(TableId::Items, u64::from(id.0)));
                 }
                 r.rows = slice.len() as u64;
                 r.result_bytes = 120 + r.rows * 32;
             }
-            Query::SearchItemsByRegion { category, region, page } => {
+            Query::SearchItemsByRegion {
+                category,
+                region,
+                page,
+            } => {
                 r.tables = vec![TableId::Items, TableId::Users];
                 let cat = usize::from(category.0).min(self.items_by_category.len() - 1);
                 let ids = &self.items_by_category[cat];
@@ -385,7 +408,8 @@ impl Database {
                 for id in ids.iter() {
                     let item = &self.items[id.0 as usize];
                     examined += 1;
-                    r.pages.push(Self::data_page(TableId::Items, u64::from(id.0)));
+                    r.pages
+                        .push(Self::data_page(TableId::Items, u64::from(id.0)));
                     r.pages
                         .push(Self::data_page(TableId::Users, u64::from(item.seller.0)));
                     if self.users[item.seller.0 as usize].region == region {
@@ -405,7 +429,8 @@ impl Database {
             Query::GetItem { item } => {
                 r.tables = vec![TableId::Items, TableId::Users];
                 let it = &self.items[item.0 as usize % self.items.len()];
-                r.pages.push(Self::data_page(TableId::Items, u64::from(it.id.0)));
+                r.pages
+                    .push(Self::data_page(TableId::Items, u64::from(it.id.0)));
                 r.pages
                     .push(Self::data_page(TableId::Users, u64::from(it.seller.0)));
                 r.rows = 2;
@@ -477,22 +502,38 @@ impl Database {
                     TableId::Comments,
                 ];
                 let uid = UserId(user.0 % self.users.len() as u32);
-                r.pages.push(Self::data_page(TableId::Users, u64::from(uid.0)));
+                r.pages
+                    .push(Self::data_page(TableId::Users, u64::from(uid.0)));
                 let mut rows = 1u64;
                 for &bi in self.bids_by_user.get(&uid).into_iter().flatten().take(20) {
                     r.pages.push(Self::data_page(TableId::Bids, u64::from(bi)));
                     rows += 1;
                 }
-                for id in self.items_by_seller.get(&uid).into_iter().flatten().take(20) {
-                    r.pages.push(Self::data_page(TableId::Items, u64::from(id.0)));
+                for id in self
+                    .items_by_seller
+                    .get(&uid)
+                    .into_iter()
+                    .flatten()
+                    .take(20)
+                {
+                    r.pages
+                        .push(Self::data_page(TableId::Items, u64::from(id.0)));
                     rows += 1;
                 }
-                for &bn in self.buy_nows_by_buyer.get(&uid).into_iter().flatten().take(20) {
-                    r.pages.push(Self::data_page(TableId::BuyNow, u64::from(bn)));
+                for &bn in self
+                    .buy_nows_by_buyer
+                    .get(&uid)
+                    .into_iter()
+                    .flatten()
+                    .take(20)
+                {
+                    r.pages
+                        .push(Self::data_page(TableId::BuyNow, u64::from(bn)));
                     rows += 1;
                 }
                 for &ci in self.comments_by_to.get(&uid).into_iter().flatten().take(20) {
-                    r.pages.push(Self::data_page(TableId::Comments, u64::from(ci)));
+                    r.pages
+                        .push(Self::data_page(TableId::Comments, u64::from(ci)));
                     rows += 1;
                 }
                 r.rows = rows;
@@ -514,7 +555,11 @@ impl Database {
                 r.rows = 1;
                 r.result_bytes = 60;
             }
-            Query::StoreBid { user, item, increment } => {
+            Query::StoreBid {
+                user,
+                item,
+                increment,
+            } => {
                 r.tables = vec![TableId::Bids, TableId::Items];
                 let iid = (item.0 as usize) % self.items.len();
                 let item_page = Self::data_page(TableId::Items, iid as u64);
@@ -556,8 +601,7 @@ impl Database {
                 };
                 let row = self.comments.len() as u64;
                 self.index_comment(comment);
-                r.dirty_pages
-                    .push(Self::data_page(TableId::Comments, row));
+                r.dirty_pages.push(Self::data_page(TableId::Comments, row));
                 r.dirty_pages.push(user_page);
                 r.rows = 2;
                 r.result_bytes = 50;
@@ -576,7 +620,10 @@ impl Database {
                     qty: 1,
                     date_s: now_s,
                 });
-                self.buy_nows_by_buyer.entry(buyer).or_default().push(row as u32);
+                self.buy_nows_by_buyer
+                    .entry(buyer)
+                    .or_default()
+                    .push(row as u32);
                 r.dirty_pages.push(Self::data_page(TableId::BuyNow, row));
                 r.dirty_pages.push(item_page);
                 r.rows = 2;
@@ -679,8 +726,13 @@ impl MySqlServer {
             for (i, table) in TableId::ALL.iter().enumerate() {
                 let total_pages = (cards[i] * row_bytes(*table)).div_ceil(PAGE_BYTES);
                 if round < total_pages {
-                    self.pool
-                        .access(PageRef { table: *table, page: round }, false);
+                    self.pool.access(
+                        PageRef {
+                            table: *table,
+                            page: round,
+                        },
+                        false,
+                    );
                     touched_any = true;
                     if self.pool.resident_pages() >= target {
                         return;
@@ -884,7 +936,12 @@ mod tests {
     fn register_user_grows_users() {
         let mut s = server();
         let before = s.db.cardinalities()[0];
-        s.execute(Query::RegisterUser { region: RegionId(0) }, 0);
+        s.execute(
+            Query::RegisterUser {
+                region: RegionId(0),
+            },
+            0,
+        );
         assert_eq!(s.db.cardinalities()[0], before + 1);
     }
 
@@ -923,11 +980,19 @@ mod tests {
         let mut s = server();
         assert!(s.log_flush().is_none());
         s.execute(
-            Query::StoreBid { user: UserId(0), item: ItemId(0), increment: 10 },
+            Query::StoreBid {
+                user: UserId(0),
+                item: ItemId(0),
+                increment: 10,
+            },
             0,
         );
         s.execute(
-            Query::StoreBid { user: UserId(1), item: ItemId(1), increment: 10 },
+            Query::StoreBid {
+                user: UserId(1),
+                item: ItemId(1),
+                increment: 10,
+            },
             0,
         );
         let flush = s.log_flush().expect("pending log bytes");
@@ -961,9 +1026,13 @@ mod tests {
         let c = Query::GetUserInfo { user: UserId(1) }.cache_key().unwrap();
         assert_ne!(a, b);
         assert_ne!(a, c);
-        assert!(Query::StoreBid { user: UserId(0), item: ItemId(0), increment: 1 }
-            .cache_key()
-            .is_none());
+        assert!(Query::StoreBid {
+            user: UserId(0),
+            item: ItemId(0),
+            increment: 1
+        }
+        .cache_key()
+        .is_none());
     }
 
     #[test]
@@ -990,7 +1059,10 @@ mod tests {
         let db = Database::generate(DbScale::small(), &mut rng);
         let mut s = MySqlServer::new(
             db,
-            MySqlConfig { query_cache_bytes: 0, ..MySqlConfig::default() },
+            MySqlConfig {
+                query_cache_bytes: 0,
+                ..MySqlConfig::default()
+            },
         );
         let cold = s.execute(Query::AuthUser { user: UserId(42) }, 0);
         assert!(!cold.ios.is_empty());
@@ -1016,9 +1088,12 @@ mod tests {
     #[test]
     fn searches_are_not_query_cacheable() {
         // NOW()-dependent SQL: MySQL's query cache refuses them.
-        assert!(Query::SearchItemsByCategory { category: CategoryId(0), page: 0 }
-            .cache_key()
-            .is_none());
+        assert!(Query::SearchItemsByCategory {
+            category: CategoryId(0),
+            page: 0
+        }
+        .cache_key()
+        .is_none());
         assert!(Query::SearchItemsByRegion {
             category: CategoryId(0),
             region: RegionId(0),
@@ -1069,12 +1144,18 @@ mod tests {
     fn search_pagination_bounds() {
         let mut s = server();
         let w0 = s.execute(
-            Query::SearchItemsByCategory { category: CategoryId(0), page: 0 },
+            Query::SearchItemsByCategory {
+                category: CategoryId(0),
+                page: 0,
+            },
             0,
         );
         assert!(w0.rows <= ITEMS_PER_PAGE as u64);
         let w_far = s.execute(
-            Query::SearchItemsByCategory { category: CategoryId(0), page: 10_000 },
+            Query::SearchItemsByCategory {
+                category: CategoryId(0),
+                page: 10_000,
+            },
             0,
         );
         assert_eq!(w_far.rows, 0);

@@ -164,7 +164,10 @@ impl InteractionProfile {
             AboutMe => (760.0, 22_500, 1.0),
         };
         InteractionProfile {
-            request_bytes: Dist::Uniform { lo: 280.0, hi: 700.0 },
+            request_bytes: Dist::Uniform {
+                lo: 280.0,
+                hi: 700.0,
+            },
             script_cycles: Dist::Erlang {
                 k: 3,
                 mean: kcycles * 1_000.0,
@@ -217,7 +220,9 @@ impl EntityRanges {
 
     fn category(&self, rng: &mut SimRng) -> crate::schema::CategoryId {
         let z = rng.f64_open();
-        crate::schema::CategoryId(((z * z) * f64::from(self.categories)) as u16 % self.categories.max(1))
+        crate::schema::CategoryId(
+            ((z * z) * f64::from(self.categories)) as u16 % self.categories.max(1),
+        )
     }
 
     fn region(&self, rng: &mut SimRng) -> crate::schema::RegionId {
@@ -232,7 +237,9 @@ pub fn queries_for(i: Interaction, ranges: EntityRanges, rng: &mut SimRng) -> Ve
         Home | Register | Browse | BuyNowAuth | PutBidAuth | PutCommentAuth | AboutMeAuth => {
             Vec::new() // static pages / auth forms
         }
-        RegisterUser => vec![Query::RegisterUser { region: ranges.region(rng) }],
+        RegisterUser => vec![Query::RegisterUser {
+            region: ranges.region(rng),
+        }],
         BrowseCategories => vec![Query::SelectCategories],
         SearchItemsInCategory => vec![Query::SearchItemsByCategory {
             category: ranges.category(rng),
@@ -245,21 +252,37 @@ pub fn queries_for(i: Interaction, ranges: EntityRanges, rng: &mut SimRng) -> Ve
             region: ranges.region(rng),
             page: (rng.f64() * rng.f64() * 3.0) as u32,
         }],
-        ViewItem => vec![Query::GetItem { item: ranges.item(rng) }],
-        ViewUserInfo => vec![Query::GetUserInfo { user: ranges.user(rng) }],
-        ViewBidHistory => vec![Query::GetBidHistory { item: ranges.item(rng) }],
+        ViewItem => vec![Query::GetItem {
+            item: ranges.item(rng),
+        }],
+        ViewUserInfo => vec![Query::GetUserInfo {
+            user: ranges.user(rng),
+        }],
+        ViewBidHistory => vec![Query::GetBidHistory {
+            item: ranges.item(rng),
+        }],
         BuyNow => vec![
-            Query::AuthUser { user: ranges.user(rng) },
-            Query::GetItem { item: ranges.item(rng) },
+            Query::AuthUser {
+                user: ranges.user(rng),
+            },
+            Query::GetItem {
+                item: ranges.item(rng),
+            },
         ],
         StoreBuyNow => vec![Query::StoreBuyNow {
             buyer: ranges.user(rng),
             item: ranges.item(rng),
         }],
         PutBid => vec![
-            Query::AuthUser { user: ranges.user(rng) },
-            Query::GetItem { item: ranges.item(rng) },
-            Query::GetMaxBid { item: ranges.item(rng) },
+            Query::AuthUser {
+                user: ranges.user(rng),
+            },
+            Query::GetItem {
+                item: ranges.item(rng),
+            },
+            Query::GetMaxBid {
+                item: ranges.item(rng),
+            },
         ],
         StoreBid => vec![Query::StoreBid {
             user: ranges.user(rng),
@@ -267,8 +290,12 @@ pub fn queries_for(i: Interaction, ranges: EntityRanges, rng: &mut SimRng) -> Ve
             increment: rng.range_inclusive(50, 500) as i64,
         }],
         PutComment => vec![
-            Query::AuthUser { user: ranges.user(rng) },
-            Query::GetItem { item: ranges.item(rng) },
+            Query::AuthUser {
+                user: ranges.user(rng),
+            },
+            Query::GetItem {
+                item: ranges.item(rng),
+            },
         ],
         StoreComment => vec![Query::StoreComment {
             from: ranges.user(rng),
@@ -276,8 +303,12 @@ pub fn queries_for(i: Interaction, ranges: EntityRanges, rng: &mut SimRng) -> Ve
             item: ranges.item(rng),
         }],
         AboutMe => vec![
-            Query::AuthUser { user: ranges.user(rng) },
-            Query::AboutMe { user: ranges.user(rng) },
+            Query::AuthUser {
+                user: ranges.user(rng),
+            },
+            Query::AboutMe {
+                user: ranges.user(rng),
+            },
         ],
     }
 }
@@ -352,10 +383,14 @@ mod tests {
             for &i in &Interaction::ALL {
                 for q in queries_for(i, r, &mut rng) {
                     match q {
-                        Query::GetItem { item } | Query::GetBidHistory { item } | Query::GetMaxBid { item } => {
+                        Query::GetItem { item }
+                        | Query::GetBidHistory { item }
+                        | Query::GetMaxBid { item } => {
                             assert!(item.0 < r.items)
                         }
-                        Query::GetUserInfo { user } | Query::AuthUser { user } | Query::AboutMe { user } => {
+                        Query::GetUserInfo { user }
+                        | Query::AuthUser { user }
+                        | Query::AboutMe { user } => {
                             assert!(user.0 < r.users)
                         }
                         Query::SearchItemsByCategory { category, .. } => {

@@ -181,7 +181,10 @@ impl DbScale {
 /// Generate a synthetic population with the benchmark's distributions:
 /// items spread over categories by a truncated Zipf-ish skew, description
 /// lengths log-normal-ish, prices uniform.
-pub fn generate(scale: DbScale, rng: &mut SimRng) -> (Vec<User>, Vec<Item>, Vec<Bid>, Vec<Comment>) {
+pub fn generate(
+    scale: DbScale,
+    rng: &mut SimRng,
+) -> (Vec<User>, Vec<Item>, Vec<Bid>, Vec<Comment>) {
     assert!(scale.users > 0 && scale.active_items > 0 && scale.categories > 0 && scale.regions > 0);
     let mut users = Vec::with_capacity(scale.users as usize);
     for i in 0..scale.users {

@@ -273,7 +273,9 @@ impl QueryCache {
         }
         // Random-ish eviction: drop arbitrary entries until it fits.
         while self.used_bytes + bytes > self.capacity_bytes {
-            let Some((&victim, _)) = self.entries.iter().next() else { break };
+            let Some((&victim, _)) = self.entries.iter().next() else {
+                break;
+            };
             if let Some((b, _)) = self.entries.remove(&victim) {
                 self.used_bytes -= b;
             }
@@ -287,7 +289,9 @@ impl QueryCache {
 
     /// Invalidate every cached result that touched `table`.
     pub fn invalidate(&mut self, table: TableId) {
-        *self.versions.get_mut(&table).unwrap() += 1;
+        // Every table is pre-registered at construction; `or_insert`
+        // keeps this total without a panicking lookup.
+        *self.versions.entry(table).or_insert(0) += 1;
     }
 
     /// Bytes of cached results (for memory accounting).

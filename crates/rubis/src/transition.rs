@@ -91,9 +91,7 @@ impl TransitionTable {
                 for (action, p) in row {
                     if let NextAction::Goto(i) = action {
                         if i.is_write() && *p > 0.0 {
-                            return Err(format!(
-                                "browsing mix reaches write interaction {i:?}"
-                            ));
+                            return Err(format!("browsing mix reaches write interaction {i:?}"));
                         }
                     }
                 }
@@ -146,11 +144,7 @@ impl TransitionTable {
         );
         set(
             BrowseCategoriesInRegion,
-            &[
-                (Goto(SearchItemsInRegion), 0.90),
-                (Back, 0.06),
-                (End, 0.04),
-            ],
+            &[(Goto(SearchItemsInRegion), 0.90), (Back, 0.06), (End, 0.04)],
         );
         set(
             SearchItemsInRegion,
@@ -216,7 +210,10 @@ impl TransitionTable {
                 (End, 0.05),
             ],
         );
-        set(Register, &[(Goto(RegisterUser), 0.85), (Back, 0.10), (End, 0.05)]);
+        set(
+            Register,
+            &[(Goto(RegisterUser), 0.85), (Back, 0.10), (End, 0.05)],
+        );
         set(RegisterUser, &[(Goto(Browse), 0.80), (End, 0.20)]);
         set(
             Browse,
@@ -253,11 +250,7 @@ impl TransitionTable {
         );
         set(
             BrowseCategoriesInRegion,
-            &[
-                (Goto(SearchItemsInRegion), 0.90),
-                (Back, 0.06),
-                (End, 0.04),
-            ],
+            &[(Goto(SearchItemsInRegion), 0.90), (Back, 0.06), (End, 0.04)],
         );
         set(
             SearchItemsInRegion,
@@ -284,19 +277,40 @@ impl TransitionTable {
             &[(Goto(PutCommentAuth), 0.16), (Back, 0.76), (End, 0.08)],
         );
         set(ViewBidHistory, &[(Back, 0.92), (End, 0.08)]);
-        set(BuyNowAuth, &[(Goto(BuyNow), 0.88), (Back, 0.08), (End, 0.04)]);
-        set(BuyNow, &[(Goto(StoreBuyNow), 0.70), (Back, 0.24), (End, 0.06)]);
-        set(StoreBuyNow, &[(Goto(Browse), 0.60), (Back, 0.20), (End, 0.20)]);
-        set(PutBidAuth, &[(Goto(PutBid), 0.88), (Back, 0.08), (End, 0.04)]);
+        set(
+            BuyNowAuth,
+            &[(Goto(BuyNow), 0.88), (Back, 0.08), (End, 0.04)],
+        );
+        set(
+            BuyNow,
+            &[(Goto(StoreBuyNow), 0.70), (Back, 0.24), (End, 0.06)],
+        );
+        set(
+            StoreBuyNow,
+            &[(Goto(Browse), 0.60), (Back, 0.20), (End, 0.20)],
+        );
+        set(
+            PutBidAuth,
+            &[(Goto(PutBid), 0.88), (Back, 0.08), (End, 0.04)],
+        );
         set(PutBid, &[(Goto(StoreBid), 0.75), (Back, 0.19), (End, 0.06)]);
         set(StoreBid, &[(Back, 0.75), (Goto(Browse), 0.15), (End, 0.10)]);
         set(
             PutCommentAuth,
             &[(Goto(PutComment), 0.88), (Back, 0.08), (End, 0.04)],
         );
-        set(PutComment, &[(Goto(StoreComment), 0.80), (Back, 0.14), (End, 0.06)]);
-        set(StoreComment, &[(Back, 0.70), (Goto(Browse), 0.15), (End, 0.15)]);
-        set(AboutMeAuth, &[(Goto(AboutMe), 0.88), (Back, 0.08), (End, 0.04)]);
+        set(
+            PutComment,
+            &[(Goto(StoreComment), 0.80), (Back, 0.14), (End, 0.06)],
+        );
+        set(
+            StoreComment,
+            &[(Back, 0.70), (Goto(Browse), 0.15), (End, 0.15)],
+        );
+        set(
+            AboutMeAuth,
+            &[(Goto(AboutMe), 0.88), (Back, 0.08), (End, 0.04)],
+        );
         set(AboutMe, &[(Goto(Browse), 0.55), (Back, 0.30), (End, 0.15)]);
         let t = TransitionTable {
             mix: Mix::Bidding,
@@ -391,7 +405,10 @@ mod tests {
             Interaction::AboutMe,
             Interaction::ViewBidHistory,
         ] {
-            assert!(counts.get(&i).copied().unwrap_or(0) > 0, "{i:?} unreachable");
+            assert!(
+                counts.get(&i).copied().unwrap_or(0) > 0,
+                "{i:?} unreachable"
+            );
         }
     }
 

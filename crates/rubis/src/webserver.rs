@@ -165,8 +165,7 @@ impl WebAppServer {
             || self.last_spawn == SimTime::ZERO;
         if self.workers < self.config.max_workers
             && cooled
-            && (f64::from(self.queued) >= threshold
-                || self.busy == self.workers)
+            && (f64::from(self.queued) >= threshold || self.busy == self.workers)
         {
             let spawn = self
                 .config

@@ -29,7 +29,9 @@ fn arbitrary_query(seed: (u8, u32, u32, u16)) -> Query {
         7 => Query::GetMaxBid { item: ItemId(a) },
         8 => Query::AuthUser { user: UserId(a) },
         9 => Query::AboutMe { user: UserId(a) },
-        10 => Query::RegisterUser { region: RegionId(c % 4) },
+        10 => Query::RegisterUser {
+            region: RegionId(c % 4),
+        },
         11 => Query::StoreBid {
             user: UserId(a),
             item: ItemId(b),

@@ -243,7 +243,10 @@ mod tests {
 
     #[test]
     fn normal_truncates_at_zero() {
-        let d = Dist::Normal { mean: 0.5, std_dev: 2.0 };
+        let d = Dist::Normal {
+            mean: 0.5,
+            std_dev: 2.0,
+        };
         let mut rng = SimRng::new(5);
         for _ in 0..10_000 {
             assert!(d.sample(&mut rng) >= 0.0);
@@ -252,15 +255,24 @@ mod tests {
 
     #[test]
     fn lognormal_mean_matches_formula() {
-        let d = Dist::LogNormal { mu: 1.0, sigma: 0.5 };
+        let d = Dist::LogNormal {
+            mu: 1.0,
+            sigma: 0.5,
+        };
         let m = sample_mean(&d, 300_000, 6);
         let expect = (1.0f64 + 0.125).exp();
-        assert!((m - expect).abs() / expect < 0.02, "mean {m} expect {expect}");
+        assert!(
+            (m - expect).abs() / expect < 0.02,
+            "mean {m} expect {expect}"
+        );
     }
 
     #[test]
     fn pareto_respects_x_min_and_mean() {
-        let d = Dist::Pareto { x_min: 1.0, alpha: 3.0 };
+        let d = Dist::Pareto {
+            x_min: 1.0,
+            alpha: 3.0,
+        };
         let mut rng = SimRng::new(7);
         for _ in 0..10_000 {
             assert!(d.sample(&mut rng) >= 1.0);
@@ -271,7 +283,9 @@ mod tests {
 
     #[test]
     fn empirical_weights_respected() {
-        let d = Dist::Empirical { points: vec![(1.0, 1.0), (2.0, 3.0)] };
+        let d = Dist::Empirical {
+            points: vec![(1.0, 1.0), (2.0, 3.0)],
+        };
         let mut rng = SimRng::new(9);
         let n = 100_000;
         let ones = (0..n).filter(|_| d.sample(&mut rng) == 1.0).count();
@@ -283,7 +297,12 @@ mod tests {
     fn validate_catches_bad_params() {
         assert!(Dist::Uniform { lo: 5.0, hi: 1.0 }.validate().is_err());
         assert!(Dist::Erlang { k: 0, mean: 1.0 }.validate().is_err());
-        assert!(Dist::Pareto { x_min: 0.0, alpha: 1.0 }.validate().is_err());
+        assert!(Dist::Pareto {
+            x_min: 0.0,
+            alpha: 1.0
+        }
+        .validate()
+        .is_err());
         assert!(Dist::Empirical { points: vec![] }.validate().is_err());
         assert!(Dist::Exponential { mean: f64::NAN }.validate().is_err());
         assert!(Dist::exp(7.0).validate().is_ok());
@@ -292,9 +311,19 @@ mod tests {
     #[test]
     fn mean_reports() {
         assert_eq!(Dist::exp(7.0).mean(), Some(7.0));
-        assert_eq!(Dist::Pareto { x_min: 1.0, alpha: 0.5 }.mean(), None);
         assert_eq!(
-            Dist::Empirical { points: vec![(2.0, 1.0), (4.0, 1.0)] }.mean(),
+            Dist::Pareto {
+                x_min: 1.0,
+                alpha: 0.5
+            }
+            .mean(),
+            None
+        );
+        assert_eq!(
+            Dist::Empirical {
+                points: vec![(2.0, 1.0), (4.0, 1.0)]
+            }
+            .mean(),
             Some(3.0)
         );
     }

@@ -164,6 +164,18 @@ impl<W> Engine<W> {
                 break;
             }
             debug_assert!(entry.time >= self.now, "time went backwards");
+            crate::audit::check(
+                "engine.time_monotonic",
+                entry.time.as_nanos(),
+                entry.time >= self.now,
+                || {
+                    format!(
+                        "event at {} ns scheduled before current clock {} ns",
+                        entry.time.as_nanos(),
+                        self.now.as_nanos()
+                    )
+                },
+            );
             self.now = entry.time;
             self.executed += 1;
             assert!(
@@ -187,7 +199,10 @@ impl<W> Engine<W> {
         interval: SimDuration,
         tick: impl FnMut(&mut Engine<W>, &mut W) -> bool + 'static,
     ) -> EventId {
-        assert!(interval > SimDuration::ZERO, "periodic interval must be > 0");
+        assert!(
+            interval > SimDuration::ZERO,
+            "periodic interval must be > 0"
+        );
         self.schedule_at(start, move |engine, world| {
             periodic_step(engine, world, interval, tick);
         })
@@ -312,10 +327,7 @@ mod tests {
         eng.run(&mut w);
         assert_eq!(w.log.len(), 4);
         let times: Vec<u64> = w.log.iter().map(|(t, _)| *t).collect();
-        assert_eq!(
-            times,
-            vec![0, 2_000_000_000, 4_000_000_000, 6_000_000_000]
-        );
+        assert_eq!(times, vec![0, 2_000_000_000, 4_000_000_000, 6_000_000_000]);
     }
 
     #[test]

@@ -4,10 +4,11 @@
 //! `cloudchar` testbed — the reproduction of *"Characterizing Workload of
 //! Web Applications on Virtualized Servers"* (Wang et al.).
 //!
-//! The crate provides five building blocks:
+//! The crate provides six building blocks:
 //!
 //! * [`time`] — integer-nanosecond simulated time ([`SimTime`],
 //!   [`SimDuration`]);
+//! * [`audit`] — opt-in runtime invariant checks ([`AuditReport`]);
 //! * [`rng`] — seeded, named-stream random numbers ([`SimRng`]);
 //! * [`dist`] — the probability distributions workload and device models
 //!   draw from ([`Dist`]);
@@ -38,12 +39,14 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod dist;
 pub mod engine;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use audit::AuditReport;
 pub use dist::{Dist, Sample};
 pub use engine::{Engine, EventId};
 pub use rng::SimRng;

@@ -74,10 +74,7 @@ impl SimRng {
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_u64_raw(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -188,7 +185,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = SimRng::new(1);
         let mut b = SimRng::new(2);
-        let same = (0..64).filter(|_| a.next_u64_raw() == b.next_u64_raw()).count();
+        let same = (0..64)
+            .filter(|_| a.next_u64_raw() == b.next_u64_raw())
+            .count();
         assert_eq!(same, 0);
     }
 
@@ -214,7 +213,9 @@ mod tests {
         let root = SimRng::new(7);
         let mut a = root.derive("alpha");
         let mut b = root.derive("beta");
-        let same = (0..64).filter(|_| a.next_u64_raw() == b.next_u64_raw()).count();
+        let same = (0..64)
+            .filter(|_| a.next_u64_raw() == b.next_u64_raw())
+            .count();
         assert_eq!(same, 0);
     }
 

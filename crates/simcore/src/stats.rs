@@ -242,11 +242,11 @@ impl LogHistogram {
         for (i, &c) in self.counts.iter().enumerate() {
             cum += c;
             if cum >= target {
-                return Some(if i < self.bounds.len() {
-                    self.bounds[i]
-                } else {
-                    *self.bounds.last().unwrap()
-                });
+                return self
+                    .bounds
+                    .get(i)
+                    .copied()
+                    .or_else(|| self.bounds.last().copied());
             }
         }
         self.bounds.last().copied()

@@ -24,6 +24,7 @@ use crate::sched::{CreditScheduler, Demand, SchedParams};
 use cloudchar_hw::memory::Bytes;
 use cloudchar_hw::server::{PhysicalServer, ServerSpec};
 use cloudchar_hw::{IoKind, IoRequest, WorkToken};
+use cloudchar_simcore::audit;
 use cloudchar_simcore::stats::Counter;
 use cloudchar_simcore::{SimDuration, SimRng, SimTime};
 use std::collections::BTreeMap;
@@ -70,12 +71,7 @@ pub struct Hypervisor {
 impl Hypervisor {
     /// Install a hypervisor on a host. `dom0_memory` is the memory
     /// reservation of the driver domain.
-    pub fn new(
-        spec: ServerSpec,
-        dom0_memory: Bytes,
-        overhead: OverheadModel,
-        rng: SimRng,
-    ) -> Self {
+    pub fn new(spec: ServerSpec, dom0_memory: Bytes, overhead: OverheadModel, rng: SimRng) -> Self {
         overhead.validate().expect("invalid overhead model");
         let host = PhysicalServer::new(spec);
         let mut sched = CreditScheduler::new(spec.cpu.cores);
@@ -91,7 +87,8 @@ impl Hypervisor {
         let mut domains = BTreeMap::new();
         let mut dom0 = Domain::new(DomId::DOM0, dom0_cfg);
         // Dom0 kernel + daemons baseline resident set.
-        dom0.memory.set_component("dom0-base", 650 * cloudchar_hw::MIB);
+        dom0.memory
+            .set_component("dom0-base", 650 * cloudchar_hw::MIB);
         domains.insert(DomId::DOM0, dom0);
         Hypervisor {
             host,
@@ -190,7 +187,7 @@ impl Hypervisor {
         let dom0_base = self.overhead.dom0_cycles_per_sec * dt_secs;
         self.domains
             .get_mut(&DomId::DOM0)
-            .unwrap()
+            .expect("dom0 is registered")
             .add_overhead_cycles(dom0_base);
 
         // 3. Collect demands (core-seconds).
@@ -205,11 +202,12 @@ impl Hypervisor {
 
         // 4. Allocate and execute.
         let allocations = self.sched.allocate(dt_secs, &demands);
+        let mut executed_cycles_total = 0.0;
         for alloc in allocations {
             if alloc.core_secs <= 0.0 && alloc.starved_core_secs <= 0.0 {
                 continue;
             }
-            let dom = self.domains.get_mut(&alloc.dom).unwrap();
+            let dom = self.domains.get_mut(&alloc.dom).expect("unknown domain");
             let budget_cycles = alloc.core_secs * hz;
             let mut tokens = Vec::new();
             let executed = dom.execute(budget_cycles, &mut tokens);
@@ -219,22 +217,41 @@ impl Hypervisor {
                 let extra = executed * (self.overhead.guest_cycle_accounting_scale - 1.0);
                 dom.virt_cycles.add(extra.round() as u64);
             }
-            dom.run_ns
-                .add((alloc.core_secs * 1e9).round() as u64);
+            dom.run_ns.add((alloc.core_secs * 1e9).round() as u64);
             dom.steal_ns
                 .add((alloc.starved_core_secs * 1e9).round() as u64);
             if executed > 0.0 {
                 // Roughly one context switch per quantum per busy VCPU.
-                dom.kernel.context_switches.add(
-                    (alloc.core_secs / dt_secs).ceil().max(1.0) as u64,
-                );
+                dom.kernel
+                    .context_switches
+                    .add((alloc.core_secs / dt_secs).ceil().max(1.0) as u64);
                 dom.kernel.interrupts.add(1); // timer tick
             }
             self.host.cycles.add(executed.round() as u64);
+            executed_cycles_total += executed;
             completions.extend(tokens.into_iter().map(|token| Completion {
                 dom: alloc.dom,
                 token,
             }));
+        }
+
+        if audit::is_enabled() {
+            // Guest execution is bounded by the machine: the sum of what
+            // all domains ran this quantum may not exceed the physical
+            // CPU capacity. The hypervisor/dom0 housekeeping cycles are
+            // modeled overhead on top and accounted separately above.
+            let capacity_cycles = self.host.spec().cpu.capacity_cycles(dt_secs);
+            audit::check(
+                "xen.hv.cpu_capacity",
+                0,
+                executed_cycles_total <= capacity_cycles * (1.0 + 1e-9) + 1.0,
+                || {
+                    format!(
+                        "domains executed {executed_cycles_total} cycles in one quantum, \
+                         physical capacity is {capacity_cycles}"
+                    )
+                },
+            );
         }
     }
 
@@ -261,7 +278,10 @@ impl Hypervisor {
         }
         // Backend (dom0) CPU work.
         let backend = self.overhead.disk_backend_cycles(req.bytes);
-        let dom0 = self.domains.get_mut(&DomId::DOM0).unwrap();
+        let dom0 = self
+            .domains
+            .get_mut(&DomId::DOM0)
+            .expect("dom0 is registered");
         dom0.add_overhead_cycles(backend);
         dom0.kernel.interrupts.add(1);
         dom0.kernel.context_switches.add(1);
@@ -290,8 +310,7 @@ impl Hypervisor {
                 }
             }
             IoKind::Write => {
-                let phys_bytes =
-                    (req.bytes as f64 * self.overhead.disk_write_amplification) as u64;
+                let phys_bytes = (req.bytes as f64 * self.overhead.disk_write_amplification) as u64;
                 let done = self.host.disk.submit(
                     now + ec,
                     IoRequest {
@@ -314,7 +333,10 @@ impl Hypervisor {
     pub fn guest_net_ingress(&mut self, now: SimTime, dom: DomId, bytes: Bytes) -> SimTime {
         self.host.nic.receive(bytes);
         let backend = self.overhead.net_backend_cycles(bytes);
-        let dom0 = self.domains.get_mut(&DomId::DOM0).unwrap();
+        let dom0 = self
+            .domains
+            .get_mut(&DomId::DOM0)
+            .expect("dom0 is registered");
         dom0.add_overhead_cycles(backend);
         dom0.kernel.interrupts.add(bytes.div_ceil(1448).max(1));
         let d = self.domains.get_mut(&dom).expect("unknown domain");
@@ -336,7 +358,10 @@ impl Hypervisor {
         }
         self.vif_accounting_phantom(dom, bytes);
         let backend = self.overhead.net_backend_cycles(bytes);
-        let dom0 = self.domains.get_mut(&DomId::DOM0).unwrap();
+        let dom0 = self
+            .domains
+            .get_mut(&DomId::DOM0)
+            .expect("dom0 is registered");
         dom0.add_overhead_cycles(backend);
         dom0.kernel.interrupts.add(bytes.div_ceil(1448).max(1));
         let bridge = SimDuration::from_secs_f64(self.overhead.bridge_latency_s);
@@ -368,7 +393,10 @@ impl Hypervisor {
         // (receive from one vif, transmit into the other).
         let backend = 2.0 * self.overhead.net_backend_cycles(bytes);
         self.bridge_bytes.add(bytes);
-        let dom0 = self.domains.get_mut(&DomId::DOM0).unwrap();
+        let dom0 = self
+            .domains
+            .get_mut(&DomId::DOM0)
+            .expect("dom0 is registered");
         dom0.add_overhead_cycles(backend);
         dom0.kernel.context_switches.add(2);
         now + SimDuration::from_secs_f64(
@@ -386,7 +414,7 @@ impl Hypervisor {
         let applied = d.memory.balloon_to(target);
         self.domains
             .get_mut(&DomId::DOM0)
-            .unwrap()
+            .expect("dom0 is registered")
             .add_overhead_cycles(500_000.0);
         applied
     }
@@ -436,13 +464,22 @@ mod tests {
         let mut done = Vec::new();
         // One quantum at 10 ms: 2 VCPUs × 2.8 GHz × 10 ms ≫ demand.
         h.quantum_tick(SimDuration::from_millis(10), &mut done);
-        assert_eq!(done, vec![Completion { dom: web, token: WorkToken(1) }]);
+        assert_eq!(
+            done,
+            vec![Completion {
+                dom: web,
+                token: WorkToken(1)
+            }]
+        );
         // Reported (virtualized) cycles ≈ demand × inflation × accounting
         // scale.
         let reported = h.domain(web).virt_cycles.total() as f64;
         let o = OverheadModel::default();
         let expect = 1_000_000.0 * o.guest_cpu_inflation * o.guest_cycle_accounting_scale;
-        assert!((reported - expect).abs() / expect < 0.01, "reported {reported}");
+        assert!(
+            (reported - expect).abs() / expect < 0.01,
+            "reported {reported}"
+        );
     }
 
     #[test]
@@ -457,7 +494,10 @@ mod tests {
         // Dom0 base work executed (1 s of dom0_cycles_per_sec).
         let dom0_cycles = h.domain(DomId::DOM0).virt_cycles.total() as f64;
         let expect = OverheadModel::default().dom0_cycles_per_sec;
-        assert!((dom0_cycles - expect).abs() / expect < 0.05, "{dom0_cycles}");
+        assert!(
+            (dom0_cycles - expect).abs() / expect < 0.05,
+            "{dom0_cycles}"
+        );
         assert!(h.dom0_visible_physical_cycles() > h.hv_cycles_total());
     }
 
@@ -545,7 +585,9 @@ mod tests {
     fn balloon_reshapes_guest_memory() {
         let mut h = hv();
         let web = h.create_domain(DomainConfig::paper_vm("web"));
-        h.domain_mut(web).memory.set_component("app", cloudchar_hw::GIB / 2);
+        h.domain_mut(web)
+            .memory
+            .set_component("app", cloudchar_hw::GIB / 2);
         let applied = h.balloon(web, cloudchar_hw::GIB);
         assert_eq!(applied, cloudchar_hw::GIB);
         assert_eq!(h.domain(web).memory.spec().total, cloudchar_hw::GIB);

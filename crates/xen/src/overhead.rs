@@ -138,7 +138,11 @@ impl OverheadModel {
                 1.0,
             ),
             ("dom0_read_cache_hit+1", self.dom0_read_cache_hit + 1.0, 1.0),
-            ("event_channel_latency_s+1", self.event_channel_latency_s + 1.0, 1.0),
+            (
+                "event_channel_latency_s+1",
+                self.event_channel_latency_s + 1.0,
+                1.0,
+            ),
         ];
         for (name, v, min) in checks {
             if !(v.is_finite() && v >= min) {

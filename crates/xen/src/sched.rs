@@ -15,6 +15,7 @@
 //! credit accumulation.
 
 use crate::domain::DomId;
+use cloudchar_simcore::audit;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -114,11 +115,7 @@ impl CreditScheduler {
         // 1. Refill credits in proportion to weight, scaled to quantum
         //    length; clamp to ±1 period of full-machine capacity.
         let capacity = self.physical_cores as f64 * dt_secs;
-        let total_weight: f64 = self
-            .doms
-            .values()
-            .map(|d| f64::from(d.params.weight))
-            .sum();
+        let total_weight: f64 = self.doms.values().map(|d| f64::from(d.params.weight)).sum();
         if total_weight > 0.0 {
             let clamp = self.physical_cores as f64 * self.period_secs;
             for st in self.doms.values_mut() {
@@ -153,9 +150,7 @@ impl CreditScheduler {
             }
             let mut class: Vec<&mut (DomId, f64)> = ceilings
                 .iter_mut()
-                .filter(|(d, ceil)| {
-                    *ceil > 1e-15 && (self.doms[d].credits >= 0.0) == under_class
-                })
+                .filter(|(d, ceil)| *ceil > 1e-15 && (self.doms[d].credits >= 0.0) == under_class)
                 .collect();
             // Water-fill within the class.
             while !class.is_empty() && remaining > 1e-15 {
@@ -169,7 +164,9 @@ impl CreditScheduler {
                     let (d, ceil) = (entry.0, entry.1);
                     let share = remaining * f64::from(self.doms[&d].params.weight) / wsum;
                     if share >= ceil {
-                        *granted.get_mut(&d).unwrap() += ceil;
+                        if let Some(g) = granted.get_mut(&d) {
+                            *g += ceil;
+                        }
                         entry.1 = 0.0;
                         saturated = true;
                         false
@@ -188,7 +185,9 @@ impl CreditScheduler {
                         .sum();
                     for entry in &mut class {
                         let share = remaining * f64::from(self.doms[&entry.0].params.weight) / wsum;
-                        *granted.get_mut(&entry.0).unwrap() += share;
+                        if let Some(g) = granted.get_mut(&entry.0) {
+                            *g += share;
+                        }
                         entry.1 -= share;
                     }
                     remaining = 0.0;
@@ -198,19 +197,55 @@ impl CreditScheduler {
         }
 
         // 4. Debit credits and produce allocations.
-        demands
+        let allocations: Vec<Allocation> = demands
             .iter()
             .map(|d| {
                 let got = granted.get(&d.dom).copied().unwrap_or(0.0);
-                let st = self.doms.get_mut(&d.dom).unwrap();
-                st.credits -= got;
+                if let Some(st) = self.doms.get_mut(&d.dom) {
+                    st.credits -= got;
+                }
                 Allocation {
                     dom: d.dom,
                     core_secs: got,
                     starved_core_secs: (d.core_secs.max(0.0) - got).max(0.0),
                 }
             })
-            .collect()
+            .collect();
+
+        if audit::is_enabled() {
+            let total: f64 = allocations.iter().map(|a| a.core_secs).sum();
+            audit::check(
+                "xen.sched.capacity",
+                0,
+                total <= capacity * (1.0 + 1e-9) + 1e-12,
+                || format!("granted {total} core-s exceeds capacity {capacity} core-s"),
+            );
+            for a in &allocations {
+                audit::check(
+                    "xen.sched.allocation_nonnegative",
+                    0,
+                    a.core_secs >= 0.0
+                        && a.core_secs.is_finite()
+                        && a.starved_core_secs >= 0.0
+                        && a.starved_core_secs.is_finite(),
+                    || {
+                        format!(
+                            "domain {:?}: granted {} core-s, starved {} core-s",
+                            a.dom, a.core_secs, a.starved_core_secs
+                        )
+                    },
+                );
+            }
+            for (dom, st) in &self.doms {
+                audit::check(
+                    "xen.sched.credits_finite",
+                    0,
+                    st.credits.is_finite(),
+                    || format!("domain {dom:?} credit balance is {}", st.credits),
+                );
+            }
+        }
+        allocations
     }
 }
 
@@ -320,7 +355,10 @@ mod tests {
 
     #[test]
     fn conservation_never_over_allocates() {
-        let mut s = sched(2, &[(1, 100, None, 2), (2, 300, None, 2), (3, 600, Some(25), 1)]);
+        let mut s = sched(
+            2,
+            &[(1, 100, None, 2), (2, 300, None, 2), (3, 600, Some(25), 1)],
+        );
         for step in 0..1000 {
             let d = [
                 demand(1, 0.001 * (step % 30) as f64),

@@ -25,7 +25,8 @@ fn main() {
             let phys_host = r.hypervisor_host().unwrap_or_else(|| r.front_host());
             let cpu = r.cpu_cycles(phys_host);
             let capacity_per_sample = 8.0 * 2.8e9 * 2.0;
-            let cpu_pct = 100.0 * cpu.iter().sum::<f64>() / (cpu.len() as f64 * capacity_per_sample);
+            let cpu_pct =
+                100.0 * cpu.iter().sum::<f64>() / (cpu.len() as f64 * capacity_per_sample);
             println!(
                 "{clients:>7} | {:<15} | {:>14.1} | {:>9} | {:>5.1} | {:>14.2}",
                 match deployment {

@@ -23,7 +23,11 @@ fn main() {
         let jumps = q2_ram_jumps(&r, 8, 40.0);
         println!(
             "{name:<8} | {:>14.3e} | {:>13.3e} | {:>13.1} | {:>10.1} | {:>5}",
-            web_cpu.mean, db_cpu.mean, web_net.mean, web_ram.mean, jumps.len()
+            web_cpu.mean,
+            db_cpu.mean,
+            web_net.mean,
+            web_ram.mean,
+            jumps.len()
         );
     }
     println!();

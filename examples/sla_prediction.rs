@@ -16,7 +16,8 @@ const SLA_MS: f64 = 400.0;
 fn main() {
     // 1. Characterize at two calibration loads to separate the
     //    per-client demand (slope) from the idle baseline (intercept).
-    let mut calib = ExperimentConfig::fast(Deployment::Virtualized, WorkloadMix::percent_browsing(50));
+    let mut calib =
+        ExperimentConfig::fast(Deployment::Virtualized, WorkloadMix::percent_browsing(50));
     let mut demand_at = |clients: u32| {
         calib.clients = clients;
         let r = run(calib.clone());
@@ -26,9 +27,7 @@ fn main() {
     let (d1, d2) = (demand_at(n1), demand_at(n2));
     let slope = (d2 - d1) / f64::from(n2 - n1);
     let intercept = d1 - slope * f64::from(n1);
-    println!(
-        "calibration: dom0 demand ≈ {intercept:.3e} + {slope:.3e} × clients (cyc/2s)"
-    );
+    println!("calibration: dom0 demand ≈ {intercept:.3e} + {slope:.3e} × clients (cyc/2s)");
 
     // 2. Project demand linearly and validate against actual runs.
     println!();
@@ -43,7 +42,11 @@ fn main() {
         let resp_ms = r.response_time_mean_s * 1e3;
         println!(
             "{clients:>7} | {projected:>21.3e} | {measured:>8.3e} | {resp_ms:>7.1} | {}",
-            if resp_ms <= SLA_MS { "meets" } else { "VIOLATES" }
+            if resp_ms <= SLA_MS {
+                "meets"
+            } else {
+                "VIOLATES"
+            }
         );
     }
     println!();

@@ -7,15 +7,19 @@
 //! cargo run --release --example workload_fitting
 //! ```
 
-use cloudchar_analysis::{
-    autocorrelation, best_fit, dominant_periods, HistogramModel, Resource,
-};
+use cloudchar_analysis::{autocorrelation, best_fit, dominant_periods, HistogramModel, Resource};
 use cloudchar_core::{run, Deployment, ExperimentConfig};
 use cloudchar_rubis::WorkloadMix;
 
 fn main() {
-    let browse = run(ExperimentConfig::fast(Deployment::Virtualized, WorkloadMix::BROWSING));
-    let bid = run(ExperimentConfig::fast(Deployment::Virtualized, WorkloadMix::BIDDING));
+    let browse = run(ExperimentConfig::fast(
+        Deployment::Virtualized,
+        WorkloadMix::BROWSING,
+    ));
+    let bid = run(ExperimentConfig::fast(
+        Deployment::Virtualized,
+        WorkloadMix::BIDDING,
+    ));
 
     println!("series                       best fit (KS)                         ac1   period");
     println!("---------------------------- ------------------------------------- ----- -------");
@@ -25,7 +29,11 @@ fn main() {
             let fit = best_fit(&xs)
                 .map(|f| format!("{:?} ({:.3})", f.dist, f.ks))
                 .unwrap_or_else(|| "—".into());
-            let fit = if fit.len() > 37 { format!("{}…", &fit[..36]) } else { fit };
+            let fit = if fit.len() > 37 {
+                format!("{}…", &fit[..36])
+            } else {
+                fit
+            };
             let ac1 = autocorrelation(&xs, 1).unwrap_or(0.0);
             let period = dominant_periods(&xs, 0.10, 1)
                 .first()
@@ -41,7 +49,11 @@ fn main() {
     let a = browse.resource_series(Resource::Net, "web-vm");
     let b = bid.resource_series(Resource::Net, "web-vm");
     let lo = a.iter().chain(&b).cloned().fold(f64::INFINITY, f64::min);
-    let hi = a.iter().chain(&b).cloned().fold(f64::NEG_INFINITY, f64::max);
+    let hi = a
+        .iter()
+        .chain(&b)
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
     // Common binning: clamp both into the same range.
     let clamp = |xs: &[f64]| -> Vec<f64> {
         let mut v = xs.to_vec();

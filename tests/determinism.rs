@@ -85,6 +85,30 @@ fn deterministic_across_deployments_independently() {
 }
 
 #[test]
+fn replay_is_byte_identical_across_all_tiers() {
+    // Stronger than the fingerprint check: two runs with the same master
+    // seed must serialize to *byte-identical* metric stores — every
+    // sampled series on every tier (web-vm, mysql-vm, dom0 / physical
+    // hosts), in a stable key order.
+    for deployment in [Deployment::Virtualized, Deployment::NonVirtualized] {
+        let run_once = || {
+            let mut c = ExperimentConfig::fast(deployment, WorkloadMix::percent_browsing(70));
+            c.seed = 777;
+            run(c)
+        };
+        let a = run_once();
+        let b = run_once();
+        let bytes_a = serde_json::to_vec(&a.store).expect("store serializes");
+        let bytes_b = serde_json::to_vec(&b.store).expect("store serializes");
+        assert_eq!(
+            bytes_a, bytes_b,
+            "{deployment:?}: replay produced different serialized stores"
+        );
+        assert!(!bytes_a.is_empty());
+    }
+}
+
+#[test]
 fn catalog_is_global_and_stable() {
     let c1 = catalog();
     let c2 = catalog();

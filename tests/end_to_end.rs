@@ -1,9 +1,7 @@
 //! End-to-end integration tests: full experiments across every crate.
 
 use cloudchar_analysis::{summarize, Resource};
-use cloudchar_core::{
-    q1_tier_lag, q3_disk_cv, ratio_report, run, Deployment, ExperimentConfig,
-};
+use cloudchar_core::{q1_tier_lag, q3_disk_cv, ratio_report, run, Deployment, ExperimentConfig};
 use cloudchar_monitor::{catalog, Source};
 use cloudchar_rubis::WorkloadMix;
 use cloudchar_simcore::SimDuration;
@@ -73,8 +71,8 @@ fn conservation_network_bytes_across_tiers() {
 fn dom0_physical_disk_exceeds_guest_virtual_disk() {
     // Split-driver amplification: physical bytes > virtual bytes.
     let r = run(virt(WorkloadMix::BIDDING));
-    let guest: f64 = r.disk_kb("web-vm").iter().sum::<f64>()
-        + r.disk_kb("mysql-vm").iter().sum::<f64>();
+    let guest: f64 =
+        r.disk_kb("web-vm").iter().sum::<f64>() + r.disk_kb("mysql-vm").iter().sum::<f64>();
     let dom0: f64 = r.disk_kb("dom0").iter().sum();
     assert!(dom0 > guest, "dom0 {dom0} vs guests {guest}");
 }
@@ -82,8 +80,8 @@ fn dom0_physical_disk_exceeds_guest_virtual_disk() {
 #[test]
 fn guest_cycles_exceed_dom0_view() {
     let r = run(virt(WorkloadMix::BROWSING));
-    let guests: f64 = r.cpu_cycles("web-vm").iter().sum::<f64>()
-        + r.cpu_cycles("mysql-vm").iter().sum::<f64>();
+    let guests: f64 =
+        r.cpu_cycles("web-vm").iter().sum::<f64>() + r.cpu_cycles("mysql-vm").iter().sum::<f64>();
     let dom0: f64 = r.cpu_cycles("dom0").iter().sum();
     assert!(guests > dom0, "guests {guests} dom0 {dom0}");
 }
@@ -110,8 +108,16 @@ fn browsing_mix_issues_no_db_writes() {
 fn response_times_are_sane() {
     for cfg in [virt(WorkloadMix::BIDDING), phys(WorkloadMix::BIDDING)] {
         let r = run(cfg);
-        assert!(r.response_time_mean_s > 0.001, "mean {}", r.response_time_mean_s);
-        assert!(r.response_time_mean_s < 5.0, "mean {}", r.response_time_mean_s);
+        assert!(
+            r.response_time_mean_s > 0.001,
+            "mean {}",
+            r.response_time_mean_s
+        );
+        assert!(
+            r.response_time_mean_s < 5.0,
+            "mean {}",
+            r.response_time_mean_s
+        );
         assert!(r.response_time_max_s >= r.response_time_mean_s);
     }
 }

@@ -1,0 +1,159 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Keeps the workspace's benchmark sources compiling and runnable with
+//! `cargo bench` in an environment without registry access. Measurement
+//! is rudimentary — a warm-up pass, then a fixed batch timed with
+//! `std::time::Instant` and reported as mean wall time per iteration —
+//! with none of criterion's statistics, plots, or history.
+
+use std::time::Instant;
+
+/// Entry point handed to benchmark functions.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Register and immediately run one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Register and immediately run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, name), self.sample_size, &mut f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(name: &str, sample_size: usize, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        iters: 1,
+        elapsed_ns: 0,
+    };
+    // Warm-up / correctness pass.
+    f(&mut b);
+    // Timed pass.
+    b.iters = sample_size as u64;
+    b.elapsed_ns = 0;
+    f(&mut b);
+    let per_iter = b.elapsed_ns as f64 / b.iters.max(1) as f64;
+    println!("bench {name}: {:.1} ns/iter ({} iters)", per_iter, b.iters);
+}
+
+/// Runs the measured closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Time `f` over this bencher's iteration budget.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+}
+
+/// Re-export for sources that import `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Produce a `main` that runs the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut calls = 0u64;
+        Criterion::default().bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            });
+        });
+        // Warm-up (1 iter) + timed batch (sample_size iters).
+        assert_eq!(calls, 1 + 20);
+    }
+
+    #[test]
+    fn group_respects_sample_size() {
+        let mut calls = 0u64;
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(5);
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+            });
+        });
+        g.finish();
+        assert_eq!(calls, 1 + 5);
+    }
+}

@@ -1,0 +1,350 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Provides the subset of the proptest API this workspace uses —
+//! [`Strategy`], `any::<T>()`, range / tuple / `collection::vec` /
+//! `option::of` strategies, `prop_map`, and the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Differences from real proptest, on purpose:
+//!
+//! * **Deterministic**: cases are generated from a seed derived from the
+//!   test's name, never from wall-clock entropy, so failures reproduce
+//!   exactly and `cargo test` is stable run-to-run.
+//! * **No shrinking**: a failing case panics with the case index; rerun
+//!   with the same build to reproduce it.
+
+use std::ops::Range;
+
+/// Number of generated cases per `proptest!` test function.
+pub const NUM_CASES: u64 = 64;
+
+/// Deterministic generator state (SplitMix64).
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// Seed from a test name, so every test gets a distinct but stable
+    /// case sequence.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Gen { state: h }
+    }
+
+    /// Re-derive the stream for a given case index.
+    pub fn reseed_case(&mut self, base: u64, case: u64) {
+        self.state = base ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    /// Raw seed value for this generator.
+    pub fn seed(&self) -> u64 {
+        self.state
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A recipe for producing values of one type.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, g: &mut Gen) -> Self::Value;
+
+    /// Transform produced values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, g: &mut Gen) -> O {
+        (self.f)(self.inner.generate(g))
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, g: &mut Gen) -> $t {
+                let span = (self.end as i128 - self.start as i128).max(1) as u128;
+                let offset = (u128::from(g.next_u64()) % span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, g: &mut Gen) -> f64 {
+        self.start + g.next_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident $idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, g: &mut Gen) -> Self::Value {
+                ($(self.$idx.generate(g),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary {
+    /// Produce an arbitrary value.
+    fn arbitrary(g: &mut Gen) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(g: &mut Gen) -> bool {
+        g.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(g: &mut Gen) -> $t {
+                g.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_arbitrary_tuple {
+    ($(($($name:ident),+);)*) => {$(
+        impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+            fn arbitrary(g: &mut Gen) -> Self {
+                ($(<$name as Arbitrary>::arbitrary(g),)+)
+            }
+        }
+    )*};
+}
+impl_arbitrary_tuple! {
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+}
+
+/// Strategy for any value of `T` (see [`Arbitrary`]).
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, g: &mut Gen) -> T {
+        T::arbitrary(g)
+    }
+}
+
+/// The strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Gen, Strategy};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Vectors of values from `element`, with a length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, g: &mut Gen) -> Vec<S::Value> {
+            let n = self.len.generate(g);
+            (0..n).map(|_| self.element.generate(g)).collect()
+        }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use super::{Gen, Strategy};
+
+    /// Strategy for `Option<S::Value>`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some` roughly three times out of four, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, g: &mut Gen) -> Option<S::Value> {
+            if g.next_u64() % 4 == 0 {
+                None
+            } else {
+                Some(self.inner.generate(g))
+            }
+        }
+    }
+}
+
+/// Define deterministic property tests.
+///
+/// Each function runs [`NUM_CASES`] generated cases; a failing
+/// `prop_assert!` panics with the case index for reproduction.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut g = $crate::Gen::from_name(stringify!($name));
+                let base = g.seed();
+                for case in 0..$crate::NUM_CASES {
+                    g.reseed_case(base, case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut g);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+);
+    };
+}
+
+/// The usual glob import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut g = Gen::from_name("ranges");
+        for _ in 0..1000 {
+            let x = (3u32..17).generate(&mut g);
+            assert!((3..17).contains(&x));
+            let y = (-1e6f64..1e6).generate(&mut g);
+            assert!((-1e6..1e6).contains(&y));
+            let z = (-5i32..5).generate(&mut g);
+            assert!((-5..5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = collection::vec((any::<bool>(), 0u64..100), 1..20);
+        let mut g1 = Gen::from_name("det");
+        let mut g2 = Gen::from_name("det");
+        assert_eq!(strat.generate(&mut g1), strat.generate(&mut g2));
+        let mut g3 = Gen::from_name("other");
+        let _ = strat.generate(&mut g3);
+        assert_ne!(g1.seed(), g3.seed());
+    }
+
+    #[test]
+    fn prop_map_and_option_compose() {
+        let strat = option::of((0u8..10).prop_map(|x| x * 2));
+        let mut g = Gen::from_name("compose");
+        let mut saw_none = false;
+        let mut saw_some = false;
+        for _ in 0..200 {
+            match strat.generate(&mut g) {
+                None => saw_none = true,
+                Some(x) => {
+                    assert!(x % 2 == 0 && x < 20);
+                    saw_some = true;
+                }
+            }
+        }
+        assert!(saw_none && saw_some);
+    }
+
+    proptest! {
+        #[test]
+        fn macro_compiles_and_runs(xs in collection::vec(0u64..50, 1..10), flag in any::<bool>()) {
+            prop_assert!(xs.len() < 10);
+            let total: u64 = xs.iter().sum();
+            prop_assert!(total <= 50 * xs.len() as u64, "sum {total} too large (flag {flag})");
+            prop_assert_eq!(xs.len(), xs.iter().count());
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Offline vendored stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so the workspace ships
+//! the minimal surface it actually uses: the [`RngCore`] / [`SeedableRng`]
+//! traits and the [`Error`] type. All simulation-critical sampling is
+//! implemented locally in `cloudchar-simcore`; this crate exists only so
+//! `SimRng` keeps exposing the standard trait vocabulary.
+
+/// Error type for fallible RNG operations (never produced by cloudchar's
+/// infallible generators).
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// An error with a static description.
+    pub fn new(msg: &'static str) -> Self {
+        Error { msg }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rng error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible fill; infallible generators simply delegate.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Seed material.
+    type Seed;
+
+    /// Build a generator from a seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let v = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&v[..chunk.len()]);
+            }
+        }
+    }
+
+    impl SeedableRng for Lcg {
+        type Seed = [u8; 8];
+        fn from_seed(seed: Self::Seed) -> Self {
+            Lcg(u64::from_le_bytes(seed))
+        }
+    }
+
+    #[test]
+    fn traits_compose() {
+        let mut r = Lcg::from_seed([1, 0, 0, 0, 0, 0, 0, 0]);
+        let a = r.next_u64();
+        let b = r.next_u64();
+        assert_ne!(a, b);
+        let mut buf = [0u8; 5];
+        r.try_fill_bytes(&mut buf).expect("infallible");
+        assert!(buf.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn error_displays() {
+        let e = Error::new("boom");
+        assert!(format!("{e}").contains("boom"));
+    }
+}

@@ -1,0 +1,435 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build environment has no registry access, so the workspace ships a
+//! self-contained serialization framework under the same crate name. It
+//! keeps serde's surface syntax — `#[derive(Serialize, Deserialize)]`,
+//! `use serde::{Serialize, Deserialize}` — but the data model is a single
+//! JSON-shaped [`Value`] tree instead of serde's visitor machinery:
+//!
+//! * [`Serialize::to_value`] renders a type into a [`Value`];
+//! * [`Deserialize::from_value`] rebuilds the type from a [`Value`];
+//! * the companion `serde_json` vendored crate converts [`Value`] to and
+//!   from JSON text.
+//!
+//! Supported derive shapes (everything cloudchar uses): named-field
+//! structs, newtype structs, unit-variant enums, newtype/struct-variant
+//! enums (externally tagged), internally tagged enums via
+//! `#[serde(tag = "...", rename_all = "snake_case")]`, and per-field
+//! `#[serde(with = "module")]` redirection.
+
+use std::collections::BTreeMap;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped self-describing value.
+///
+/// Maps preserve insertion order (struct field order), which keeps the
+/// serialized form deterministic for identical inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative or signed integer.
+    I64(i64),
+    /// Non-negative integer.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object, as an ordered entry list.
+    Map(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Look up an object field; absent keys read as [`Value::Null`].
+    pub fn field(&self, name: &str) -> &Value {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+
+    /// Borrow as a string.
+    pub fn as_str(&self) -> Result<&str, Error> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(Error::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+
+    /// Borrow as an array.
+    pub fn as_seq(&self) -> Result<&[Value], Error> {
+        match self {
+            Value::Seq(xs) => Ok(xs),
+            other => Err(Error::msg(format!("expected array, got {other:?}"))),
+        }
+    }
+
+    /// Borrow as an object entry list.
+    pub fn as_map(&self) -> Result<&[(String, Value)], Error> {
+        match self {
+            Value::Map(entries) => Ok(entries),
+            other => Err(Error::msg(format!("expected object, got {other:?}"))),
+        }
+    }
+
+    /// Numeric view as `f64` (accepts any number representation).
+    pub fn as_f64(&self) -> Result<f64, Error> {
+        match *self {
+            Value::F64(x) => Ok(x),
+            Value::I64(x) => Ok(x as f64),
+            Value::U64(x) => Ok(x as f64),
+            // serde_json writes non-finite floats as null; read them back
+            // as NaN so a value round-trips structurally.
+            Value::Null => Ok(f64::NAN),
+            ref other => Err(Error::msg(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    /// Numeric view as `u64`.
+    pub fn as_u64(&self) -> Result<u64, Error> {
+        match *self {
+            Value::U64(x) => Ok(x),
+            Value::I64(x) if x >= 0 => Ok(x as u64),
+            ref other => Err(Error::msg(format!(
+                "expected unsigned integer, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Numeric view as `i64`.
+    pub fn as_i64(&self) -> Result<i64, Error> {
+        match *self {
+            Value::I64(x) => Ok(x),
+            Value::U64(x) if x <= i64::MAX as u64 => Ok(x as i64),
+            ref other => Err(Error::msg(format!("expected integer, got {other:?}"))),
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Result<bool, Error> {
+        match *self {
+            Value::Bool(b) => Ok(b),
+            ref other => Err(Error::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error carrying a description.
+    pub fn msg(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types renderable into a [`Value`].
+pub trait Serialize {
+    /// Render `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types rebuildable from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuild from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_u64()?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::msg(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let raw = v.as_u64()?;
+        usize::try_from(raw).map_err(|_| Error::msg(format!("{raw} out of range for usize")))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(i64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_i64()?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::msg(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        Value::I64(*self as i64)
+    }
+}
+impl Deserialize for isize {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let raw = v.as_i64()?;
+        isize::try_from(raw).map_err(|_| Error::msg(format!("{raw} out of range for isize")))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.as_f64()? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.as_str()?.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_seq()? {
+            [a, b] => Ok((A::from_value(a)?, B::from_value(b)?)),
+            xs => Err(Error::msg(format!(
+                "expected 2-tuple, got {} items",
+                xs.len()
+            ))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_seq()? {
+            [a, b, c] => Ok((A::from_value(a)?, B::from_value(b)?, C::from_value(c)?)),
+            xs => Err(Error::msg(format!(
+                "expected 3-tuple, got {} items",
+                xs.len()
+            ))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_map()?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_lookup_defaults_to_null() {
+        let m = Value::Map(vec![("a".into(), Value::U64(1))]);
+        assert_eq!(m.field("a"), &Value::U64(1));
+        assert_eq!(m.field("missing"), &Value::Null);
+        assert_eq!(Value::Bool(true).field("x"), &Value::Null);
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(Value::U64(3).as_f64().unwrap(), 3.0);
+        assert_eq!(Value::I64(-2).as_f64().unwrap(), -2.0);
+        assert_eq!(Value::I64(5).as_u64().unwrap(), 5);
+        assert!(Value::I64(-5).as_u64().is_err());
+        assert!(Value::Null.as_f64().unwrap().is_nan());
+    }
+
+    #[test]
+    fn container_round_trips() {
+        let xs = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&xs.to_value()).unwrap(), xs);
+        let pair = ("k".to_string(), 2.5f64);
+        assert_eq!(<(String, f64)>::from_value(&pair.to_value()).unwrap(), pair);
+        let trip = ("a".to_string(), 1u64, 0.5f64);
+        assert_eq!(
+            <(String, u64, f64)>::from_value(&trip.to_value()).unwrap(),
+            trip
+        );
+        let opt: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&opt.to_value()).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::from_value(&Some(7u32).to_value()).unwrap(),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn map_round_trip() {
+        let mut m = BTreeMap::new();
+        m.insert("x".to_string(), 1.5f64);
+        m.insert("y".to_string(), -2.0);
+        let back = BTreeMap::<String, f64>::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!(i8::from_value(&Value::I64(-300)).is_err());
+        assert_eq!(u8::from_value(&Value::U64(255)).unwrap(), 255);
+    }
+}

@@ -1,0 +1,493 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! The registry is unreachable in this build environment, so this macro
+//! is written against `proc_macro` alone — no `syn`, no `quote`. It
+//! parses the handful of item shapes the workspace actually uses and
+//! emits `impl serde::Serialize` / `impl serde::Deserialize` blocks by
+//! building Rust source text and re-parsing it.
+//!
+//! Supported shapes: named-field structs, newtype (single-field tuple)
+//! structs, enums whose variants are unit / newtype / named-field, the
+//! container attributes `#[serde(tag = "...", rename_all =
+//! "snake_case")]`, and the field attribute `#[serde(with = "module")]`.
+//! Anything else fails the build with a descriptive panic, which is the
+//! desired behavior: extend this macro deliberately rather than guess.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+enum VariantShape {
+    Unit,
+    Newtype,
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<Field>),
+    NewtypeStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+    tag: Option<String>,
+    rename_all_snake: bool,
+}
+
+/// Collect `key = "value"` pairs from the tokens inside `#[serde(...)]`.
+fn parse_serde_args(group: &proc_macro::Group) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        match (&tokens[i], tokens.get(i + 1), tokens.get(i + 2)) {
+            (TokenTree::Ident(key), Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                if eq.as_char() == '=' =>
+            {
+                let raw = lit.to_string();
+                out.push((key.to_string(), raw.trim_matches('"').to_string()));
+                i += 3;
+            }
+            (TokenTree::Punct(p), _, _) if p.as_char() == ',' => i += 1,
+            other => panic!("unsupported #[serde(...)] syntax near {other:?}"),
+        }
+    }
+    out
+}
+
+/// Skip attributes starting at `i`; returns the new index and any
+/// `#[serde(...)]` key/value pairs seen.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, Vec<(String, String)>) {
+    let mut serde_args = Vec::new();
+    while i + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[i] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[i + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    serde_args.extend(parse_serde_args(args));
+                }
+            }
+        }
+        i += 2;
+    }
+    (i, serde_args)
+}
+
+/// Skip a `pub` / `pub(...)` visibility prefix.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Split the tokens of a brace/paren group body at top-level commas,
+/// treating `<...>` nesting as opaque.
+fn split_top_level(body: &proc_macro::Group) -> Vec<Vec<TokenTree>> {
+    let mut pieces = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth: i32 = 0;
+    for tok in body.stream() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    pieces.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tok);
+    }
+    if !current.is_empty() {
+        pieces.push(current);
+    }
+    pieces
+}
+
+fn parse_field(tokens: &[TokenTree]) -> Field {
+    let (i, serde_args) = skip_attrs(tokens, 0);
+    let i = skip_vis(tokens, i);
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("expected field name, got {:?}", tokens.get(i));
+    };
+    let mut with = None;
+    for (key, value) in serde_args {
+        match key.as_str() {
+            "with" => with = Some(value),
+            other => panic!("unsupported field attribute #[serde({other} = ...)]"),
+        }
+    }
+    Field {
+        name: name.to_string(),
+        with,
+    }
+}
+
+fn parse_variant(tokens: &[TokenTree]) -> Variant {
+    let (i, serde_args) = skip_attrs(tokens, 0);
+    if !serde_args.is_empty() {
+        panic!("unsupported variant-level #[serde(...)] attribute");
+    }
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("expected variant name, got {:?}", tokens.get(i));
+    };
+    let shape = match tokens.get(i + 1) {
+        None => VariantShape::Unit,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let pieces = split_top_level(g);
+            if pieces.len() != 1 {
+                panic!(
+                    "only newtype tuple variants are supported, {name} has {}",
+                    pieces.len()
+                );
+            }
+            VariantShape::Newtype
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => VariantShape::Named(
+            split_top_level(g)
+                .iter()
+                .filter(|p| !p.is_empty())
+                .map(|p| parse_field(p))
+                .collect(),
+        ),
+        other => panic!("unsupported variant shape for {name}: {other:?}"),
+    };
+    Variant {
+        name: name.to_string(),
+        shape,
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (i, serde_args) = skip_attrs(&tokens, 0);
+    let i = skip_vis(&tokens, i);
+    let TokenTree::Ident(keyword) = &tokens[i] else {
+        panic!("expected struct/enum, got {:?}", tokens.get(i));
+    };
+    let keyword = keyword.to_string();
+    let TokenTree::Ident(name) = &tokens[i + 1] else {
+        panic!("expected item name, got {:?}", tokens.get(i + 1));
+    };
+    let name = name.to_string();
+    if matches!(&tokens.get(i + 2), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("generic types are not supported by the vendored serde derive ({name})");
+    }
+
+    let mut tag = None;
+    let mut rename_all_snake = false;
+    for (key, value) in serde_args {
+        match (key.as_str(), value.as_str()) {
+            ("tag", t) => tag = Some(t.to_string()),
+            ("rename_all", "snake_case") => rename_all_snake = true,
+            (other, v) => panic!("unsupported container attribute #[serde({other} = \"{v}\")]"),
+        }
+    }
+
+    let kind = match (keyword.as_str(), &tokens[i + 2]) {
+        ("struct", TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            ItemKind::NamedStruct(
+                split_top_level(g)
+                    .iter()
+                    .filter(|p| !p.is_empty())
+                    .map(|p| parse_field(p))
+                    .collect(),
+            )
+        }
+        ("struct", TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            if split_top_level(g).len() != 1 {
+                panic!("only newtype tuple structs are supported ({name})");
+            }
+            ItemKind::NewtypeStruct
+        }
+        ("enum", TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => ItemKind::Enum(
+            split_top_level(g)
+                .iter()
+                .filter(|p| !p.is_empty())
+                .map(|p| parse_variant(p))
+                .collect(),
+        ),
+        (kw, other) => panic!("unsupported item shape: {kw} {name} {other:?}"),
+    };
+
+    Item {
+        name,
+        kind,
+        tag,
+        rename_all_snake,
+    }
+}
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+impl Item {
+    fn variant_tag(&self, variant: &str) -> String {
+        if self.rename_all_snake {
+            snake_case(variant)
+        } else {
+            variant.to_string()
+        }
+    }
+}
+
+fn push_field_ser(out: &mut String, field: &Field, access: &str) {
+    match &field.with {
+        Some(module) => out.push_str(&format!(
+            "m.push((String::from(\"{n}\"), {module}::serialize({access})));\n",
+            n = field.name
+        )),
+        None => out.push_str(&format!(
+            "m.push((String::from(\"{n}\"), serde::Serialize::to_value({access})));\n",
+            n = field.name
+        )),
+    }
+}
+
+fn field_de(field: &Field, source: &str) -> String {
+    match &field.with {
+        Some(module) => format!(
+            "{n}: {module}::deserialize({source}.field(\"{n}\"))?",
+            n = field.name
+        ),
+        None => format!(
+            "{n}: serde::Deserialize::from_value({source}.field(\"{n}\"))?",
+            n = field.name
+        ),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let mut s = String::from("let mut m: Vec<(String, serde::Value)> = Vec::new();\n");
+            for f in fields {
+                push_field_ser(&mut s, f, &format!("&self.{}", f.name));
+            }
+            s.push_str("serde::Value::Map(m)\n");
+            s
+        }
+        ItemKind::NewtypeStruct => String::from("serde::Serialize::to_value(&self.0)\n"),
+        ItemKind::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let vtag = item.variant_tag(&v.name);
+                match (&v.shape, &item.tag) {
+                    (VariantShape::Unit, None) => s.push_str(&format!(
+                        "{name}::{v} => serde::Value::Str(String::from(\"{vtag}\")),\n",
+                        v = v.name
+                    )),
+                    (VariantShape::Unit, Some(tag)) => s.push_str(&format!(
+                        "{name}::{v} => serde::Value::Map(vec![(String::from(\"{tag}\"), \
+                         serde::Value::Str(String::from(\"{vtag}\")))]),\n",
+                        v = v.name
+                    )),
+                    (VariantShape::Newtype, None) => s.push_str(&format!(
+                        "{name}::{v}(inner) => serde::Value::Map(vec![(String::from(\"{vtag}\"), \
+                         serde::Serialize::to_value(inner))]),\n",
+                        v = v.name
+                    )),
+                    (VariantShape::Newtype, Some(_)) => {
+                        panic!(
+                            "newtype variants cannot be internally tagged ({name}::{})",
+                            v.name
+                        )
+                    }
+                    (VariantShape::Named(fields), tag) => {
+                        let pattern: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        s.push_str(&format!(
+                            "{name}::{v} {{ {pat} }} => {{\n",
+                            v = v.name,
+                            pat = pattern.join(", ")
+                        ));
+                        s.push_str("let mut m: Vec<(String, serde::Value)> = Vec::new();\n");
+                        if let Some(tag) = tag {
+                            s.push_str(&format!(
+                                "m.push((String::from(\"{tag}\"), \
+                                 serde::Value::Str(String::from(\"{vtag}\"))));\n"
+                            ));
+                        }
+                        for f in fields {
+                            push_field_ser(&mut s, f, &f.name);
+                        }
+                        if tag.is_some() {
+                            s.push_str("serde::Value::Map(m)\n}\n");
+                        } else {
+                            s.push_str(&format!(
+                                "serde::Value::Map(vec![(String::from(\"{vtag}\"), \
+                                 serde::Value::Map(m))])\n}}\n"
+                            ));
+                        }
+                    }
+                }
+            }
+            s.push_str("}\n");
+            s
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{\n{body}}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields.iter().map(|f| field_de(f, "v")).collect();
+            format!("Ok({name} {{ {} }})\n", inits.join(", "))
+        }
+        ItemKind::NewtypeStruct => {
+            format!("Ok({name}(serde::Deserialize::from_value(v)?))\n")
+        }
+        ItemKind::Enum(variants) => {
+            let mut s = String::new();
+            match &item.tag {
+                Some(tag) => {
+                    s.push_str(&format!("let kind = v.field(\"{tag}\").as_str()?;\n"));
+                    s.push_str("match kind {\n");
+                    for var in variants {
+                        let vtag = item.variant_tag(&var.name);
+                        match &var.shape {
+                            VariantShape::Unit => s.push_str(&format!(
+                                "\"{vtag}\" => Ok({name}::{v}),\n",
+                                v = var.name
+                            )),
+                            VariantShape::Named(fields) => {
+                                let inits: Vec<String> =
+                                    fields.iter().map(|f| field_de(f, "v")).collect();
+                                s.push_str(&format!(
+                                    "\"{vtag}\" => Ok({name}::{v} {{ {init} }}),\n",
+                                    v = var.name,
+                                    init = inits.join(", ")
+                                ));
+                            }
+                            VariantShape::Newtype => {
+                                panic!("newtype variants cannot be internally tagged ({name})")
+                            }
+                        }
+                    }
+                    s.push_str(&format!(
+                        "other => Err(serde::Error::msg(format!(\"unknown {name} \
+                         variant {{other}}\"))),\n}}\n"
+                    ));
+                }
+                None => {
+                    // Externally tagged: a bare string names a unit
+                    // variant; a single-entry map names a data variant.
+                    s.push_str("if let serde::Value::Str(s) = v {\nmatch s.as_str() {\n");
+                    for var in variants {
+                        if matches!(var.shape, VariantShape::Unit) {
+                            s.push_str(&format!(
+                                "\"{vtag}\" => return Ok({name}::{v}),\n",
+                                vtag = item.variant_tag(&var.name),
+                                v = var.name
+                            ));
+                        }
+                    }
+                    s.push_str("_ => {}\n}\n}\n");
+                    s.push_str(
+                        "if let serde::Value::Map(entries) = v {\n\
+                         if entries.len() == 1 {\n\
+                         let (key, inner) = &entries[0];\n\
+                         match key.as_str() {\n",
+                    );
+                    for var in variants {
+                        let vtag = item.variant_tag(&var.name);
+                        match &var.shape {
+                            VariantShape::Unit => {}
+                            VariantShape::Newtype => s.push_str(&format!(
+                                "\"{vtag}\" => return \
+                                 Ok({name}::{v}(serde::Deserialize::from_value(inner)?)),\n",
+                                v = var.name
+                            )),
+                            VariantShape::Named(fields) => {
+                                let inits: Vec<String> =
+                                    fields.iter().map(|f| field_de(f, "inner")).collect();
+                                s.push_str(&format!(
+                                    "\"{vtag}\" => return Ok({name}::{v} {{ {init} }}),\n",
+                                    v = var.name,
+                                    init = inits.join(", ")
+                                ));
+                            }
+                        }
+                    }
+                    s.push_str("_ => {}\n}\n}\n}\n");
+                    s.push_str(&format!(
+                        "Err(serde::Error::msg(format!(\"cannot deserialize {name} \
+                         from {{v:?}}\")))\n"
+                    ));
+                }
+            }
+            s
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn from_value(v: &serde::Value) -> Result<{name}, serde::Error> {{\n{body}}}\n}}\n"
+    )
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = gen_serialize(&item);
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde_derive generated invalid Rust: {e}\n{code}"))
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = gen_deserialize(&item);
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde_derive generated invalid Rust: {e}\n{code}"))
+}
