@@ -11,6 +11,12 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test -p cloudchar-core --test claims"
+cargo test -q -p cloudchar-core --test claims
+
+echo "==> repro sweep smoke (--sweep 2 --jobs 2)"
+cargo run --release -p cloudchar-bench --bin repro -- --fast ratios --sweep 2 --jobs 2 > /dev/null
+
 echo "==> cargo run -p cloudchar-lint -- --json"
 cargo run --release -p cloudchar-lint -- --json
 

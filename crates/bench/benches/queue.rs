@@ -1,0 +1,124 @@
+//! Event-queue microbenchmarks: the engine's hierarchical calendar
+//! queue against the pre-refactor `BinaryHeap`, under the classic
+//! *hold model* (pop the earliest event, schedule a replacement a short
+//! delay later — a steady-state simulator's exact access pattern) at
+//! 10³–10⁶ pending events.
+//!
+//! Delays mimic the simulator's clustered event-time distribution:
+//! mostly sub-millisecond service completions, a tail of multi-second
+//! think times. Baseline numbers live in `results/BENCH_queue.json`.
+
+use cloudchar_simcore::{CalendarQueue, SimRng};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::hint::black_box;
+
+/// The engine's previous pending-event set, kept as the bench baseline.
+#[derive(Default)]
+struct HeapQueue {
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+}
+
+impl HeapQueue {
+    fn push(&mut self, time: u64, seq: u64) {
+        self.heap.push(Reverse((time, seq)));
+    }
+    fn pop(&mut self) -> Option<(u64, u64)> {
+        self.heap.pop().map(|Reverse(k)| k)
+    }
+}
+
+/// Clustered delay: 90% ~0.1–1 ms (service completions), 10% ~1–8 s
+/// (think times) — the simulator's shape.
+fn next_delay(rng: &mut SimRng) -> u64 {
+    if rng.chance(0.9) {
+        100_000 + rng.below(900_000)
+    } else {
+        1_000_000_000 + rng.below(7_000_000_000)
+    }
+}
+
+fn bench_hold(c: &mut Criterion) {
+    for &pending in &[1_000usize, 10_000, 100_000, 1_000_000] {
+        let mut group = c.benchmark_group(&format!("queue_hold_{pending}"));
+        // Enough holds to dominate timer overhead; one hold per iter.
+        group.sample_size(200_000.min(pending * 100));
+
+        let mut rng = SimRng::new(7);
+        let mut seq = 0u64;
+        let mut cal: CalendarQueue<u64> = CalendarQueue::new();
+        let mut now = 0u64;
+        for _ in 0..pending {
+            cal.push(now + next_delay(&mut rng), seq, seq);
+            seq += 1;
+        }
+        group.bench_function("calendar", |b| {
+            b.iter(|| {
+                let (t, _, v) = cal.pop().expect("queue stays full");
+                now = t;
+                cal.push(now + next_delay(&mut rng), seq, seq);
+                seq += 1;
+                black_box(v)
+            })
+        });
+
+        let mut rng = SimRng::new(7);
+        let mut seq = 0u64;
+        let mut heap = HeapQueue::default();
+        let mut now = 0u64;
+        for _ in 0..pending {
+            heap.push(now + next_delay(&mut rng), seq);
+            seq += 1;
+        }
+        group.bench_function("heap", |b| {
+            b.iter(|| {
+                let (t, s) = heap.pop().expect("queue stays full");
+                now = t;
+                heap.push(now + next_delay(&mut rng), seq);
+                seq += 1;
+                black_box(s)
+            })
+        });
+        group.finish();
+    }
+}
+
+fn bench_schedule_drain(c: &mut Criterion) {
+    // Bulk schedule-then-drain, the ramp-up/teardown pattern.
+    let n = 100_000usize;
+    let mut group = c.benchmark_group(&format!("queue_schedule_drain_{n}"));
+    group.sample_size(10);
+    group.bench_function("calendar", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::new(3);
+            let mut q: CalendarQueue<u64> = CalendarQueue::new();
+            for seq in 0..n as u64 {
+                q.push(next_delay(&mut rng), seq, seq);
+            }
+            let mut last = 0u64;
+            while let Some((t, _, _)) = q.pop() {
+                last = t;
+            }
+            black_box(last)
+        })
+    });
+    group.bench_function("heap", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::new(3);
+            let mut q = HeapQueue::default();
+            for seq in 0..n as u64 {
+                q.push(next_delay(&mut rng), seq);
+            }
+            let mut last = 0u64;
+            while let Some((t, _)) = q.pop() {
+                last = t;
+            }
+            black_box(last)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(queue_benches, bench_hold, bench_schedule_drain);
+criterion_main!(queue_benches);

@@ -5,11 +5,17 @@
 //! cargo run --release -p cloudchar-bench --bin repro -- fig1 fig2 ratios
 //! cargo run --release -p cloudchar-bench --bin repro -- --fast all
 //! cargo run --release -p cloudchar-bench --bin repro -- --audit --fast all
+//! cargo run --release -p cloudchar-bench --bin repro -- ratios --sweep 8 --jobs 4
 //! ```
 //!
 //! `--audit` enables the runtime invariant auditor for the whole run and
 //! exits non-zero if any invariant (event-time monotonicity, CPU capacity
 //! conservation, utilization ranges, sample cadence, ...) was violated.
+//!
+//! `--sweep N` reruns the `ratios` analysis over an N-seed ensemble on
+//! the bounded worker pool (`--jobs J` workers, default: machine
+//! parallelism) and prints every R1–R4 / Q1–Q3 claim as an across-seed
+//! mean ± stddev instead of a single seed-42 number.
 //!
 //! Experiments: the virtualized (§4.1) and non-virtualized (§4.2)
 //! deployments, each under the browsing and bidding compositions, at
@@ -18,8 +24,8 @@
 
 use cloudchar_analysis::{summarize, Resource};
 use cloudchar_core::{
-    paper_values, q1_tier_lag, q2_ram_jumps, q3_disk_cv, ratio_report, run, Deployment,
-    ExperimentConfig, ExperimentResult,
+    default_jobs, paper_values, q1_tier_lag, q2_ram_jumps, q3_disk_cv, ratio_report, run,
+    run_seeds_jobs, Deployment, ExperimentConfig, ExperimentResult,
 };
 use cloudchar_monitor::catalog;
 use cloudchar_rubis::WorkloadMix;
@@ -270,6 +276,109 @@ fn ratios(lab: &mut Lab) {
     println!();
 }
 
+/// One across-seed claim distribution: `name`, per-seed values, paper
+/// value when the paper reports one.
+fn claim_row(name: &str, values: &[f64], paper: Option<f64>) {
+    match summarize(values) {
+        Some(s) => {
+            let paper = paper.map(|p| format!("   (paper {p})")).unwrap_or_default();
+            println!("  {name:<22} {:>9.2} ± {:<8.2}{paper}", s.mean, s.std_dev);
+        }
+        None => println!("  {name:<22} (not computable)"),
+    }
+}
+
+/// The `ratios` analysis over an N-seed ensemble: every R1–R4 and Q1–Q3
+/// claim as an across-seed mean ± stddev, mixes averaged as in the
+/// single-seed report.
+fn ratios_sweep(fast: bool, sweep: usize, jobs: usize) {
+    let seeds: Vec<u64> = (0..sweep as u64).map(|i| 42 + i).collect();
+    let cfg = |deployment, mix| {
+        if fast {
+            ExperimentConfig::fast(deployment, mix)
+        } else {
+            ExperimentConfig::paper(deployment, mix)
+        }
+    };
+    eprintln!("[repro] sweeping {sweep} seeds × 4 configs on {jobs} worker(s) …");
+    let t0 = std::time::Instant::now();
+    let vb = run_seeds_jobs(
+        &cfg(Deployment::Virtualized, WorkloadMix::BROWSING),
+        &seeds,
+        jobs,
+    );
+    let vd = run_seeds_jobs(
+        &cfg(Deployment::Virtualized, WorkloadMix::BIDDING),
+        &seeds,
+        jobs,
+    );
+    let pb = run_seeds_jobs(
+        &cfg(Deployment::NonVirtualized, WorkloadMix::BROWSING),
+        &seeds,
+        jobs,
+    );
+    let pd = run_seeds_jobs(
+        &cfg(Deployment::NonVirtualized, WorkloadMix::BIDDING),
+        &seeds,
+        jobs,
+    );
+    eprintln!(
+        "[repro]   {} runs done in {:.1}s",
+        4 * sweep,
+        t0.elapsed().as_secs_f64()
+    );
+
+    // Per-seed claim values, mixes averaged (matching `ratios`).
+    let mut rows: Vec<(String, Vec<f64>, Option<f64>)> = Vec::new();
+    type Pick = fn(&cloudchar_core::RatioReport) -> cloudchar_analysis::ResourceRatios;
+    let ratio_sets: [(&str, Pick, cloudchar_analysis::ResourceRatios); 4] = [
+        ("R1 front/back", |r| r.r1, paper_values::R1),
+        ("R2 VMs/dom0", |r| r.r2, paper_values::R2),
+        ("R3 nonvirt/virt", |r| r.r3, paper_values::R3),
+        (
+            "R4 phys delta %",
+            |r| r.r4_percent,
+            paper_values::R4_PERCENT,
+        ),
+    ];
+    for (label, pick, paper) in ratio_sets {
+        for res in Resource::ALL {
+            let values: Vec<f64> = (0..sweep)
+                .map(|i| {
+                    let browse = pick(&ratio_report(&vb[i], &pb[i])).get(res);
+                    let bid = pick(&ratio_report(&vd[i], &pd[i])).get(res);
+                    0.5 * (browse + bid)
+                })
+                .collect();
+            rows.push((
+                format!("{label} {}", format!("{res:?}").to_lowercase()),
+                values,
+                Some(paper.get(res)),
+            ));
+        }
+    }
+    let q1: Vec<f64> = vb
+        .iter()
+        .map(|r| q1_tier_lag(r, 10).map_or(f64::NAN, |l| l.lag_samples as f64))
+        .collect();
+    let q2: Vec<f64> = vb
+        .iter()
+        .map(|r| q2_ram_jumps(r, 5, 2.0).len() as f64)
+        .collect();
+    let q3_virt: Vec<f64> = vb.iter().map(|r| q3_disk_cv(r, "dom0")).collect();
+    let q3_phys: Vec<f64> = pb.iter().map(|r| q3_disk_cv(r, "web-pm")).collect();
+    rows.push(("Q1 lag samples".into(), q1, None));
+    rows.push(("Q2 ram jumps".into(), q2, None));
+    rows.push(("Q3 disk cv dom0".into(), q3_virt, None));
+    rows.push(("Q3 disk cv web-pm".into(), q3_phys, None));
+
+    println!("== Claims across {sweep} seeds (per-claim mean ± stddev, mixes averaged) ==");
+    for (name, values, paper) in &rows {
+        claim_row(name, values, *paper);
+    }
+    println!();
+}
+
 fn lag(lab: &mut Lab) {
     println!("== Q1: web→db workload lag (cross-correlation peak) ==");
     for (key, label) in [
@@ -389,10 +498,33 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
     let audit = args.iter().any(|a| a == "--audit");
-    let mut cmds: Vec<String> = args
-        .into_iter()
-        .filter(|a| a != "--fast" && a != "--audit")
-        .collect();
+    let mut sweep: usize = 1;
+    let mut jobs: usize = default_jobs();
+    let mut cmds: Vec<String> = Vec::new();
+    let mut it = args.into_iter().filter(|a| a != "--fast" && a != "--audit");
+    while let Some(arg) = it.next() {
+        let mut flag_value = |name: &str| -> Option<usize> {
+            let value = match arg.strip_prefix(&format!("{name}=")) {
+                Some(inline) => inline.to_string(),
+                None if arg == name => it.next().unwrap_or_default(),
+                None => return None,
+            };
+            match value.parse::<usize>() {
+                Ok(n) if n >= 1 => Some(n),
+                _ => {
+                    eprintln!("[repro] {name} needs a positive integer, got {value:?}");
+                    std::process::exit(2);
+                }
+            }
+        };
+        if let Some(n) = flag_value("--sweep") {
+            sweep = n;
+        } else if let Some(j) = flag_value("--jobs") {
+            jobs = j;
+        } else {
+            cmds.push(arg);
+        }
+    }
     if cmds.is_empty() {
         cmds.push("all".to_string());
     }
@@ -420,7 +552,11 @@ fn main() {
         }
     }
     if want("ratios") {
-        ratios(&mut lab);
+        if sweep > 1 {
+            ratios_sweep(fast, sweep, jobs);
+        } else {
+            ratios(&mut lab);
+        }
     }
     if want("lag") {
         lag(&mut lab);

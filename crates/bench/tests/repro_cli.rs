@@ -44,6 +44,33 @@ fn fast_ratios_prints_paper_and_measured() {
 }
 
 #[test]
+fn fast_ratios_sweep_prints_per_claim_mean_stddev() {
+    let (stdout, stderr) = repro(&["--fast", "ratios", "--sweep", "3", "--jobs", "2"]);
+    assert!(
+        stdout.contains("Claims across 3 seeds"),
+        "missing sweep header\n{stdout}"
+    );
+    for claim in [
+        "R1 front/back cpu",
+        "R2 VMs/dom0 disk",
+        "R3 nonvirt/virt net",
+        "R4 phys delta % ram",
+        "Q1 lag samples",
+        "Q2 ram jumps",
+        "Q3 disk cv web-pm",
+    ] {
+        assert!(
+            stdout.contains(claim),
+            "missing claim row {claim}\n{stdout}"
+        );
+    }
+    // Every claim printed as mean ± stddev: 4 ratio sets × 4 resources
+    // plus the 4 qualitative rows, plus the header.
+    assert_eq!(stdout.matches('±').count(), 21, "{stdout}");
+    assert!(stderr.contains("sweeping 3 seeds"));
+}
+
+#[test]
 fn fast_qualitative_commands_run() {
     let (stdout, _) = repro(&["--fast", "lag", "jumps", "variance"]);
     assert!(stdout.contains("Q1: web→db workload lag"));

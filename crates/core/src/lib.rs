@@ -50,6 +50,6 @@ pub use experiment::{run, ExperimentResult};
 pub use phys::{HostIoPolicy, PhysPlatform};
 pub use platform::{Platform, Tier, TierLoad};
 pub use report::{render_report, ReportInputs};
-pub use sweep::{run_seeds, sweep_stat, SweepStat};
+pub use sweep::{default_jobs, run_seeds, run_seeds_jobs, sweep_stat, SweepStat};
 pub use virt::{VirtOptions, VirtPlatform};
 pub use workload::World;

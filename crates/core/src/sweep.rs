@@ -1,33 +1,100 @@
-//! Parallel seed sweeps.
+//! Parallel seed sweeps on a bounded worker pool.
 //!
 //! A single run answers "what happened under this seed"; the paper's
 //! claims are about the *system*, so the repro harness validates them
 //! over seed ensembles. Runs are embarrassingly parallel and each is
-//! single-threaded deterministic, so a thread scope with one thread
-//! per seed keeps results bit-identical to serial execution.
+//! single-threaded deterministic, so a bounded pool of workers —
+//! `jobs` OS threads, defaulting to the machine's parallelism — keeps
+//! results bit-identical to serial execution while scaling to large
+//! ensembles without spawning one thread per seed.
+//!
+//! ## Concurrency model
+//!
+//! Seeds are split into `jobs` contiguous chunks, one worker thread per
+//! chunk. Each worker runs its seeds serially in order and returns its
+//! results as a block; the pool concatenates the blocks in chunk order,
+//! so the output is always in input-seed order regardless of which
+//! worker finished first. A worker panic propagates to the caller when
+//! its handle is joined — the sweep never hangs on a dead worker.
+//!
+//! When the calling thread has [`audit`]ing enabled, each worker enables
+//! its own (thread-local) collector, and the pool absorbs worker reports
+//! into the caller's collector in seed order — the merged report is
+//! deterministic and equivalent to auditing a serial sweep.
 
 use crate::config::ExperimentConfig;
 use crate::experiment::{run, ExperimentResult};
 use cloudchar_analysis::{summarize, Summary};
+use cloudchar_simcore::audit;
 use serde::{Deserialize, Serialize};
 
-/// Run the same configuration under each seed, in parallel. Results are
-/// returned in seed order and are identical to running serially.
+/// Default worker count: the machine's available parallelism, or 1 when
+/// that cannot be determined.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run the same configuration under each seed on the default-size pool
+/// (see [`default_jobs`]). Results are in seed order and identical to
+/// running serially.
 pub fn run_seeds(base: &ExperimentConfig, seeds: &[u64]) -> Vec<ExperimentResult> {
-    let mut results: Vec<Option<ExperimentResult>> = Vec::new();
-    results.resize_with(seeds.len(), || None);
+    run_seeds_jobs(base, seeds, default_jobs())
+}
+
+/// Run the same configuration under each seed on a pool of at most
+/// `jobs` worker threads (`jobs` is clamped to `1..=seeds.len()`).
+/// Results are returned in seed order and are byte-identical to serial
+/// execution; a panic in any worker propagates to the caller.
+pub fn run_seeds_jobs(
+    base: &ExperimentConfig,
+    seeds: &[u64],
+    jobs: usize,
+) -> Vec<ExperimentResult> {
+    if seeds.is_empty() {
+        return Vec::new();
+    }
+    let jobs = jobs.clamp(1, seeds.len());
+    let chunk_len = seeds.len().div_ceil(jobs);
+    let audit_workers = audit::is_enabled();
+
+    let worker = |chunk: &[u64]| -> (Vec<ExperimentResult>, audit::AuditReport) {
+        if audit_workers {
+            audit::enable();
+        }
+        let results = chunk
+            .iter()
+            .map(|&seed| {
+                let mut cfg = base.clone();
+                cfg.seed = seed;
+                run(cfg)
+            })
+            .collect();
+        (results, audit::take_report())
+    };
+
+    let mut results = Vec::with_capacity(seeds.len());
     std::thread::scope(|scope| {
-        for (slot, &seed) in results.iter_mut().zip(seeds) {
-            let mut cfg = base.clone();
-            cfg.seed = seed;
-            scope.spawn(move || {
-                *slot = Some(run(cfg));
-            });
+        let worker = &worker;
+        let handles: Vec<_> = seeds
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(move || worker(chunk)))
+            .collect();
+        // Joining in spawn (= seed) order makes the merge deterministic;
+        // a panicked worker re-raises here instead of hanging the sweep.
+        for handle in handles {
+            let (chunk_results, report) = match handle.join() {
+                Ok(output) => output,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            results.extend(chunk_results);
+            if audit_workers {
+                audit::absorb(report);
+            }
         }
     });
-    // The scope joins (and propagates panics from) every thread before
-    // returning, so each slot is filled here.
-    results.into_iter().flatten().collect()
+    results
 }
 
 /// Across-seed stability of one scalar statistic.
@@ -41,19 +108,20 @@ pub struct SweepStat {
     pub summary: Summary,
 }
 
-/// Summarize a per-result scalar over a sweep.
+/// Summarize a per-result scalar over a sweep. Returns `None` for an
+/// empty sweep, or when any per-seed value is non-finite.
 pub fn sweep_stat(
     name: &str,
     results: &[ExperimentResult],
     f: impl Fn(&ExperimentResult) -> f64,
-) -> SweepStat {
+) -> Option<SweepStat> {
     let values: Vec<f64> = results.iter().map(f).collect();
-    let summary = summarize(&values).expect("non-empty sweep");
-    SweepStat {
+    let summary = summarize(&values)?;
+    Some(SweepStat {
         name: name.to_string(),
         values,
         summary,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -100,10 +168,16 @@ mod tests {
     }
 
     #[test]
+    fn empty_sweep_is_empty() {
+        assert!(run_seeds(&tiny(), &[]).is_empty());
+    }
+
+    #[test]
     fn sweep_stat_summarizes() {
         let cfg = tiny();
         let results = run_seeds(&cfg, &[1, 2, 3, 4]);
-        let stat = sweep_stat("completed", &results, |r| r.completed as f64);
+        let stat = sweep_stat("completed", &results, |r| r.completed as f64)
+            .expect("non-empty sweep summarizes");
         assert_eq!(stat.values.len(), 4);
         assert!(stat.summary.mean > 0.0);
         // The closed loop keeps completions stable across seeds.
@@ -112,5 +186,16 @@ mod tests {
             "completions too seed-sensitive: cv {}",
             stat.summary.cv
         );
+    }
+
+    #[test]
+    fn sweep_stat_empty_is_none() {
+        assert!(sweep_stat("nothing", &[], |_| 0.0).is_none());
+    }
+
+    #[test]
+    fn sweep_stat_nonfinite_is_none() {
+        let results = run_seeds(&tiny(), &[1]);
+        assert!(sweep_stat("nan", &results, |_| f64::NAN).is_none());
     }
 }

@@ -93,6 +93,28 @@ pub fn take_report() -> AuditReport {
         .unwrap_or_default()
 }
 
+/// Fold a report from another thread into this thread's collector.
+///
+/// Parallel seed sweeps audit each worker thread separately (the
+/// collector is thread-local); the pool absorbs worker reports into the
+/// caller's collector *in seed order*, so the merged report is as
+/// deterministic as a serial audited run. No-op when auditing is
+/// disabled on the calling thread.
+pub fn absorb(other: AuditReport) {
+    COLLECTOR.with(|c| {
+        let mut slot = c.borrow_mut();
+        let Some(report) = slot.as_mut() else { return };
+        report.checks += other.checks;
+        report.violations_total += other.violations_total;
+        for v in other.violations {
+            if report.violations.len() >= MAX_RECORDED {
+                break;
+            }
+            report.violations.push(v);
+        }
+    });
+}
+
 /// Record one invariant check. `detail` is only rendered on failure.
 ///
 /// No-op (beyond the flag read) when auditing is disabled, so check
@@ -163,6 +185,35 @@ mod tests {
         let r = take_report();
         assert!(r.is_clean());
         assert_eq!(r.checks, 0);
+    }
+
+    #[test]
+    fn absorb_merges_counts_and_violations() {
+        enable();
+        check("m.local", 1, false, || "local".into());
+        let mut other = AuditReport::default();
+        other.checks = 5;
+        other.violations_total = 2;
+        other.violations.push(Violation {
+            invariant: "m.remote".into(),
+            detail: "remote".into(),
+            sim_time_ns: 9,
+        });
+        absorb(other);
+        let r = take_report();
+        assert_eq!(r.checks, 6);
+        assert_eq!(r.violations_total, 3);
+        assert_eq!(r.violations.len(), 2);
+        assert_eq!(r.violations[1].invariant, "m.remote");
+    }
+
+    #[test]
+    fn absorb_without_collector_is_noop() {
+        assert!(!is_enabled());
+        let mut other = AuditReport::default();
+        other.checks = 3;
+        absorb(other);
+        assert!(!is_enabled());
     }
 
     #[test]

@@ -5,10 +5,16 @@
 //! handler may schedule or cancel further events. Ties in time are broken
 //! by insertion sequence number, which makes execution order total and
 //! deterministic.
+//!
+//! The pending set is a [`CalendarQueue`], which pops in exactly the
+//! `(time, seq)` order a binary heap would but with near-`O(1)`
+//! operations for the simulator's clustered event times; see
+//! [`crate::queue`] for the ordering contract and the equivalence tests
+//! that pin it.
 
+use crate::queue::CalendarQueue;
 use crate::time::{SimDuration, SimTime};
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::HashSet;
 
 /// Identifier of a scheduled event, usable for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -22,32 +28,11 @@ struct Entry<W> {
     action: Action<W>,
 }
 
-impl<W> PartialEq for Entry<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<W> Eq for Entry<W> {}
-impl<W> PartialOrd for Entry<W> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<W> Ord for Entry<W> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: BinaryHeap is a max-heap and we want earliest-first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 /// Discrete-event simulation engine over a world `W`.
 pub struct Engine<W> {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Entry<W>>,
+    queue: CalendarQueue<Action<W>>,
     cancelled: HashSet<u64>,
     executed: u64,
     /// Hard cap on executed events; guards against runaway feedback loops.
@@ -66,7 +51,7 @@ impl<W> Engine<W> {
         Engine {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
             cancelled: HashSet::new(),
             executed: 0,
             event_limit: 1_000_000_000,
@@ -110,11 +95,7 @@ impl<W> Engine<W> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Entry {
-            time,
-            seq,
-            action: Box::new(action),
-        });
+        self.queue.push(time.as_nanos(), seq, Box::new(action));
         EventId(seq)
     }
 
@@ -135,11 +116,15 @@ impl<W> Engine<W> {
     }
 
     fn pop_next(&mut self) -> Option<Entry<W>> {
-        while let Some(entry) = self.queue.pop() {
-            if self.cancelled.remove(&entry.seq) {
+        while let Some((time_ns, seq, action)) = self.queue.pop() {
+            if self.cancelled.remove(&seq) {
                 continue; // skip cancelled
             }
-            return Some(entry);
+            return Some(Entry {
+                time: SimTime::from_nanos(time_ns),
+                seq,
+                action,
+            });
         }
         None
     }
@@ -159,8 +144,10 @@ impl<W> Engine<W> {
         loop {
             let Some(entry) = self.pop_next() else { break };
             if entry.time > deadline {
-                // Put it back; it belongs to a later epoch.
-                self.queue.push(entry);
+                // Put it back under its original sequence number; it
+                // belongs to a later epoch.
+                self.queue
+                    .push(entry.time.as_nanos(), entry.seq, entry.action);
                 break;
             }
             debug_assert!(entry.time >= self.now, "time went backwards");

@@ -4,7 +4,7 @@
 //! `cloudchar` testbed — the reproduction of *"Characterizing Workload of
 //! Web Applications on Virtualized Servers"* (Wang et al.).
 //!
-//! The crate provides six building blocks:
+//! The crate provides seven building blocks:
 //!
 //! * [`time`] — integer-nanosecond simulated time ([`SimTime`],
 //!   [`SimDuration`]);
@@ -12,7 +12,9 @@
 //! * [`rng`] — seeded, named-stream random numbers ([`SimRng`]);
 //! * [`dist`] — the probability distributions workload and device models
 //!   draw from ([`Dist`]);
-//! * [`engine`] — the event queue and clock ([`Engine`]);
+//! * [`queue`] — the pending-event set, a hierarchical calendar queue
+//!   ([`CalendarQueue`]);
+//! * [`engine`] — the event scheduler and clock ([`Engine`]);
 //! * [`stats`] — streaming accumulators ([`Welford`], [`Counter`], …).
 //!
 //! Everything is deterministic: a `(seed, configuration)` pair fully
@@ -42,6 +44,7 @@
 pub mod audit;
 pub mod dist;
 pub mod engine;
+pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -49,6 +52,7 @@ pub mod time;
 pub use audit::AuditReport;
 pub use dist::{Dist, Sample};
 pub use engine::{Engine, EventId};
+pub use queue::CalendarQueue;
 pub use rng::SimRng;
 pub use stats::{Counter, Ewma, LogHistogram, Welford};
 pub use time::{SimDuration, SimTime};

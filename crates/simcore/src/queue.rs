@@ -1,0 +1,372 @@
+//! The engine's pending-event set: a hierarchical calendar queue
+//! (ladder-queue variant).
+//!
+//! A discrete-event simulation pops events in `(time, seq)` order, where
+//! `seq` is the insertion sequence number breaking ties FIFO. A binary
+//! heap gives `O(log n)` per operation with poor cache behaviour. The
+//! simulator's event times are heavily *clustered*: most pending events
+//! sit within milliseconds of the clock (service completions), a long
+//! tail sits seconds out (think times). A single-level calendar queue
+//! must pick one bucket width for both scales and degrades to `O(n)` on
+//! such skew; the hierarchical variant instead refines bucket
+//! granularity on demand, giving amortized near-`O(1)` inserts and pops
+//! for any distribution.
+//!
+//! Structure, ordered by distance from the clock:
+//!
+//! * **bottom** — the events being drained, sorted *descending* by key
+//!   so the next event pops from the tail in `O(1)`. Bottom is built
+//!   from one bucket at a time and is therefore small; late inserts
+//!   below its time bound (`bottom_end`) join it by binary search.
+//! * **rungs** — a stack of bucket arrays whose spans tile
+//!   `[bottom_end, ladder end)` contiguously, finest (innermost) rung
+//!   last. An insert walks inner→outer to the first rung covering its
+//!   time and appends to a bucket in `O(1)`. When a popped bucket is
+//!   small it is sorted into bottom; when it is large it is *split* into
+//!   a new, finer rung (width shrinks at least 2× per split), which is
+//!   how the hierarchy adapts to local event density.
+//! * **top** — everything at or past the ladder's end, unsorted. When
+//!   the ladder is exhausted, top is re-bucketed into a fresh rung sized
+//!   to its observed time span — the queue tracks the workload's time
+//!   scale with no tuning knobs.
+//!
+//! ## Ordering contract
+//!
+//! `pop` returns the entry with the smallest `(time, seq)` key among all
+//! pending entries — byte-for-byte the order `BinaryHeap<Reverse<(time,
+//! seq)>>` would produce. Keys are unique (`seq` never repeats), ties in
+//! `time` resolve FIFO by `seq`, and the contract holds for *any* push
+//! pattern, including pushes at times earlier than `bottom_end` (they
+//! join bottom by sorted insert and pop first). Bucket-boundary
+//! arithmetic is done in `u128`, so the contract has no overflow corner
+//! cases anywhere in the `u64` time domain. The equivalence proptests in
+//! `tests/prop_queue.rs` pin all of this against a reference heap.
+
+use std::collections::VecDeque;
+
+/// Buckets at or below this size are sorted into bottom instead of
+/// being split into a finer rung.
+const SORT_THRESHOLD: usize = 64;
+/// Most buckets a rung will use; bounds empty-bucket skip cost.
+const MAX_BUCKETS: usize = 4096;
+/// Rung-stack depth cap; at the cap, buckets sort into bottom no matter
+/// their size (correct, just slower — a backstop, not a working regime).
+const MAX_RUNGS: usize = 40;
+
+struct Item<V> {
+    time: u64,
+    seq: u64,
+    value: V,
+}
+
+impl<V> Item<V> {
+    fn key(&self) -> (u64, u64) {
+        (self.time, self.seq)
+    }
+}
+
+/// One level of the ladder: `buckets[i]` spans
+/// `[start + i*width, start + (i+1)*width)`, unsorted.
+struct Rung<V> {
+    start: u64,
+    width: u64, // >= 1
+    buckets: VecDeque<Vec<Item<V>>>,
+}
+
+impl<V> Rung<V> {
+    /// Exclusive end of this rung's coverage, exact in `u128`.
+    fn end(&self) -> u128 {
+        self.start as u128 + self.width as u128 * self.buckets.len() as u128
+    }
+
+    /// Append an item; requires `start <= item.time` and
+    /// `item.time < self.end()`.
+    fn place(&mut self, item: Item<V>) {
+        let idx = ((item.time - self.start) / self.width) as usize;
+        self.buckets[idx].push(item);
+    }
+}
+
+/// Build a rung of `>= 2` buckets tiling exactly `[start, start + span)`.
+fn new_rung<V>(start: u64, span: u128, at_most: usize) -> Rung<V> {
+    let buckets = at_most.clamp(2, MAX_BUCKETS) as u128;
+    let width = span.div_ceil(buckets).max(1) as u64;
+    let count = span.div_ceil(width as u128) as usize;
+    Rung {
+        start,
+        width,
+        buckets: (0..count.max(1)).map(|_| Vec::new()).collect(),
+    }
+}
+
+/// A monotone priority queue over `(time, seq)` keys with amortized
+/// near-`O(1)` operations for clustered event-time distributions.
+pub struct CalendarQueue<V> {
+    /// Events being drained; sorted descending by key, popped from the
+    /// tail.
+    bottom: Vec<Item<V>>,
+    /// Exclusive time bound of bottom: pushes below it join bottom, and
+    /// every event in the rungs or top has `time >= bottom_end`.
+    bottom_end: u64,
+    /// The ladder, outermost (coarsest, latest span) first. Rung spans
+    /// tile `[bottom_end, rungs[0].end())` contiguously.
+    rungs: Vec<Rung<V>>,
+    /// Events at or past the ladder's end, unsorted.
+    top: Vec<Item<V>>,
+    len: usize,
+}
+
+impl<V> Default for CalendarQueue<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> CalendarQueue<V> {
+    /// An empty queue. The first pop after a batch of pushes sizes the
+    /// ladder from the observed event-time distribution.
+    pub fn new() -> Self {
+        CalendarQueue {
+            bottom: Vec::new(),
+            bottom_end: 0,
+            rungs: Vec::new(),
+            top: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert an entry. `seq` must be unique across live entries; the
+    /// engine guarantees this by never reusing sequence numbers.
+    pub fn push(&mut self, time: u64, seq: u64, value: V) {
+        self.len += 1;
+        let item = Item { time, seq, value };
+        if time < self.bottom_end {
+            // The common case here — an event just ahead of the clock,
+            // smaller than everything in bottom — lands at the tail:
+            // `partition_point` returns `bottom.len()`, a plain push.
+            let key = item.key();
+            let pos = self.bottom.partition_point(|it| it.key() > key);
+            self.bottom.insert(pos, item);
+            return;
+        }
+        // Innermost (earliest-covering) rung first; rung spans tile
+        // `[bottom_end, outermost end)`, so the first rung whose end
+        // exceeds `time` covers it.
+        for rung in self.rungs.iter_mut().rev() {
+            if (time as u128) < rung.end() {
+                rung.place(item);
+                return;
+            }
+        }
+        self.top.push(item);
+    }
+
+    /// Key of the next entry to pop, without removing it.
+    pub fn peek(&mut self) -> Option<(u64, u64)> {
+        if self.bottom.is_empty() {
+            self.refill_bottom();
+        }
+        self.bottom.last().map(Item::key)
+    }
+
+    /// Remove and return the entry with the smallest `(time, seq)` key.
+    pub fn pop(&mut self) -> Option<(u64, u64, V)> {
+        if self.bottom.is_empty() {
+            self.refill_bottom();
+        }
+        let item = self.bottom.pop()?;
+        self.len -= 1;
+        Some((item.time, item.seq, item.value))
+    }
+
+    /// Make bottom non-empty if any entry is pending: advance the
+    /// innermost rung to its next non-empty bucket, sorting it into
+    /// bottom when small and splitting it into a finer rung when large;
+    /// rebuild the ladder from top when it runs dry.
+    fn refill_bottom(&mut self) {
+        debug_assert!(self.bottom.is_empty());
+        loop {
+            let Some(rung) = self.rungs.last_mut() else {
+                if self.top.is_empty() {
+                    return; // truly empty
+                }
+                self.rebuild_from_top();
+                continue;
+            };
+            let Some(bucket) = rung.buckets.pop_front() else {
+                self.rungs.pop();
+                continue;
+            };
+            let b_start = rung.start;
+            let b_width = rung.width;
+            rung.start = b_start.wrapping_add(b_width); // exact: end() fit u128, spans tile u64 range
+            if bucket.is_empty() {
+                continue;
+            }
+            let same_time = bucket.len() > 1 && {
+                let t0 = bucket[0].time;
+                bucket.iter().all(|it| it.time == t0)
+            };
+            if bucket.len() <= SORT_THRESHOLD
+                || b_width == 1
+                || same_time
+                || self.rungs.len() >= MAX_RUNGS
+            {
+                let mut bucket = bucket;
+                bucket.sort_unstable_by(|a, b| b.key().cmp(&a.key()));
+                self.bottom = bucket;
+                self.bottom_end = b_start.wrapping_add(b_width);
+                return;
+            }
+            // Split: a finer rung tiling exactly the popped bucket's
+            // slot, so rung coverage stays contiguous. Width shrinks at
+            // least 2x per split, so depth is bounded by log2(span).
+            let mut finer = new_rung(b_start, b_width as u128, bucket.len() / SORT_THRESHOLD);
+            for it in bucket {
+                finer.place(it);
+            }
+            self.rungs.push(finer);
+        }
+    }
+
+    /// The ladder ran dry: re-bucket top into a fresh rung spanning its
+    /// observed `[min, max]` time range.
+    fn rebuild_from_top(&mut self) {
+        debug_assert!(self.rungs.is_empty() && !self.top.is_empty());
+        let mut min_t = u64::MAX;
+        let mut max_t = 0u64;
+        for it in &self.top {
+            min_t = min_t.min(it.time);
+            max_t = max_t.max(it.time);
+        }
+        let span = (max_t - min_t) as u128 + 1;
+        let mut rung = new_rung(min_t, span, self.top.len() / SORT_THRESHOLD);
+        for it in std::mem::take(&mut self.top) {
+            rung.place(it);
+        }
+        self.rungs.push(rung);
+        // Pushes earlier than the new ladder may still arrive; they
+        // belong to bottom (currently empty) and pop first.
+        self.bottom_end = min_t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(q: &mut CalendarQueue<u32>) -> Vec<(u64, u64)> {
+        let mut keys = Vec::new();
+        while let Some((t, s, _)) = q.pop() {
+            keys.push((t, s));
+        }
+        keys
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut q = CalendarQueue::new();
+        q.push(30, 0, 0);
+        q.push(10, 1, 1);
+        q.push(20, 2, 2);
+        q.push(10, 3, 3);
+        assert_eq!(q.len(), 4);
+        assert_eq!(drain(&mut q), vec![(10, 1), (10, 3), (20, 2), (30, 0)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = CalendarQueue::new();
+        q.push(100, 0, 0);
+        q.push(5, 1, 1);
+        assert_eq!(q.pop().map(|(t, s, _)| (t, s)), Some((5, 1)));
+        // Push earlier than `bottom_end` after a pop.
+        q.push(6, 2, 2);
+        q.push(7, 3, 3);
+        assert_eq!(q.pop().map(|(t, s, _)| (t, s)), Some((6, 2)));
+        assert_eq!(q.pop().map(|(t, s, _)| (t, s)), Some((7, 3)));
+        assert_eq!(q.pop().map(|(t, s, _)| (t, s)), Some((100, 0)));
+        assert_eq!(q.pop().map(|(t, s, _)| (t, s)), None);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = CalendarQueue::new();
+        q.push(42, 7, 0);
+        q.push(41, 8, 1);
+        assert_eq!(q.peek(), Some((41, 8)));
+        assert_eq!(q.pop().map(|(t, s, _)| (t, s)), Some((41, 8)));
+        assert_eq!(q.peek(), Some((42, 7)));
+    }
+
+    #[test]
+    fn wide_time_span_rebuilds_cleanly() {
+        let mut q = CalendarQueue::new();
+        // Span forces rung splits and a ladder rebuild, including the
+        // extremes of the time domain.
+        for (i, t) in [0u64, 1, 1_000_000_000_000, 500_000, 2, 999, u64::MAX]
+            .iter()
+            .enumerate()
+        {
+            q.push(*t, i as u64, i as u32);
+        }
+        let keys = drain(&mut q);
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        assert_eq!(keys.len(), 7);
+    }
+
+    #[test]
+    fn many_entries_one_time_stay_fifo() {
+        // A same-time pile larger than SORT_THRESHOLD cannot be split
+        // by time; it must sort into bottom and pop FIFO by seq.
+        let mut q = CalendarQueue::new();
+        for seq in 0..(SORT_THRESHOLD as u64 * 4) {
+            q.push(77, seq, seq as u32);
+        }
+        let keys = drain(&mut q);
+        assert_eq!(keys.len(), SORT_THRESHOLD * 4);
+        for (i, &(t, s)) in keys.iter().enumerate() {
+            assert_eq!((t, s), (77, i as u64));
+        }
+    }
+
+    #[test]
+    fn skewed_cluster_splits_into_finer_rungs() {
+        // 10k events within 1ms plus one far outlier: the split path
+        // must engage (several rungs) and order must hold.
+        let mut q = CalendarQueue::new();
+        let mut seq = 0u64;
+        q.push(8_000_000_000, seq, 0);
+        seq += 1;
+        for i in 0..10_000u64 {
+            q.push((i * 7919) % 1_000_000, seq, i as u32);
+            seq += 1;
+        }
+        let keys = drain(&mut q);
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        assert_eq!(keys.len(), 10_001);
+    }
+
+    #[test]
+    fn empty_queue_behaves() {
+        let mut q: CalendarQueue<()> = CalendarQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek(), None);
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,115 @@
+//! Equivalence proptests: the calendar queue must reproduce a reference
+//! binary heap's pop order *exactly* — including ties in time, which
+//! resolve FIFO by sequence number. The engine's determinism (and the
+//! replay/golden tests above it) rest on this contract.
+
+use cloudchar_simcore::CalendarQueue;
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Reference implementation: the pre-refactor `BinaryHeap` ordering.
+#[derive(Default)]
+struct HeapQueue {
+    heap: BinaryHeap<Reverse<(u64, u64, u32)>>,
+}
+
+impl HeapQueue {
+    fn push(&mut self, time: u64, seq: u64, value: u32) {
+        self.heap.push(Reverse((time, seq, value)));
+    }
+    fn pop(&mut self) -> Option<(u64, u64, u32)> {
+        self.heap.pop().map(|Reverse(k)| k)
+    }
+}
+
+proptest! {
+    /// Bulk load then full drain: identical order for arbitrary times,
+    /// with heavy collisions forced by the small time range.
+    #[test]
+    fn drain_matches_heap(times in proptest::collection::vec(0u64..50, 1..400)) {
+        let mut cal = CalendarQueue::new();
+        let mut heap = HeapQueue::default();
+        for (seq, &t) in times.iter().enumerate() {
+            cal.push(t, seq as u64, seq as u32);
+            heap.push(t, seq as u64, seq as u32);
+        }
+        prop_assert_eq!(cal.len(), times.len());
+        loop {
+            let a = cal.pop();
+            let b = heap.pop();
+            prop_assert_eq!(a, b);
+            if a.is_none() { break; }
+        }
+    }
+
+    /// Wide, clustered time range exercising wheel rebuilds across
+    /// several generations.
+    #[test]
+    fn drain_matches_heap_wide_times(
+        times in proptest::collection::vec(0u64..2_000_000_000_000, 1..300),
+        cluster in 0u64..1_000_000_000,
+    ) {
+        let mut cal = CalendarQueue::new();
+        let mut heap = HeapQueue::default();
+        for (seq, &t) in times.iter().enumerate() {
+            // Half the events cluster tightly, half spread wide — the
+            // simulator's actual shape.
+            let t = if seq % 2 == 0 { cluster + t % 10_000 } else { t };
+            cal.push(t, seq as u64, seq as u32);
+            heap.push(t, seq as u64, seq as u32);
+        }
+        loop {
+            let a = cal.pop();
+            let b = heap.pop();
+            prop_assert_eq!(a, b);
+            if a.is_none() { break; }
+        }
+    }
+
+    /// Interleaved pushes and pops, with pushes allowed at times earlier
+    /// than the current bucket (the `run_until` push-back path) — pop
+    /// order must still match the heap exactly.
+    #[test]
+    fn interleaved_ops_match_heap(
+        ops in proptest::collection::vec((0u64..1_000_000, any::<bool>()), 1..500),
+    ) {
+        let mut cal = CalendarQueue::new();
+        let mut heap = HeapQueue::default();
+        let mut seq = 0u64;
+        for &(t, is_pop) in &ops {
+            if is_pop {
+                prop_assert_eq!(cal.pop(), heap.pop());
+                prop_assert_eq!(cal.len(), heap.heap.len());
+            } else {
+                cal.push(t, seq, seq as u32);
+                heap.push(t, seq, seq as u32);
+                seq += 1;
+            }
+        }
+        loop {
+            let a = cal.pop();
+            let b = heap.pop();
+            prop_assert_eq!(a, b);
+            if a.is_none() { break; }
+        }
+    }
+
+    /// Peek never disturbs pop order and always reports the next key.
+    #[test]
+    fn peek_is_transparent(times in proptest::collection::vec(0u64..10_000, 1..200)) {
+        let mut cal = CalendarQueue::new();
+        let mut heap = HeapQueue::default();
+        for (seq, &t) in times.iter().enumerate() {
+            cal.push(t, seq as u64, seq as u32);
+            heap.push(t, seq as u64, seq as u32);
+        }
+        while let Some((t, s)) = cal.peek() {
+            let popped = cal.pop();
+            prop_assert_eq!(popped, heap.pop());
+            let (pt, ps, _) = popped.expect("peek implied non-empty");
+            prop_assert_eq!((t, s), (pt, ps));
+        }
+        prop_assert!(heap.pop().is_none());
+    }
+}

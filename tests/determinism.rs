@@ -109,6 +109,28 @@ fn replay_is_byte_identical_across_all_tiers() {
 }
 
 #[test]
+fn golden_replay_fingerprint_unchanged() {
+    // Golden hashes recorded from the pre-calendar-queue (`BinaryHeap`)
+    // engine at seed 777 / 70% browsing, one per deployment. They pin the
+    // *exact* event execution order across scheduler refactors: any
+    // change to tie-breaking or event ordering shifts every sampled
+    // series and shows up here as a different fingerprint.
+    for (deployment, golden) in [
+        (Deployment::Virtualized, 0x2b5f_f10d_8fc4_8142_u64),
+        (Deployment::NonVirtualized, 0x3388_2b26_c4d7_e4d9_u64),
+    ] {
+        let mut c = ExperimentConfig::fast(deployment, WorkloadMix::percent_browsing(70));
+        c.seed = 777;
+        let r = run(c);
+        assert_eq!(
+            fingerprint(&r),
+            golden,
+            "{deployment:?}: result diverged from the pre-refactor golden hash"
+        );
+    }
+}
+
+#[test]
 fn catalog_is_global_and_stable() {
     let c1 = catalog();
     let c2 = catalog();
