@@ -66,21 +66,22 @@ impl<V> Item<V> {
 }
 
 /// One level of the ladder: `buckets[i]` spans
-/// `[start + i*width, start + (i+1)*width)`, unsorted.
+/// `[start + i*width, start + (i+1)*width)`, unsorted, except that the
+/// last bucket is truncated at `end` so coverage tiles `[start, end)`
+/// exactly — `width` need not divide the span.
 struct Rung<V> {
     start: u64,
     width: u64, // >= 1
+    /// Exclusive logical end of this rung's coverage. Kept in `u128`
+    /// because a rung spanning up to `u64::MAX` inclusive ends at
+    /// `2^64`, which a `u64` cannot hold.
+    end: u128,
     buckets: VecDeque<Vec<Item<V>>>,
 }
 
 impl<V> Rung<V> {
-    /// Exclusive end of this rung's coverage, exact in `u128`.
-    fn end(&self) -> u128 {
-        self.start as u128 + self.width as u128 * self.buckets.len() as u128
-    }
-
     /// Append an item; requires `start <= item.time` and
-    /// `item.time < self.end()`.
+    /// `item.time < self.end`.
     fn place(&mut self, item: Item<V>) {
         let idx = ((item.time - self.start) / self.width) as usize;
         self.buckets[idx].push(item);
@@ -88,6 +89,10 @@ impl<V> Rung<V> {
 }
 
 /// Build a rung of `>= 2` buckets tiling exactly `[start, start + span)`.
+/// `width * count` may overshoot `span` when `width` does not divide it;
+/// the stored `end` truncates the last bucket so coverage never exceeds
+/// the requested span (an overshooting end would overlap an outer rung's
+/// remaining buckets and break pop ordering).
 fn new_rung<V>(start: u64, span: u128, at_most: usize) -> Rung<V> {
     let buckets = at_most.clamp(2, MAX_BUCKETS) as u128;
     let width = span.div_ceil(buckets).max(1) as u64;
@@ -95,6 +100,7 @@ fn new_rung<V>(start: u64, span: u128, at_most: usize) -> Rung<V> {
     Rung {
         start,
         width,
+        end: start as u128 + span,
         buckets: (0..count.max(1)).map(|_| Vec::new()).collect(),
     }
 }
@@ -106,10 +112,11 @@ pub struct CalendarQueue<V> {
     /// tail.
     bottom: Vec<Item<V>>,
     /// Exclusive time bound of bottom: pushes below it join bottom, and
-    /// every event in the rungs or top has `time >= bottom_end`.
-    bottom_end: u64,
+    /// every event in the rungs or top has `time >= bottom_end`. `u128`
+    /// because a fully drained ladder covering `u64::MAX` ends at `2^64`.
+    bottom_end: u128,
     /// The ladder, outermost (coarsest, latest span) first. Rung spans
-    /// tile `[bottom_end, rungs[0].end())` contiguously.
+    /// tile `[bottom_end, rungs[0].end)` contiguously.
     rungs: Vec<Rung<V>>,
     /// Events at or past the ladder's end, unsorted.
     top: Vec<Item<V>>,
@@ -150,7 +157,7 @@ impl<V> CalendarQueue<V> {
     pub fn push(&mut self, time: u64, seq: u64, value: V) {
         self.len += 1;
         let item = Item { time, seq, value };
-        if time < self.bottom_end {
+        if (time as u128) < self.bottom_end {
             // The common case here — an event just ahead of the clock,
             // smaller than everything in bottom — lands at the tail:
             // `partition_point` returns `bottom.len()`, a plain push.
@@ -163,7 +170,7 @@ impl<V> CalendarQueue<V> {
         // `[bottom_end, outermost end)`, so the first rung whose end
         // exceeds `time` covers it.
         for rung in self.rungs.iter_mut().rev() {
-            if (time as u128) < rung.end() {
+            if (time as u128) < rung.end {
                 rung.place(item);
                 return;
             }
@@ -208,8 +215,14 @@ impl<V> CalendarQueue<V> {
                 continue;
             };
             let b_start = rung.start;
-            let b_width = rung.width;
-            rung.start = b_start.wrapping_add(b_width); // exact: end() fit u128, spans tile u64 range
+            // The popped bucket's logical slot, truncated at the rung's
+            // end: `[b_start, b_end)`. Advancing past the rung end would
+            // overlap an outer rung's remaining buckets, popping late
+            // pushes ahead of earlier-keyed entries still stored there.
+            let b_end = (b_start as u128 + rung.width as u128).min(rung.end);
+            // Saturation only matters when `b_end == 2^64`, i.e. this was
+            // the rung's final bucket and `start` is never read again.
+            rung.start = b_end.min(u64::MAX as u128) as u64;
             if bucket.is_empty() {
                 continue;
             }
@@ -217,21 +230,22 @@ impl<V> CalendarQueue<V> {
                 let t0 = bucket[0].time;
                 bucket.iter().all(|it| it.time == t0)
             };
+            let b_span = b_end - b_start as u128;
             if bucket.len() <= SORT_THRESHOLD
-                || b_width == 1
+                || b_span == 1
                 || same_time
                 || self.rungs.len() >= MAX_RUNGS
             {
                 let mut bucket = bucket;
                 bucket.sort_unstable_by(|a, b| b.key().cmp(&a.key()));
                 self.bottom = bucket;
-                self.bottom_end = b_start.wrapping_add(b_width);
+                self.bottom_end = b_end;
                 return;
             }
             // Split: a finer rung tiling exactly the popped bucket's
             // slot, so rung coverage stays contiguous. Width shrinks at
             // least 2x per split, so depth is bounded by log2(span).
-            let mut finer = new_rung(b_start, b_width as u128, bucket.len() / SORT_THRESHOLD);
+            let mut finer = new_rung(b_start, b_span, bucket.len() / SORT_THRESHOLD);
             for it in bucket {
                 finer.place(it);
             }
@@ -257,7 +271,7 @@ impl<V> CalendarQueue<V> {
         self.rungs.push(rung);
         // Pushes earlier than the new ladder may still arrive; they
         // belong to bottom (currently empty) and pop first.
-        self.bottom_end = min_t;
+        self.bottom_end = min_t as u128;
     }
 }
 
@@ -360,6 +374,46 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(keys, sorted);
         assert_eq!(keys.len(), 10_001);
+    }
+
+    #[test]
+    fn split_rung_does_not_overshoot_parent_bucket() {
+        // Regression: splitting a [0,5) bucket with at_most=2 gives
+        // width 3, and count = ceil(5/3) = 2 buckets covering [0,6) —
+        // overshooting the parent slot unless the rung end is clamped.
+        // Unclamped, draining the finer rung advanced `bottom_end` to 6
+        // while (5, seq 1) still sat in the parent rung, so a later push
+        // at t=5 joined bottom and popped first.
+        let mut q = CalendarQueue::new();
+        let mut seq = 0u64;
+        q.push(0, seq, 0);
+        seq += 1;
+        let early_five = seq;
+        q.push(5, seq, 5);
+        seq += 1;
+        // 128 events in [1,4]: the [0,5) bucket of the initial width-5
+        // rung exceeds SORT_THRESHOLD and must split.
+        for i in 0..128u64 {
+            q.push(1 + i % 4, seq, 0);
+            seq += 1;
+        }
+        q.push(9, seq, 9);
+        seq += 1;
+        // Drain exactly the 129 events at t <= 4 — no peek afterwards,
+        // so bottom stays empty and `bottom_end` sits at the drained
+        // split rung's bound when the late push arrives.
+        for _ in 0..129 {
+            let (t, _, _) = q.pop().unwrap();
+            assert!(t <= 4);
+        }
+        // A second t=5 event, pushed after the split rung drained, must
+        // pop AFTER the earlier-seq t=5 event still in the parent rung.
+        q.push(5, seq, 55);
+        let late_five = seq;
+        assert_eq!(q.pop().map(|(t, s, _)| (t, s)), Some((5, early_five)));
+        assert_eq!(q.pop().map(|(t, s, _)| (t, s)), Some((5, late_five)));
+        assert_eq!(q.pop().map(|(t, s, _)| (t, s)), Some((9, seq - 1)));
+        assert!(q.pop().is_none());
     }
 
     #[test]

@@ -95,6 +95,64 @@ proptest! {
         }
     }
 
+    /// Interleaved pushes and pops over times clustered densely enough
+    /// that buckets exceed the split threshold: exercises the
+    /// rung-split path *while* pushes keep landing near the drain
+    /// frontier, where an overshooting split rung once let `bottom_end`
+    /// advance past keys still stored in the parent rung.
+    #[test]
+    fn interleaved_dense_cluster_matches_heap(
+        ops in proptest::collection::vec((0u64..16, 0u8..4), 200..800),
+    ) {
+        let mut cal = CalendarQueue::new();
+        let mut heap = HeapQueue::default();
+        let mut seq = 0u64;
+        for &(t, op) in &ops {
+            // Pop roughly a quarter of the time so the queue stays deep
+            // and repeatedly re-buckets the same narrow time range.
+            if op == 0 {
+                prop_assert_eq!(cal.pop(), heap.pop());
+            } else {
+                cal.push(t, seq, seq as u32);
+                heap.push(t, seq, seq as u32);
+                seq += 1;
+            }
+        }
+        loop {
+            let a = cal.pop();
+            let b = heap.pop();
+            prop_assert_eq!(a, b);
+            if a.is_none() { break; }
+        }
+    }
+
+    /// Times at the extreme top of the u64 domain: bucket ends reach
+    /// 2^64, which must not wrap `bottom_end` or rung bounds.
+    #[test]
+    fn near_u64_max_times_match_heap(
+        offsets in proptest::collection::vec((0u64..200, any::<bool>()), 1..300),
+    ) {
+        let mut cal = CalendarQueue::new();
+        let mut heap = HeapQueue::default();
+        let mut seq = 0u64;
+        for &(off, is_pop) in &offsets {
+            if is_pop {
+                prop_assert_eq!(cal.pop(), heap.pop());
+            } else {
+                let t = u64::MAX - off;
+                cal.push(t, seq, seq as u32);
+                heap.push(t, seq, seq as u32);
+                seq += 1;
+            }
+        }
+        loop {
+            let a = cal.pop();
+            let b = heap.pop();
+            prop_assert_eq!(a, b);
+            if a.is_none() { break; }
+        }
+    }
+
     /// Peek never disturbs pop order and always reports the next key.
     #[test]
     fn peek_is_transparent(times in proptest::collection::vec(0u64..10_000, 1..200)) {
