@@ -14,8 +14,14 @@ cargo test -q
 echo "==> cargo test -p cloudchar-core --test claims"
 cargo test -q -p cloudchar-core --test claims
 
+echo "==> cargo test -p cloudchar-core --test scenarios"
+cargo test -q -p cloudchar-core --test scenarios
+
 echo "==> repro sweep smoke (--sweep 2 --jobs 2)"
 cargo run --release -p cloudchar-bench --bin repro -- --fast ratios --sweep 2 --jobs 2 > /dev/null
+
+echo "==> repro fault-plan round-trip smoke"
+cargo run --release -p cloudchar-bench --bin repro -- fault-roundtrip > /dev/null
 
 echo "==> cargo run -p cloudchar-lint -- --json"
 cargo run --release -p cloudchar-lint -- --json

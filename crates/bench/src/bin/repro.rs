@@ -6,7 +6,22 @@
 //! cargo run --release -p cloudchar-bench --bin repro -- --fast all
 //! cargo run --release -p cloudchar-bench --bin repro -- --audit --fast all
 //! cargo run --release -p cloudchar-bench --bin repro -- ratios --sweep 8 --jobs 4
+//! cargo run --release -p cloudchar-bench --bin repro -- --fast scenarios
+//! cargo run --release -p cloudchar-bench --bin repro -- fault-roundtrip
+//! cargo run --release -p cloudchar-bench --bin repro -- --fast --faults plan.json fig1
 //! ```
+//!
+//! `--faults <plan.json|scenario>` injects a fault schedule into every
+//! experiment the run performs. The value is either a path to a
+//! `FaultPlan` JSON file or one of the built-in scenario names
+//! (`db-crash`, `web-throttle`, `noisy-neighbor`); a fault report with
+//! before/during/after deltas is appended for each experiment that ran.
+//!
+//! `scenarios` runs the three built-in chaos scenarios one by one
+//! (virtualized browsing deployment) and prints their availability dip
+//! and per-host resource deltas; `fault-roundtrip` smoke-checks that
+//! every built-in plan survives a JSON serialization round trip with an
+//! identical fingerprint.
 //!
 //! `--audit` enables the runtime invariant auditor for the whole run and
 //! exits non-zero if any invariant (event-time monotonicity, CPU capacity
@@ -25,10 +40,12 @@
 use cloudchar_analysis::{summarize, Resource};
 use cloudchar_core::{
     default_jobs, paper_values, q1_tier_lag, q2_ram_jumps, q3_disk_cv, ratio_report, run,
-    run_seeds_jobs, Deployment, ExperimentConfig, ExperimentResult,
+    run_seeds_jobs, scenario, scenario_report, Deployment, ExperimentConfig, ExperimentResult,
+    SCENARIOS,
 };
 use cloudchar_monitor::catalog;
 use cloudchar_rubis::WorkloadMix;
+use cloudchar_simcore::FaultPlan;
 use std::collections::HashMap;
 use std::io::Write as _;
 
@@ -42,6 +59,7 @@ enum Key {
 
 struct Lab {
     fast: bool,
+    faults: Option<String>,
     cache: HashMap<Key, ExperimentResult>,
 }
 
@@ -53,11 +71,19 @@ impl Lab {
             Key::PhysBrowse => (Deployment::NonVirtualized, WorkloadMix::BROWSING),
             Key::PhysBid => (Deployment::NonVirtualized, WorkloadMix::BIDDING),
         };
-        if self.fast {
+        let mut cfg = if self.fast {
             ExperimentConfig::fast(deployment, mix)
         } else {
             ExperimentConfig::paper(deployment, mix)
+        };
+        if let Some(spec) = &self.faults {
+            cfg.faults = resolve_plan(spec, cfg.duration.as_secs_f64());
+            if let Err(e) = cfg.validate() {
+                eprintln!("[repro] fault plan rejected: {e}");
+                std::process::exit(2);
+            }
         }
+        cfg
     }
 
     fn get(&mut self, key: Key) -> &ExperimentResult {
@@ -111,6 +137,141 @@ fn series_stats(label: &str, xs: &[f64]) -> String {
             s.mean, s.max, s.cv
         ),
     }
+}
+
+/// Resolve a `--faults` spec: a built-in scenario name, or a path to a
+/// `FaultPlan` JSON file.
+fn resolve_plan(spec: &str, duration_s: f64) -> FaultPlan {
+    if let Some(plan) = scenario(spec, duration_s) {
+        return plan;
+    }
+    let text = match std::fs::read_to_string(spec) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!(
+                "[repro] --faults {spec:?} is neither a built-in scenario ({}) nor a readable file: {e}",
+                SCENARIOS.join(", ")
+            );
+            std::process::exit(2);
+        }
+    };
+    match serde_json::from_str::<FaultPlan>(&text) {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("[repro] {spec}: invalid fault plan JSON: {e:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Print the fault summary and before/during/after phase deltas of one
+/// fault-injected experiment, mirroring the shape of the ratio tables.
+fn print_fault_report(result: &ExperimentResult) {
+    let Some(summary) = &result.faults else {
+        println!("  (no fault summary — the plan was empty)");
+        return;
+    };
+    println!(
+        "  plan {:?}  fingerprint {:#018x}",
+        summary.plan_name, summary.plan_fingerprint
+    );
+    for w in &summary.windows {
+        println!(
+            "    window {:<13} [{:.1}s, {:.1}s)",
+            w.label, w.start_s, w.end_s
+        );
+    }
+    println!(
+        "  requests: {} ok, {} errors, {} timeouts, {} retries, {} abandons  (overall availability {:.3})",
+        summary.ok,
+        summary.errors,
+        summary.timeouts,
+        summary.retries,
+        summary.abandons,
+        summary.overall_availability()
+    );
+    match scenario_report(result) {
+        None => println!("  (fault windows leave no before/after samples — no phase report)"),
+        Some(rep) => {
+            println!(
+                "  availability: before {:.3}  during {:.3}  after {:.3}  (envelope samples {}..{})",
+                rep.availability_before,
+                rep.availability_during,
+                rep.availability_after,
+                rep.window.0,
+                rep.window.1
+            );
+            println!(
+                "  {:<10} {:<5} {:>12} {:>12} {:>12} {:>8} {:>8}",
+                "host", "res", "before", "during", "after", "dur/bef", "aft/bef"
+            );
+            for d in &rep.deltas {
+                println!(
+                    "  {:<10} {:<5} {:>12.4e} {:>12.4e} {:>12.4e} {:>8.2} {:>8.2}",
+                    d.host,
+                    format!("{:?}", d.resource).to_lowercase(),
+                    d.before,
+                    d.during,
+                    d.after,
+                    d.during_ratio(),
+                    d.recovery_ratio()
+                );
+            }
+        }
+    }
+}
+
+/// Run the three built-in chaos scenarios (virtualized browsing
+/// deployment) and report each one's availability dip and per-host
+/// resource deltas.
+fn scenarios_cmd(fast: bool) {
+    for name in SCENARIOS {
+        let mut cfg = if fast {
+            ExperimentConfig::fast(Deployment::Virtualized, WorkloadMix::BROWSING)
+        } else {
+            ExperimentConfig::paper(Deployment::Virtualized, WorkloadMix::BROWSING)
+        };
+        cfg.faults = scenario(name, cfg.duration.as_secs_f64()).expect("built-in scenario");
+        cfg.validate().expect("scenario config validates");
+        println!("== Scenario {name} (virtualized/browsing) ==");
+        eprintln!("[repro] running scenario {name} …");
+        let t0 = std::time::Instant::now();
+        let result = run(cfg);
+        eprintln!(
+            "[repro]   done in {:.1}s ({} requests, {} events)",
+            t0.elapsed().as_secs_f64(),
+            result.completed,
+            result.events
+        );
+        print_fault_report(&result);
+        println!();
+    }
+}
+
+/// Smoke-check the fault-plan JSON round trip: every built-in scenario
+/// must serialize, parse back identical, and keep its fingerprint.
+fn fault_roundtrip_cmd() {
+    println!("== Fault-plan serialization round trip ==");
+    std::fs::create_dir_all("results").expect("create results dir");
+    for name in SCENARIOS {
+        let plan = scenario(name, 120.0).expect("built-in scenario");
+        let json = serde_json::to_string(&plan).expect("serialize plan");
+        let path = format!("results/faultplan_{name}.json");
+        std::fs::write(&path, &json).expect("write plan");
+        let back: FaultPlan = serde_json::from_str(&json).expect("parse plan");
+        assert_eq!(plan, back, "{name}: round trip changed the plan");
+        assert_eq!(
+            plan.fingerprint(),
+            back.fingerprint(),
+            "{name}: round trip changed the fingerprint"
+        );
+        println!(
+            "  {name:<15} {} events  fingerprint {:#018x}  ok ({path})",
+            plan.events.len(),
+            plan.fingerprint()
+        );
+    }
+    println!();
 }
 
 /// Table 1: the metric catalog sample.
@@ -494,33 +655,44 @@ fn characterize_cmd(lab: &mut Lab) {
     }
 }
 
+/// `--name value` / `--name=value` string flag; `None` when `arg` is not
+/// this flag.
+fn take_value(arg: &str, name: &str, it: &mut impl Iterator<Item = String>) -> Option<String> {
+    match arg.strip_prefix(&format!("{name}=")) {
+        Some(inline) => Some(inline.to_string()),
+        None if arg == name => Some(it.next().unwrap_or_default()),
+        None => None,
+    }
+}
+
+/// `take_value` for positive-integer flags; exits on a malformed value.
+fn take_count(arg: &str, name: &str, it: &mut impl Iterator<Item = String>) -> Option<usize> {
+    let value = take_value(arg, name, it)?;
+    match value.parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => {
+            eprintln!("[repro] {name} needs a positive integer, got {value:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
     let audit = args.iter().any(|a| a == "--audit");
     let mut sweep: usize = 1;
     let mut jobs: usize = default_jobs();
+    let mut faults: Option<String> = None;
     let mut cmds: Vec<String> = Vec::new();
     let mut it = args.into_iter().filter(|a| a != "--fast" && a != "--audit");
     while let Some(arg) = it.next() {
-        let mut flag_value = |name: &str| -> Option<usize> {
-            let value = match arg.strip_prefix(&format!("{name}=")) {
-                Some(inline) => inline.to_string(),
-                None if arg == name => it.next().unwrap_or_default(),
-                None => return None,
-            };
-            match value.parse::<usize>() {
-                Ok(n) if n >= 1 => Some(n),
-                _ => {
-                    eprintln!("[repro] {name} needs a positive integer, got {value:?}");
-                    std::process::exit(2);
-                }
-            }
-        };
-        if let Some(n) = flag_value("--sweep") {
+        if let Some(n) = take_count(&arg, "--sweep", &mut it) {
             sweep = n;
-        } else if let Some(j) = flag_value("--jobs") {
+        } else if let Some(j) = take_count(&arg, "--jobs", &mut it) {
             jobs = j;
+        } else if let Some(f) = take_value(&arg, "--faults", &mut it) {
+            faults = Some(f);
         } else {
             cmds.push(arg);
         }
@@ -533,6 +705,7 @@ fn main() {
     }
     let mut lab = Lab {
         fast,
+        faults,
         cache: HashMap::new(),
     };
     let all = cmds.iter().any(|c| c == "all");
@@ -575,6 +748,29 @@ fn main() {
     }
     if want("mixes") {
         mixes_cmd(fast);
+    }
+    // `scenarios` is opt-in: three extra full runs don't ride with `all`.
+    if cmds.iter().any(|c| c == "scenarios") {
+        scenarios_cmd(fast);
+    }
+    if want("fault-roundtrip") {
+        fault_roundtrip_cmd();
+    }
+
+    // With --faults active, append a fault report per experiment that ran.
+    if lab.faults.is_some() {
+        for (key, label) in [
+            (Key::VirtBrowse, "virtualized/browsing"),
+            (Key::VirtBid, "virtualized/bidding"),
+            (Key::PhysBrowse, "non-virtualized/browsing"),
+            (Key::PhysBid, "non-virtualized/bidding"),
+        ] {
+            if let Some(result) = lab.cache.get(&key) {
+                println!("== Fault report: {label} ==");
+                print_fault_report(result);
+                println!();
+            }
+        }
     }
 
     if audit {

@@ -1,7 +1,7 @@
 //! Experiment configuration.
 
 use cloudchar_rubis::{DbScale, MySqlConfig, WebConfig, WorkloadMix};
-use cloudchar_simcore::{SimDuration, SimTime};
+use cloudchar_simcore::{FaultPlan, SimDuration, SimTime};
 use cloudchar_xen::OverheadModel;
 use serde::{Deserialize, Serialize};
 
@@ -54,6 +54,11 @@ pub struct ExperimentConfig {
     pub web: WebConfig,
     /// Database tier configuration.
     pub mysql: MySqlConfig,
+    /// Fault-injection schedule. The default (empty) plan injects
+    /// nothing and leaves the run byte-identical to the pre-fault
+    /// testbed; a non-empty plan also arms client timeouts and retries.
+    #[serde(default)]
+    pub faults: FaultPlan,
 }
 
 impl ExperimentConfig {
@@ -77,6 +82,7 @@ impl ExperimentConfig {
             disk_degradation: 1.0,
             web: WebConfig::default(),
             mysql: MySqlConfig::default(),
+            faults: FaultPlan::default(),
         }
     }
 
@@ -114,6 +120,16 @@ impl ExperimentConfig {
         }
         if !(self.disk_degradation.is_finite() && self.disk_degradation >= 1.0) {
             return Err("disk_degradation must be >= 1".into());
+        }
+        self.faults.validate()?;
+        for ev in &self.faults.events {
+            if ev.at_s >= self.duration.as_secs_f64() {
+                return Err(format!(
+                    "fault at {} s starts after the {} s run ends",
+                    ev.at_s,
+                    self.duration.as_secs_f64()
+                ));
+            }
         }
         self.overhead.validate()
     }
@@ -162,5 +178,45 @@ mod tests {
         let s = serde_json::to_string(&c).unwrap();
         let back: ExperimentConfig = serde_json::from_str(&s).unwrap();
         assert_eq!(c, back);
+    }
+
+    #[test]
+    fn faults_field_defaults_to_empty_plan() {
+        // Pre-fault configs (no `faults` key) must still parse.
+        let c = ExperimentConfig::paper(Deployment::Virtualized, WorkloadMix::BROWSING);
+        let s = serde_json::to_string(&c).unwrap();
+        let mut v: serde::Value = serde_json::from_str(&s).unwrap();
+        if let serde::Value::Map(entries) = &mut v {
+            entries.retain(|(k, _)| k != "faults");
+        }
+        let stripped = serde_json::to_string(&v).unwrap();
+        let back: ExperimentConfig = serde_json::from_str(&stripped).unwrap();
+        assert!(back.faults.is_empty());
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn validate_rejects_bad_fault_plans() {
+        use cloudchar_simcore::{FaultEvent, FaultKind};
+        let mut c = ExperimentConfig::fast(Deployment::Virtualized, WorkloadMix::BROWSING);
+        // A fault starting after the run ends is misconfigured.
+        c.faults.events.push(FaultEvent {
+            at_s: 10_000.0,
+            duration_s: 5.0,
+            kind: FaultKind::DiskSlow { factor: 2.0 },
+        });
+        assert!(c.validate().is_err());
+        c.faults.events[0] = FaultEvent {
+            at_s: 50.0,
+            duration_s: -1.0,
+            kind: FaultKind::DiskSlow { factor: 2.0 },
+        };
+        assert!(c.validate().is_err());
+        c.faults.events[0] = FaultEvent {
+            at_s: 50.0,
+            duration_s: 20.0,
+            kind: FaultKind::DiskSlow { factor: 2.0 },
+        };
+        assert_eq!(c.validate(), Ok(()));
     }
 }

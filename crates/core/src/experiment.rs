@@ -7,7 +7,7 @@ use crate::virt::VirtPlatform;
 use crate::workload::{bootstrap, World};
 use cloudchar_analysis::Resource;
 use cloudchar_hw::ServerSpec;
-use cloudchar_monitor::{catalog, SeriesStore, Source};
+use cloudchar_monitor::{catalog, FaultSummary, SeriesStore, Source};
 use cloudchar_rubis::{ClientPopulation, Database, MySqlServer, WebAppServer};
 use cloudchar_simcore::{audit, Engine, SimRng};
 use serde::{Deserialize, Serialize};
@@ -36,6 +36,10 @@ pub struct ExperimentResult {
     /// Per-interaction transaction statistics: (script name,
     /// completions, mean latency in seconds).
     pub transactions: Vec<(String, u64, f64)>,
+    /// Fault observability record; `None` for fault-free runs (and for
+    /// traces written before fault injection existed).
+    #[serde(default)]
+    pub faults: Option<FaultSummary>,
 }
 
 /// The paper's server spec with failure-injected disk degradation.
@@ -57,6 +61,7 @@ pub fn run(cfg: ExperimentConfig) -> ExperimentResult {
     let mut client_rng = master.derive("clients");
     let workload_rng = master.derive("workload");
     let platform_rng = master.derive("platform");
+    let fault_rng = master.derive("faults");
 
     let spec = degraded_spec(cfg.disk_degradation);
     let db = Database::generate(cfg.db_scale, &mut db_rng);
@@ -90,9 +95,20 @@ pub fn run(cfg: ExperimentConfig) -> ExperimentResult {
         .map(|s| s.to_string())
         .collect();
 
-    let mut world = World::new(cfg.clone(), platform, web, mysql, clients, workload_rng);
+    let mut world = World::new(
+        cfg.clone(),
+        platform,
+        web,
+        mysql,
+        clients,
+        workload_rng,
+        fault_rng,
+    );
     let mut engine: Engine<World> = Engine::new();
     bootstrap(&mut engine, &mut world);
+    if !cfg.faults.is_empty() {
+        crate::faults::install_plan(&cfg.faults, &mut engine, &mut world);
+    }
     engine.run_until(&mut world, cfg.end_time());
 
     if audit::is_enabled() {
@@ -128,6 +144,11 @@ pub fn run(cfg: ExperimentConfig) -> ExperimentResult {
             )
         })
         .collect();
+    let faults = if world.faults_enabled() {
+        Some(world.fault_summary())
+    } else {
+        None
+    };
     ExperimentResult {
         config: cfg,
         hosts,
@@ -138,6 +159,7 @@ pub fn run(cfg: ExperimentConfig) -> ExperimentResult {
         response_time_p99_s: world.response_hist.quantile(0.99).unwrap_or(0.0),
         events: engine.events_executed(),
         transactions,
+        faults,
         store: world.store,
     }
 }

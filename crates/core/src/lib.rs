@@ -32,6 +32,7 @@ pub mod characterize;
 pub mod compare;
 pub mod config;
 pub mod experiment;
+pub mod faults;
 pub mod phys;
 pub mod platform;
 pub mod report;
@@ -47,6 +48,7 @@ pub use compare::{
 };
 pub use config::{Deployment, ExperimentConfig};
 pub use experiment::{run, ExperimentResult};
+pub use faults::{install_plan, scenario, scenario_report, PhaseDelta, ScenarioReport, SCENARIOS};
 pub use phys::{HostIoPolicy, PhysPlatform};
 pub use platform::{Platform, Tier, TierLoad};
 pub use report::{render_report, ReportInputs};

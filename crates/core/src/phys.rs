@@ -13,7 +13,7 @@ use crate::platform::{HostSample, Tier, TierLoad};
 use cloudchar_hw::memory::MIB;
 use cloudchar_hw::{IoKind, IoRequest, PhysicalServer, ServerSpec, WorkQueue, WorkToken};
 use cloudchar_monitor::{RawHostSample, Source};
-use cloudchar_simcore::{SimDuration, SimRng, SimTime};
+use cloudchar_simcore::{FaultKind, SimDuration, SimRng, SimTime};
 
 /// Host-OS page-cache / journal behaviour.
 #[derive(Debug, Clone, Copy)]
@@ -45,6 +45,11 @@ struct TierHost {
     /// Write-back bytes awaiting the next commit.
     pending_writeback: u64,
     last_flush: SimTime,
+    /// Fault injection: whether the machine is serving (crash fault).
+    up: bool,
+    /// Fault injection: CPU budget cap in percent of one core, the
+    /// physical analog of a credit-scheduler cap (`None` = uncapped).
+    cap_percent: Option<u32>,
 }
 
 impl TierHost {
@@ -58,6 +63,8 @@ impl TierHost {
             kernel_cycles: 0.0,
             pending_writeback: 0,
             last_flush: SimTime::ZERO,
+            up: true,
+            cap_percent: None,
         }
     }
 }
@@ -70,6 +77,9 @@ pub struct PhysPlatform {
     policy: HostIoPolicy,
     rng: SimRng,
     quantum: SimDuration,
+    /// Fault injection: a co-scheduled CPU hog (fraction of one core per
+    /// host), the physical analog of credit starvation.
+    hog_core_util: f64,
 }
 
 impl PhysPlatform {
@@ -86,6 +96,7 @@ impl PhysPlatform {
             policy,
             rng,
             quantum: SimDuration::from_millis(10),
+            hog_core_util: 0.0,
         }
     }
 
@@ -109,9 +120,21 @@ impl PhysPlatform {
     /// Run one OS scheduling quantum on both hosts.
     pub fn tick(&mut self, dt: SimDuration, out: &mut Vec<(Tier, WorkToken)>) {
         let dt_s = dt.as_secs_f64();
+        let hog = self.hog_core_util;
         for tier in [Tier::Web, Tier::Db] {
             let host = self.host_mut(tier);
-            let budget = host.server.spec().cpu.capacity_cycles(dt_s);
+            if !host.up {
+                continue; // crashed machine: nothing runs until restart
+            }
+            let hz = host.server.spec().cpu.hz as f64;
+            if hog > 0.0 {
+                // The co-scheduled hog competes like kernel work.
+                host.kernel_cycles += hog * hz * dt_s;
+            }
+            let mut budget = host.server.spec().cpu.capacity_cycles(dt_s);
+            if let Some(cap) = host.cap_percent {
+                budget = budget.min(f64::from(cap) / 100.0 * hz * dt_s);
+            }
             // Kernel work (interrupt handlers, softirqs) preempts the app.
             let kernel_part = host.kernel_cycles.min(budget);
             host.kernel_cycles -= kernel_part;
@@ -230,6 +253,79 @@ impl PhysPlatform {
                 );
             }
         }
+    }
+
+    /// Whether a tier's machine is currently up (not crash-injected).
+    pub fn tier_up(&self, tier: Tier) -> bool {
+        match tier {
+            Tier::Web => self.web.up,
+            Tier::Db => self.db.up,
+        }
+    }
+
+    /// Apply (`active`) or clear a fault, mapped to its physical analog:
+    /// a "domain crash" takes the whole machine down, a "VCPU cap" limits
+    /// the OS scheduler's CPU budget, "credit starvation" becomes a
+    /// co-scheduled CPU hog, and the hardware faults hit both servers'
+    /// devices. Returns the work tokens a crash dropped.
+    pub fn apply_fault(&mut self, kind: &FaultKind, active: bool) -> Vec<(Tier, WorkToken)> {
+        match *kind {
+            FaultKind::DomainCrash { tier, boot_delay_s } => {
+                let t = Tier::from(tier);
+                let host = self.host_mut(t);
+                if active {
+                    host.up = false;
+                    host.kernel_cycles = 0.0;
+                    return host.work.clear().into_iter().map(|tok| (t, tok)).collect();
+                }
+                if !host.up {
+                    host.up = true;
+                    // Boot work (kernel init, service start-up) preempts
+                    // application work until it drains.
+                    let hz = host.server.spec().cpu.hz as f64;
+                    host.kernel_cycles += boot_delay_s * hz;
+                }
+            }
+            FaultKind::VcpuCap { tier, cap_percent } => {
+                self.host_mut(Tier::from(tier)).cap_percent =
+                    if active { Some(cap_percent) } else { None };
+            }
+            FaultKind::CreditStarve { util } => {
+                self.hog_core_util = if active { util } else { 0.0 };
+            }
+            FaultKind::DiskSlow { factor } => {
+                let f = if active { factor } else { 1.0 };
+                for tier in [Tier::Web, Tier::Db] {
+                    self.host_mut(tier).server.disk.set_fault_factor(f);
+                }
+            }
+            FaultKind::NicDegrade {
+                loss,
+                bandwidth_factor,
+            } => {
+                let (l, b) = if active {
+                    (loss, bandwidth_factor)
+                } else {
+                    (0.0, 1.0)
+                };
+                for tier in [Tier::Web, Tier::Db] {
+                    self.host_mut(tier).server.nic.set_fault(l, b);
+                }
+            }
+            FaultKind::MemPressure { bytes } => {
+                let amount = if active { bytes } else { 0 };
+                for tier in [Tier::Web, Tier::Db] {
+                    self.host_mut(tier)
+                        .server
+                        .memory
+                        .set_component("fault-pressure", amount);
+                }
+            }
+            // Application-level errors are synthesized by the workload
+            // layer; nothing changes on the platform.
+            FaultKind::TierErrors { .. } => {}
+        }
+        Vec::new()
     }
 
     fn sample_one(&mut self, tier: Tier, dt: SimDuration, load: TierLoad) -> RawHostSample {
@@ -418,6 +514,80 @@ mod tests {
         assert_eq!(web.net_tx_bytes, 20_300.0); // response + query
         assert_eq!(db.net_rx_bytes, 300.0);
         assert_eq!(db.net_tx_bytes, 900.0);
+    }
+
+    #[test]
+    fn crash_fault_stops_the_machine_until_restart() {
+        use cloudchar_simcore::FaultTier;
+        let mut p = platform();
+        p.submit_work(Tier::Web, WorkToken(3), 1.0e12);
+        let kind = FaultKind::DomainCrash {
+            tier: FaultTier::Web,
+            boot_delay_s: 0.5,
+        };
+        let dropped = p.apply_fault(&kind, true);
+        assert_eq!(dropped, vec![(Tier::Web, WorkToken(3))]);
+        assert!(!p.tier_up(Tier::Web));
+        assert!(p.tier_up(Tier::Db));
+        p.submit_work(Tier::Web, WorkToken(4), 1_000.0);
+        let mut out = Vec::new();
+        p.tick(SimDuration::from_millis(10), &mut out);
+        assert!(out.is_empty(), "down host must not run work");
+        // Restart: the boot cycles (0.5 s × 2.8 GHz = 1.4e9) preempt the
+        // app, so the pending token needs several quanta to complete.
+        p.apply_fault(&kind, false);
+        assert!(p.tier_up(Tier::Web));
+        let mut quanta = 0;
+        while out.is_empty() {
+            p.tick(SimDuration::from_millis(10), &mut out);
+            quanta += 1;
+            assert!(quanta < 100, "boot work never drained");
+        }
+        assert!(quanta > 1, "boot delay must cost at least one quantum");
+        assert_eq!(out, vec![(Tier::Web, WorkToken(4))]);
+    }
+
+    #[test]
+    fn cap_fault_limits_cpu_budget() {
+        use cloudchar_simcore::FaultTier;
+        let mut p = platform();
+        p.apply_fault(
+            &FaultKind::VcpuCap {
+                tier: FaultTier::Web,
+                cap_percent: 10,
+            },
+            true,
+        );
+        // 10% of one 2.8 GHz core over 10 ms = 2.8M cycles; 200M cycles
+        // of work cannot finish in one quantum anymore.
+        p.submit_work(Tier::Web, WorkToken(1), 200.0e6);
+        let mut out = Vec::new();
+        p.tick(SimDuration::from_millis(10), &mut out);
+        assert!(out.is_empty(), "capped host finished 200M cycles in 2.8M");
+        p.apply_fault(
+            &FaultKind::VcpuCap {
+                tier: FaultTier::Web,
+                cap_percent: 10,
+            },
+            false,
+        );
+        p.tick(SimDuration::from_millis(10), &mut out);
+        assert_eq!(out, vec![(Tier::Web, WorkToken(1))]);
+    }
+
+    #[test]
+    fn hog_fault_steals_cycles_from_the_app() {
+        let mut p = platform();
+        p.apply_fault(&FaultKind::CreditStarve { util: 1.0 }, true);
+        let mut out = Vec::new();
+        p.tick(SimDuration::from_millis(10), &mut out);
+        let hogged = p.web.server.cycles.total();
+        // One full core of hog cycles burned with no app work queued.
+        assert!(hogged as f64 >= 2.8e9 * 0.01 * 0.99, "hog {hogged}");
+        p.apply_fault(&FaultKind::CreditStarve { util: 1.0 }, false);
+        let before = p.web.server.cycles.total();
+        p.tick(SimDuration::from_millis(10), &mut out);
+        assert_eq!(p.web.server.cycles.total(), before, "hog must clear");
     }
 
     #[test]

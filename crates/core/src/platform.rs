@@ -8,7 +8,7 @@
 use crate::virt::VirtPlatform;
 use cloudchar_hw::{IoRequest, WorkToken};
 use cloudchar_monitor::{RawHostSample, Source};
-use cloudchar_simcore::{SimDuration, SimTime};
+use cloudchar_simcore::{FaultKind, FaultTier, SimDuration, SimTime};
 
 pub use crate::phys::PhysPlatform;
 
@@ -19,6 +19,15 @@ pub enum Tier {
     Web,
     /// MySQL database tier.
     Db,
+}
+
+impl From<FaultTier> for Tier {
+    fn from(t: FaultTier) -> Tier {
+        match t {
+            FaultTier::Web => Tier::Web,
+            FaultTier::Db => Tier::Db,
+        }
+    }
 }
 
 /// Scheduler-visible load of one tier, supplied by the orchestrator for
@@ -148,6 +157,26 @@ impl Platform {
         match self {
             Platform::Virt(v) => v.sample_hosts(dt, web_load, db_load),
             Platform::Phys(p) => p.sample_hosts(dt, web_load, db_load),
+        }
+    }
+
+    /// Apply or clear a platform-level fault. Returns the work tokens of
+    /// any requests abandoned by the fault (a crashed tier's in-flight
+    /// work) so the orchestrator can fail them. Application-level faults
+    /// ([`FaultKind::TierErrors`]) are a no-op here — the workload layer
+    /// handles them.
+    pub fn apply_fault(&mut self, kind: &FaultKind, active: bool) -> Vec<(Tier, WorkToken)> {
+        match self {
+            Platform::Virt(v) => v.apply_fault(kind, active),
+            Platform::Phys(p) => p.apply_fault(kind, active),
+        }
+    }
+
+    /// Whether a tier's host/domain is currently up (not crash-injected).
+    pub fn tier_up(&self, tier: Tier) -> bool {
+        match self {
+            Platform::Virt(v) => v.tier_up(tier),
+            Platform::Phys(p) => p.tier_up(tier),
         }
     }
 

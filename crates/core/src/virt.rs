@@ -12,7 +12,7 @@ use crate::platform::{HostSample, Tier, TierLoad};
 use cloudchar_hw::memory::MIB;
 use cloudchar_hw::{IoRequest, ServerSpec, WorkToken};
 use cloudchar_monitor::{RawHostSample, Source};
-use cloudchar_simcore::{SimDuration, SimRng, SimTime};
+use cloudchar_simcore::{FaultKind, SimDuration, SimRng, SimTime};
 use cloudchar_xen::{DomId, DomainConfig, Hypervisor, OverheadModel};
 
 /// Options for provisioning the virtualized platform.
@@ -55,6 +55,8 @@ pub struct VirtPlatform {
     background: Vec<DomId>,
     background_util: f64,
     background_iops: f64,
+    /// Configured credit-scheduler cap, restored when a cap fault clears.
+    base_cap_percent: Option<u32>,
     rng: SimRng,
     /// Completions buffer reused across ticks.
     scratch: Vec<cloudchar_xen::Completion>,
@@ -95,6 +97,7 @@ impl VirtPlatform {
             background,
             background_util: options.background_util.clamp(0.0, 1.0),
             background_iops: options.background_iops.max(0.0),
+            base_cap_percent: options.vm_cap_percent,
             rng: platform_rng,
             scratch: Vec::new(),
         }
@@ -340,6 +343,74 @@ impl VirtPlatform {
         ]
     }
 
+    /// Whether a tier's VM is currently up (not crash-injected).
+    pub fn tier_up(&self, tier: Tier) -> bool {
+        !self.hv.is_down(self.dom(tier))
+    }
+
+    /// Apply (`active`) or clear a platform-level fault. A domain crash
+    /// returns the tokens of the in-flight work it dropped so the
+    /// orchestrator can fail those requests; every other fault returns
+    /// nothing.
+    pub fn apply_fault(&mut self, kind: &FaultKind, active: bool) -> Vec<(Tier, WorkToken)> {
+        match *kind {
+            FaultKind::DomainCrash { tier, boot_delay_s } => {
+                let t = Tier::from(tier);
+                let dom = self.dom(t);
+                if active {
+                    return self
+                        .hv
+                        .crash_domain(dom)
+                        .into_iter()
+                        .map(|tok| (t, tok))
+                        .collect();
+                }
+                self.hv.restart_domain(dom, boot_delay_s);
+            }
+            FaultKind::VcpuCap { tier, cap_percent } => {
+                let dom = self.dom(Tier::from(tier));
+                let cap = if active {
+                    Some(cap_percent)
+                } else {
+                    self.base_cap_percent
+                };
+                self.hv.set_domain_cap(dom, cap);
+            }
+            FaultKind::CreditStarve { util } => {
+                self.hv.set_starvation(if active { util } else { 0.0 });
+            }
+            FaultKind::DiskSlow { factor } => {
+                self.hv
+                    .host
+                    .disk
+                    .set_fault_factor(if active { factor } else { 1.0 });
+            }
+            FaultKind::NicDegrade {
+                loss,
+                bandwidth_factor,
+            } => {
+                if active {
+                    self.hv.host.nic.set_fault(loss, bandwidth_factor);
+                } else {
+                    self.hv.host.nic.set_fault(0.0, 1.0);
+                }
+            }
+            FaultKind::MemPressure { bytes } => {
+                let amount = if active { bytes } else { 0 };
+                for dom in [self.web_dom, self.db_dom] {
+                    self.hv
+                        .domain_mut(dom)
+                        .memory
+                        .set_component("fault-pressure", amount);
+                }
+            }
+            // Application-level errors are synthesized by the workload
+            // layer; nothing changes on the platform.
+            FaultKind::TierErrors { .. } => {}
+        }
+        Vec::new()
+    }
+
     /// Direct hypervisor access for tests and ablation benches.
     pub fn hypervisor(&self) -> &Hypervisor {
         &self.hv
@@ -472,5 +543,72 @@ mod tests {
         assert_eq!(VirtPlatform::WEB_HOST, "web-vm");
         assert_eq!(VirtPlatform::DB_HOST, "mysql-vm");
         assert_eq!(VirtPlatform::DOM0_HOST, "dom0");
+    }
+
+    #[test]
+    fn crash_fault_drops_in_flight_work_and_restores() {
+        use cloudchar_simcore::FaultTier;
+        let mut p = platform();
+        p.submit_work(Tier::Db, WorkToken(7), 1.0e12);
+        let kind = FaultKind::DomainCrash {
+            tier: FaultTier::Db,
+            boot_delay_s: 1.0,
+        };
+        let dropped = p.apply_fault(&kind, true);
+        assert_eq!(dropped, vec![(Tier::Db, WorkToken(7))]);
+        assert!(!p.tier_up(Tier::Db));
+        assert!(p.tier_up(Tier::Web));
+        // While down, submitted work never completes.
+        p.submit_work(Tier::Db, WorkToken(8), 1_000.0);
+        let mut out = Vec::new();
+        p.tick(SimTime::ZERO, SimDuration::from_millis(10), &mut out);
+        assert!(out.is_empty());
+        // Restart pays the boot delay, then the domain serves again.
+        assert!(p.apply_fault(&kind, false).is_empty());
+        assert!(p.tier_up(Tier::Db));
+    }
+
+    #[test]
+    fn cap_fault_restores_configured_cap() {
+        use cloudchar_simcore::FaultTier;
+        let mut p = VirtPlatform::new(
+            ServerSpec::hp_proliant(),
+            VirtOptions {
+                vm_cap_percent: Some(80),
+                ..VirtOptions::default()
+            },
+            SimRng::new(1),
+        );
+        let kind = FaultKind::VcpuCap {
+            tier: FaultTier::Web,
+            cap_percent: 25,
+        };
+        p.apply_fault(&kind, true);
+        // Re-setting the same cap is a no-op probe returning the current value.
+        assert_eq!(p.hv.set_domain_cap(p.web_dom, Some(25)), Some(25));
+        p.apply_fault(&kind, false);
+        assert_eq!(p.hv.set_domain_cap(p.web_dom, Some(80)), Some(80));
+    }
+
+    #[test]
+    fn hardware_faults_toggle_and_clear() {
+        let mut p = platform();
+        p.apply_fault(&FaultKind::DiskSlow { factor: 4.0 }, true);
+        assert_eq!(p.hv.host.disk.fault_factor(), 4.0);
+        p.apply_fault(&FaultKind::DiskSlow { factor: 4.0 }, false);
+        assert_eq!(p.hv.host.disk.fault_factor(), 1.0);
+        let nic = FaultKind::NicDegrade {
+            loss: 0.5,
+            bandwidth_factor: 0.5,
+        };
+        p.apply_fault(&nic, true);
+        assert_eq!(p.hv.host.nic.fault_factor(), 4.0);
+        p.apply_fault(&nic, false);
+        assert_eq!(p.hv.host.nic.fault_factor(), 1.0);
+        let before = p.hv.domain(p.db_dom).memory.used();
+        p.apply_fault(&FaultKind::MemPressure { bytes: 256 * MIB }, true);
+        assert_eq!(p.hv.domain(p.db_dom).memory.used(), before + 256 * MIB);
+        p.apply_fault(&FaultKind::MemPressure { bytes: 256 * MIB }, false);
+        assert_eq!(p.hv.domain(p.db_dom).memory.used(), before);
     }
 }

@@ -17,14 +17,16 @@
 use crate::config::ExperimentConfig;
 use crate::platform::{Platform, Tier, TierLoad};
 use cloudchar_hw::WorkToken;
-use cloudchar_monitor::{synthesize_perf, synthesize_sysstat, SeriesStore};
+use cloudchar_monitor::{
+    synthesize_perf, synthesize_sysstat, FaultMonitor, FaultSummary, SeriesStore,
+};
 use cloudchar_rubis::interactions::EntityRanges;
 use cloudchar_rubis::{
     queries_for, ClientPopulation, Interaction, InteractionProfile, MySqlServer, Query,
-    WebAppServer,
+    RetryDecision, RetryPolicy, WebAppServer,
 };
 use cloudchar_simcore::stats::{LogHistogram, Welford};
-use cloudchar_simcore::{Dist, Engine, Sample, SimRng, SimTime};
+use cloudchar_simcore::{Dist, Engine, EventId, Sample, SimDuration, SimRng, SimTime};
 use std::collections::{HashMap, VecDeque};
 
 /// Phase of an in-flight request.
@@ -50,6 +52,34 @@ struct Request {
     io_barrier: SimTime,
     issued: SimTime,
     phase: Phase,
+    /// Whether a web worker has picked the request up (it then holds the
+    /// worker until finish or failure).
+    started: bool,
+    /// Pending client-side timeout event (fault-injection runs only).
+    timeout: Option<EventId>,
+}
+
+/// Why a request failed (fault-injection runs only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FailCause {
+    /// Server-side error: tier down or injected application error.
+    Error,
+    /// The client's request timeout expired.
+    Timeout,
+}
+
+/// Fault-injection state. For an empty [`cloudchar_simcore::FaultPlan`]
+/// this stays disarmed: no events are scheduled, no RNG is drawn, and the
+/// run is byte-identical to the pre-fault testbed.
+struct FaultState {
+    /// Armed only when the configured plan is non-empty.
+    enabled: bool,
+    /// Dedicated stream so fault coin-flips never perturb the workload.
+    rng: SimRng,
+    policy: RetryPolicy,
+    monitor: FaultMonitor,
+    /// Active injected error probability per tier (`[web, db]`).
+    tier_error_p: [f64; 2],
 }
 
 /// The simulation world: platform + application models + monitors.
@@ -77,6 +107,7 @@ pub struct World {
     pub interaction_latency: Vec<Welford>,
     cfg: ExperimentConfig,
     rng: SimRng,
+    faults: FaultState,
     inflight: HashMap<u64, Request>,
     pending_web: VecDeque<u64>,
     next_req: u64,
@@ -94,7 +125,15 @@ impl World {
         mysql: MySqlServer,
         clients: ClientPopulation,
         rng: SimRng,
+        fault_rng: SimRng,
     ) -> Self {
+        let faults = FaultState {
+            enabled: !cfg.faults.is_empty(),
+            rng: fault_rng,
+            policy: RetryPolicy::default(),
+            monitor: FaultMonitor::new(),
+            tier_error_p: [0.0, 0.0],
+        };
         World {
             platform,
             web,
@@ -108,6 +147,7 @@ impl World {
             interaction_latency: vec![Welford::new(); Interaction::ALL.len()],
             cfg,
             rng,
+            faults,
             inflight: HashMap::new(),
             pending_web: VecDeque::new(),
             next_req: 0,
@@ -119,6 +159,32 @@ impl World {
     /// Requests currently in flight (for tests).
     pub fn inflight_count(&self) -> usize {
         self.inflight.len()
+    }
+
+    /// Whether fault injection is armed (non-empty plan).
+    pub(crate) fn faults_enabled(&self) -> bool {
+        self.faults.enabled
+    }
+
+    /// Set the injected application-error probability of a tier.
+    pub(crate) fn set_tier_error(&mut self, tier: Tier, p: f64) {
+        let idx = match tier {
+            Tier::Web => 0,
+            Tier::Db => 1,
+        };
+        self.faults.tier_error_p[idx] = p;
+    }
+
+    /// The fault-metric collector (attribution windows, outcome counts).
+    pub(crate) fn fault_monitor_mut(&mut self) -> &mut FaultMonitor {
+        &mut self.faults.monitor
+    }
+
+    /// End-of-run fault observability record.
+    pub(crate) fn fault_summary(&self) -> FaultSummary {
+        self.faults
+            .monitor
+            .summary(&self.cfg.faults.name, self.cfg.faults.fingerprint())
     }
 
     fn ranges(&self) -> EntityRanges {
@@ -196,14 +262,39 @@ fn fire_request(engine: &mut Engine<World>, world: &mut World, session: u32) {
             io_barrier: SimTime::ZERO,
             issued: engine.now(),
             phase: Phase::WebScript,
+            started: false,
+            timeout: None,
         },
     );
     world.tcp_opened += 1;
     let arrive = world.platform.net_client_to_web(engine.now(), req_bytes);
     engine.schedule_at(arrive, move |e, w| web_arrival(e, w, id));
+    if world.faults.enabled {
+        let wait = SimDuration::from_secs_f64(world.faults.policy.timeout_s);
+        let ev = engine.schedule_in(wait, move |e, w| request_timeout(e, w, id));
+        world
+            .inflight
+            .get_mut(&id)
+            .expect("request just inserted")
+            .timeout = Some(ev);
+    }
 }
 
 fn web_arrival(engine: &mut Engine<World>, world: &mut World, id: u64) {
+    if !world.inflight.contains_key(&id) {
+        return; // request already failed (timeout) while in transit
+    }
+    if world.faults.enabled {
+        if !world.platform.tier_up(Tier::Web) {
+            fail_request(engine, world, id, FailCause::Error);
+            return;
+        }
+        let p = world.faults.tier_error_p[0];
+        if p > 0.0 && world.faults.rng.chance(p) {
+            fail_request(engine, world, id, FailCause::Error);
+            return;
+        }
+    }
     if world.web.on_arrival() {
         start_script(engine, world, id);
     } else {
@@ -215,6 +306,7 @@ fn start_script(engine: &mut Engine<World>, world: &mut World, id: u64) {
     let cycles = {
         let req = world.inflight.get_mut(&id).expect("request exists");
         req.phase = Phase::WebScript;
+        req.started = true;
         req.profile.sample_script_cycles(&mut world.rng)
     };
     world.mysql.connections = world.web.busy();
@@ -260,6 +352,20 @@ fn send_query(engine: &mut Engine<World>, world: &mut World, id: u64, q: Query) 
 }
 
 fn db_execute(engine: &mut Engine<World>, world: &mut World, id: u64, q: Query) {
+    if !world.inflight.contains_key(&id) {
+        return; // request already failed while the query was in transit
+    }
+    if world.faults.enabled {
+        if !world.platform.tier_up(Tier::Db) {
+            fail_request(engine, world, id, FailCause::Error);
+            return;
+        }
+        let p = world.faults.tier_error_p[1];
+        if p > 0.0 && world.faults.rng.chance(p) {
+            fail_request(engine, world, id, FailCause::Error);
+            return;
+        }
+    }
     let now_s = engine.now().as_secs_f64() as u32;
     let work = world.mysql.execute(q, now_s);
     let mut barrier = engine.now();
@@ -341,14 +447,25 @@ fn finish_request(engine: &mut Engine<World>, world: &mut World, id: u64) {
 }
 
 fn client_done(engine: &mut Engine<World>, world: &mut World, id: u64, session: u32) {
-    if let Some(req) = world.inflight.remove(&id) {
-        world.completed += 1;
-        let latency = engine.now().duration_since(req.issued).as_secs_f64();
-        world.response_time.push(latency);
-        world.response_hist.push(latency);
-        let idx = req.interaction.index();
-        world.interaction_counts[idx] += 1;
-        world.interaction_latency[idx].push(latency);
+    // A request that already failed (timeout or injected fault) handed
+    // its session to the retry path; a late delivery must not advance
+    // the session again or double-schedule its next request.
+    let Some(req) = world.inflight.remove(&id) else {
+        return;
+    };
+    world.completed += 1;
+    let latency = engine.now().duration_since(req.issued).as_secs_f64();
+    world.response_time.push(latency);
+    world.response_hist.push(latency);
+    let idx = req.interaction.index();
+    world.interaction_counts[idx] += 1;
+    world.interaction_latency[idx].push(latency);
+    if world.faults.enabled {
+        if let Some(ev) = req.timeout {
+            engine.cancel(ev);
+        }
+        world.faults.monitor.record_ok();
+        world.clients.on_success(session);
     }
     world.clients.advance(session, &mut world.rng);
     if engine.now() >= world.cfg.end_time() {
@@ -356,6 +473,78 @@ fn client_done(engine: &mut Engine<World>, world: &mut World, id: u64, session: 
     }
     let think = world.clients.think_time(session, &mut world.rng);
     engine.schedule_in(think, move |e, w| fire_request(e, w, session));
+}
+
+fn request_timeout(engine: &mut Engine<World>, world: &mut World, id: u64) {
+    let Some(mut req) = world.inflight.remove(&id) else {
+        return; // completed or failed first; its timeout was cancelled
+    };
+    // This very event is firing — nothing left to cancel.
+    req.timeout = None;
+    fail_removed(engine, world, id, req, FailCause::Timeout);
+}
+
+/// Fail an in-flight request (injected error, crashed tier, dropped
+/// work). No-op if the request already completed.
+pub(crate) fn fail_request(
+    engine: &mut Engine<World>,
+    world: &mut World,
+    id: u64,
+    cause: FailCause,
+) {
+    let Some(req) = world.inflight.remove(&id) else {
+        return;
+    };
+    fail_removed(engine, world, id, req, cause);
+}
+
+fn fail_removed(
+    engine: &mut Engine<World>,
+    world: &mut World,
+    id: u64,
+    req: Request,
+    cause: FailCause,
+) {
+    if let Some(ev) = req.timeout {
+        engine.cancel(ev);
+    }
+    if req.started {
+        // The request held a web worker; release it like a finish does.
+        world.web.on_finish();
+        if world.web.try_dequeue() {
+            let next = world
+                .pending_web
+                .pop_front()
+                .expect("queued count matches pending list");
+            start_script(engine, world, next);
+        }
+    } else if let Some(pos) = world.pending_web.iter().position(|&x| x == id) {
+        // Timed out while still waiting for a worker.
+        world.pending_web.remove(pos);
+        world.web.drop_queued();
+    }
+    match cause {
+        FailCause::Error => world.faults.monitor.record_error(),
+        FailCause::Timeout => world.faults.monitor.record_timeout(),
+    }
+    let session = req.session;
+    let decision = world
+        .clients
+        .on_failure(session, &world.faults.policy, &mut world.faults.rng);
+    let pause = match decision {
+        RetryDecision::RetryAfter(d) => {
+            world.faults.monitor.record_retry();
+            d
+        }
+        RetryDecision::Abandon(d) => {
+            world.faults.monitor.record_abandon();
+            d
+        }
+    };
+    if engine.now() >= world.cfg.end_time() {
+        return;
+    }
+    engine.schedule_in(pause, move |e, w| fire_request(e, w, session));
 }
 
 fn housekeeping(engine: &mut Engine<World>, world: &mut World) {
@@ -400,6 +589,11 @@ fn take_sample(engine: &mut Engine<World>, world: &mut World) {
         forks: 0.0,
     };
     world.tcp_opened = 0;
+    if world.faults.enabled {
+        // Same cadence as the catalog series: one availability /
+        // error-rate / retry point per sampling interval.
+        world.faults.monitor.sample();
+    }
     let start = SimTime::ZERO + dt;
     let samples = world.platform.sample_hosts(dt, web_load, db_load);
     for s in samples {
@@ -413,4 +607,103 @@ fn take_sample(engine: &mut Engine<World>, world: &mut World) {
         }
     }
     let _ = engine;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Deployment;
+    use crate::phys::{HostIoPolicy, PhysPlatform};
+    use cloudchar_rubis::{Database, DbScale, WorkloadMix};
+    use cloudchar_simcore::{FaultEvent, FaultKind};
+
+    fn tiny_world(faulty: bool) -> World {
+        let mut cfg = ExperimentConfig::fast(Deployment::NonVirtualized, WorkloadMix::BROWSING);
+        cfg.clients = 4;
+        if faulty {
+            cfg.faults.name = "test".into();
+            cfg.faults.events.push(FaultEvent {
+                at_s: 10.0,
+                duration_s: 5.0,
+                kind: FaultKind::DiskSlow { factor: 2.0 },
+            });
+        }
+        let master = SimRng::new(cfg.seed);
+        let mut db_rng = master.derive("db-gen");
+        let mut client_rng = master.derive("clients");
+        let db = Database::generate(DbScale::small(), &mut db_rng);
+        let mysql = MySqlServer::new(db, cfg.mysql);
+        let web = WebAppServer::new(cfg.web);
+        let clients = ClientPopulation::new(cfg.clients, cfg.mix, &mut client_rng);
+        let platform = Platform::Phys(Box::new(PhysPlatform::new(
+            cloudchar_hw::ServerSpec::hp_proliant(),
+            HostIoPolicy::default(),
+            master.derive("platform"),
+        )));
+        World::new(
+            cfg,
+            platform,
+            web,
+            mysql,
+            clients,
+            master.derive("workload"),
+            master.derive("faults"),
+        )
+    }
+
+    #[test]
+    fn late_completion_after_failure_does_not_double_schedule() {
+        // Regression: a request that timed out hands its session to the
+        // retry path; when the server's late response finally arrives,
+        // client_done must not advance the session or schedule a second
+        // think-time resumption for it.
+        let mut world = tiny_world(true);
+        let mut engine: Engine<World> = Engine::new();
+        fire_request(&mut engine, &mut world, 0);
+        assert_eq!(world.inflight_count(), 1);
+        let interaction_before = world.clients.current_interaction(0);
+        // The request fails (as a chaos schedule would make it).
+        fail_request(&mut engine, &mut world, 0, FailCause::Timeout);
+        assert_eq!(world.inflight_count(), 0);
+        let pending_after_fail = engine.pending();
+        // The stale delivery event fires afterwards: must be inert.
+        client_done(&mut engine, &mut world, 0, 0);
+        assert_eq!(engine.pending(), pending_after_fail, "no extra event");
+        assert_eq!(
+            world.clients.current_interaction(0),
+            interaction_before,
+            "session must not advance on a stale completion"
+        );
+    }
+
+    #[test]
+    fn timeout_of_queued_request_releases_queue_slot() {
+        let mut world = tiny_world(true);
+        let mut engine: Engine<World> = Engine::new();
+        // Saturate every worker so the next arrival queues.
+        let workers = world.web.workers();
+        for _ in 0..workers {
+            assert!(world.web.on_arrival());
+        }
+        fire_request(&mut engine, &mut world, 0);
+        let id = world.next_req - 1;
+        web_arrival(&mut engine, &mut world, id);
+        assert_eq!(world.web.queued(), 1);
+        fail_request(&mut engine, &mut world, id, FailCause::Timeout);
+        assert_eq!(world.web.queued(), 0, "queue slot must be released");
+        assert!(world.pending_web.is_empty());
+    }
+
+    #[test]
+    fn fault_free_world_is_disarmed() {
+        let mut world = tiny_world(false);
+        let mut engine: Engine<World> = Engine::new();
+        assert!(!world.faults_enabled());
+        let before = engine.pending();
+        fire_request(&mut engine, &mut world, 0);
+        // Only the web-arrival event — no timeout guard is armed.
+        assert_eq!(engine.pending(), before + 1);
+        let id = world.next_req - 1;
+        assert!(world.inflight.get(&id).expect("inflight").timeout.is_none());
+    }
 }

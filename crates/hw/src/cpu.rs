@@ -152,6 +152,16 @@ impl WorkQueue {
         executed
     }
 
+    /// Drop all queued work (a crash): returns the tokens of every
+    /// abandoned item — including a partially executed head — so the
+    /// owner can fail the requests they belong to. Cumulative counters
+    /// are untouched; only pending demand is lost.
+    pub fn clear(&mut self) -> Vec<WorkToken> {
+        let dropped = self.items.drain(..).map(|item| item.token).collect();
+        self.backlog_cycles = 0.0;
+        dropped
+    }
+
     /// Cycles currently waiting (demand not yet executed).
     pub fn backlog_cycles(&self) -> f64 {
         self.backlog_cycles

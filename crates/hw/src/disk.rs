@@ -75,6 +75,9 @@ impl DiskSpec {
 pub struct Disk {
     spec: DiskSpec,
     busy_until: SimTime,
+    /// Runtime fault multiplier on service time (1.0 = healthy). Set by
+    /// the fault-injection layer for the duration of a disk-slow window.
+    fault_factor: f64,
     bytes_read: Counter,
     bytes_written: Counter,
     reads: Counter,
@@ -88,6 +91,7 @@ impl Disk {
         Disk {
             spec,
             busy_until: SimTime::ZERO,
+            fault_factor: 1.0,
             bytes_read: Counter::new(),
             bytes_written: Counter::new(),
             reads: Counter::new(),
@@ -101,11 +105,27 @@ impl Disk {
         self.spec
     }
 
+    /// Set the runtime service-time inflation factor (fault injection).
+    ///
+    /// Panics unless `factor` is finite and ≥ 1.
+    pub fn set_fault_factor(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "invalid disk fault factor: {factor}"
+        );
+        self.fault_factor = factor;
+    }
+
+    /// Current service-time inflation factor (1.0 when healthy).
+    pub fn fault_factor(&self) -> f64 {
+        self.fault_factor
+    }
+
     /// Submit a request at time `now`; returns the absolute completion
     /// time, accounting for queueing behind earlier requests.
     pub fn submit(&mut self, now: SimTime, req: IoRequest) -> SimTime {
         let start = self.busy_until.max(now);
-        let service = self.spec.service_time(req);
+        let service = self.spec.service_time(req).mul_f64(self.fault_factor);
         let done = start + service;
         cloudchar_simcore::audit::check(
             "hw.disk.busy_monotonic",
@@ -232,6 +252,29 @@ mod tests {
         assert_eq!(d.bytes_read().take_delta(), 4096);
         assert_eq!(d.bytes_written().take_delta(), 8292);
         assert!(d.busy_time().total() > 0);
+    }
+
+    #[test]
+    fn fault_factor_inflates_service_time() {
+        let mut healthy = Disk::new(DiskSpec::sata_7200rpm());
+        let mut slow = Disk::new(DiskSpec::sata_7200rpm());
+        slow.set_fault_factor(3.0);
+        let r = req(IoKind::Read, 1_200_000, false);
+        let t_h = healthy.submit(SimTime::ZERO, r).as_secs_f64();
+        let t_s = slow.submit(SimTime::ZERO, r).as_secs_f64();
+        assert!((t_s - 3.0 * t_h).abs() < 1e-9, "{t_s} vs 3×{t_h}");
+        // Clearing the fault restores the healthy service time.
+        slow.set_fault_factor(1.0);
+        let before = slow.busy_until();
+        let done = slow.submit(before, r);
+        assert!(((done - before).as_secs_f64() - t_h).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid disk fault factor")]
+    fn fault_factor_rejects_speedup() {
+        let mut d = Disk::new(DiskSpec::sata_7200rpm());
+        d.set_fault_factor(0.5);
     }
 
     #[test]

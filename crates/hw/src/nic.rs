@@ -51,6 +51,12 @@ impl NicSpec {
 pub struct Nic {
     spec: NicSpec,
     tx_busy_until: SimTime,
+    /// Runtime wire-time inflation from fault injection (1.0 = healthy).
+    /// Encodes both loss-induced retransmission (`1 / (1 - loss)`) and a
+    /// bandwidth clamp (`1 / bandwidth_factor`); keeping it a single
+    /// deterministic multiplier avoids per-packet coin flips that would
+    /// perturb the RNG streams of fault-free traffic.
+    fault_factor: f64,
     tx_bytes: Counter,
     rx_bytes: Counter,
     tx_packets: Counter,
@@ -63,6 +69,7 @@ impl Nic {
         Nic {
             spec,
             tx_busy_until: SimTime::ZERO,
+            fault_factor: 1.0,
             tx_bytes: Counter::new(),
             rx_bytes: Counter::new(),
             tx_packets: Counter::new(),
@@ -75,12 +82,33 @@ impl Nic {
         self.spec
     }
 
+    /// Apply fault degradation: packet loss `loss` ∈ [0, 1) forces the
+    /// expected `1 / (1 - loss)` retransmissions, and the link runs at
+    /// `bandwidth_factor` ∈ (0, 1] of nominal speed. `(0.0, 1.0)`
+    /// restores the healthy link.
+    pub fn set_fault(&mut self, loss: f64, bandwidth_factor: f64) {
+        assert!(
+            loss.is_finite() && (0.0..1.0).contains(&loss),
+            "invalid NIC loss: {loss}"
+        );
+        assert!(
+            bandwidth_factor.is_finite() && bandwidth_factor > 0.0 && bandwidth_factor <= 1.0,
+            "invalid NIC bandwidth factor: {bandwidth_factor}"
+        );
+        self.fault_factor = 1.0 / ((1.0 - loss) * bandwidth_factor);
+    }
+
+    /// Current wire-time inflation factor (1.0 when healthy).
+    pub fn fault_factor(&self) -> f64 {
+        self.fault_factor
+    }
+
     /// Transmit a message of `bytes` at time `now`; returns the absolute
     /// delivery time at the far end (serialization after queueing, plus
     /// one-way latency).
     pub fn transmit(&mut self, now: SimTime, bytes: Bytes) -> SimTime {
         let start = self.tx_busy_until.max(now);
-        let wire = self.spec.wire_time(bytes);
+        let wire = self.spec.wire_time(bytes).mul_f64(self.fault_factor);
         self.tx_busy_until = start + wire;
         self.tx_bytes.add(bytes);
         self.tx_packets.add(bytes.div_ceil(1448).max(1));
@@ -159,6 +187,30 @@ mod tests {
         let done = nic.transmit(now, 1448);
         let expect = NicSpec::gigabit().wire_time(1448) + NicSpec::gigabit().latency;
         assert_eq!((done - now).as_nanos(), expect.as_nanos());
+    }
+
+    #[test]
+    fn fault_inflates_wire_time_and_clears() {
+        let mut nic = Nic::new(NicSpec::gigabit());
+        let healthy = (nic.transmit(SimTime::ZERO, 1_000_000) - SimTime::ZERO).as_secs_f64();
+        let mut degraded = Nic::new(NicSpec::gigabit());
+        degraded.set_fault(0.5, 0.5); // 2× retransmit × 2× slower link = 4×
+        let t = degraded.transmit(SimTime::ZERO, 1_000_000);
+        let latency = NicSpec::gigabit().latency.as_secs_f64();
+        let slow = (t - SimTime::ZERO).as_secs_f64();
+        assert!(
+            (slow - latency - 4.0 * (healthy - latency)).abs() < 1e-9,
+            "slow {slow} healthy {healthy}"
+        );
+        degraded.set_fault(0.0, 1.0);
+        assert_eq!(degraded.fault_factor(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid NIC loss")]
+    fn fault_rejects_total_loss() {
+        let mut nic = Nic::new(NicSpec::gigabit());
+        nic.set_fault(1.0, 1.0);
     }
 
     #[test]

@@ -19,3 +19,10 @@ pub fn seeded_violations(samples: &HashMap<String, f64>) -> f64 {
     }
     first + second
 }
+
+pub fn rogue_fault_arm(engine: &mut Engine<W>) {
+    // CL005 when scanned as a fault library file: fault timing must go
+    // through fault::install, not straight onto the calendar queue.
+    engine.schedule_at(SimTime::ZERO, |_, _| {});
+    engine.schedule_in(SimDuration::ZERO, |_, _| {});
+}

@@ -19,6 +19,11 @@
 //!   (`BTreeMap` or explicitly sorted).
 //! * **CL004** — no bare `f64` `==`/`!=` against float literals in the
 //!   `analysis` crate; use epsilon comparisons or `is_normal()` guards.
+//! * **CL005** — no direct `.schedule_at(`/`.schedule_in(`/
+//!   `.schedule_periodic(` calls in fault-related library files: fault
+//!   timing must flow through `fault::install` so a `FaultPlan` stays
+//!   the single replayable source of truth. The sanctioned scheduling
+//!   site inside `fault::install` itself is suppressed.
 //!
 //! The scanner masks comments, strings and char literals before
 //! matching, tracks `#[cfg(test)]` regions by brace matching, and
@@ -47,7 +52,7 @@ pub const SORTED_OUTPUT_FILES: [&str; 3] = [
 ];
 
 /// Rule registry: `(id, summary)` for every rule the scanner knows.
-pub const RULES: [(&str, &str); 4] = [
+pub const RULES: [(&str, &str); 5] = [
     (
         "CL001",
         "no Instant::now/SystemTime::now/thread_rng in simulation crates",
@@ -63,6 +68,10 @@ pub const RULES: [(&str, &str); 4] = [
     (
         "CL004",
         "no bare f64 ==/!= against float literals in analysis",
+    ),
+    (
+        "CL005",
+        "no direct engine schedule_* calls in fault code (use fault::install)",
     ),
 ];
 
@@ -487,6 +496,7 @@ pub fn scan_source(rel: &str, text: &str) -> Vec<Diagnostic> {
     let lib = class == FileClass::Lib;
     let sorted_output = SORTED_OUTPUT_FILES.contains(&rel);
     let analysis_lib = class == FileClass::Lib && krate == "analysis";
+    let fault_lib = lib && rel.contains("fault");
 
     for (l, m) in masked_lines.iter().enumerate() {
         if in_test.get(l).copied().unwrap_or(false) {
@@ -531,6 +541,20 @@ pub fn scan_source(rel: &str, text: &str) -> Vec<Diagnostic> {
                         rel,
                         lineno,
                         &format!("`{pat}` in report-producing file; iteration order feeds output — use BTreeMap/BTreeSet or sort explicitly"),
+                        raw,
+                    );
+                }
+            }
+        }
+        if fault_lib {
+            for pat in [".schedule_at(", ".schedule_in(", ".schedule_periodic("] {
+                if m.contains(pat) {
+                    push_diag(
+                        &mut out,
+                        "CL005",
+                        rel,
+                        lineno,
+                        &format!("`{pat}` in fault code bypasses the FaultPlan path; route fault timing through fault::install so plans stay replayable"),
                         raw,
                     );
                 }
@@ -706,6 +730,16 @@ mod tests {
         assert!(d.iter().any(|d| d.rule == "CL004"));
         // Same patterns in a test file are allowlisted for CL002.
         let d = scan_source("crates/simcore/tests/x.rs", "fn f() { x.unwrap(); }\n");
+        assert!(d.is_empty());
+        // CL005: fault library code scheduling engine events directly.
+        let src = "fn arm(e: &mut Engine<W>) { e.schedule_at(t, cb); e.schedule_in(d, cb); }\n";
+        let d = scan_source("crates/core/src/faults.rs", src);
+        assert_eq!(d.iter().filter(|d| d.rule == "CL005").count(), 2);
+        // The same calls outside fault files are not CL005's business.
+        let d = scan_source("crates/core/src/workload.rs", src);
+        assert!(!d.iter().any(|d| d.rule == "CL005"));
+        // Nor in fault *test* code, which may drive engines directly.
+        let d = scan_source("crates/simcore/tests/prop_fault.rs", src);
         assert!(d.is_empty());
     }
 }

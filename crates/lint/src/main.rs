@@ -27,9 +27,11 @@ fn main() {
             match std::fs::read_to_string(root.join(path)) {
                 Ok(text) => {
                     // Scan the fixture under paths that activate every
-                    // rule: a sim-crate report file and an analysis file.
+                    // rule: a sim-crate report file, an analysis file,
+                    // and a fault library file.
                     let mut violations = scan_source("crates/monitor/src/store.rs", &text);
                     violations.extend(scan_source("crates/analysis/src/fixture.rs", &text));
+                    violations.extend(scan_source("crates/core/src/faults.rs", &text));
                     violations.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
                     LintReport {
                         files_scanned: 1,

@@ -24,9 +24,11 @@ fn fixture_triggers_every_rule() {
     let fixture = workspace_root().join("crates/lint/fixtures/violations.rs");
     let text = std::fs::read_to_string(fixture).expect("fixture readable");
     // Scan under the same paths the binary's --fixture mode uses: one
-    // that activates CL001/CL002/CL003, one that activates CL004.
+    // that activates CL001/CL002/CL003, one that activates CL004, and a
+    // fault library path that activates CL005.
     let mut diags = scan_source("crates/monitor/src/store.rs", &text);
     diags.extend(scan_source("crates/analysis/src/fixture.rs", &text));
+    diags.extend(scan_source("crates/core/src/faults.rs", &text));
     for (rule, _) in RULES {
         assert!(
             diags.iter().any(|d| d.rule == rule),

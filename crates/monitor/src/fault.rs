@@ -1,0 +1,269 @@
+//! Fault-visible metrics.
+//!
+//! The paper's 518-metric catalog describes a *healthy* system; fault
+//! injection needs observables the original instrumentation never had:
+//! request error rate, retry counts, availability, and per-fault
+//! attribution windows. Those live here, in a [`FaultMonitor`] sampled on
+//! the same cadence as the [`crate::store::SeriesStore`] but kept outside
+//! the pinned catalog so fault-free runs remain byte-identical to the
+//! pre-fault testbed.
+//!
+//! At the end of a run the monitor condenses into a serializable
+//! [`FaultSummary`] carried alongside the experiment result.
+
+use serde::{Deserialize, Serialize};
+
+/// One fault's attribution window: which injected fault was active when,
+/// so report readers can line degraded samples up with their cause.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultWindow {
+    /// Short fault label (e.g. `domain-crash`).
+    pub label: String,
+    /// Window start, seconds since simulation start.
+    pub start_s: f64,
+    /// Window end, seconds since simulation start.
+    pub end_s: f64,
+}
+
+impl FaultWindow {
+    /// Whether a sample taken at `t_s` falls inside this window.
+    pub fn contains(&self, t_s: f64) -> bool {
+        (self.start_s..self.end_s).contains(&t_s)
+    }
+}
+
+/// End-of-run fault observability record, serialized with the experiment
+/// result. `Default` is the all-zero record of a fault-free run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// Name of the fault plan that ran.
+    pub plan_name: String,
+    /// Fingerprint of the fault plan (for round-trip checks).
+    pub plan_fingerprint: u64,
+    /// Requests that completed successfully.
+    pub ok: u64,
+    /// Requests that failed with a server-side error.
+    pub errors: u64,
+    /// Requests abandoned by their client timeout.
+    pub timeouts: u64,
+    /// Retry attempts issued by clients.
+    pub retries: u64,
+    /// Sessions that abandoned a page after repeated failures.
+    pub abandons: u64,
+    /// Per-sample-interval availability: completed / attempted, with
+    /// idle intervals counting as fully available.
+    pub availability: Vec<f64>,
+    /// Per-sample-interval error rate: failures / attempted.
+    pub error_rate: Vec<f64>,
+    /// Per-sample-interval retry attempts.
+    pub retries_per_interval: Vec<f64>,
+    /// Attribution windows of the injected faults.
+    pub windows: Vec<FaultWindow>,
+}
+
+impl FaultSummary {
+    /// Mean of a per-interval series over sample indices `[lo, hi)`,
+    /// clamped to the series length. Returns 1.0 for an empty range (no
+    /// samples = nothing was unavailable).
+    fn range_mean(series: &[f64], lo: usize, hi: usize) -> f64 {
+        let hi = hi.min(series.len());
+        if lo >= hi {
+            return 1.0;
+        }
+        series[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+    }
+
+    /// Mean availability over sample indices `[lo, hi)`.
+    pub fn availability_over(&self, lo: usize, hi: usize) -> f64 {
+        Self::range_mean(&self.availability, lo, hi)
+    }
+
+    /// Overall availability across the whole run.
+    pub fn overall_availability(&self) -> f64 {
+        let attempted = self.ok + self.errors + self.timeouts;
+        if attempted == 0 {
+            1.0
+        } else {
+            self.ok as f64 / attempted as f64
+        }
+    }
+}
+
+/// Streaming collector of fault-visible metrics.
+///
+/// The workload layer records request outcomes as they happen; the
+/// sampling loop calls [`FaultMonitor::sample`] once per monitor
+/// interval, closing an availability/error-rate bucket. Each series
+/// therefore has exactly as many points as the catalog series in the
+/// [`crate::store::SeriesStore`].
+#[derive(Debug, Default)]
+pub struct FaultMonitor {
+    ok: u64,
+    errors: u64,
+    timeouts: u64,
+    retries: u64,
+    abandons: u64,
+    interval_ok: u64,
+    interval_fail: u64,
+    interval_retries: u64,
+    availability: Vec<f64>,
+    error_rate: Vec<f64>,
+    retries_per_interval: Vec<f64>,
+    windows: Vec<FaultWindow>,
+}
+
+impl FaultMonitor {
+    /// A fresh monitor with empty series.
+    pub fn new() -> Self {
+        FaultMonitor::default()
+    }
+
+    /// Record a successfully completed request.
+    pub fn record_ok(&mut self) {
+        self.ok += 1;
+        self.interval_ok += 1;
+    }
+
+    /// Record a request failed by a server-side error.
+    pub fn record_error(&mut self) {
+        self.errors += 1;
+        self.interval_fail += 1;
+    }
+
+    /// Record a request abandoned by its client-side timeout.
+    pub fn record_timeout(&mut self) {
+        self.timeouts += 1;
+        self.interval_fail += 1;
+    }
+
+    /// Record a client retry attempt.
+    pub fn record_retry(&mut self) {
+        self.retries += 1;
+        self.interval_retries += 1;
+    }
+
+    /// Record a session abandoning its page after repeated failures.
+    pub fn record_abandon(&mut self) {
+        self.abandons += 1;
+    }
+
+    /// Register a fault's attribution window.
+    pub fn push_window(&mut self, label: &str, start_s: f64, end_s: f64) {
+        self.windows.push(FaultWindow {
+            label: label.to_string(),
+            start_s,
+            end_s,
+        });
+    }
+
+    /// Close the current sample interval: availability is the fraction of
+    /// attempts that succeeded (an idle interval counts as fully
+    /// available), error rate its complement over attempts.
+    pub fn sample(&mut self) {
+        let attempted = self.interval_ok + self.interval_fail;
+        let (avail, err) = if attempted == 0 {
+            (1.0, 0.0)
+        } else {
+            let a = self.interval_ok as f64 / attempted as f64;
+            (a, 1.0 - a)
+        };
+        self.availability.push(avail);
+        self.error_rate.push(err);
+        self.retries_per_interval.push(self.interval_retries as f64);
+        self.interval_ok = 0;
+        self.interval_fail = 0;
+        self.interval_retries = 0;
+    }
+
+    /// Number of closed sample intervals.
+    pub fn samples(&self) -> usize {
+        self.availability.len()
+    }
+
+    /// Condense into the serializable end-of-run record.
+    pub fn summary(&self, plan_name: &str, plan_fingerprint: u64) -> FaultSummary {
+        FaultSummary {
+            plan_name: plan_name.to_string(),
+            plan_fingerprint,
+            ok: self.ok,
+            errors: self.errors,
+            timeouts: self.timeouts,
+            retries: self.retries,
+            abandons: self.abandons,
+            availability: self.availability.clone(),
+            error_rate: self.error_rate.clone(),
+            retries_per_interval: self.retries_per_interval.clone(),
+            windows: self.windows.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_interval_is_fully_available() {
+        let mut m = FaultMonitor::new();
+        m.sample();
+        assert_eq!(m.samples(), 1);
+        let s = m.summary("p", 0);
+        assert_eq!(s.availability, vec![1.0]);
+        assert_eq!(s.error_rate, vec![0.0]);
+    }
+
+    #[test]
+    fn availability_tracks_outcomes_per_interval() {
+        let mut m = FaultMonitor::new();
+        for _ in 0..3 {
+            m.record_ok();
+        }
+        m.record_error();
+        m.sample();
+        m.record_ok();
+        m.record_timeout();
+        m.record_retry();
+        m.sample();
+        let s = m.summary("p", 42);
+        assert_eq!(s.availability, vec![0.75, 0.5]);
+        assert_eq!(s.error_rate, vec![0.25, 0.5]);
+        assert_eq!(s.retries_per_interval, vec![0.0, 1.0]);
+        assert_eq!((s.ok, s.errors, s.timeouts, s.retries), (4, 1, 1, 1));
+        assert_eq!(s.plan_fingerprint, 42);
+        let overall = s.overall_availability();
+        assert!((overall - 4.0 / 6.0).abs() < 1e-12, "{overall}");
+    }
+
+    #[test]
+    fn windows_and_range_means() {
+        let mut m = FaultMonitor::new();
+        m.push_window("disk-slow", 10.0, 20.0);
+        m.record_error();
+        m.sample(); // availability 0.0
+        m.record_ok();
+        m.sample(); // availability 1.0
+        let s = m.summary("p", 0);
+        assert_eq!(s.windows.len(), 1);
+        assert!(s.windows[0].contains(15.0));
+        assert!(!s.windows[0].contains(20.0));
+        assert_eq!(s.availability_over(0, 1), 0.0);
+        assert_eq!(s.availability_over(0, 2), 0.5);
+        // Out-of-range queries degrade to "fully available".
+        assert_eq!(s.availability_over(5, 9), 1.0);
+    }
+
+    #[test]
+    fn default_summary_is_healthy() {
+        let s = FaultSummary::default();
+        assert_eq!(s.overall_availability(), 1.0);
+        assert!(s.windows.is_empty());
+    }
+
+    #[test]
+    fn abandons_count() {
+        let mut m = FaultMonitor::new();
+        m.record_abandon();
+        m.record_abandon();
+        assert_eq!(m.summary("p", 0).abandons, 2);
+    }
+}

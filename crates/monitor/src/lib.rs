@@ -10,17 +10,21 @@
 //! * [`synth`] — derivation of complete sysstat/perf vectors from raw
 //!   model activity, sar-style;
 //! * [`store`] — per-`(host, metric)` time series with figure-ready
-//!   export.
+//!   export;
+//! * [`fault`] — fault-visible metrics (error rate, retries,
+//!   availability, attribution windows) kept outside the pinned catalog.
 
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod fault;
 pub mod metric;
 pub mod sar;
 pub mod store;
 pub mod synth;
 
 pub use catalog::{catalog, MetricCatalog, PERF_METRICS, SYSSTAT_METRICS, TOTAL_METRICS};
+pub use fault::{FaultMonitor, FaultSummary, FaultWindow};
 pub use metric::{Family, MetricDef, MetricId, Source, Unit};
 pub use sar::render_sar;
 pub use store::{SeriesStore, TimeSeries};

@@ -48,6 +48,71 @@ impl WorkloadMix {
     }
 }
 
+/// Client-side failure handling: per-request timeout, capped exponential
+/// backoff with jitter, and session abandonment after repeated failures.
+///
+/// Mirrors the RUBiS client emulator's HTTP behaviour under server
+/// errors: a request that times out or errors is retried with growing
+/// pauses; a page that keeps failing is abandoned and the session
+/// restarts at the entry page after a longer pause — graceful
+/// degradation instead of wedging the closed population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Give up waiting for a response after this long.
+    pub timeout_s: f64,
+    /// First-retry backoff; doubles per consecutive failure.
+    pub backoff_base_s: f64,
+    /// Ceiling on the exponential backoff.
+    pub backoff_cap_s: f64,
+    /// Abandon the page after this many consecutive failures.
+    pub abandon_after: u32,
+    /// Pause before a fresh session attempt after abandoning.
+    pub abandon_pause_s: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            timeout_s: 8.0,
+            backoff_base_s: 0.5,
+            backoff_cap_s: 8.0,
+            abandon_after: 4,
+            abandon_pause_s: 30.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Check the policy parameters for sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        let pos = |name: &str, v: f64| {
+            if v.is_finite() && v > 0.0 {
+                Ok(())
+            } else {
+                Err(format!("{name} must be finite and > 0, got {v}"))
+            }
+        };
+        pos("timeout_s", self.timeout_s)?;
+        pos("backoff_base_s", self.backoff_base_s)?;
+        pos("backoff_cap_s", self.backoff_cap_s)?;
+        pos("abandon_pause_s", self.abandon_pause_s)?;
+        if self.abandon_after == 0 {
+            return Err("abandon_after must be >= 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// What a client does after a failed request attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryDecision {
+    /// Retry the same interaction after this backoff delay.
+    RetryAfter(SimDuration),
+    /// The session abandoned the page: pause this long, then restart
+    /// from the entry page.
+    Abandon(SimDuration),
+}
+
 /// One emulated client session.
 #[derive(Debug, Clone)]
 pub struct Session {
@@ -60,6 +125,14 @@ pub struct Session {
     history: Vec<Interaction>,
     /// Interactions completed by this session.
     pub interactions: u64,
+    /// Attempt epoch: bumped whenever the session gives up on an
+    /// outstanding request (timeout or abandonment) so stale responses
+    /// and stale timeout events can be recognised and ignored.
+    pub epoch: u64,
+    /// Consecutive failed attempts at the current interaction.
+    pub consecutive_failures: u32,
+    /// Pages abandoned after repeated failures.
+    pub abandons: u64,
 }
 
 /// The emulated client population.
@@ -89,6 +162,9 @@ impl ClientPopulation {
                 current: TransitionTable::entry(),
                 history: vec![TransitionTable::entry()],
                 interactions: 0,
+                epoch: 0,
+                consecutive_failures: 0,
+                abandons: 0,
             })
             .collect();
         ClientPopulation {
@@ -162,6 +238,54 @@ impl ClientPopulation {
             }
         }
         s.current
+    }
+
+    /// The session's current attempt epoch (see [`Session::epoch`]).
+    pub fn epoch(&self, id: u32) -> u64 {
+        self.sessions[id as usize].epoch
+    }
+
+    /// Invalidate the session's outstanding attempt (its timeout fired or
+    /// it abandoned): responses and timers from earlier epochs must be
+    /// dropped. Returns the new epoch.
+    pub fn bump_epoch(&mut self, id: u32) -> u64 {
+        let s = &mut self.sessions[id as usize];
+        s.epoch += 1;
+        s.epoch
+    }
+
+    /// Record a successful response: the failure streak resets.
+    pub fn on_success(&mut self, id: u32) {
+        self.sessions[id as usize].consecutive_failures = 0;
+    }
+
+    /// Record a failed attempt (timeout or server error) and decide what
+    /// the client does next: capped exponential backoff with uniform
+    /// jitter in [0.5, 1.5), or abandonment of the page once
+    /// `policy.abandon_after` consecutive attempts have failed. On
+    /// abandonment the session resets to the entry page, mirroring a user
+    /// giving up and starting over later.
+    pub fn on_failure(&mut self, id: u32, policy: &RetryPolicy, rng: &mut SimRng) -> RetryDecision {
+        let s = &mut self.sessions[id as usize];
+        s.consecutive_failures += 1;
+        let jitter = 0.5 + rng.f64();
+        if s.consecutive_failures >= policy.abandon_after {
+            s.consecutive_failures = 0;
+            s.abandons += 1;
+            s.current = TransitionTable::entry();
+            s.history.clear();
+            s.history.push(s.current);
+            RetryDecision::Abandon(SimDuration::from_secs_f64(policy.abandon_pause_s * jitter))
+        } else {
+            let exp = policy.backoff_base_s * 2f64.powi(s.consecutive_failures as i32 - 1);
+            let backoff = exp.min(policy.backoff_cap_s) * jitter;
+            RetryDecision::RetryAfter(SimDuration::from_secs_f64(backoff))
+        }
+    }
+
+    /// Total pages abandoned across the population.
+    pub fn total_abandons(&self) -> u64 {
+        self.sessions.iter().map(|s| s.abandons).sum()
     }
 
     /// Count of sessions currently following the browsing table.
@@ -253,6 +377,97 @@ mod tests {
             p.advance(0, &mut rng);
         }
         assert!(p.sessions[0].history.len() <= 64);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_then_caps() {
+        let mut rng = SimRng::new(7);
+        let mut p = ClientPopulation::new(1, WorkloadMix::BROWSING, &mut rng);
+        let policy = RetryPolicy {
+            abandon_after: 100, // keep retrying; we only test backoff here
+            ..RetryPolicy::default()
+        };
+        let mut prev_ceiling: f64 = 0.0;
+        for attempt in 1..=10 {
+            let d = match p.on_failure(0, &policy, &mut rng) {
+                RetryDecision::RetryAfter(d) => d.as_secs_f64(),
+                RetryDecision::Abandon(_) => panic!("abandoned at attempt {attempt}"),
+            };
+            let exp = (policy.backoff_base_s * 2f64.powi(attempt - 1)).min(policy.backoff_cap_s);
+            assert!(
+                (exp * 0.5..exp * 1.5).contains(&d),
+                "attempt {attempt}: backoff {d} outside jitter band around {exp}"
+            );
+            // The cap binds: ceilings never exceed cap × max jitter.
+            assert!(d < policy.backoff_cap_s * 1.5);
+            prev_ceiling = prev_ceiling.max(d);
+        }
+    }
+
+    #[test]
+    fn abandonment_resets_session_to_entry() {
+        let mut rng = SimRng::new(8);
+        let mut p = ClientPopulation::new(1, WorkloadMix::BIDDING, &mut rng);
+        // Walk the session away from the entry page.
+        for _ in 0..20 {
+            p.advance(0, &mut rng);
+        }
+        let policy = RetryPolicy::default();
+        let mut decisions = Vec::new();
+        for _ in 0..policy.abandon_after {
+            decisions.push(p.on_failure(0, &policy, &mut rng));
+        }
+        assert!(matches!(decisions.pop(), Some(RetryDecision::Abandon(_))));
+        assert!(decisions
+            .iter()
+            .all(|d| matches!(d, RetryDecision::RetryAfter(_))));
+        assert_eq!(p.current_interaction(0), TransitionTable::entry());
+        assert_eq!(p.session(0).consecutive_failures, 0);
+        assert_eq!(p.total_abandons(), 1);
+        // A later success streak keeps the counter at zero.
+        p.on_success(0);
+        assert_eq!(p.session(0).consecutive_failures, 0);
+    }
+
+    #[test]
+    fn success_resets_failure_streak() {
+        let mut rng = SimRng::new(9);
+        let mut p = ClientPopulation::new(1, WorkloadMix::BROWSING, &mut rng);
+        let policy = RetryPolicy::default();
+        for _ in 0..policy.abandon_after - 1 {
+            let _ = p.on_failure(0, &policy, &mut rng);
+        }
+        p.on_success(0);
+        // The next failure is attempt 1 again, not an abandonment.
+        assert!(matches!(
+            p.on_failure(0, &policy, &mut rng),
+            RetryDecision::RetryAfter(_)
+        ));
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_attempts() {
+        let mut rng = SimRng::new(10);
+        let mut p = ClientPopulation::new(2, WorkloadMix::BROWSING, &mut rng);
+        assert_eq!(p.epoch(0), 0);
+        assert_eq!(p.bump_epoch(0), 1);
+        assert_eq!(p.bump_epoch(0), 2);
+        assert_eq!(p.epoch(0), 2);
+        assert_eq!(p.epoch(1), 0, "epochs are per-session");
+    }
+
+    #[test]
+    fn retry_policy_validation() {
+        assert_eq!(RetryPolicy::default().validate(), Ok(()));
+        let mut p = RetryPolicy::default();
+        p.timeout_s = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = RetryPolicy::default();
+        p.abandon_after = 0;
+        assert!(p.validate().is_err());
+        let mut p = RetryPolicy::default();
+        p.backoff_cap_s = f64::NAN;
+        assert!(p.validate().is_err());
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod storage;
 pub mod transition;
 pub mod webserver;
 
-pub use client::{ClientPopulation, Session, WorkloadMix};
+pub use client::{ClientPopulation, RetryDecision, RetryPolicy, Session, WorkloadMix};
 pub use db::{Database, DbWork, MySqlConfig, MySqlServer, Query};
 pub use interactions::{queries_for, EntityRanges, Interaction, InteractionProfile};
 pub use schema::{DbScale, ItemId, UserId};

@@ -143,6 +143,13 @@ impl WebAppServer {
         self.log_pending += self.config.log_bytes_per_request;
     }
 
+    /// A queued request gave up (client-side timeout) before a worker
+    /// ever picked it up.
+    pub fn drop_queued(&mut self) {
+        assert!(self.queued > 0, "drop without a queued request");
+        self.queued -= 1;
+    }
+
     /// After a finish, start one queued request if possible. Returns
     /// `true` when a queued request was assigned a worker.
     pub fn try_dequeue(&mut self) -> bool {

@@ -4,7 +4,7 @@
 //! `cloudchar` testbed — the reproduction of *"Characterizing Workload of
 //! Web Applications on Virtualized Servers"* (Wang et al.).
 //!
-//! The crate provides seven building blocks:
+//! The crate provides eight building blocks:
 //!
 //! * [`time`] — integer-nanosecond simulated time ([`SimTime`],
 //!   [`SimDuration`]);
@@ -15,6 +15,7 @@
 //! * [`queue`] — the pending-event set, a hierarchical calendar queue
 //!   ([`CalendarQueue`]);
 //! * [`engine`] — the event scheduler and clock ([`Engine`]);
+//! * [`fault`] — deterministic fault-injection schedules ([`FaultPlan`]);
 //! * [`stats`] — streaming accumulators ([`Welford`], [`Counter`], …).
 //!
 //! Everything is deterministic: a `(seed, configuration)` pair fully
@@ -44,6 +45,7 @@
 pub mod audit;
 pub mod dist;
 pub mod engine;
+pub mod fault;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -52,6 +54,7 @@ pub mod time;
 pub use audit::AuditReport;
 pub use dist::{Dist, Sample};
 pub use engine::{Engine, EventId};
+pub use fault::{FaultEvent, FaultKind, FaultPhase, FaultPlan, FaultTier};
 pub use queue::CalendarQueue;
 pub use rng::SimRng;
 pub use stats::{Counter, Ewma, LogHistogram, Welford};

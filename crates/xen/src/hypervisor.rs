@@ -27,7 +27,7 @@ use cloudchar_hw::{IoKind, IoRequest, WorkToken};
 use cloudchar_simcore::audit;
 use cloudchar_simcore::stats::Counter;
 use cloudchar_simcore::{SimDuration, SimRng, SimTime};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Direction of external guest traffic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +66,12 @@ pub struct Hypervisor {
     /// which dom0's own sar sees on its vif backend interfaces.
     bridge_bytes: Counter,
     quantum: SimDuration,
+    /// Crashed domains (fault injection): excluded from scheduling until
+    /// restarted.
+    down: BTreeSet<DomId>,
+    /// Extra dom0 housekeeping load, as a fraction of one core
+    /// (credit-starvation fault; 0.0 = healthy).
+    starve_core_util: f64,
 }
 
 impl Hypervisor {
@@ -100,6 +106,8 @@ impl Hypervisor {
             hv_cycles: Counter::new(),
             bridge_bytes: Counter::new(),
             quantum: SimDuration::from_millis(10),
+            down: BTreeSet::new(),
+            starve_core_util: 0.0,
         }
     }
 
@@ -154,6 +162,63 @@ impl Hypervisor {
         &mut self.bridge_bytes
     }
 
+    /// Whether a domain is currently crashed (fault injection).
+    pub fn is_down(&self, dom: DomId) -> bool {
+        self.down.contains(&dom)
+    }
+
+    /// Crash a guest domain (fault injection): it stops receiving CPU
+    /// time and all queued work — application items and pending
+    /// housekeeping — is lost. Returns the tokens of the abandoned
+    /// application work so the caller can fail the requests they belong
+    /// to. Dom0 cannot crash (the host would be gone with it).
+    pub fn crash_domain(&mut self, dom: DomId) -> Vec<WorkToken> {
+        assert!(!dom.is_dom0(), "dom0 cannot be crash-injected");
+        let d = self.domains.get_mut(&dom).expect("unknown domain");
+        d.overhead_cycles = 0.0;
+        let dropped = d.work.clear();
+        self.down.insert(dom);
+        dropped
+    }
+
+    /// Restart a crashed domain. It rejoins scheduling immediately but is
+    /// charged `boot_delay_s` of one-core kernel boot work, which drains
+    /// ahead of any application request (so service resumes only once the
+    /// simulated boot completes). A no-op if the domain is not down.
+    pub fn restart_domain(&mut self, dom: DomId, boot_delay_s: f64) {
+        assert!(
+            boot_delay_s.is_finite() && boot_delay_s >= 0.0,
+            "invalid boot delay: {boot_delay_s}"
+        );
+        if !self.down.remove(&dom) {
+            return;
+        }
+        let hz = self.host.spec().cpu.hz as f64;
+        self.domains
+            .get_mut(&dom)
+            .expect("unknown domain")
+            .add_overhead_cycles(boot_delay_s * hz);
+    }
+
+    /// Change a domain's credit-scheduler cap at runtime (fault
+    /// injection): `Some(pct)` throttles, `None` uncaps. Returns the
+    /// previous cap.
+    pub fn set_domain_cap(&mut self, dom: DomId, cap_percent: Option<u32>) -> Option<u32> {
+        self.sched.set_cap(dom, cap_percent)
+    }
+
+    /// Inflate dom0's housekeeping demand by `util` of one core
+    /// (credit-starvation fault). Dom0's boosted weight lets it preempt
+    /// the guests, starving them of scheduler credit. `0.0` restores
+    /// healthy housekeeping.
+    pub fn set_starvation(&mut self, util: f64) {
+        assert!(
+            util.is_finite() && (0.0..=1.0).contains(&util),
+            "invalid starvation utilisation: {util}"
+        );
+        self.starve_core_util = util;
+    }
+
     /// Submit guest application CPU work. The demand is multiplied by the
     /// PV inflation factor before queueing.
     pub fn submit_guest_work(&mut self, dom: DomId, token: WorkToken, cycles: f64) {
@@ -184,16 +249,22 @@ impl Hypervisor {
             self.host.disk.bytes_written().add(log_bytes);
             self.host.disk.writes().add(1);
         }
-        let dom0_base = self.overhead.dom0_cycles_per_sec * dt_secs;
+        // The credit-starvation fault inflates dom0's demand by a
+        // fraction of one core; its boosted weight turns that demand
+        // into credit the guests no longer receive.
+        let dom0_base =
+            self.overhead.dom0_cycles_per_sec * dt_secs + self.starve_core_util * hz * dt_secs;
         self.domains
             .get_mut(&DomId::DOM0)
             .expect("dom0 is registered")
             .add_overhead_cycles(dom0_base);
 
-        // 3. Collect demands (core-seconds).
+        // 3. Collect demands (core-seconds). Crashed domains hold no
+        // VCPUs and are skipped entirely.
         let demands: Vec<Demand> = self
             .domains
             .iter()
+            .filter(|(id, _)| !self.down.contains(id))
             .map(|(&id, d)| Demand {
                 dom: id,
                 core_secs: d.demand_cycles() / hz,
@@ -593,6 +664,106 @@ mod tests {
         assert_eq!(h.domain(web).memory.spec().total, cloudchar_hw::GIB);
         // Dom0 was charged for the operation.
         assert!(h.domain(DomId::DOM0).overhead_cycles >= 500_000.0);
+    }
+
+    #[test]
+    fn crash_drops_work_and_restart_pays_boot_delay() {
+        let mut h = hv();
+        let web = h.create_domain(DomainConfig::paper_vm("web"));
+        h.submit_guest_work(web, WorkToken(1), 1_000_000.0);
+        h.submit_guest_work(web, WorkToken(2), 1_000_000.0);
+        let dropped = h.crash_domain(web);
+        assert_eq!(dropped, vec![WorkToken(1), WorkToken(2)]);
+        assert!(h.is_down(web));
+        // A down domain executes nothing even with queued demand.
+        h.submit_guest_work(web, WorkToken(3), 1_000.0);
+        let mut done = Vec::new();
+        h.quantum_tick(SimDuration::from_millis(10), &mut done);
+        assert!(done.is_empty());
+        // Restart charges boot cycles that drain before app work: with a
+        // 1 s boot on 2 VCPUs, token 3 cannot complete in one 10 ms
+        // quantum.
+        h.restart_domain(web, 1.0);
+        assert!(!h.is_down(web));
+        h.quantum_tick(SimDuration::from_millis(10), &mut done);
+        assert!(done.is_empty());
+        // ~1 s of quanta later, boot work is done and the token emerges.
+        for _ in 0..60 {
+            h.quantum_tick(SimDuration::from_millis(10), &mut done);
+        }
+        assert_eq!(
+            done,
+            vec![Completion {
+                dom: web,
+                token: WorkToken(3)
+            }]
+        );
+    }
+
+    #[test]
+    fn restart_when_not_down_is_noop() {
+        let mut h = hv();
+        let web = h.create_domain(DomainConfig::paper_vm("web"));
+        let before = h.domain(web).overhead_cycles;
+        h.restart_domain(web, 5.0);
+        assert_eq!(h.domain(web).overhead_cycles, before);
+    }
+
+    #[test]
+    fn runtime_cap_throttles_guest() {
+        let mut h = hv();
+        let web = h.create_domain(DomainConfig::paper_vm("web"));
+        assert_eq!(h.set_domain_cap(web, Some(25)), None);
+        // Saturating demand against a 25%-of-one-core cap: one 10 ms
+        // quantum executes at most 0.25 × 2.8 GHz × 10 ms cycles.
+        h.submit_guest_work(web, WorkToken(1), 1e9);
+        let mut done = Vec::new();
+        h.quantum_tick(SimDuration::from_millis(10), &mut done);
+        let executed = h.domain(web).virt_cycles.total() as f64;
+        let cap_cycles = 0.25 * 2.8e9 * 0.01;
+        let o = OverheadModel::default();
+        let ceiling = cap_cycles * o.guest_cycle_accounting_scale * 1.01;
+        assert!(executed <= ceiling, "{executed} vs cap {ceiling}");
+        assert!(h.domain(web).steal_ns.total() > 0);
+        assert_eq!(h.set_domain_cap(web, None), Some(25));
+    }
+
+    #[test]
+    fn starvation_inflates_dom0_and_steals_from_guests() {
+        let mut starved = hv();
+        let web = starved.create_domain(DomainConfig::paper_vm("web"));
+        starved.set_starvation(0.8);
+        let mut done = Vec::new();
+        for _ in 0..100 {
+            starved.quantum_tick(SimDuration::from_millis(10), &mut done);
+        }
+        let dom0_cycles = starved.domain(DomId::DOM0).virt_cycles.total() as f64;
+        // 1 s at 80% of one 2.8 GHz core on top of the healthy baseline.
+        let base = OverheadModel::default().dom0_cycles_per_sec;
+        let expect = base + 0.8 * 2.8e9;
+        assert!(
+            (dom0_cycles - expect).abs() / expect < 0.05,
+            "dom0 ran {dom0_cycles:.3e}, expected ~{expect:.3e}"
+        );
+        // Clearing the fault returns dom0 to baseline housekeeping.
+        starved.set_starvation(0.0);
+        let before = starved.domain(DomId::DOM0).virt_cycles.total();
+        for _ in 0..100 {
+            starved.quantum_tick(SimDuration::from_millis(10), &mut done);
+        }
+        let after_delta = (starved.domain(DomId::DOM0).virt_cycles.total() - before) as f64;
+        assert!(
+            (after_delta - base).abs() / base < 0.05,
+            "post-clear dom0 delta {after_delta:.3e}"
+        );
+        let _ = web;
+    }
+
+    #[test]
+    #[should_panic(expected = "dom0 cannot be crash-injected")]
+    fn dom0_crash_rejected() {
+        let mut h = hv();
+        h.crash_domain(DomId::DOM0);
     }
 
     #[test]

@@ -95,6 +95,17 @@ impl CreditScheduler {
         self.doms.remove(&dom);
     }
 
+    /// Change a registered domain's cap at runtime (the model of
+    /// `xm sched-credit -c`, used by fault injection). Returns the
+    /// previous cap. Panics on an unregistered domain.
+    pub fn set_cap(&mut self, dom: DomId, cap_percent: Option<u32>) -> Option<u32> {
+        let st = self
+            .doms
+            .get_mut(&dom)
+            .unwrap_or_else(|| panic!("unregistered domain {dom:?}"));
+        std::mem::replace(&mut st.params.cap_percent, cap_percent)
+    }
+
     /// Registered domains, in id order.
     pub fn domains(&self) -> impl Iterator<Item = DomId> + '_ {
         self.doms.keys().copied()
@@ -373,6 +384,17 @@ mod tests {
                 assert!(alloc.core_secs >= 0.0);
             }
         }
+    }
+
+    #[test]
+    fn set_cap_applies_and_clears_at_runtime() {
+        let mut s = sched(8, &[(1, 256, None, 2)]);
+        assert_eq!(s.set_cap(DomId(1), Some(50)), None);
+        let a = s.allocate(0.01, &[demand(1, 0.02)]);
+        assert!((a[0].core_secs - 0.005).abs() < 1e-12, "{:?}", a[0]);
+        assert_eq!(s.set_cap(DomId(1), None), Some(50));
+        let a = s.allocate(0.01, &[demand(1, 0.02)]);
+        assert!((a[0].core_secs - 0.02).abs() < 1e-12, "{:?}", a[0]);
     }
 
     #[test]

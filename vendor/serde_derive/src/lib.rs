@@ -9,7 +9,8 @@
 //! Supported shapes: named-field structs, newtype (single-field tuple)
 //! structs, enums whose variants are unit / newtype / named-field, the
 //! container attributes `#[serde(tag = "...", rename_all =
-//! "snake_case")]`, and the field attribute `#[serde(with = "module")]`.
+//! "snake_case")]`, and the field attributes `#[serde(with = "module")]`
+//! and `#[serde(default)]` (absent keys fall back to `Default::default()`).
 //! Anything else fails the build with a descriptive panic, which is the
 //! desired behavior: extend this macro deliberately rather than guess.
 
@@ -18,6 +19,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     with: Option<String>,
+    default: bool,
 }
 
 enum VariantShape {
@@ -57,6 +59,14 @@ fn parse_serde_args(group: &proc_macro::Group) -> Vec<(String, String)> {
                 let raw = lit.to_string();
                 out.push((key.to_string(), raw.trim_matches('"').to_string()));
                 i += 3;
+            }
+            // Bare flag attribute like `#[serde(default)]`.
+            (TokenTree::Ident(key), next, _)
+                if next.is_none()
+                    || matches!(next, Some(TokenTree::Punct(p)) if p.as_char() == ',') =>
+            {
+                out.push((key.to_string(), String::new()));
+                i += 1;
             }
             (TokenTree::Punct(p), _, _) if p.as_char() == ',' => i += 1,
             other => panic!("unsupported #[serde(...)] syntax near {other:?}"),
@@ -143,15 +153,18 @@ fn parse_field(tokens: &[TokenTree]) -> Field {
         panic!("expected field name, got {:?}", tokens.get(i));
     };
     let mut with = None;
+    let mut default = false;
     for (key, value) in serde_args {
         match key.as_str() {
             "with" => with = Some(value),
+            "default" if value.is_empty() => default = true,
             other => panic!("unsupported field attribute #[serde({other} = ...)]"),
         }
     }
     Field {
         name: name.to_string(),
         with,
+        default,
     }
 }
 
@@ -289,15 +302,25 @@ fn push_field_ser(out: &mut String, field: &Field, access: &str) {
 }
 
 fn field_de(field: &Field, source: &str) -> String {
-    match &field.with {
+    let read = match &field.with {
         Some(module) => format!(
-            "{n}: {module}::deserialize({source}.field(\"{n}\"))?",
+            "{module}::deserialize({source}.field(\"{n}\"))?",
             n = field.name
         ),
         None => format!(
-            "{n}: serde::Deserialize::from_value({source}.field(\"{n}\"))?",
+            "serde::Deserialize::from_value({source}.field(\"{n}\"))?",
             n = field.name
         ),
+    };
+    if field.default {
+        // Absent keys read back as Null; fall back to the type's default.
+        format!(
+            "{n}: match {source}.field(\"{n}\") {{ serde::Value::Null => \
+             std::default::Default::default(), _ => {read} }}",
+            n = field.name
+        )
+    } else {
+        format!("{n}: {read}", n = field.name)
     }
 }
 
