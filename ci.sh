@@ -23,6 +23,9 @@ cargo run --release -p cloudchar-bench --bin repro -- --fast ratios --sweep 2 --
 echo "==> repro fault-plan round-trip smoke"
 cargo run --release -p cloudchar-bench --bin repro -- fault-roundtrip > /dev/null
 
+echo "==> store bench smoke (columnar must not trail the keyed baseline)"
+cargo bench -p cloudchar-bench --bench store -- --smoke
+
 echo "==> cargo run -p cloudchar-lint -- --json"
 cargo run --release -p cloudchar-lint -- --json
 

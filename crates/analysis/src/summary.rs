@@ -6,6 +6,7 @@
 //! workload dynamics show some patterns that can be quantified by formal
 //! models." This module computes those quantities.
 
+use cloudchar_simcore::stats::Moments;
 use serde::{Deserialize, Serialize};
 
 /// Descriptive statistics of one series.
@@ -36,13 +37,16 @@ pub struct Summary {
 /// Compute a [`Summary`]; returns `None` for an empty series or one
 /// containing non-finite samples.
 pub fn summarize(xs: &[f64]) -> Option<Summary> {
-    if xs.is_empty() || xs.iter().any(|x| !x.is_finite()) {
+    // One fused pass gives count/finiteness/mean/variance/total/min/max;
+    // only the percentiles still need the sorted copy.
+    let m = Moments::of(xs);
+    if m.count == 0 || !m.all_finite {
         return None;
     }
-    let n = xs.len();
-    let total: f64 = xs.iter().sum();
+    let n = m.count;
+    let total = m.sum;
     let mean = total / n as f64;
-    let variance = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+    let variance = m.variance();
     let std_dev = variance.sqrt();
     let mut sorted: Vec<f64> = xs.to_vec();
     sorted.sort_by(f64::total_cmp);
@@ -60,8 +64,8 @@ pub fn summarize(xs: &[f64]) -> Option<Summary> {
         } else {
             0.0
         },
-        min: sorted[0],
-        max: sorted[n - 1],
+        min: m.min,
+        max: m.max,
         p50: q(0.5),
         p95: q(0.95),
         total,

@@ -1,0 +1,162 @@
+//! Metric-store microbenchmarks: the columnar `SeriesStore` (interned
+//! hosts, dense per-host column blocks) against the pre-refactor keyed
+//! store (`BTreeMap<(String, MetricId), TimeSeries>`), on the sampling
+//! hot path — one full tick of 518 metrics per host, repeated for a
+//! paper-scale run's 600 ticks — plus one end-to-end `run()` wall-time
+//! point. Baseline numbers live in `results/BENCH_store.json`.
+//!
+//! `--smoke` runs a reduced comparison at 5 hosts and exits non-zero if
+//! the columnar store is slower than the keyed baseline (ci.sh gate).
+
+use cloudchar_core::{run, Deployment, ExperimentConfig};
+use cloudchar_monitor::{MetricId, SampleRow, SeriesStore, TimeSeries, TOTAL_METRICS};
+use cloudchar_rubis::WorkloadMix;
+use cloudchar_simcore::{SimDuration, SimTime};
+use criterion::{criterion_group, Criterion};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The store's previous shape, kept verbatim as the bench baseline:
+/// every record allocates the host key and walks the map.
+#[derive(Default)]
+struct KeyedStore {
+    series: BTreeMap<(String, MetricId), TimeSeries>,
+}
+
+impl KeyedStore {
+    fn record(
+        &mut self,
+        host: &str,
+        metric: MetricId,
+        start: SimTime,
+        interval: SimDuration,
+        value: f64,
+    ) {
+        let series = self
+            .series
+            .entry((host.to_string(), metric))
+            .or_insert_with(|| TimeSeries::new(start, interval));
+        cloudchar_simcore::audit::check(
+            "monitor.sample_finite",
+            series.time_of(series.len()).as_nanos(),
+            value.is_finite(),
+            || format!("{host}/{metric:?} sample {} is {value}", series.len()),
+        );
+        series.push(value);
+    }
+}
+
+const TICKS: usize = 600; // paper config: 1200 s at 2 s intervals
+const HOSTS: [&str; 13] = [
+    "web-vm", "mysql-vm", "dom0", "h-03", "h-04", "h-05", "h-06", "h-07", "h-08", "h-09", "h-10",
+    "h-11", "h-12",
+];
+
+/// One tick's worth of samples: all 518 catalog metrics, values varied
+/// per metric so the stores can't fold anything away.
+fn full_row() -> SampleRow {
+    let mut row = SampleRow::with_capacity(TOTAL_METRICS);
+    for m in 0..TOTAL_METRICS as u16 {
+        row.push(MetricId(m), f64::from(m) * 1.5 + 0.25);
+    }
+    row
+}
+
+/// Record `ticks` full rows for `nhosts` hosts into a columnar store;
+/// returns total sample count (for black_box).
+fn drive_columnar(nhosts: usize, ticks: usize) -> usize {
+    let start = SimTime::ZERO;
+    let dt = SimDuration::from_secs(2);
+    let row = full_row();
+    let mut st = SeriesStore::with_expected_samples(ticks);
+    let ids: Vec<_> = HOSTS[..nhosts].iter().map(|h| st.host_id(h)).collect();
+    for _ in 0..ticks {
+        for &id in &ids {
+            st.record_row(id, start, dt, &row);
+        }
+    }
+    st.len() * ticks
+}
+
+/// Same workload through the keyed baseline.
+fn drive_keyed(nhosts: usize, ticks: usize) -> usize {
+    let start = SimTime::ZERO;
+    let dt = SimDuration::from_secs(2);
+    let row = full_row();
+    let mut st = KeyedStore::default();
+    for _ in 0..ticks {
+        for host in &HOSTS[..nhosts] {
+            for &(m, v) in row.entries() {
+                st.record(host, m, start, dt, v);
+            }
+        }
+    }
+    st.series.len() * ticks
+}
+
+fn bench_record(c: &mut Criterion) {
+    for &nhosts in &[1usize, 5, 13] {
+        let mut group = c.benchmark_group(&format!("store_record_{nhosts}h"));
+        // One iter = one full paper run's worth of ticks.
+        group.sample_size(5);
+        group.bench_function("columnar", |b| {
+            b.iter(|| black_box(drive_columnar(nhosts, TICKS)))
+        });
+        group.bench_function("keyed", |b| {
+            b.iter(|| black_box(drive_keyed(nhosts, TICKS)))
+        });
+        group.finish();
+    }
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    // Whole-experiment wall time: fast config, virtualized deployment
+    // (3 hosts sampled through the columnar path every tick).
+    let mut group = c.benchmark_group("run_fast_virtualized");
+    group.sample_size(5);
+    group.bench_function("end_to_end", |b| {
+        b.iter(|| {
+            let r = run(ExperimentConfig::fast(
+                Deployment::Virtualized,
+                WorkloadMix::BROWSING,
+            ));
+            black_box(r.completed)
+        })
+    });
+    group.finish();
+}
+
+/// ci.sh gate: columnar must not be slower than keyed at 5 hosts.
+/// Best-of-3 per side to shrug off scheduler noise.
+fn smoke() {
+    let best = |f: &dyn Fn() -> usize| {
+        (0..3)
+            .map(|_| {
+                let t = Instant::now();
+                black_box(f());
+                t.elapsed().as_nanos()
+            })
+            .min()
+            .unwrap()
+    };
+    let columnar = best(&|| drive_columnar(5, 200));
+    let keyed = best(&|| drive_keyed(5, 200));
+    let speedup = keyed as f64 / columnar as f64;
+    println!("store smoke: columnar {columnar} ns, keyed {keyed} ns, speedup {speedup:.2}x");
+    assert!(
+        columnar <= keyed,
+        "columnar store regressed below the keyed baseline ({speedup:.2}x)"
+    );
+    println!("store smoke: PASS");
+}
+
+criterion_group!(store_benches, bench_record, bench_end_to_end);
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+    } else {
+        store_benches();
+    }
+}

@@ -16,7 +16,7 @@ use crate::phys::{HostIoPolicy, PhysPlatform};
 use crate::platform::{Platform, Tier, TierLoad};
 use crate::virt::VirtPlatform;
 use cloudchar_hw::{IoKind, IoRequest, ServerSpec, WorkToken};
-use cloudchar_monitor::{synthesize_perf, synthesize_sysstat, SeriesStore};
+use cloudchar_monitor::{synthesize_perf_into, synthesize_sysstat_into, SampleRow, SeriesStore};
 use cloudchar_simcore::{Engine, SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -115,6 +115,7 @@ struct BatchWorld {
     map_finish: Option<SimTime>,
     job_finish: Option<SimTime>,
     store: SeriesStore,
+    sample_row: SampleRow,
 }
 
 impl BatchWorld {
@@ -251,14 +252,13 @@ fn take_sample(engine: &mut Engine<BatchWorld>, world: &mut BatchWorld) {
         .sample_hosts(dt, load(world.running[0]), load(world.running[1]));
     let start = SimTime::ZERO + dt;
     for s in samples {
-        for (metric, value) in synthesize_sysstat(&s.raw, s.sysstat_source) {
-            world.store.record(&s.host, metric, start, dt, value);
-        }
+        world.sample_row.clear();
+        synthesize_sysstat_into(&s.raw, s.sysstat_source, &mut world.sample_row);
         if s.has_perf {
-            for (metric, value) in synthesize_perf(&s.raw) {
-                world.store.record(&s.host, metric, start, dt, value);
-            }
+            synthesize_perf_into(&s.raw, &mut world.sample_row);
         }
+        let host = world.store.host_id(s.host);
+        world.store.record_row(host, start, dt, &world.sample_row);
     }
     let _ = engine;
 }
@@ -299,6 +299,7 @@ pub fn run_batch(cfg: BatchConfig) -> BatchResult {
         map_finish: None,
         job_finish: None,
         store: SeriesStore::new(),
+        sample_row: SampleRow::with_capacity(cloudchar_monitor::TOTAL_METRICS),
     };
     let mut engine: Engine<BatchWorld> = Engine::new();
     let deadline = SimTime::ZERO + cfg.deadline;

@@ -115,7 +115,7 @@ pub fn run(cfg: ExperimentConfig) -> ExperimentResult {
         // Every sampled series must hold exactly one point per sampling
         // tick at the configured cadence (the paper's 2 s interval).
         let expected = cfg.sample_count();
-        for ((host, metric), series) in world.store.iter() {
+        for (host, metric, series) in world.store.iter() {
             audit::check(
                 "monitor.sample_cadence",
                 series.start.as_nanos(),

@@ -381,13 +381,13 @@ impl PhysPlatform {
         let db = self.sample_one(Tier::Db, dt, db_load);
         vec![
             HostSample {
-                host: Self::WEB_HOST.to_string(),
+                host: Self::WEB_HOST,
                 raw: web,
                 sysstat_source: Source::HypervisorSysstat,
                 has_perf: true,
             },
             HostSample {
-                host: Self::DB_HOST.to_string(),
+                host: Self::DB_HOST,
                 raw: db,
                 sysstat_source: Source::HypervisorSysstat,
                 has_perf: true,

@@ -53,7 +53,9 @@ pub struct TierLoad {
 #[derive(Debug, Clone)]
 pub struct HostSample {
     /// Host label used as the series key (e.g. `"web-vm"`, `"dom0"`).
-    pub host: String,
+    /// Static: all host names are fixed deployment constants, so the
+    /// sampler never allocates for identity.
+    pub host: &'static str,
     /// Raw activity for metric synthesis.
     pub raw: RawHostSample,
     /// Which sysstat plane this host reports through.

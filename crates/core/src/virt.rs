@@ -323,19 +323,19 @@ impl VirtPlatform {
 
         vec![
             HostSample {
-                host: Self::WEB_HOST.to_string(),
+                host: Self::WEB_HOST,
                 raw: web,
                 sysstat_source: Source::VmSysstat,
                 has_perf: true, // the modified perf attributes per-domain
             },
             HostSample {
-                host: Self::DB_HOST.to_string(),
+                host: Self::DB_HOST,
                 raw: db,
                 sysstat_source: Source::VmSysstat,
                 has_perf: true,
             },
             HostSample {
-                host: Self::DOM0_HOST.to_string(),
+                host: Self::DOM0_HOST,
                 raw: dom0_raw,
                 sysstat_source: Source::HypervisorSysstat,
                 has_perf: true,

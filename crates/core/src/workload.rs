@@ -18,7 +18,8 @@ use crate::config::ExperimentConfig;
 use crate::platform::{Platform, Tier, TierLoad};
 use cloudchar_hw::WorkToken;
 use cloudchar_monitor::{
-    synthesize_perf, synthesize_sysstat, FaultMonitor, FaultSummary, SeriesStore,
+    synthesize_perf_into, synthesize_sysstat_into, FaultMonitor, FaultSummary, SampleRow,
+    SeriesStore,
 };
 use cloudchar_rubis::interactions::EntityRanges;
 use cloudchar_rubis::{
@@ -113,6 +114,7 @@ pub struct World {
     next_req: u64,
     tcp_opened: u64,
     completions_scratch: Vec<(Tier, WorkToken)>,
+    sample_row: SampleRow,
 }
 
 impl World {
@@ -139,7 +141,7 @@ impl World {
             web,
             mysql,
             clients,
-            store: SeriesStore::new(),
+            store: SeriesStore::with_expected_samples(cfg.sample_count()),
             completed: 0,
             response_time: Welford::new(),
             response_hist: LogHistogram::new(1e-6, 300.0, 10),
@@ -153,6 +155,7 @@ impl World {
             next_req: 0,
             tcp_opened: 0,
             completions_scratch: Vec::new(),
+            sample_row: SampleRow::with_capacity(cloudchar_monitor::TOTAL_METRICS),
         }
     }
 
@@ -597,14 +600,16 @@ fn take_sample(engine: &mut Engine<World>, world: &mut World) {
     let start = SimTime::ZERO + dt;
     let samples = world.platform.sample_hosts(dt, web_load, db_load);
     for s in samples {
-        for (metric, value) in synthesize_sysstat(&s.raw, s.sysstat_source) {
-            world.store.record(&s.host, metric, start, dt, value);
-        }
+        // One reusable row per host per tick: synthesis appends by
+        // cached layout ids, then the whole row commits in one call —
+        // no string keys, no map probes, no steady-state allocation.
+        world.sample_row.clear();
+        synthesize_sysstat_into(&s.raw, s.sysstat_source, &mut world.sample_row);
         if s.has_perf {
-            for (metric, value) in synthesize_perf(&s.raw) {
-                world.store.record(&s.host, metric, start, dt, value);
-            }
+            synthesize_perf_into(&s.raw, &mut world.sample_row);
         }
+        let host = world.store.host_id(s.host);
+        world.store.record_row(host, start, dt, &world.sample_row);
     }
     let _ = engine;
 }

@@ -9,6 +9,10 @@
 use std::collections::HashMap; // CL003 when scanned as a report file
 use std::time::Instant; // CL001
 
+// CL006 when scanned as a sampling-path file: a host-keyed map means a
+// String allocation and a map walk on every recorded sample.
+pub type KeyedSamples = BTreeMap<(String, MetricId), TimeSeries>;
+
 pub fn seeded_violations(samples: &HashMap<String, f64>) -> f64 {
     let started = Instant::now(); // CL001: wall clock in a sim crate
     let first = samples.values().next().unwrap(); // CL002

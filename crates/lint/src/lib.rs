@@ -24,6 +24,13 @@
 //!   timing must flow through `fault::install` so a `FaultPlan` stays
 //!   the single replayable source of truth. The sanctioned scheduling
 //!   site inside `fault::install` itself is suppressed.
+//! * **CL006** — no host-keyed `BTreeMap<(String, …)>` /
+//!   `BTreeMap<(HostLabel, …)>` maps in sampling-path files
+//!   (`monitor::store`, `monitor::synth`, `core::workload`,
+//!   `core::batch`): the per-tick record path is columnar (interned
+//!   `HostId` + dense metric columns) and must never reintroduce a
+//!   string-keyed map lookup per sample. Benches keep the keyed
+//!   baseline for comparison and are exempt by file class.
 //!
 //! The scanner masks comments, strings and char literals before
 //! matching, tracks `#[cfg(test)]` regions by brace matching, and
@@ -51,8 +58,17 @@ pub const SORTED_OUTPUT_FILES: [&str; 3] = [
     "crates/core/src/compare.rs",
 ];
 
+/// Files on the per-tick sampling hot path, which must stay columnar
+/// (no host-keyed map lookups per sample — CL006).
+pub const SAMPLING_PATH_FILES: [&str; 4] = [
+    "crates/monitor/src/store.rs",
+    "crates/monitor/src/synth.rs",
+    "crates/core/src/workload.rs",
+    "crates/core/src/batch.rs",
+];
+
 /// Rule registry: `(id, summary)` for every rule the scanner knows.
-pub const RULES: [(&str, &str); 5] = [
+pub const RULES: [(&str, &str); 6] = [
     (
         "CL001",
         "no Instant::now/SystemTime::now/thread_rng in simulation crates",
@@ -72,6 +88,10 @@ pub const RULES: [(&str, &str); 5] = [
     (
         "CL005",
         "no direct engine schedule_* calls in fault code (use fault::install)",
+    ),
+    (
+        "CL006",
+        "no host-keyed BTreeMap<(String/HostLabel, ..)> on the sampling path (use interned HostId columns)",
     ),
 ];
 
@@ -497,6 +517,7 @@ pub fn scan_source(rel: &str, text: &str) -> Vec<Diagnostic> {
     let sorted_output = SORTED_OUTPUT_FILES.contains(&rel);
     let analysis_lib = class == FileClass::Lib && krate == "analysis";
     let fault_lib = lib && rel.contains("fault");
+    let sampling_path = lib && SAMPLING_PATH_FILES.contains(&rel);
 
     for (l, m) in masked_lines.iter().enumerate() {
         if in_test.get(l).copied().unwrap_or(false) {
@@ -555,6 +576,20 @@ pub fn scan_source(rel: &str, text: &str) -> Vec<Diagnostic> {
                         rel,
                         lineno,
                         &format!("`{pat}` in fault code bypasses the FaultPlan path; route fault timing through fault::install so plans stay replayable"),
+                        raw,
+                    );
+                }
+            }
+        }
+        if sampling_path {
+            for pat in ["BTreeMap<(String", "BTreeMap<(HostLabel"] {
+                if m.contains(pat) {
+                    push_diag(
+                        &mut out,
+                        "CL006",
+                        rel,
+                        lineno,
+                        &format!("`{pat}` host-keyed map on the sampling path; record through interned HostId + dense metric columns (SeriesStore::record_row)"),
                         raw,
                     );
                 }
@@ -741,5 +776,17 @@ mod tests {
         // Nor in fault *test* code, which may drive engines directly.
         let d = scan_source("crates/simcore/tests/prop_fault.rs", src);
         assert!(d.is_empty());
+        // CL006: host-keyed maps on the sampling path.
+        let src = "struct S { m: BTreeMap<(String, MetricId), TimeSeries> }\n";
+        let d = scan_source("crates/monitor/src/store.rs", src);
+        assert!(d.iter().any(|d| d.rule == "CL006"));
+        let d = scan_source("crates/core/src/batch.rs", src);
+        assert!(d.iter().any(|d| d.rule == "CL006"));
+        // The keyed baseline in benches is exempt by file class...
+        let d = scan_source("crates/bench/benches/store.rs", src);
+        assert!(!d.iter().any(|d| d.rule == "CL006"));
+        // ...and off-path library files are not CL006's business.
+        let d = scan_source("crates/core/src/report.rs", src);
+        assert!(!d.iter().any(|d| d.rule == "CL006"));
     }
 }

@@ -27,5 +27,8 @@ pub use catalog::{catalog, MetricCatalog, PERF_METRICS, SYSSTAT_METRICS, TOTAL_M
 pub use fault::{FaultMonitor, FaultSummary, FaultWindow};
 pub use metric::{Family, MetricDef, MetricId, Source, Unit};
 pub use sar::render_sar;
-pub use store::{SeriesStore, TimeSeries};
-pub use synth::{synthesize_perf, synthesize_sysstat, RawHostSample};
+pub use store::{HostId, SampleRow, SeriesStore, TimeSeries};
+pub use synth::{
+    synthesize_perf, synthesize_perf_into, synthesize_sysstat, synthesize_sysstat_into,
+    RawHostSample,
+};

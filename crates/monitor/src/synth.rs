@@ -9,10 +9,20 @@
 //! rates) are derived with fixed microarchitectural ratios so they are
 //! *consistent* (monotone in the underlying activity) rather than
 //! independently calibrated.
+//!
+//! The hot path is allocation-free: metric names are only rendered once
+//! per process (the *layout* pass, which resolves each emission slot to
+//! its [`MetricId`] via the catalog); steady-state synthesis pairs the
+//! cached ids with freshly computed values positionally and appends them
+//! to a caller-owned [`SampleRow`]. The emission order is fixed — it
+//! never depends on sample values — which is what makes the positional
+//! pairing sound.
 
-use crate::catalog::{catalog, MetricCatalog};
+use crate::catalog::catalog;
 use crate::metric::{MetricId, Source};
+use crate::store::SampleRow;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// Raw activity of one host (VM, dom0, or physical machine) over one
 /// sampling interval.
@@ -94,16 +104,17 @@ const BRANCH_MISS_RATIO: f64 = 0.035;
 /// dTLB miss per thousand instructions.
 const DTLB_MISS_PER_KI: f64 = 1.3;
 
-/// Synthesize the 182 sysstat metrics of `source` for one host sample.
-///
-/// Returns `(MetricId, value)` pairs covering every metric of that
-/// source.
-pub fn synthesize_sysstat(raw: &RawHostSample, source: Source) -> Vec<(MetricId, f64)> {
-    assert!(matches!(
-        source,
-        Source::HypervisorSysstat | Source::VmSysstat
-    ));
-    let c = catalog();
+/// Walk the sysstat emission schedule for one host sample, handing each
+/// `(name, value)` pair to `sink`. Names are passed as
+/// [`std::fmt::Arguments`] so the steady-state caller never renders
+/// them; the emission *order* is a fixed property of this function and
+/// never depends on `raw`'s values.
+fn emit_sysstat(raw: &RawHostSample, mut sink: impl FnMut(std::fmt::Arguments<'_>, f64)) {
+    macro_rules! set {
+        ($name:literal, $v:expr) => {
+            sink(format_args!($name), $v)
+        };
+    }
     let dt = raw.dt_s.max(1e-9);
     let steal_frac = raw.steal_frac.clamp(0.0, 1.0);
     let iowait_frac = raw.iowait_frac.clamp(0.0, 1.0);
@@ -119,25 +130,17 @@ pub fn synthesize_sysstat(raw: &RawHostSample, source: Source) -> Vec<(MetricId,
     let soft = system * 0.2;
     let irq = system * 0.08;
 
-    let mut out = Vec::with_capacity(crate::catalog::SYSSTAT_METRICS);
-    let mut set = |name: &str, v: f64| {
-        let id = c
-            .find(name, source)
-            .unwrap_or_else(|| panic!("metric {name} missing from catalog"));
-        out.push((id, v));
-    };
-
     // CPU.
-    set("%user", user);
-    set("%nice", 0.0);
-    set("%system", system);
-    set("%iowait", iowait);
-    set("%steal", steal);
-    set("%idle", idle);
-    set("%irq", irq);
-    set("%soft", soft);
-    set("%guest", 0.0);
-    set("%gnice", 0.0);
+    set!("%user", user);
+    set!("%nice", 0.0);
+    set!("%system", system);
+    set!("%iowait", iowait);
+    set!("%steal", steal);
+    set!("%idle", idle);
+    set!("%irq", irq);
+    set!("%soft", soft);
+    set!("%guest", 0.0);
+    set!("%gnice", 0.0);
     // Per-CPU: distribute busy time with a deterministic skew (IRQ
     // affinity pins more work on low cores, as on the real testbed).
     let cores = raw.cores.max(1);
@@ -150,21 +153,21 @@ pub fn synthesize_sysstat(raw: &RawHostSample, source: Source) -> Vec<(MetricId,
                     .sum::<f64>();
             let u = (user * norm).min(100.0);
             let s = (system * norm).min(100.0 - u);
-            set(&format!("cpu{cpu}-%user"), u);
-            set(&format!("cpu{cpu}-%system"), s);
-            set(&format!("cpu{cpu}-%idle"), (100.0 - u - s).max(0.0));
+            set!("cpu{cpu}-%user", u);
+            set!("cpu{cpu}-%system", s);
+            set!("cpu{cpu}-%idle", (100.0 - u - s).max(0.0));
         } else {
-            set(&format!("cpu{cpu}-%user"), 0.0);
-            set(&format!("cpu{cpu}-%system"), 0.0);
-            set(&format!("cpu{cpu}-%idle"), 100.0);
+            set!("cpu{cpu}-%user", 0.0);
+            set!("cpu{cpu}-%system", 0.0);
+            set!("cpu{cpu}-%idle", 100.0);
         }
     }
     // Processes.
-    set("proc/s", raw.forks / dt);
-    set("cswch/s", raw.cswch / dt);
+    set!("proc/s", raw.forks / dt);
+    set!("cswch/s", raw.cswch / dt);
     // Interrupts: total plus a fixed affinity split over 16 lines
     // (timer on 0, disk on 14, NIC on 11).
-    set("intr/s", raw.intr / dt);
+    set!("intr/s", raw.intr / dt);
     for irq_line in 0..16 {
         let share = match irq_line {
             0 => 0.35,  // timer
@@ -172,63 +175,63 @@ pub fn synthesize_sysstat(raw: &RawHostSample, source: Source) -> Vec<(MetricId,
             14 => 0.20, // disk
             _ => 0.15 / 13.0,
         };
-        set(&format!("i{irq_line:03}/s"), raw.intr * share / dt);
+        set!("i{irq_line:03}/s", raw.intr * share / dt);
     }
     // Swap: the testbed never swaps (paper runs fit in RAM).
-    set("pswpin/s", 0.0);
-    set("pswpout/s", 0.0);
+    set!("pswpin/s", 0.0);
+    set!("pswpout/s", 0.0);
     // Paging.
-    set("pgpgin/s", raw.disk_read_bytes / 1024.0 / dt);
-    set("pgpgout/s", raw.disk_write_bytes / 1024.0 / dt);
-    set("fault/s", raw.page_faults / dt);
-    set("majflt/s", raw.page_faults * 0.01 / dt);
-    set("pgfree/s", raw.page_faults * 1.4 / dt);
-    set("pgscank/s", 0.0);
-    set("pgscand/s", 0.0);
-    set("pgsteal/s", 0.0);
-    set("%vmeff", 0.0);
+    set!("pgpgin/s", raw.disk_read_bytes / 1024.0 / dt);
+    set!("pgpgout/s", raw.disk_write_bytes / 1024.0 / dt);
+    set!("fault/s", raw.page_faults / dt);
+    set!("majflt/s", raw.page_faults * 0.01 / dt);
+    set!("pgfree/s", raw.page_faults * 1.4 / dt);
+    set!("pgscank/s", 0.0);
+    set!("pgscand/s", 0.0);
+    set!("pgsteal/s", 0.0);
+    set!("%vmeff", 0.0);
     // I/O totals (sectors are 512 B).
-    set("tps", (raw.disk_reads + raw.disk_writes) / dt);
-    set("rtps", raw.disk_reads / dt);
-    set("wtps", raw.disk_writes / dt);
-    set("bread/s", raw.disk_read_bytes / 512.0 / dt);
-    set("bwrtn/s", raw.disk_write_bytes / 512.0 / dt);
+    set!("tps", (raw.disk_reads + raw.disk_writes) / dt);
+    set!("rtps", raw.disk_reads / dt);
+    set!("wtps", raw.disk_writes / dt);
+    set!("bread/s", raw.disk_read_bytes / 512.0 / dt);
+    set!("bwrtn/s", raw.disk_write_bytes / 512.0 / dt);
     // Memory.
     let free = (raw.mem_total_kb - raw.mem_used_kb).max(0.0);
-    set("kbmemfree", free);
-    set("kbmemused", raw.mem_used_kb);
-    set(
+    set!("kbmemfree", free);
+    set!("kbmemused", raw.mem_used_kb);
+    set!(
         "%memused",
-        100.0 * raw.mem_used_kb / raw.mem_total_kb.max(1.0),
+        100.0 * raw.mem_used_kb / raw.mem_total_kb.max(1.0)
     );
-    set("kbbuffers", raw.mem_cached_kb * 0.08);
-    set("kbcached", raw.mem_cached_kb);
-    set("kbcommit", raw.mem_used_kb * 1.3);
-    set(
+    set!("kbbuffers", raw.mem_cached_kb * 0.08);
+    set!("kbcached", raw.mem_cached_kb);
+    set!("kbcommit", raw.mem_used_kb * 1.3);
+    set!(
         "%commit",
-        100.0 * raw.mem_used_kb * 1.3 / raw.mem_total_kb.max(1.0),
+        100.0 * raw.mem_used_kb * 1.3 / raw.mem_total_kb.max(1.0)
     );
-    set("kbactive", raw.mem_used_kb * 0.6);
-    set("kbinact", raw.mem_used_kb * 0.25);
-    set("kbdirty", raw.mem_dirty_kb);
+    set!("kbactive", raw.mem_used_kb * 0.6);
+    set!("kbinact", raw.mem_used_kb * 0.25);
+    set!("kbdirty", raw.mem_dirty_kb);
     // Swap space: configured but unused.
     let swap_total = 2.0 * 1024.0 * 1024.0;
-    set("kbswpfree", swap_total);
-    set("kbswpused", 0.0);
-    set("%swpused", 0.0);
-    set("kbswpcad", 0.0);
-    set("%swpcad", 0.0);
+    set!("kbswpfree", swap_total);
+    set!("kbswpused", 0.0);
+    set!("%swpused", 0.0);
+    set!("kbswpcad", 0.0);
+    set!("%swpcad", 0.0);
     // Huge pages: disabled on the 2.6.18 guests.
-    set("kbhugfree", 0.0);
-    set("kbhugused", 0.0);
-    set("%hugused", 0.0);
+    set!("kbhugfree", 0.0);
+    set!("kbhugused", 0.0);
+    set!("%hugused", 0.0);
     // Load.
-    set("runq-sz", raw.runq);
-    set("plist-sz", raw.nproc);
-    set("ldavg-1", raw.runq * 0.9 + raw.blocked);
-    set("ldavg-5", raw.runq * 0.8 + raw.blocked);
-    set("ldavg-15", raw.runq * 0.7 + raw.blocked);
-    set("blocked", raw.blocked);
+    set!("runq-sz", raw.runq);
+    set!("plist-sz", raw.nproc);
+    set!("ldavg-1", raw.runq * 0.9 + raw.blocked);
+    set!("ldavg-5", raw.runq * 0.8 + raw.blocked);
+    set!("ldavg-15", raw.runq * 0.7 + raw.blocked);
+    set!("blocked", raw.blocked);
     // Disk devices: all activity on dev8-0; dev8-16 idle.
     let svctm_ms = if raw.disk_reads + raw.disk_writes > 0.0 {
         1000.0 * raw.disk_busy_s / (raw.disk_reads + raw.disk_writes)
@@ -237,18 +240,9 @@ pub fn synthesize_sysstat(raw: &RawHostSample, source: Source) -> Vec<(MetricId,
     };
     for (dev, active) in [("dev8-0", true), ("dev8-16", false)] {
         let k = if active { 1.0 } else { 0.0 };
-        set(
-            &format!("{dev}-tps"),
-            k * (raw.disk_reads + raw.disk_writes) / dt,
-        );
-        set(
-            &format!("{dev}-rd_sec/s"),
-            k * raw.disk_read_bytes / 512.0 / dt,
-        );
-        set(
-            &format!("{dev}-wr_sec/s"),
-            k * raw.disk_write_bytes / 512.0 / dt,
-        );
+        set!("{dev}-tps", k * (raw.disk_reads + raw.disk_writes) / dt);
+        set!("{dev}-rd_sec/s", k * raw.disk_read_bytes / 512.0 / dt);
+        set!("{dev}-wr_sec/s", k * raw.disk_write_bytes / 512.0 / dt);
         let rq = if raw.disk_reads + raw.disk_writes > 0.0 {
             (raw.disk_read_bytes + raw.disk_write_bytes)
                 / 512.0
@@ -256,86 +250,82 @@ pub fn synthesize_sysstat(raw: &RawHostSample, source: Source) -> Vec<(MetricId,
         } else {
             0.0
         };
-        set(&format!("{dev}-avgrq-sz"), k * rq);
-        set(&format!("{dev}-avgqu-sz"), k * raw.blocked.min(8.0));
-        set(
-            &format!("{dev}-await"),
-            k * svctm_ms * (1.0 + raw.blocked.min(8.0)),
-        );
-        set(&format!("{dev}-svctm"), k * svctm_ms);
-        set(
-            &format!("{dev}-%util"),
-            k * (100.0 * raw.disk_busy_s / dt).min(100.0),
-        );
+        set!("{dev}-avgrq-sz", k * rq);
+        set!("{dev}-avgqu-sz", k * raw.blocked.min(8.0));
+        set!("{dev}-await", k * svctm_ms * (1.0 + raw.blocked.min(8.0)));
+        set!("{dev}-svctm", k * svctm_ms);
+        set!("{dev}-%util", k * (100.0 * raw.disk_busy_s / dt).min(100.0));
     }
     // Network: external traffic on eth0; loopback idle.
     for (ifc, active) in [("eth0", true), ("lo", false)] {
         let k = if active { 1.0 } else { 0.0 };
-        set(&format!("{ifc}-rxpck/s"), k * raw.net_rx_pkts / dt);
-        set(&format!("{ifc}-txpck/s"), k * raw.net_tx_pkts / dt);
-        set(&format!("{ifc}-rxkB/s"), k * raw.net_rx_bytes / 1024.0 / dt);
-        set(&format!("{ifc}-txkB/s"), k * raw.net_tx_bytes / 1024.0 / dt);
-        set(&format!("{ifc}-rxcmp/s"), 0.0);
-        set(&format!("{ifc}-txcmp/s"), 0.0);
-        set(&format!("{ifc}-rxmcst/s"), 0.0);
+        set!("{ifc}-rxpck/s", k * raw.net_rx_pkts / dt);
+        set!("{ifc}-txpck/s", k * raw.net_tx_pkts / dt);
+        set!("{ifc}-rxkB/s", k * raw.net_rx_bytes / 1024.0 / dt);
+        set!("{ifc}-txkB/s", k * raw.net_tx_bytes / 1024.0 / dt);
+        set!("{ifc}-rxcmp/s", 0.0);
+        set!("{ifc}-txcmp/s", 0.0);
+        set!("{ifc}-rxmcst/s", 0.0);
         for err in [
             "rxerr/s", "txerr/s", "coll/s", "rxdrop/s", "txdrop/s", "txcarr/s", "rxfram/s",
             "rxfifo/s", "txfifo/s",
         ] {
-            set(&format!("{ifc}-{err}"), 0.0);
+            set!("{ifc}-{err}", 0.0);
         }
     }
     // Sockets.
-    set("totsck", raw.tcp_sockets + 40.0);
-    set("tcpsck", raw.tcp_sockets);
-    set("udpsck", 4.0);
-    set("rawsck", 0.0);
-    set("ip-frag", 0.0);
-    set("tcp-tw", raw.tcp_active * 2.0);
+    set!("totsck", raw.tcp_sockets + 40.0);
+    set!("tcpsck", raw.tcp_sockets);
+    set!("udpsck", 4.0);
+    set!("rawsck", 0.0);
+    set!("ip-frag", 0.0);
+    set!("tcp-tw", raw.tcp_active * 2.0);
     // IP stack: derived from packet flow.
-    set("irec/s", raw.net_rx_pkts / dt);
-    set("fwddgm/s", 0.0);
-    set("idel/s", raw.net_rx_pkts / dt);
-    set("orq/s", raw.net_tx_pkts / dt);
-    set("asmrq/s", 0.0);
-    set("asmok/s", 0.0);
-    set("fragok/s", 0.0);
-    set("fragcrt/s", 0.0);
-    set("imsg/s", 0.0);
-    set("omsg/s", 0.0);
-    set("iech/s", 0.0);
-    set("oech/s", 0.0);
-    set("active/s", raw.tcp_active / dt);
-    set("passive/s", raw.tcp_active / dt);
-    set("iseg/s", raw.net_rx_pkts / dt);
-    set("oseg/s", raw.net_tx_pkts / dt);
-    set("idgm/s", 0.0);
-    set("odgm/s", 0.0);
-    set("noport/s", 0.0);
-    set("idgmerr/s", 0.0);
+    set!("irec/s", raw.net_rx_pkts / dt);
+    set!("fwddgm/s", 0.0);
+    set!("idel/s", raw.net_rx_pkts / dt);
+    set!("orq/s", raw.net_tx_pkts / dt);
+    set!("asmrq/s", 0.0);
+    set!("asmok/s", 0.0);
+    set!("fragok/s", 0.0);
+    set!("fragcrt/s", 0.0);
+    set!("imsg/s", 0.0);
+    set!("omsg/s", 0.0);
+    set!("iech/s", 0.0);
+    set!("oech/s", 0.0);
+    set!("active/s", raw.tcp_active / dt);
+    set!("passive/s", raw.tcp_active / dt);
+    set!("iseg/s", raw.net_rx_pkts / dt);
+    set!("oseg/s", raw.net_tx_pkts / dt);
+    set!("idgm/s", 0.0);
+    set!("odgm/s", 0.0);
+    set!("noport/s", 0.0);
+    set!("idgmerr/s", 0.0);
     // Power: fixed frequency (no scaling on the testbed), warm package.
     for cpu in 0..8 {
-        set(
-            &format!("cpu{cpu}-MHz"),
-            if cpu < cores { raw.core_hz / 1e6 } else { 0.0 },
+        set!(
+            "cpu{cpu}-MHz",
+            if cpu < cores { raw.core_hz / 1e6 } else { 0.0 }
         );
     }
-    set("degC", 42.0 + 18.0 * busy);
-    set("fan-rpm", 5400.0);
-    set("inV", 12.0);
+    set!("degC", 42.0 + 18.0 * busy);
+    set!("fan-rpm", 5400.0);
+    set!("inV", 12.0);
     // Kernel tables.
-    set("dentunusd", 20_000.0);
-    set("file-nr", 1_200.0 + raw.tcp_sockets * 2.0);
-    set("inode-nr", 35_000.0);
-    set("pty-nr", 2.0);
-
-    debug_assert_eq!(out.len(), crate::catalog::SYSSTAT_METRICS);
-    out
+    set!("dentunusd", 20_000.0);
+    set!("file-nr", 1_200.0 + raw.tcp_sockets * 2.0);
+    set!("inode-nr", 35_000.0);
+    set!("pty-nr", 2.0);
 }
 
-/// Synthesize the 154 perf-counter metrics from host activity.
-pub fn synthesize_perf(raw: &RawHostSample) -> Vec<(MetricId, f64)> {
-    let c: &MetricCatalog = catalog();
+/// Walk the perf emission schedule for one host sample (see
+/// [`emit_sysstat`] for the sink contract).
+fn emit_perf(raw: &RawHostSample, mut sink: impl FnMut(std::fmt::Arguments<'_>, f64)) {
+    macro_rules! set {
+        ($name:literal, $v:expr) => {
+            sink(format_args!($name), $v)
+        };
+    }
     let cycles = raw.cpu_cycles.max(0.0);
     let instructions = cycles * IPC;
     let ki = instructions / 1_000.0;
@@ -345,78 +335,65 @@ pub fn synthesize_perf(raw: &RawHostSample) -> Vec<(MetricId, f64)> {
     let branch_misses = branches * BRANCH_MISS_RATIO;
     let dtlb_misses = ki * DTLB_MISS_PER_KI;
 
-    let mut out = Vec::with_capacity(crate::catalog::PERF_METRICS);
-    let mut set = |name: &str, v: f64| {
-        let id = c
-            .find(name, Source::PerfCounter)
-            .unwrap_or_else(|| panic!("perf metric {name} missing"));
-        out.push((id, v));
-    };
-
-    set("cycles", cycles);
-    set("instructions", instructions);
-    set("cache-references", cache_refs);
-    set("cache-misses", cache_misses);
-    set("branches", branches);
-    set("branch-misses", branch_misses);
-    set("bus-cycles", cycles * 0.02);
-    set("ref-cycles", cycles);
-    set("stalled-cycles-frontend", cycles * 0.12);
-    set("stalled-cycles-backend", cycles * 0.22);
+    set!("cycles", cycles);
+    set!("instructions", instructions);
+    set!("cache-references", cache_refs);
+    set!("cache-misses", cache_misses);
+    set!("branches", branches);
+    set!("branch-misses", branch_misses);
+    set!("bus-cycles", cycles * 0.02);
+    set!("ref-cycles", cycles);
+    set!("stalled-cycles-frontend", cycles * 0.12);
+    set!("stalled-cycles-backend", cycles * 0.22);
     // Cache hierarchy: loads ≈ 30% of instructions, L1 miss 4%, etc.
     let loads = instructions * 0.30;
     let stores = instructions * 0.12;
-    set("L1-dcache-loads", loads);
-    set("L1-dcache-load-misses", loads * 0.04);
-    set("L1-dcache-stores", stores);
-    set("L1-dcache-store-misses", stores * 0.03);
-    set("L1-dcache-prefetches", loads * 0.05);
-    set("L1-dcache-prefetch-misses", loads * 0.01);
-    set("L1-icache-loads", instructions * 0.25);
-    set("L1-icache-load-misses", instructions * 0.25 * 0.015);
-    set("LLC-loads", cache_refs * 0.7);
-    set("LLC-load-misses", cache_misses * 0.7);
-    set("LLC-stores", cache_refs * 0.3);
-    set("LLC-store-misses", cache_misses * 0.3);
-    set("LLC-prefetches", cache_refs * 0.1);
-    set("LLC-prefetch-misses", cache_misses * 0.1);
-    set("dTLB-loads", loads);
-    set("dTLB-load-misses", dtlb_misses * 0.8);
-    set("dTLB-stores", stores);
-    set("dTLB-store-misses", dtlb_misses * 0.2);
-    set("iTLB-loads", instructions * 0.25);
-    set("iTLB-load-misses", ki * 0.3);
+    set!("L1-dcache-loads", loads);
+    set!("L1-dcache-load-misses", loads * 0.04);
+    set!("L1-dcache-stores", stores);
+    set!("L1-dcache-store-misses", stores * 0.03);
+    set!("L1-dcache-prefetches", loads * 0.05);
+    set!("L1-dcache-prefetch-misses", loads * 0.01);
+    set!("L1-icache-loads", instructions * 0.25);
+    set!("L1-icache-load-misses", instructions * 0.25 * 0.015);
+    set!("LLC-loads", cache_refs * 0.7);
+    set!("LLC-load-misses", cache_misses * 0.7);
+    set!("LLC-stores", cache_refs * 0.3);
+    set!("LLC-store-misses", cache_misses * 0.3);
+    set!("LLC-prefetches", cache_refs * 0.1);
+    set!("LLC-prefetch-misses", cache_misses * 0.1);
+    set!("dTLB-loads", loads);
+    set!("dTLB-load-misses", dtlb_misses * 0.8);
+    set!("dTLB-stores", stores);
+    set!("dTLB-store-misses", dtlb_misses * 0.2);
+    set!("iTLB-loads", instructions * 0.25);
+    set!("iTLB-load-misses", ki * 0.3);
     // Software events mirror the kernel counters.
-    set("cpu-clock", cycles / raw.core_hz.max(1.0) * 1e9);
-    set("task-clock", cycles / raw.core_hz.max(1.0) * 1e9);
-    set("page-faults", raw.page_faults);
-    set("context-switches", raw.cswch);
-    set("cpu-migrations", raw.cswch * 0.02);
-    set("minor-faults", raw.page_faults * 0.99);
-    set("major-faults", raw.page_faults * 0.01);
-    set("alignment-faults", 0.0);
-    set("emulation-faults", 0.0);
+    set!("cpu-clock", cycles / raw.core_hz.max(1.0) * 1e9);
+    set!("task-clock", cycles / raw.core_hz.max(1.0) * 1e9);
+    set!("page-faults", raw.page_faults);
+    set!("context-switches", raw.cswch);
+    set!("cpu-migrations", raw.cswch * 0.02);
+    set!("minor-faults", raw.page_faults * 0.99);
+    set!("major-faults", raw.page_faults * 0.01);
+    set!("alignment-faults", 0.0);
+    set!("emulation-faults", 0.0);
     // Per-core: same deterministic skew as the sysstat view.
     let cores = raw.cores.max(1);
-    let weights: Vec<f64> = (0..8)
-        .map(|k| {
-            if k < cores {
-                1.0 + 0.25 * f64::from(cores - k) / f64::from(cores)
-            } else {
-                0.0
-            }
-        })
-        .collect();
+    let mut weights = [0.0_f64; 8];
+    for (k, w) in weights.iter_mut().enumerate() {
+        let k = k as u32;
+        if k < cores {
+            *w = 1.0 + 0.25 * f64::from(cores - k) / f64::from(cores);
+        }
+    }
     let wsum: f64 = weights.iter().sum();
     for core in 0..8 {
         let share = weights[core as usize] / wsum;
-        set(&format!("cpu{core}-cycles"), cycles * share);
-        set(&format!("cpu{core}-instructions"), instructions * share);
-        set(
-            &format!("cpu{core}-LLC-load-misses"),
-            cache_misses * 0.7 * share,
-        );
-        set(&format!("cpu{core}-branch-misses"), branch_misses * share);
+        set!("cpu{core}-cycles", cycles * share);
+        set!("cpu{core}-instructions", instructions * share);
+        set!("cpu{core}-LLC-load-misses", cache_misses * 0.7 * share);
+        set!("cpu{core}-branch-misses", branch_misses * share);
     }
     // Offcore/uncore raw events: consistent derived ratios.
     let uops = instructions * 1.25;
@@ -506,11 +483,104 @@ pub fn synthesize_perf(raw: &RawHostSample) -> Vec<(MetricId, f64)> {
         ("XSNP_RESPONSE.ANY", cache_misses * 0.2),
     ];
     for (name, v) in derived {
-        set(name, v);
+        set!("{name}", v);
     }
+}
 
-    debug_assert_eq!(out.len(), crate::catalog::PERF_METRICS);
-    out
+static HV_SYSSTAT_LAYOUT: OnceLock<Vec<MetricId>> = OnceLock::new();
+static VM_SYSSTAT_LAYOUT: OnceLock<Vec<MetricId>> = OnceLock::new();
+static PERF_LAYOUT: OnceLock<Vec<MetricId>> = OnceLock::new();
+
+/// Resolve the emission schedule of `source` to catalog ids, once: run
+/// the emitter on a probe sample, render each slot's name, and look it
+/// up. Sound because the emission order is value-independent.
+fn resolve_layout(source: Source) -> Vec<MetricId> {
+    let c = catalog();
+    let probe = RawHostSample {
+        dt_s: 1.0,
+        cores: 1,
+        core_hz: 1.0,
+        cpu_capacity_cycles: 1.0,
+        mem_total_kb: 1.0,
+        ..RawHostSample::default()
+    };
+    let mut ids = Vec::new();
+    match source {
+        Source::PerfCounter => emit_perf(&probe, |name, _| {
+            let name = name.to_string();
+            let id = c
+                .find(&name, source)
+                .unwrap_or_else(|| panic!("perf metric {name} missing"));
+            ids.push(id);
+        }),
+        _ => emit_sysstat(&probe, |name, _| {
+            let name = name.to_string();
+            let id = c
+                .find(&name, source)
+                .unwrap_or_else(|| panic!("metric {name} missing from catalog"));
+            ids.push(id);
+        }),
+    }
+    ids
+}
+
+fn sysstat_layout(source: Source) -> &'static [MetricId] {
+    let cell = match source {
+        Source::HypervisorSysstat => &HV_SYSSTAT_LAYOUT,
+        _ => &VM_SYSSTAT_LAYOUT,
+    };
+    cell.get_or_init(|| resolve_layout(source))
+}
+
+/// Synthesize the 182 sysstat metrics of `source` for one host sample,
+/// appending `(MetricId, value)` pairs to `out` without allocating
+/// (after the process-wide layout pass).
+pub fn synthesize_sysstat_into(raw: &RawHostSample, source: Source, out: &mut SampleRow) {
+    assert!(matches!(
+        source,
+        Source::HypervisorSysstat | Source::VmSysstat
+    ));
+    let layout = sysstat_layout(source);
+    let mut slot = 0;
+    emit_sysstat(raw, |_, v| {
+        out.push(layout[slot], v);
+        slot += 1;
+    });
+    debug_assert_eq!(slot, crate::catalog::SYSSTAT_METRICS);
+}
+
+/// Synthesize the 154 perf-counter metrics for one host sample,
+/// appending `(MetricId, value)` pairs to `out` without allocating
+/// (after the process-wide layout pass).
+pub fn synthesize_perf_into(raw: &RawHostSample, out: &mut SampleRow) {
+    let layout = PERF_LAYOUT.get_or_init(|| resolve_layout(Source::PerfCounter));
+    let mut slot = 0;
+    emit_perf(raw, |_, v| {
+        out.push(layout[slot], v);
+        slot += 1;
+    });
+    debug_assert_eq!(slot, crate::catalog::PERF_METRICS);
+}
+
+/// Synthesize the 182 sysstat metrics of `source` for one host sample.
+///
+/// Returns `(MetricId, value)` pairs covering every metric of that
+/// source. Convenience wrapper over [`synthesize_sysstat_into`]; hot
+/// paths should reuse a [`SampleRow`] instead.
+pub fn synthesize_sysstat(raw: &RawHostSample, source: Source) -> Vec<(MetricId, f64)> {
+    let mut row = SampleRow::with_capacity(crate::catalog::SYSSTAT_METRICS);
+    synthesize_sysstat_into(raw, source, &mut row);
+    row.entries().to_vec()
+}
+
+/// Synthesize the 154 perf-counter metrics from host activity.
+///
+/// Convenience wrapper over [`synthesize_perf_into`]; hot paths should
+/// reuse a [`SampleRow`] instead.
+pub fn synthesize_perf(raw: &RawHostSample) -> Vec<(MetricId, f64)> {
+    let mut row = SampleRow::with_capacity(crate::catalog::PERF_METRICS);
+    synthesize_perf_into(raw, &mut row);
+    row.entries().to_vec()
 }
 
 #[cfg(test)]
@@ -651,5 +721,49 @@ mod tests {
         assert_eq!(get("eth0-rxkB/s"), 0.0);
         let p = synthesize_perf(&raw);
         assert!(p.iter().all(|(_, x)| x.is_finite() && *x >= 0.0));
+    }
+
+    #[test]
+    fn into_variants_match_vec_variants() {
+        let raw = sample();
+        for source in [Source::VmSysstat, Source::HypervisorSysstat] {
+            let vec_form = synthesize_sysstat(&raw, source);
+            let mut row = SampleRow::new();
+            synthesize_sysstat_into(&raw, source, &mut row);
+            assert_eq!(row.entries(), &vec_form[..]);
+        }
+        let vec_form = synthesize_perf(&raw);
+        let mut row = SampleRow::new();
+        synthesize_perf_into(&raw, &mut row);
+        assert_eq!(row.entries(), &vec_form[..]);
+    }
+
+    #[test]
+    fn emission_order_is_input_independent() {
+        // The positional layout pairing is only sound if every input
+        // emits the same names in the same order.
+        let collect = |raw: &RawHostSample, source: Source| -> Vec<String> {
+            let mut names = Vec::new();
+            match source {
+                Source::PerfCounter => emit_perf(raw, |n, _| names.push(n.to_string())),
+                _ => emit_sysstat(raw, |n, _| names.push(n.to_string())),
+            }
+            names
+        };
+        let busy = sample();
+        let idle = RawHostSample::default();
+        let mut many_cores = sample();
+        many_cores.cores = 8;
+        for source in [
+            Source::VmSysstat,
+            Source::HypervisorSysstat,
+            Source::PerfCounter,
+        ] {
+            let a = collect(&busy, source);
+            let b = collect(&idle, source);
+            let c = collect(&many_cores, source);
+            assert_eq!(a, b, "{source:?} order depends on values");
+            assert_eq!(a, c, "{source:?} order depends on core count");
+        }
     }
 }

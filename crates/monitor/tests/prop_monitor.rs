@@ -1,7 +1,7 @@
 //! Property-based tests for the monitoring substrate.
 
 use cloudchar_monitor::{
-    catalog, synthesize_perf, synthesize_sysstat, RawHostSample, SeriesStore, Source,
+    catalog, synthesize_perf, synthesize_sysstat, RawHostSample, SampleRow, SeriesStore, Source,
 };
 use cloudchar_simcore::{SimDuration, SimTime};
 use proptest::prelude::*;
@@ -147,5 +147,54 @@ proptest! {
             prop_assert_eq!(*t, i as f64 * 2.0);
             prop_assert_eq!(*v, values[i]);
         }
+    }
+
+    /// Recording a whole tick through `record_row` is indistinguishable
+    /// from recording each metric individually through the keyed
+    /// compatibility path: same series, same lengths, same bytes.
+    #[test]
+    fn record_row_equivalent_to_per_metric_record(
+        ticks in proptest::collection::vec(
+            proptest::collection::vec(
+                (0u16..cloudchar_monitor::TOTAL_METRICS as u16, -1e12f64..1e12),
+                1..40,
+            ),
+            1..8,
+        ),
+        nhosts in 1usize..4,
+    ) {
+        use cloudchar_monitor::MetricId;
+        let hosts = &["web-vm", "mysql-vm", "dom0"][..nhosts];
+        let start = SimTime::ZERO;
+        let dt = SimDuration::from_secs(2);
+
+        let mut columnar = SeriesStore::new();
+        let mut keyed = SeriesStore::new();
+        let mut row = SampleRow::new();
+        for tick in &ticks {
+            for host in hosts {
+                row.clear();
+                for &(m, v) in tick {
+                    row.push(MetricId(m), v);
+                }
+                let id = columnar.host_id(host);
+                columnar.record_row(id, start, dt, &row);
+                for &(m, v) in tick {
+                    keyed.record(host, MetricId(m), start, dt, v);
+                }
+            }
+        }
+
+        prop_assert_eq!(columnar.len(), keyed.len());
+        for host in hosts {
+            for id in catalog().ids() {
+                let a = columnar.get(host, id);
+                let b = keyed.get(host, id);
+                prop_assert_eq!(a, b, "host {} metric {:?}", host, id);
+            }
+        }
+        let bytes_a = serde_json::to_vec(&columnar).unwrap();
+        let bytes_b = serde_json::to_vec(&keyed).unwrap();
+        prop_assert_eq!(bytes_a, bytes_b);
     }
 }

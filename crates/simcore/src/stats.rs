@@ -120,6 +120,94 @@ impl Welford {
     }
 }
 
+/// One-pass summary moments of a finished slice: count, mean, M2 (for
+/// variance), sum, min, max, and whether every value was finite.
+///
+/// Computed with Welford's update in a single walk, so callers that need
+/// several of these statistics (monitor's `TimeSeries`, the analysis
+/// `summarize` pass) touch the data once instead of once per statistic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Moments {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Sum of squared deviations from the mean (Welford M2).
+    pub m2: f64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation (+∞ when empty).
+    pub min: f64,
+    /// Largest observation (-∞ when empty).
+    pub max: f64,
+    /// Whether every observation was finite.
+    pub all_finite: bool,
+}
+
+impl Moments {
+    /// Compute the moments of `xs` in one pass.
+    pub fn of(xs: &[f64]) -> Self {
+        let mut count = 0usize;
+        let mut mean = 0.0;
+        let mut m2 = 0.0;
+        let mut sum = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut all_finite = true;
+        for &x in xs {
+            count += 1;
+            let delta = x - mean;
+            mean += delta / count as f64;
+            m2 += delta * (x - mean);
+            sum += x;
+            if x < min {
+                min = x;
+            }
+            if x > max {
+                max = x;
+            }
+            all_finite &= x.is_finite();
+        }
+        if count == 0 {
+            mean = 0.0;
+        }
+        Moments {
+            count,
+            mean,
+            m2,
+            sum,
+            min,
+            max,
+            all_finite,
+        }
+    }
+
+    /// Population variance (0 when fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Largest observation (`None` when empty), preserving the fold
+    /// semantics of `Iterator::fold` over `>` comparisons.
+    pub fn max_opt(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min_opt(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+}
+
 /// Exponentially weighted moving average.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Ewma {

@@ -131,6 +131,91 @@ fn golden_replay_fingerprint_unchanged() {
 }
 
 #[test]
+fn golden_fig_csv_bytes_unchanged() {
+    // The figure exporters feed straight from `resource_series`, so the
+    // fig CSVs are the user-visible face of the store's values and
+    // order. Rebuild all 20 fast-config CSVs exactly as the repro binary
+    // formats them and pin one combined hash, recorded from the
+    // pre-columnar (BTreeMap-keyed) store.
+    use cloudchar_analysis::Resource;
+    let mut results = Vec::new();
+    for deployment in [Deployment::Virtualized, Deployment::NonVirtualized] {
+        for mix in [WorkloadMix::BROWSING, WorkloadMix::BIDDING] {
+            results.push(run(ExperimentConfig::fast(deployment, mix)));
+        }
+    }
+    let (virt_browse, virt_bid, phys_browse, phys_bid) =
+        (&results[0], &results[1], &results[2], &results[3]);
+    let csv = |browse: &ExperimentResult, bid: &ExperimentResult, res: Resource, host: &str| {
+        let (b, q) = (
+            browse.resource_series(res, host),
+            bid.resource_series(res, host),
+        );
+        let mut out = String::from("t_s,browse,bid\n");
+        let n = b.len().max(q.len());
+        for i in 0..n {
+            out.push_str(&format!("{:.1}", (i + 1) as f64 * 2.0));
+            for c in [&b, &q] {
+                out.push_str(&format!(",{:.3}", c.get(i).copied().unwrap_or(f64::NAN)));
+            }
+            out.push('\n');
+        }
+        out
+    };
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut absorb = |text: &str| {
+        for &byte in text.as_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    const RESOURCES: [Resource; 4] = [Resource::Cpu, Resource::Ram, Resource::Disk, Resource::Net];
+    for res in RESOURCES {
+        for host in ["web-vm", "mysql-vm", "dom0"] {
+            absorb(&csv(virt_browse, virt_bid, res, host));
+        }
+    }
+    for res in RESOURCES {
+        for host in ["web-pm", "mysql-pm"] {
+            absorb(&csv(phys_browse, phys_bid, res, host));
+        }
+    }
+    assert_eq!(
+        h, 0xbfab_2c52_3515_9df3,
+        "fig CSV bytes diverged from the pre-columnar golden hash"
+    );
+}
+
+#[test]
+fn pre_columnar_trace_deserializes_byte_compatibly() {
+    // `trace_pre_columnar.json` was written by `save_json` while the
+    // store was still the keyed BTreeMap. Old traces must (a) still load
+    // and (b) re-serialize to the *same bytes* — the columnar store's
+    // on-disk entry format is unchanged.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/fixtures/trace_pre_columnar.json"
+    );
+    let r = ExperimentResult::load_json(path).expect("pre-columnar trace loads");
+    assert_eq!(r.hosts, vec!["web-vm", "mysql-vm", "dom0"]);
+    assert_eq!(r.store.len(), 3 * (182 + 154));
+    let c = catalog();
+    for host in &r.hosts {
+        let sampled = c
+            .ids()
+            .filter(|&id| r.store.get(host, id).is_some())
+            .count();
+        assert_eq!(sampled, 182 + 154, "{host} metric coverage");
+    }
+    let original = std::fs::read(path).expect("fixture bytes");
+    let reserialized = serde_json::to_vec(&r).expect("result serializes");
+    assert_eq!(
+        reserialized, original,
+        "columnar store re-serializes pre-columnar traces byte-identically"
+    );
+}
+
+#[test]
 fn catalog_is_global_and_stable() {
     let c1 = catalog();
     let c2 = catalog();
