@@ -26,6 +26,9 @@ cargo run --release -p cloudchar-bench --bin repro -- fault-roundtrip > /dev/nul
 echo "==> store bench smoke (columnar must not trail the keyed baseline)"
 cargo bench -p cloudchar-bench --bench store -- --smoke
 
+echo "==> analysis bench smoke (FFT+prefix path must not trail the naive engine)"
+cargo bench -p cloudchar-bench --bench analysis -- --smoke
+
 echo "==> cargo run -p cloudchar-lint -- --json"
 cargo run --release -p cloudchar-lint -- --json
 

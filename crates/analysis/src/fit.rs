@@ -122,9 +122,20 @@ pub fn fit_all(xs: &[f64]) -> Vec<FitResult> {
     let n = xs.len() as f64;
     let mean = xs.iter().sum::<f64>() / n;
     let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
-    let std = var.sqrt();
     let mut sorted: Vec<f64> = xs.to_vec();
     sorted.sort_by(f64::total_cmp);
+    fit_sorted(&sorted, mean, var)
+}
+
+/// Fit candidates against a pre-sorted, all-finite copy with its mean
+/// and population variance already computed — the shared-pass entry
+/// used by `SeriesScratch` (and by [`fit_all`], so both produce
+/// identical results).
+pub(crate) fn fit_sorted(sorted: &[f64], mean: f64, var: f64) -> Vec<FitResult> {
+    if sorted.len() < 8 {
+        return Vec::new();
+    }
+    let std = var.sqrt();
     let lo = sorted[0];
     let hi = sorted[sorted.len() - 1];
 

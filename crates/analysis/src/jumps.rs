@@ -4,7 +4,8 @@
 //! more RAM, while the bidding requests have a more smooth curve"; §4.2
 //! adds that in the non-virtualized system the jumps "happen earlier in
 //! time". A jump is a sustained step in the level of the series —
-//! detected here by comparing the means of adjacent sliding windows.
+//! detected here by comparing the means of adjacent sliding windows,
+//! derived in O(1) each from one pass of prefix sums.
 
 use serde::{Deserialize, Serialize};
 
@@ -18,23 +19,31 @@ pub struct Jump {
     pub magnitude: f64,
 }
 
-/// Detect sustained level shifts.
-///
-/// * `window` — samples per side used to estimate the local level;
-/// * `threshold` — minimum |level change| to count as a jump, in
-///   absolute units of the series.
-///
-/// Adjacent detections within one window are merged (the largest kept).
-pub fn detect_jumps(xs: &[f64], window: usize, threshold: f64) -> Vec<Jump> {
+/// Shared jump-detection core over precomputed prefix sums
+/// (`prefix[i] = Σ xs[..i]`, length n + 1): each sliding-window mean is
+/// an O(1) prefix difference instead of an O(window) re-summation, so
+/// the scan is O(n) total. `raw` and `out` are reused buffers; the
+/// merged jumps land in `out`.
+pub(crate) fn detect_jumps_prefix(
+    prefix: &[f64],
+    window: usize,
+    threshold: f64,
+    raw: &mut Vec<Jump>,
+    out: &mut Vec<Jump>,
+) {
     assert!(window >= 1, "window must be >= 1");
     assert!(threshold > 0.0, "threshold must be positive");
-    if xs.len() < 2 * window {
-        return Vec::new();
+    debug_assert!(!prefix.is_empty());
+    raw.clear();
+    out.clear();
+    let n = prefix.len() - 1;
+    if n < 2 * window {
+        return;
     }
-    let mut raw: Vec<Jump> = Vec::new();
-    for i in window..=(xs.len() - window) {
-        let before: f64 = xs[i - window..i].iter().sum::<f64>() / window as f64;
-        let after: f64 = xs[i..i + window].iter().sum::<f64>() / window as f64;
+    let w = window as f64;
+    for i in window..=(n - window) {
+        let before = (prefix[i] - prefix[i - window]) / w;
+        let after = (prefix[i + window] - prefix[i]) / w;
         let delta = after - before;
         if delta.abs() >= threshold {
             raw.push(Jump {
@@ -44,17 +53,36 @@ pub fn detect_jumps(xs: &[f64], window: usize, threshold: f64) -> Vec<Jump> {
         }
     }
     // Merge runs of detections closer than one window.
-    let mut merged: Vec<Jump> = Vec::new();
-    for j in raw {
-        match merged.last_mut() {
+    for &j in raw.iter() {
+        match out.last_mut() {
             Some(last) if j.index - last.index < window => {
                 if j.magnitude.abs() > last.magnitude.abs() {
                     *last = j;
                 }
             }
-            _ => merged.push(j),
+            _ => out.push(j),
         }
     }
+}
+
+/// Detect sustained level shifts.
+///
+/// * `window` — samples per side used to estimate the local level;
+/// * `threshold` — minimum |level change| to count as a jump, in
+///   absolute units of the series.
+///
+/// Adjacent detections within one window are merged (the largest kept).
+pub fn detect_jumps(xs: &[f64], window: usize, threshold: f64) -> Vec<Jump> {
+    let mut prefix = Vec::with_capacity(xs.len() + 1);
+    prefix.push(0.0);
+    let mut acc = 0.0;
+    for &x in xs {
+        acc += x;
+        prefix.push(acc);
+    }
+    let mut raw = Vec::new();
+    let mut merged = Vec::new();
+    detect_jumps_prefix(&prefix, window, threshold, &mut raw, &mut merged);
     merged
 }
 

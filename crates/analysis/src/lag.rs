@@ -6,6 +6,13 @@
 //! the back-end database server." We quantify that lag as the shift
 //! maximizing the cross-correlation between the two tiers' demand
 //! series.
+//!
+//! The production scan ([`cross_correlation_scan`] / [`find_lag`])
+//! centers both series once and derives every window mean and variance
+//! from prefix sums — O(1) per shift plus one fused dot product —
+//! instead of re-deriving the Pearson statistics from scratch at each
+//! shift. The original per-shift path is kept as
+//! [`cross_correlation`] / [`find_lag_naive`], the test oracle (CL007).
 
 use crate::summary::pearson;
 use serde::{Deserialize, Serialize};
@@ -22,6 +29,10 @@ pub struct LagResult {
 
 /// Cross-correlation of `leader` and `follower` at a signed shift.
 /// Positive `shift` compares `leader[t]` with `follower[t + shift]`.
+///
+/// **Test oracle only** (CL007): recomputes the full Pearson statistics
+/// for the one requested shift. Production scans go through
+/// [`cross_correlation_scan`].
 pub fn cross_correlation(leader: &[f64], follower: &[f64], shift: i64) -> Option<f64> {
     let n = leader.len().min(follower.len());
     if n == 0 {
@@ -43,8 +54,139 @@ pub fn cross_correlation(leader: &[f64], follower: &[f64], shift: i64) -> Option
     pearson(a, b)
 }
 
+/// Prefix-sum state for the all-shift Pearson scan: both series are
+/// centered by their global means once, then every window sum and sum of
+/// squares is an O(1) prefix-sum difference. Pearson correlation is
+/// invariant under subtracting a constant from a whole series, so each
+/// shift's result is algebraically identical to the naive per-window
+/// computation — while the centering keeps the prefix differences
+/// operating on near-zero-mean data, avoiding the catastrophic
+/// cancellation a raw Σxy − ΣxΣy/n form would suffer on large-mean
+/// series.
+struct PairScan {
+    ca: Vec<f64>,
+    cb: Vec<f64>,
+    /// Prefix sums of `ca` / `ca²` / `cb` / `cb²` (length n + 1).
+    sa: Vec<f64>,
+    saa: Vec<f64>,
+    sb: Vec<f64>,
+    sbb: Vec<f64>,
+}
+
+impl PairScan {
+    fn new(leader: &[f64], follower: &[f64], n: usize) -> Self {
+        let ma = leader[..n].iter().sum::<f64>() / n as f64;
+        let mb = follower[..n].iter().sum::<f64>() / n as f64;
+        let ca: Vec<f64> = leader[..n].iter().map(|x| x - ma).collect();
+        let cb: Vec<f64> = follower[..n].iter().map(|x| x - mb).collect();
+        let prefix = |xs: &[f64], sq: bool| -> Vec<f64> {
+            let mut out = Vec::with_capacity(n + 1);
+            out.push(0.0);
+            let mut acc = 0.0;
+            for &x in xs {
+                acc += if sq { x * x } else { x };
+                out.push(acc);
+            }
+            out
+        };
+        PairScan {
+            sa: prefix(&ca, false),
+            saa: prefix(&ca, true),
+            sb: prefix(&cb, false),
+            sbb: prefix(&cb, true),
+            ca,
+            cb,
+        }
+    }
+
+    /// Pearson at one signed shift: O(1) window statistics from the
+    /// prefix sums plus one fused dot product over the overlap.
+    fn at(&self, shift: i64) -> Option<f64> {
+        let n = self.ca.len();
+        let s = shift.unsigned_abs() as usize;
+        if s >= n {
+            return None;
+        }
+        let k = n - s;
+        if k < 2 {
+            return None;
+        }
+        // Positive shift: leader window starts at 0, follower at s;
+        // negative: the reverse.
+        let (oa, ob) = if shift >= 0 { (0, s) } else { (s, 0) };
+        let sum_x = self.sa[oa + k] - self.sa[oa];
+        let sxx = self.saa[oa + k] - self.saa[oa];
+        let sum_y = self.sb[ob + k] - self.sb[ob];
+        let syy = self.sbb[ob + k] - self.sbb[ob];
+        let xy: f64 = self.ca[oa..oa + k]
+            .iter()
+            .zip(&self.cb[ob..ob + k])
+            .map(|(x, y)| x * y)
+            .sum();
+        let kf = k as f64;
+        let cov = xy - sum_x * sum_y / kf;
+        let va = sxx - sum_x * sum_x / kf;
+        let vb = syy - sum_y * sum_y / kf;
+        // Mirror `pearson`'s constant-window guard; the prefix-sum form
+        // can also round a constant window to a tiny negative variance.
+        if va <= 0.0 || vb <= 0.0 || !va.is_normal() || !vb.is_normal() {
+            return None;
+        }
+        Some(cov / (va.sqrt() * vb.sqrt()))
+    }
+}
+
+/// Cross-correlation at every shift in `[-max_lag, +max_lag]`, in one
+/// pass of prefix sums. Returns `(shift, correlation)` pairs in
+/// ascending shift order; a shift is `None` exactly when the naive
+/// [`cross_correlation`] would return `None` (no overlap, overlap < 2,
+/// or a constant window).
+pub fn cross_correlation_scan(
+    leader: &[f64],
+    follower: &[f64],
+    max_lag: usize,
+) -> Vec<(i64, Option<f64>)> {
+    let shifts = -(max_lag as i64)..=(max_lag as i64);
+    let n = leader.len().min(follower.len());
+    if n == 0 {
+        return shifts.map(|s| (s, None)).collect();
+    }
+    let scan = PairScan::new(leader, follower, n);
+    shifts.map(|s| (s, scan.at(s))).collect()
+}
+
 /// Scan shifts in `[-max_lag, +max_lag]` and return the peak.
 pub fn find_lag(leader: &[f64], follower: &[f64], max_lag: usize) -> Option<LagResult> {
+    let n = leader.len().min(follower.len());
+    if n == 0 {
+        return None;
+    }
+    let scan = PairScan::new(leader, follower, n);
+    let mut best: Option<LagResult> = None;
+    for shift in -(max_lag as i64)..=(max_lag as i64) {
+        if let Some(c) = scan.at(shift) {
+            let better = match best {
+                None => true,
+                Some(b) => c > b.correlation,
+            };
+            if better {
+                best = Some(LagResult {
+                    lag_samples: shift,
+                    correlation: c,
+                });
+            }
+        }
+    }
+    best
+}
+
+/// The pre-prefix-sum lag scan, re-deriving Pearson per shift through
+/// [`cross_correlation`] — O(n) mean/variance work at every shift.
+///
+/// **Test oracle only** (CL007): kept verbatim so proptests and the
+/// analysis benchmark can race the prefix-sum scan against the original
+/// implementation.
+pub fn find_lag_naive(leader: &[f64], follower: &[f64], max_lag: usize) -> Option<LagResult> {
     let mut best: Option<LagResult> = None;
     for shift in -(max_lag as i64)..=(max_lag as i64) {
         if let Some(c) = cross_correlation(leader, follower, shift) {
@@ -108,5 +250,39 @@ mod tests {
     fn empty_and_degenerate() {
         assert!(find_lag(&[], &[], 5).is_none());
         assert!(cross_correlation(&[1.0, 2.0], &[1.0, 2.0], 5).is_none());
+        let scan = cross_correlation_scan(&[1.0, 2.0], &[1.0, 2.0], 5);
+        assert_eq!(scan.len(), 11);
+        assert!(scan
+            .iter()
+            .filter(|(s, _)| s.unsigned_abs() >= 2)
+            .all(|(_, c)| c.is_none()));
+    }
+
+    #[test]
+    fn scan_matches_naive_cross_correlation_at_every_shift() {
+        let (leader, follower) = delayed_pair(5, 300);
+        // Add a large common offset (mean/σ ≈ 1e5): the scan must stay
+        // accurate on large-mean series, where a raw Σxy − ΣxΣy/n form
+        // would cancel badly.
+        let leader: Vec<f64> = leader.iter().map(|x| x + 1e6).collect();
+        let follower: Vec<f64> = follower.iter().map(|x| x + 1e6).collect();
+        for (shift, got) in cross_correlation_scan(&leader, &follower, 20) {
+            let want = cross_correlation(&leader, &follower, shift);
+            match (got, want) {
+                (Some(g), Some(w)) => {
+                    assert!((g - w).abs() < 1e-9, "shift {shift}: scan {g} vs naive {w}")
+                }
+                (g, w) => assert_eq!(g.is_some(), w.is_some(), "shift {shift}: {g:?} vs {w:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fast_and_naive_find_lag_agree() {
+        let (leader, follower) = delayed_pair(7, 500);
+        let fast = find_lag(&leader, &follower, 12).unwrap();
+        let naive = find_lag_naive(&leader, &follower, 12).unwrap();
+        assert_eq!(fast.lag_samples, naive.lag_samples);
+        assert!((fast.correlation - naive.correlation).abs() < 1e-9);
     }
 }

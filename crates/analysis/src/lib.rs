@@ -14,25 +14,34 @@
 //! * [`fit`] — moment-based distribution fitting with KS ranking
 //!   ("patterns that can be quantified by formal models");
 //! * [`spectrum`] — periodogram-based periodicity detection (commit
-//!   intervals, flush ticks).
+//!   intervals, flush ticks);
+//! * [`fft`] — the dependency-free real-input FFT behind the
+//!   periodogram;
+//! * [`scratch`] — the reusable shared-pass workspace
+//!   ([`SeriesScratch`]) that makes profiling thousands of series
+//!   allocation-free.
 
 #![warn(missing_docs)]
 
+pub mod fft;
 pub mod fit;
 pub mod histogram;
 pub mod jumps;
 pub mod lag;
 pub mod ratios;
+pub mod scratch;
 pub mod spectrum;
 pub mod summary;
 
+pub use fft::FftScratch;
 pub use fit::{best_fit, fit_all, FitResult, Fitted};
 pub use histogram::HistogramModel;
 pub use jumps::{detect_jumps, is_smoother, Jump};
-pub use lag::{cross_correlation, find_lag, LagResult};
+pub use lag::{cross_correlation, cross_correlation_scan, find_lag, find_lag_naive, LagResult};
 pub use ratios::{
     aggregate_ratio, demand_ratio, elementwise_sum, mean_ratio, percent_more, Resource,
     ResourceRatios,
 };
-pub use spectrum::{dominant_periods, periodogram, Peak};
-pub use summary::{autocorrelation, pearson, summarize, Summary};
+pub use scratch::SeriesScratch;
+pub use spectrum::{dominant_periods, goertzel_periodogram, goertzel_power, periodogram, Peak};
+pub use summary::{autocorrelation, autocorrelations, pearson, summarize, Summary};

@@ -4,9 +4,16 @@
 //! commit, Apache log-flush ticks, MySQL group commits — superimposed on
 //! the request process. The paper's "patterns that can be quantified by
 //! formal models" include exactly such structure; this module estimates
-//! the power spectrum with the Goertzel recurrence (O(n) per frequency,
-//! no FFT dependency) and reports dominant periods.
+//! the power spectrum and reports dominant periods.
+//!
+//! The production path computes the full spectrum with the dependency-
+//! free real-input FFT in [`crate::fft`] — O(n log n) for all bins. The
+//! original Goertzel recurrence (O(n) *per bin*, O(n²) total) is kept
+//! in-tree as [`goertzel_power`]/[`goertzel_periodogram`], the accuracy
+//! oracle for tests and benchmarks; lint rule CL007 forbids calling it
+//! from production code.
 
+use crate::fft::FftScratch;
 use serde::{Deserialize, Serialize};
 
 /// One spectral peak.
@@ -18,8 +25,12 @@ pub struct Peak {
     pub power: f64,
 }
 
-/// Power of the frequency `k / n` cycles-per-sample via Goertzel.
-fn goertzel_power(xs: &[f64], k: usize) -> f64 {
+/// Power of the frequency `k / n` cycles-per-sample via the Goertzel
+/// recurrence — O(n) per bin.
+///
+/// **Test oracle only** (CL007): production code goes through the FFT
+/// path in [`periodogram`] / [`crate::SeriesScratch`].
+pub fn goertzel_power(xs: &[f64], k: usize) -> f64 {
     let n = xs.len() as f64;
     let w = std::f64::consts::TAU * k as f64 / n;
     let coeff = 2.0 * w.cos();
@@ -33,10 +44,13 @@ fn goertzel_power(xs: &[f64], k: usize) -> f64 {
     s_prev * s_prev + s_prev2 * s_prev2 - coeff * s_prev * s_prev2
 }
 
-/// Periodogram over DFT bins `1..n/2`, with the mean removed. Returns
-/// `(period_samples, normalized_power)` per bin; empty for fewer than 8
-/// samples or constant input.
-pub fn periodogram(xs: &[f64]) -> Vec<Peak> {
+/// The pre-FFT periodogram, bin by bin through [`goertzel_power`] —
+/// O(n²) for the full spectrum.
+///
+/// **Test oracle only** (CL007): kept verbatim so proptests and the
+/// analysis benchmark can race the FFT path against the original
+/// implementation.
+pub fn goertzel_periodogram(xs: &[f64]) -> Vec<Peak> {
     let n = xs.len();
     if n < 8 {
         return Vec::new();
@@ -52,22 +66,67 @@ pub fn periodogram(xs: &[f64]) -> Vec<Peak> {
             let p = goertzel_power(&centered, k);
             Peak {
                 period_samples: n as f64 / k as f64,
-                // Each bin's share of total AC power (factor 2 for the
-                // conjugate bin, except Nyquist).
                 power: (if 2 * k == n { 1.0 } else { 2.0 }) * p / (n as f64 * total_power),
             }
         })
         .collect()
 }
 
+/// Shared periodogram core over an already-centered series: fills
+/// `peaks` with one [`Peak`] per DFT bin `1..=n/2`, using `power` as the
+/// raw-spectrum buffer. Produces nothing for short (< 8 samples) or
+/// zero-power (constant) input. Allocation-free once the buffers are
+/// warm.
+pub(crate) fn periodogram_into(
+    centered: &[f64],
+    total_power: f64,
+    fft: &mut FftScratch,
+    power: &mut Vec<f64>,
+    peaks: &mut Vec<Peak>,
+) {
+    peaks.clear();
+    let n = centered.len();
+    if n < 8 || total_power <= 0.0 {
+        return;
+    }
+    fft.power_spectrum_into(centered, power);
+    peaks.extend(power.iter().enumerate().map(|(i, &p)| {
+        let k = i + 1;
+        Peak {
+            period_samples: n as f64 / k as f64,
+            // Each bin's share of total AC power (factor 2 for the
+            // conjugate bin, except Nyquist).
+            power: (if 2 * k == n { 1.0 } else { 2.0 }) * p / (n as f64 * total_power),
+        }
+    }));
+}
+
+/// Periodogram over DFT bins `1..=n/2`, with the mean removed. Returns
+/// `(period_samples, normalized_power)` per bin; empty for fewer than 8
+/// samples or constant input. Computed with the real-input FFT —
+/// O(n log n) for the whole spectrum.
+pub fn periodogram(xs: &[f64]) -> Vec<Peak> {
+    let mut scratch = crate::SeriesScratch::new();
+    scratch.load(xs);
+    scratch.periodogram().to_vec()
+}
+
 /// The strongest periodic components, most powerful first, keeping only
 /// peaks above `min_power` (fraction of AC power).
 pub fn dominant_periods(xs: &[f64], min_power: f64, max_peaks: usize) -> Vec<Peak> {
-    let mut peaks = periodogram(xs);
-    peaks.retain(|p| p.power >= min_power);
-    peaks.sort_by(|a, b| b.power.total_cmp(&a.power));
-    peaks.truncate(max_peaks);
-    peaks
+    let mut scratch = crate::SeriesScratch::new();
+    scratch.load(xs);
+    scratch.dominant_periods(min_power, max_peaks).to_vec()
+}
+
+/// Rank a full periodogram: drop peaks below `min_power`, sort by power
+/// descending, keep at most `max_peaks`. Shared by the free function and
+/// [`crate::SeriesScratch`] so ranking semantics stay identical.
+pub(crate) fn rank_peaks(peaks: &[Peak], min_power: f64, max_peaks: usize, out: &mut Vec<Peak>) {
+    out.clear();
+    out.extend(peaks.iter().filter(|p| p.power >= min_power));
+    out.sort_by(|a, b| b.power.total_cmp(&a.power));
+    out.truncate(max_peaks);
 }
 
 #[cfg(test)]
@@ -136,5 +195,40 @@ mod tests {
         let xs = sine(10.0, 200);
         let total: f64 = periodogram(&xs).iter().map(|p| p.power).sum();
         assert!((total - 1.0).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn fft_path_matches_goertzel_oracle() {
+        // Odd, even, power-of-two and awkward prime lengths, sines and
+        // noise: every bin of the FFT periodogram must match the
+        // Goertzel oracle to 1e-9 normalized power.
+        let mut state = 99u64;
+        let mut noise = |n: usize| -> Vec<f64> {
+            (0..n)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((state >> 11) as f64 / (1u64 << 53) as f64) * 100.0
+                })
+                .collect()
+        };
+        for n in [8usize, 9, 64, 101, 256, 600] {
+            for xs in [sine(7.3, n), noise(n)] {
+                let fast = periodogram(&xs);
+                let oracle = goertzel_periodogram(&xs);
+                assert_eq!(fast.len(), oracle.len(), "n = {n}");
+                for (f, o) in fast.iter().zip(&oracle) {
+                    assert_eq!(f.period_samples, o.period_samples);
+                    assert!(
+                        (f.power - o.power).abs() < 1e-9,
+                        "n = {n}, period {}: fft {} vs goertzel {}",
+                        f.period_samples,
+                        f.power,
+                        o.power
+                    );
+                }
+            }
+        }
     }
 }

@@ -6,7 +6,7 @@
 //! workload dynamics show some patterns that can be quantified by formal
 //! models." This module computes those quantities.
 
-use cloudchar_simcore::stats::Moments;
+use cloudchar_simcore::stats::{Comoments, Moments};
 use serde::{Deserialize, Serialize};
 
 /// Descriptive statistics of one series.
@@ -34,27 +34,21 @@ pub struct Summary {
     pub total: f64,
 }
 
-/// Compute a [`Summary`]; returns `None` for an empty series or one
-/// containing non-finite samples.
-pub fn summarize(xs: &[f64]) -> Option<Summary> {
-    // One fused pass gives count/finiteness/mean/variance/total/min/max;
-    // only the percentiles still need the sorted copy.
-    let m = Moments::of(xs);
-    if m.count == 0 || !m.all_finite {
-        return None;
-    }
+/// Assemble a [`Summary`] from precomputed moments and a sorted copy —
+/// the shared core used by [`summarize`] and `SeriesScratch`, so both
+/// paths produce bit-identical results. `m.count` must be non-zero and
+/// `sorted` sorted ascending with `m.count` elements.
+pub(crate) fn summary_from_parts(m: &Moments, sorted: &[f64]) -> Summary {
     let n = m.count;
     let total = m.sum;
     let mean = total / n as f64;
     let variance = m.variance();
     let std_dev = variance.sqrt();
-    let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(f64::total_cmp);
     let q = |p: f64| {
         let idx = ((n as f64 - 1.0) * p).round() as usize;
         sorted[idx]
     };
-    Some(Summary {
+    Summary {
         n,
         mean,
         variance,
@@ -69,7 +63,21 @@ pub fn summarize(xs: &[f64]) -> Option<Summary> {
         p50: q(0.5),
         p95: q(0.95),
         total,
-    })
+    }
+}
+
+/// Compute a [`Summary`]; returns `None` for an empty series or one
+/// containing non-finite samples.
+pub fn summarize(xs: &[f64]) -> Option<Summary> {
+    // One fused pass gives count/finiteness/mean/variance/total/min/max;
+    // only the percentiles still need the sorted copy.
+    let m = Moments::of(xs);
+    if m.count == 0 || !m.all_finite {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    Some(summary_from_parts(&m, &sorted))
 }
 
 /// Sample autocorrelation at integer lag `k` (Pearson of the series with
@@ -85,28 +93,28 @@ pub fn autocorrelation(xs: &[f64], k: usize) -> Option<f64> {
     pearson(a, b)
 }
 
-/// Pearson correlation of two equal-length slices.
+/// Pearson correlation of two equal-length slices, computed with the
+/// one-pass Welford co-moment accumulator
+/// ([`cloudchar_simcore::stats::Comoments`]) — numerically stable on
+/// large-mean series, where the textbook Σxy − ΣxΣy/n form cancels
+/// catastrophically. Returns `None` on length mismatch, fewer than two
+/// samples, or a constant/non-finite series.
 pub fn pearson(a: &[f64], b: &[f64]) -> Option<f64> {
     if a.len() != b.len() || a.len() < 2 {
         return None;
     }
-    let n = a.len() as f64;
-    let ma = a.iter().sum::<f64>() / n;
-    let mb = b.iter().sum::<f64>() / n;
-    let mut cov = 0.0;
-    let mut va = 0.0;
-    let mut vb = 0.0;
-    for (x, y) in a.iter().zip(b) {
-        cov += (x - ma) * (y - mb);
-        va += (x - ma) * (x - ma);
-        vb += (y - mb) * (y - mb);
-    }
-    // `is_normal()` also rejects constant series whose sum of squares is
-    // zero or subnormal, without a bare float comparison.
-    if !va.is_normal() || !vb.is_normal() {
-        return None;
-    }
-    Some(cov / (va.sqrt() * vb.sqrt()))
+    Comoments::of(a, b).pearson()
+}
+
+/// Sample autocorrelation at every lag `0..=max_lag`, derived from one
+/// pass of prefix sums (entry `k` matches [`autocorrelation`]`(xs, k)`
+/// semantics: `None` when the overlap is short or constant).
+pub fn autocorrelations(xs: &[f64], max_lag: usize) -> Vec<Option<f64>> {
+    crate::lag::cross_correlation_scan(xs, xs, max_lag)
+        .into_iter()
+        .filter(|&(shift, _)| shift >= 0)
+        .map(|(_, c)| c)
+        .collect()
 }
 
 #[cfg(test)]
@@ -161,5 +169,31 @@ mod tests {
     #[test]
     fn autocorrelation_needs_overlap() {
         assert!(autocorrelation(&[1.0, 2.0], 5).is_none());
+    }
+
+    #[test]
+    fn pearson_is_stable_on_large_mean_series() {
+        // Offset 1e12 destroys the textbook Σxy − ΣxΣy/n form; the
+        // Welford co-moment path must still see perfect correlation.
+        let a: Vec<f64> = (0..100).map(|i| 1e12 + i as f64).collect();
+        let b: Vec<f64> = (0..100).map(|i| 1e12 + 2.0 * i as f64).collect();
+        let r = pearson(&a, &b).unwrap();
+        assert!((r - 1.0).abs() < 1e-9, "r = {r}");
+    }
+
+    #[test]
+    fn autocorrelations_match_per_lag_calls() {
+        let xs: Vec<f64> = (0..200)
+            .map(|i| (i as f64 * std::f64::consts::TAU / 20.0).sin() + 0.01 * i as f64)
+            .collect();
+        let all = autocorrelations(&xs, 25);
+        assert_eq!(all.len(), 26);
+        for (k, got) in all.iter().enumerate() {
+            let want = autocorrelation(&xs, k);
+            match (got, want) {
+                (Some(g), Some(w)) => assert!((g - w).abs() < 1e-9, "lag {k}: {g} vs {w}"),
+                (g, w) => assert_eq!(g.is_some(), w.is_some(), "lag {k}"),
+            }
+        }
     }
 }

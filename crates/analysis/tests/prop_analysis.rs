@@ -1,8 +1,9 @@
 //! Property-based tests for the characterization analytics.
 
 use cloudchar_analysis::{
-    aggregate_ratio, autocorrelation, detect_jumps, find_lag, fit_all, mean_ratio, pearson,
-    summarize,
+    aggregate_ratio, autocorrelation, cross_correlation, cross_correlation_scan, detect_jumps,
+    dominant_periods, find_lag, find_lag_naive, fit_all, goertzel_periodogram, mean_ratio, pearson,
+    periodogram, summarize,
 };
 use proptest::prelude::*;
 
@@ -110,6 +111,85 @@ proptest! {
         let mean = mean_ratio(&scaled, &xs).expect("positive denominator");
         prop_assert!((agg - k).abs() < 1e-9 * (1.0 + k));
         prop_assert!((mean - k).abs() < 1e-9 * (1.0 + k));
+    }
+
+    /// The FFT periodogram matches the Goertzel oracle bin for bin
+    /// within 1e-9 normalized (relative) power, on random series of
+    /// arbitrary length — power-of-two and Bluestein paths alike.
+    #[test]
+    fn fft_periodogram_matches_goertzel_oracle(
+        xs in proptest::collection::vec(-1e4f64..1e4, 8..400),
+    ) {
+        let fast = periodogram(&xs);
+        let oracle = goertzel_periodogram(&xs);
+        prop_assert_eq!(fast.len(), oracle.len());
+        for (f, o) in fast.iter().zip(&oracle) {
+            prop_assert_eq!(f.period_samples, o.period_samples);
+            prop_assert!(
+                (f.power - o.power).abs() < 1e-9,
+                "period {}: fft {} vs goertzel {}", f.period_samples, f.power, o.power
+            );
+        }
+    }
+
+    /// Ranked dominant periods agree with ranking the Goertzel oracle's
+    /// spectrum: same periods in the same order.
+    #[test]
+    fn dominant_periods_match_goertzel_ranking(
+        xs in proptest::collection::vec(-1e3f64..1e3, 8..200),
+        min_power in 0.02f64..0.3,
+    ) {
+        let fast = dominant_periods(&xs, min_power, 5);
+        let mut oracle = goertzel_periodogram(&xs);
+        oracle.retain(|p| p.power >= min_power);
+        oracle.sort_by(|a, b| b.power.total_cmp(&a.power));
+        oracle.truncate(5);
+        // Peaks within 1e-9 of the cutoff may legitimately differ; skip
+        // those borderline cases.
+        let borderline = oracle
+            .iter()
+            .chain(fast.iter())
+            .any(|p| (p.power - min_power).abs() < 1e-9);
+        if !borderline {
+            prop_assert_eq!(fast.len(), oracle.len());
+            for (f, o) in fast.iter().zip(&oracle) {
+                prop_assert_eq!(f.period_samples, o.period_samples);
+            }
+        }
+    }
+
+    /// The prefix-sum cross-correlation scan equals the naive per-shift
+    /// Pearson at every shift, including on large-mean series.
+    #[test]
+    fn scan_equals_naive_pearson_at_every_shift(
+        pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..150),
+        offset in -1e6f64..1e6,
+        max_lag in 0usize..20,
+    ) {
+        let a: Vec<f64> = pairs.iter().map(|p| p.0 + offset).collect();
+        let b: Vec<f64> = pairs.iter().map(|p| p.1 + offset).collect();
+        let scan = cross_correlation_scan(&a, &b, max_lag);
+        prop_assert_eq!(scan.len(), 2 * max_lag + 1);
+        for (shift, got) in scan {
+            let want = cross_correlation(&a, &b, shift);
+            match (got, want) {
+                (Some(g), Some(w)) => prop_assert!(
+                    (g - w).abs() < 1e-9,
+                    "shift {}: scan {} vs naive {}", shift, g, w
+                ),
+                (g, w) => prop_assert_eq!(g.is_some(), w.is_some(), "shift {}", shift),
+            }
+        }
+        // And the peak pick agrees with the naive scan.
+        let fast = find_lag(&a, &b, max_lag);
+        let naive = find_lag_naive(&a, &b, max_lag);
+        match (fast, naive) {
+            (Some(f), Some(n)) => {
+                prop_assert_eq!(f.lag_samples, n.lag_samples);
+                prop_assert!((f.correlation - n.correlation).abs() < 1e-9);
+            }
+            (f, n) => prop_assert_eq!(f.is_some(), n.is_some()),
+        }
     }
 
     /// Distribution fitting returns sorted, finite KS distances and at

@@ -8,6 +8,7 @@
 //! cargo run --release -p cloudchar-bench --bin repro -- ratios --sweep 8 --jobs 4
 //! cargo run --release -p cloudchar-bench --bin repro -- --fast scenarios
 //! cargo run --release -p cloudchar-bench --bin repro -- fault-roundtrip
+//! cargo run --release -p cloudchar-bench --bin repro -- characterize --full --jobs 8
 //! cargo run --release -p cloudchar-bench --bin repro -- --fast --faults plan.json fig1
 //! ```
 //!
@@ -31,6 +32,11 @@
 //! the bounded worker pool (`--jobs J` workers, default: machine
 //! parallelism) and prints every R1–R4 / Q1–Q3 claim as an across-seed
 //! mean ± stddev instead of a single seed-42 number.
+//!
+//! `characterize --full` profiles the *entire* 518-metric catalog of
+//! every host (summary, fit, autocorrelation, jumps, periodicity per
+//! raw series) on the worker pool, instead of the per-resource rollups;
+//! `--jobs` bounds the pool for `characterize` either way.
 //!
 //! Experiments: the virtualized (§4.1) and non-virtualized (§4.2)
 //! deployments, each under the browsing and bidding compositions, at
@@ -643,15 +649,30 @@ fn report_cmd(lab: &mut Lab) {
     eprintln!("[repro]   wrote results/REPORT.md ({} bytes)", report.len());
 }
 
-fn characterize_cmd(lab: &mut Lab) {
-    println!("== Workload characterization (resource + transaction level) ==");
+fn characterize_cmd(lab: &mut Lab, full: bool, jobs: usize) {
+    if full {
+        println!("== Workload characterization: full metric catalog ==");
+    } else {
+        println!("== Workload characterization (resource + transaction level) ==");
+    }
     for (key, label) in [
         (Key::VirtBrowse, "virtualized/browsing"),
         (Key::VirtBid, "virtualized/bidding"),
     ] {
         let r = lab.get(key).clone();
         println!("--- {label} ---");
-        println!("{}", cloudchar_core::characterize(&r));
+        if full {
+            let t0 = std::time::Instant::now();
+            let fc = cloudchar_core::full_characterize(&r, jobs);
+            eprintln!(
+                "[repro]   profiled {} series on {jobs} worker(s) in {:.2}s",
+                fc.profiles.len(),
+                t0.elapsed().as_secs_f64()
+            );
+            println!("{fc}");
+        } else {
+            println!("{}", cloudchar_core::characterize_jobs(&r, jobs));
+        }
     }
 }
 
@@ -681,11 +702,14 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
     let audit = args.iter().any(|a| a == "--audit");
+    let full = args.iter().any(|a| a == "--full");
     let mut sweep: usize = 1;
     let mut jobs: usize = default_jobs();
     let mut faults: Option<String> = None;
     let mut cmds: Vec<String> = Vec::new();
-    let mut it = args.into_iter().filter(|a| a != "--fast" && a != "--audit");
+    let mut it = args
+        .into_iter()
+        .filter(|a| a != "--fast" && a != "--audit" && a != "--full");
     while let Some(arg) = it.next() {
         if let Some(n) = take_count(&arg, "--sweep", &mut it) {
             sweep = n;
@@ -741,7 +765,7 @@ fn main() {
         variance(&mut lab);
     }
     if want("characterize") {
-        characterize_cmd(&mut lab);
+        characterize_cmd(&mut lab, full, jobs);
     }
     if want("report") {
         report_cmd(&mut lab);

@@ -71,6 +71,31 @@ fn fast_ratios_sweep_prints_per_claim_mean_stddev() {
 }
 
 #[test]
+fn fast_characterize_full_profiles_the_catalog() {
+    let (stdout, stderr) = repro(&["--fast", "characterize", "--full", "--jobs", "2"]);
+    assert!(
+        stdout.contains("== Workload characterization: full metric catalog =="),
+        "{stdout}"
+    );
+    for label in ["virtualized/browsing", "virtualized/bidding"] {
+        assert!(stdout.contains(label), "missing run {label}\n{stdout}");
+    }
+    // Both runs report the per-host catalog rollup.
+    assert_eq!(
+        stdout.matches("full-catalog characterization:").count(),
+        2,
+        "{stdout}"
+    );
+    for host in ["web-vm", "mysql-vm", "dom0"] {
+        assert!(
+            stdout.contains(&format!("{host}: ")),
+            "missing host {host}\n{stdout}"
+        );
+    }
+    assert!(stderr.contains("profiled"), "{stderr}");
+}
+
+#[test]
 fn fast_qualitative_commands_run() {
     let (stdout, _) = repro(&["--fast", "lag", "jumps", "variance"]);
     assert!(stdout.contains("Q1: web→db workload lag"));

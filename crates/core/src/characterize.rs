@@ -14,10 +14,9 @@
 //! * **structure** — the inter-tier lag.
 
 use crate::experiment::ExperimentResult;
-use cloudchar_analysis::{
-    autocorrelation, best_fit, detect_jumps, dominant_periods, find_lag, summarize, FitResult,
-    LagResult, Resource, Summary,
-};
+use crate::sweep::par_map_ordered_with;
+use cloudchar_analysis::{find_lag, FitResult, LagResult, Resource, SeriesScratch, Summary};
+use cloudchar_monitor::{catalog, MetricId, Source};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -68,30 +67,73 @@ pub struct Characterization {
     pub response_time_mean_s: f64,
 }
 
-/// Characterize an experiment result.
+/// Profile one already-loaded series with the shared-pass workspace:
+/// summary, best fit, lag-1 autocorrelation, jump count (window 15,
+/// threshold 10% of the mean) and the dominant period in seconds.
+/// Returns `None` when the series is empty or non-finite.
+fn profile_loaded(
+    scratch: &mut SeriesScratch,
+    dt_s: f64,
+) -> Option<(
+    Summary,
+    Option<FitResult>,
+    Option<f64>,
+    usize,
+    Option<(f64, f64)>,
+)> {
+    let summary = scratch.summary()?;
+    let threshold = (summary.mean.abs() * 0.10).max(1e-9);
+    let fit = scratch.best_fit();
+    let autocorr1 = scratch.autocorrelation(1);
+    let jumps = scratch.detect_jumps(15, threshold).len();
+    let period = scratch
+        .dominant_periods(0.10, 1)
+        .first()
+        .map(|p| (p.period_samples * dt_s, p.power));
+    Some((summary, fit, autocorr1, jumps, period))
+}
+
+/// Characterize an experiment result on the default-size worker pool
+/// (one worker per available core).
 pub fn characterize(result: &ExperimentResult) -> Characterization {
-    let mut resources = Vec::new();
+    characterize_jobs(result, crate::sweep::default_jobs())
+}
+
+/// Characterize an experiment result, fanning the per-`(host, resource)`
+/// series profiles across at most `jobs` pooled worker threads. Each
+/// worker reuses one [`SeriesScratch`]; profiles are merged back in
+/// host-then-resource order, so the output is identical for every job
+/// count.
+pub fn characterize_jobs(result: &ExperimentResult, jobs: usize) -> Characterization {
+    let dt_s = result.config.sample_interval.as_secs_f64();
+    let mut tasks: Vec<(&str, Resource)> = Vec::new();
     for host in &result.hosts {
         for resource in Resource::ALL {
-            let xs = result.resource_series(resource, host);
-            let Some(summary) = summarize(&xs) else {
-                continue;
-            };
-            let threshold = (summary.mean.abs() * 0.10).max(1e-9);
-            let dt_s = result.config.sample_interval.as_secs_f64();
-            resources.push(ResourceProfile {
-                host: host.clone(),
-                resource,
-                fit: best_fit(&xs),
-                autocorr1: autocorrelation(&xs, 1),
-                jumps: detect_jumps(&xs, 15, threshold).len(),
-                period: dominant_periods(&xs, 0.10, 1)
-                    .first()
-                    .map(|p| (p.period_samples * dt_s, p.power)),
-                summary,
-            });
+            tasks.push((host, resource));
         }
     }
+    let resources = par_map_ordered_with(
+        &tasks,
+        jobs,
+        SeriesScratch::new,
+        |scratch, &(host, resource)| {
+            let xs = result.resource_series(resource, host);
+            scratch.load(&xs);
+            let (summary, fit, autocorr1, jumps, period) = profile_loaded(scratch, dt_s)?;
+            Some(ResourceProfile {
+                host: host.to_string(),
+                resource,
+                summary,
+                fit,
+                autocorr1,
+                jumps,
+                period,
+            })
+        },
+    )
+    .into_iter()
+    .flatten()
+    .collect();
     let tier_lag = {
         let web = result.resource_series(Resource::Cpu, result.front_host());
         let db = result.resource_series(Resource::Cpu, result.back_host());
@@ -113,6 +155,84 @@ pub fn characterize(result: &ExperimentResult) -> Characterization {
         tier_lag,
         completed: result.completed,
         response_time_mean_s: result.response_time_mean_s,
+    }
+}
+
+/// Characterization of one raw catalog metric series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricProfile {
+    /// Host label.
+    pub host: String,
+    /// Metric name (as in Table 1 of the paper).
+    pub metric: String,
+    /// Sampling source of the metric.
+    pub source: Source,
+    /// Descriptive statistics.
+    pub summary: Summary,
+    /// Best-fitting distribution family, if enough samples.
+    pub fit: Option<FitResult>,
+    /// Lag-1 autocorrelation.
+    pub autocorr1: Option<f64>,
+    /// Detected level shifts (window 15, threshold 10% of the mean).
+    pub jumps: usize,
+    /// Dominant periodic component (period seconds, power fraction).
+    pub period: Option<(f64, f64)>,
+}
+
+/// Full-catalog characterization: every sampled metric of every host.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FullCharacterization {
+    /// Hosts in presentation order.
+    pub hosts: Vec<String>,
+    /// Per host: number of catalog metrics present in the store.
+    pub metrics_per_host: Vec<(String, usize)>,
+    /// One profile per present `(host, metric)` series, in host-then-
+    /// catalog order.
+    pub profiles: Vec<MetricProfile>,
+}
+
+/// Profile the *entire* metric catalog — every sampled series of every
+/// host, not just the per-resource rollups — on at most `jobs` pooled
+/// worker threads. Output order is host presentation order crossed with
+/// catalog order, independent of the job count.
+pub fn full_characterize(result: &ExperimentResult, jobs: usize) -> FullCharacterization {
+    let c = catalog();
+    let dt_s = result.config.sample_interval.as_secs_f64();
+    let mut tasks: Vec<(&str, MetricId)> = Vec::new();
+    let mut metrics_per_host = Vec::with_capacity(result.hosts.len());
+    for host in &result.hosts {
+        let before = tasks.len();
+        for id in c.ids() {
+            if result.store.get(host, id).is_some() {
+                tasks.push((host, id));
+            }
+        }
+        metrics_per_host.push((host.clone(), tasks.len() - before));
+    }
+    let profiles =
+        par_map_ordered_with(&tasks, jobs, SeriesScratch::new, |scratch, &(host, id)| {
+            let series = result.store.get(host, id)?;
+            scratch.load(&series.values);
+            let (summary, fit, autocorr1, jumps, period) = profile_loaded(scratch, dt_s)?;
+            let def = c.def(id);
+            Some(MetricProfile {
+                host: host.to_string(),
+                metric: def.name.clone(),
+                source: def.source,
+                summary,
+                fit,
+                autocorr1,
+                jumps,
+                period,
+            })
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    FullCharacterization {
+        hosts: result.hosts.clone(),
+        metrics_per_host,
+        profiles,
     }
 }
 
@@ -160,6 +280,57 @@ impl fmt::Display for Characterization {
                 t.completed,
                 t.latency_mean_s * 1e3
             )?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for FullCharacterization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total: usize = self.metrics_per_host.iter().map(|(_, n)| n).sum();
+        writeln!(
+            f,
+            "full-catalog characterization: {} series over {} host(s)",
+            total,
+            self.hosts.len()
+        )?;
+        for (host, present) in &self.metrics_per_host {
+            let rows: Vec<&MetricProfile> =
+                self.profiles.iter().filter(|p| &p.host == host).collect();
+            let fitted = rows.iter().filter(|p| p.fit.is_some()).count();
+            let periodic = rows.iter().filter(|p| p.period.is_some()).count();
+            let jumpy = rows.iter().filter(|p| p.jumps > 0).count();
+            writeln!(
+                f,
+                "{:>12}: {} metrics sampled, {} profiled ({} fitted, {} periodic, {} with jumps)",
+                host,
+                present,
+                rows.len(),
+                fitted,
+                periodic,
+                jumpy
+            )?;
+            // The strongest periodic metrics, the signal the paper reads
+            // off its workload curves (commit ticks, flush intervals).
+            let mut periodic_rows: Vec<&&MetricProfile> =
+                rows.iter().filter(|p| p.period.is_some()).collect();
+            periodic_rows.sort_by(|a, b| {
+                let pa = a.period.map(|(_, power)| power).unwrap_or(0.0);
+                let pb = b.period.map(|(_, power)| power).unwrap_or(0.0);
+                pb.total_cmp(&pa)
+            });
+            for p in periodic_rows.iter().take(3) {
+                if let Some((period_s, power)) = p.period {
+                    writeln!(
+                        f,
+                        "{:>16} {:<24} period {:>6.0} s (power {:.2})",
+                        format!("[{:?}]", p.source),
+                        p.metric,
+                        period_s,
+                        power
+                    )?;
+                }
+            }
         }
         Ok(())
     }
@@ -231,5 +402,54 @@ mod tests {
         assert!(s.contains("resource level"));
         assert!(s.contains("transaction level"));
         assert!(s.contains("web-vm"));
+    }
+
+    #[test]
+    fn full_characterize_covers_the_catalog() {
+        let cfg = ExperimentConfig::fast(Deployment::Virtualized, WorkloadMix::BIDDING);
+        let r = run(cfg);
+        let fc = full_characterize(&r, 4);
+        assert_eq!(fc.hosts, r.hosts);
+        // Each VM carries its guest sysstat block plus the shared
+        // hypervisor-plane metrics; every present series is profiled.
+        let total_present: usize = fc.metrics_per_host.iter().map(|(_, n)| n).sum();
+        assert!(
+            total_present >= cloudchar_monitor::SYSSTAT_METRICS,
+            "only {total_present} series present"
+        );
+        assert_eq!(
+            fc.profiles.len(),
+            total_present,
+            "every present series profiles"
+        );
+        for p in &fc.profiles {
+            assert!(p.summary.n > 0);
+            assert!(p.summary.mean.is_finite());
+        }
+        // Output order: host presentation order, catalog order within.
+        let host_rank = |h: &str| fc.hosts.iter().position(|x| x == h).unwrap();
+        for w in fc.profiles.windows(2) {
+            assert!(host_rank(&w[0].host) <= host_rank(&w[1].host));
+        }
+        let s = fc.to_string();
+        assert!(s.contains("full-catalog characterization"));
+    }
+
+    #[test]
+    fn job_count_does_not_change_results() {
+        let cfg = ExperimentConfig::fast(Deployment::Virtualized, WorkloadMix::BIDDING);
+        let r = run(cfg);
+        let serial = characterize_jobs(&r, 1);
+        let pooled = characterize_jobs(&r, 8);
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&pooled).unwrap()
+        );
+        let full_serial = full_characterize(&r, 1);
+        let full_pooled = full_characterize(&r, 8);
+        assert_eq!(
+            serde_json::to_string(&full_serial).unwrap(),
+            serde_json::to_string(&full_pooled).unwrap()
+        );
     }
 }

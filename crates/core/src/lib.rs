@@ -41,7 +41,10 @@ pub mod virt;
 pub mod workload;
 
 pub use batch::{run_batch, BatchConfig, BatchResult};
-pub use characterize::{characterize, Characterization, ResourceProfile, TransactionProfile};
+pub use characterize::{
+    characterize, characterize_jobs, full_characterize, Characterization, FullCharacterization,
+    MetricProfile, ResourceProfile, TransactionProfile,
+};
 pub use compare::{
     paper_values, q1_tier_lag, q2_ram_jumps, q3_disk_cv, r1_front_vs_back, r2_vms_vs_dom0,
     r3_nonvirt_vs_virt, r4_physical_percent, ratio_report, RatioReport,
@@ -51,7 +54,9 @@ pub use experiment::{run, ExperimentResult};
 pub use faults::{install_plan, scenario, scenario_report, PhaseDelta, ScenarioReport, SCENARIOS};
 pub use phys::{HostIoPolicy, PhysPlatform};
 pub use platform::{Platform, Tier, TierLoad};
-pub use report::{render_report, ReportInputs};
-pub use sweep::{default_jobs, run_seeds, run_seeds_jobs, sweep_stat, SweepStat};
+pub use report::{render_report, render_report_jobs, ReportInputs};
+pub use sweep::{
+    default_jobs, par_map_ordered_with, run_seeds, run_seeds_jobs, sweep_stat, SweepStat,
+};
 pub use virt::{VirtOptions, VirtPlatform};
 pub use workload::World;

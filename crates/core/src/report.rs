@@ -4,7 +4,8 @@
 
 use crate::compare::{paper_values, q1_tier_lag, q2_ram_jumps, q3_disk_cv, ratio_report};
 use crate::experiment::ExperimentResult;
-use cloudchar_analysis::{dominant_periods, summarize, Resource, ResourceRatios};
+use crate::sweep::par_map_ordered_with;
+use cloudchar_analysis::{Resource, ResourceRatios, SeriesScratch};
 use std::fmt::Write as _;
 
 /// The four runs a full report covers.
@@ -38,15 +39,33 @@ fn ratio_table(out: &mut String, title: &str, paper: ResourceRatios, ours: Resou
     .unwrap();
 }
 
-fn figure_table(out: &mut String, title: &str, rows: &[(&str, &ExperimentResult, &str, Resource)]) {
+fn figure_table(
+    out: &mut String,
+    title: &str,
+    rows: &[(&str, &ExperimentResult, &str, Resource)],
+    jobs: usize,
+) {
     writeln!(out, "### {title}\n").unwrap();
     writeln!(out, "| series | mean | max | cv | dominant period |").unwrap();
     writeln!(out, "|---|---|---|---|---|").unwrap();
-    for (label, result, host, resource) in rows {
-        let xs = result.resource_series(*resource, host);
-        let Some(s) = summarize(&xs) else { continue };
-        let period = dominant_periods(&xs, 0.08, 1)
-            .first()
+    // Profile the rows on the pool (summary + periodogram per series),
+    // then render serially in row order — the markdown is byte-identical
+    // to the serial loop for every job count.
+    let stats = par_map_ordered_with(
+        rows,
+        jobs,
+        SeriesScratch::new,
+        |scratch, &(_, result, host, resource)| {
+            let xs = result.resource_series(resource, host);
+            scratch.load(&xs);
+            let summary = scratch.summary()?;
+            let period = scratch.dominant_periods(0.08, 1).first().copied();
+            Some((summary, period))
+        },
+    );
+    for ((label, _, _, _), stat) in rows.iter().zip(stats) {
+        let Some((s, peak)) = stat else { continue };
+        let period = peak
             .map(|p| format!("{:.0} s", p.period_samples * 2.0))
             .unwrap_or_else(|| "—".to_string());
         writeln!(
@@ -59,8 +78,15 @@ fn figure_table(out: &mut String, title: &str, rows: &[(&str, &ExperimentResult,
     writeln!(out).unwrap();
 }
 
-/// Render the full markdown report.
+/// Render the full markdown report on the default-size worker pool.
 pub fn render_report(inputs: &ReportInputs<'_>) -> String {
+    render_report_jobs(inputs, crate::sweep::default_jobs())
+}
+
+/// Render the full markdown report, fanning the per-series figure
+/// statistics across at most `jobs` pooled worker threads. The output
+/// is byte-identical for every job count.
+pub fn render_report_jobs(inputs: &ReportInputs<'_>, jobs: usize) -> String {
     let mut out = String::new();
     writeln!(out, "# cloudchar reproduction report\n").unwrap();
     writeln!(
@@ -111,6 +137,7 @@ pub fn render_report(inputs: &ReportInputs<'_>) -> String {
                 ("Domain0 browse", inputs.virt_browse, "dom0", resource),
                 ("Domain0 bid", inputs.virt_bid, "dom0", resource),
             ],
+            jobs,
         );
     }
     for (fig, resource, unit) in [
@@ -128,6 +155,7 @@ pub fn render_report(inputs: &ReportInputs<'_>) -> String {
                 ("MySQL PM browse", inputs.phys_browse, "mysql-pm", resource),
                 ("MySQL PM bid", inputs.phys_bid, "mysql-pm", resource),
             ],
+            jobs,
         );
     }
 
@@ -240,5 +268,17 @@ mod tests {
         // All 8 figures and 4 ratio tables render.
         assert_eq!(report.matches("### Figure").count(), 8);
         assert_eq!(report.matches("### R").count(), 4);
+
+        // Byte-identical across job counts.
+        let inputs = ReportInputs {
+            virt_browse: &vb,
+            virt_bid: &vd,
+            phys_browse: &pb,
+            phys_bid: &pd,
+        };
+        assert_eq!(
+            render_report_jobs(&inputs, 1),
+            render_report_jobs(&inputs, 6)
+        );
     }
 }

@@ -52,37 +52,64 @@ pub fn run_seeds_jobs(
     seeds: &[u64],
     jobs: usize,
 ) -> Vec<ExperimentResult> {
-    if seeds.is_empty() {
+    par_map_ordered_with(
+        seeds,
+        jobs,
+        || (),
+        |(), &seed| {
+            let mut cfg = base.clone();
+            cfg.seed = seed;
+            run(cfg)
+        },
+    )
+}
+
+/// Map `f` over `items` on a bounded pool of at most `jobs` scoped
+/// worker threads (`jobs` clamped to `1..=items.len()`), preserving
+/// input order in the output — the generic engine behind
+/// [`run_seeds_jobs`] and the pooled characterization/report loops.
+///
+/// Items are split into `jobs` contiguous chunks, one worker per chunk;
+/// each worker builds one private workspace with `init` (e.g. a
+/// `SeriesScratch`) and folds it through its chunk serially, so `f` can
+/// reuse buffers without synchronization. Chunk results are concatenated
+/// in chunk order, making the output identical to a serial
+/// `items.iter().map(...)` regardless of scheduling. A worker panic
+/// propagates to the caller at join. When the calling thread has
+/// [`audit`]ing enabled, workers collect into thread-local collectors
+/// that are absorbed in item order, exactly as a serial run would
+/// record.
+pub fn par_map_ordered_with<T: Sync, W, R: Send>(
+    items: &[T],
+    jobs: usize,
+    init: impl Fn() -> W + Sync,
+    f: impl Fn(&mut W, &T) -> R + Sync,
+) -> Vec<R> {
+    if items.is_empty() {
         return Vec::new();
     }
-    let jobs = jobs.clamp(1, seeds.len());
-    let chunk_len = seeds.len().div_ceil(jobs);
+    let jobs = jobs.clamp(1, items.len());
+    let chunk_len = items.len().div_ceil(jobs);
     let audit_workers = audit::is_enabled();
 
-    let worker = |chunk: &[u64]| -> (Vec<ExperimentResult>, audit::AuditReport) {
+    let worker = |chunk: &[T]| -> (Vec<R>, audit::AuditReport) {
         if audit_workers {
             audit::enable();
         }
-        let results = chunk
-            .iter()
-            .map(|&seed| {
-                let mut cfg = base.clone();
-                cfg.seed = seed;
-                run(cfg)
-            })
-            .collect();
+        let mut workspace = init();
+        let results = chunk.iter().map(|item| f(&mut workspace, item)).collect();
         (results, audit::take_report())
     };
 
-    let mut results = Vec::with_capacity(seeds.len());
+    let mut results = Vec::with_capacity(items.len());
     std::thread::scope(|scope| {
         let worker = &worker;
-        let handles: Vec<_> = seeds
+        let handles: Vec<_> = items
             .chunks(chunk_len)
             .map(|chunk| scope.spawn(move || worker(chunk)))
             .collect();
-        // Joining in spawn (= seed) order makes the merge deterministic;
-        // a panicked worker re-raises here instead of hanging the sweep.
+        // Joining in spawn (= item) order makes the merge deterministic;
+        // a panicked worker re-raises here instead of hanging the pool.
         for handle in handles {
             let (chunk_results, report) = match handle.join() {
                 Ok(output) => output,
@@ -197,5 +224,54 @@ mod tests {
     fn sweep_stat_nonfinite_is_none() {
         let results = run_seeds(&tiny(), &[1]);
         assert!(sweep_stat("nan", &results, |_| f64::NAN).is_none());
+    }
+
+    #[test]
+    fn par_map_preserves_order_for_any_job_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            let par = par_map_ordered_with(&items, jobs, || (), |(), &x| x * x);
+            assert_eq!(par, serial, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn par_map_workspace_is_reused_within_a_chunk() {
+        // One worker: the workspace counter must thread through every
+        // item, proving `init` ran once per worker, not per item.
+        let items = [(); 10];
+        let counts = par_map_ordered_with(
+            &items,
+            1,
+            || 0usize,
+            |n, ()| {
+                *n += 1;
+                *n
+            },
+        );
+        assert_eq!(counts, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_empty_is_empty() {
+        let out: Vec<u32> = par_map_ordered_with(&[] as &[u32], 4, || (), |(), &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_map_propagates_worker_panics() {
+        let caught = std::panic::catch_unwind(|| {
+            par_map_ordered_with(
+                &[1u32, 2, 3, 4],
+                2,
+                || (),
+                |(), &x| {
+                    assert!(x != 3, "boom on {x}");
+                    x
+                },
+            )
+        });
+        assert!(caught.is_err(), "worker panic must reach the caller");
     }
 }

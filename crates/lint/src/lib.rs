@@ -31,6 +31,13 @@
 //!   `HostId` + dense metric columns) and must never reintroduce a
 //!   string-keyed map lookup per sample. Benches keep the keyed
 //!   baseline for comparison and are exempt by file class.
+//! * **CL007** — no `goertzel_power(` / `goertzel_periodogram(` /
+//!   `find_lag_naive(` / `cross_correlation(` calls in library or
+//!   binary code: the O(n²) per-bin Goertzel spectrum and per-shift
+//!   naive Pearson scan are kept in-tree *only* as test oracles for the
+//!   FFT + prefix-sum fast path. Their defining files
+//!   (`analysis::spectrum`, `analysis::lag`) and all tests/benches are
+//!   exempt.
 //!
 //! The scanner masks comments, strings and char literals before
 //! matching, tracks `#[cfg(test)]` regions by brace matching, and
@@ -67,8 +74,15 @@ pub const SAMPLING_PATH_FILES: [&str; 4] = [
     "crates/core/src/batch.rs",
 ];
 
+/// Files that *define* the naive analysis oracles and are therefore
+/// exempt from CL007.
+pub const ORACLE_DEF_FILES: [&str; 2] = [
+    "crates/analysis/src/spectrum.rs",
+    "crates/analysis/src/lag.rs",
+];
+
 /// Rule registry: `(id, summary)` for every rule the scanner knows.
-pub const RULES: [(&str, &str); 6] = [
+pub const RULES: [(&str, &str); 7] = [
     (
         "CL001",
         "no Instant::now/SystemTime::now/thread_rng in simulation crates",
@@ -92,6 +106,10 @@ pub const RULES: [(&str, &str); 6] = [
     (
         "CL006",
         "no host-keyed BTreeMap<(String/HostLabel, ..)> on the sampling path (use interned HostId columns)",
+    ),
+    (
+        "CL007",
+        "no Goertzel/naive-Pearson oracle calls outside their defining files and tests (use the FFT + prefix-sum fast path)",
     ),
 ];
 
@@ -518,6 +536,8 @@ pub fn scan_source(rel: &str, text: &str) -> Vec<Diagnostic> {
     let analysis_lib = class == FileClass::Lib && krate == "analysis";
     let fault_lib = lib && rel.contains("fault");
     let sampling_path = lib && SAMPLING_PATH_FILES.contains(&rel);
+    let oracle_banned =
+        matches!(class, FileClass::Lib | FileClass::Bin) && !ORACLE_DEF_FILES.contains(&rel);
 
     for (l, m) in masked_lines.iter().enumerate() {
         if in_test.get(l).copied().unwrap_or(false) {
@@ -590,6 +610,25 @@ pub fn scan_source(rel: &str, text: &str) -> Vec<Diagnostic> {
                         rel,
                         lineno,
                         &format!("`{pat}` host-keyed map on the sampling path; record through interned HostId + dense metric columns (SeriesStore::record_row)"),
+                        raw,
+                    );
+                }
+            }
+        }
+        if oracle_banned {
+            for pat in [
+                "goertzel_power(",
+                "goertzel_periodogram(",
+                "find_lag_naive(",
+                "cross_correlation(",
+            ] {
+                if m.contains(pat) {
+                    push_diag(
+                        &mut out,
+                        "CL007",
+                        rel,
+                        lineno,
+                        &format!("`{pat}` is the O(n²) test oracle; production code must use the FFT periodogram / prefix-sum lag scan (SeriesScratch, find_lag, cross_correlation_scan)"),
                         raw,
                     );
                 }
@@ -788,5 +827,27 @@ mod tests {
         // ...and off-path library files are not CL006's business.
         let d = scan_source("crates/core/src/report.rs", src);
         assert!(!d.iter().any(|d| d.rule == "CL006"));
+        // CL007: oracle calls in library/binary code.
+        let src = "fn f(xs: &[f64]) { let p = goertzel_periodogram(xs); let l = find_lag_naive(xs, xs, 5); }\n";
+        let d = scan_source("crates/core/src/characterize.rs", src);
+        assert_eq!(d.iter().filter(|d| d.rule == "CL007").count(), 2);
+        let d = scan_source("crates/bench/src/bin/repro.rs", src);
+        assert!(d.iter().any(|d| d.rule == "CL007"));
+        // The defining files are exempt (they hold the oracles)...
+        let d = scan_source("crates/analysis/src/spectrum.rs", src);
+        assert!(!d.iter().any(|d| d.rule == "CL007"));
+        let d = scan_source("crates/analysis/src/lag.rs", src);
+        assert!(!d.iter().any(|d| d.rule == "CL007"));
+        // ...as are tests and benches, which race oracle vs fast path.
+        let d = scan_source("crates/analysis/tests/prop.rs", src);
+        assert!(!d.iter().any(|d| d.rule == "CL007"));
+        let d = scan_source("crates/bench/benches/analysis.rs", src);
+        assert!(!d.iter().any(|d| d.rule == "CL007"));
+        // The scan-based fast path does not trip the oracle pattern.
+        let d = scan_source(
+            "crates/analysis/src/summary.rs",
+            "fn f(xs: &[f64]) { let s = cross_correlation_scan(xs, xs, 5); }\n",
+        );
+        assert!(!d.iter().any(|d| d.rule == "CL007"));
     }
 }

@@ -208,6 +208,91 @@ impl Moments {
     }
 }
 
+/// One-pass paired moments of two equal-length slices: means, M2s and
+/// the Welford co-moment `cxy = Σ (x-mx)(y-my)`, plus finiteness.
+///
+/// The co-moment update (`cxy += dx_pre · dy_post`) never forms the
+/// catastrophically cancelling `Σxy − ΣxΣy/n` difference, so Pearson
+/// correlation stays accurate on large-mean series where the one-pass
+/// sum-of-products form loses every significant digit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Comoments {
+    /// Number of paired observations.
+    pub count: usize,
+    /// Mean of the first series (0 when empty).
+    pub mean_x: f64,
+    /// Mean of the second series (0 when empty).
+    pub mean_y: f64,
+    /// Sum of squared deviations of the first series.
+    pub m2x: f64,
+    /// Sum of squared deviations of the second series.
+    pub m2y: f64,
+    /// Co-moment `Σ (x-mx)(y-my)`.
+    pub cxy: f64,
+    /// Whether every observation in both series was finite.
+    pub all_finite: bool,
+}
+
+impl Comoments {
+    /// Compute the paired moments of `zip(xs, ys)` in one pass (pairs
+    /// past the shorter slice are ignored).
+    pub fn of(xs: &[f64], ys: &[f64]) -> Self {
+        let mut count = 0usize;
+        let mut mean_x = 0.0;
+        let mut mean_y = 0.0;
+        let mut m2x = 0.0;
+        let mut m2y = 0.0;
+        let mut cxy = 0.0;
+        let mut all_finite = true;
+        for (&x, &y) in xs.iter().zip(ys) {
+            count += 1;
+            let n = count as f64;
+            let dx = x - mean_x;
+            let dy = y - mean_y;
+            mean_x += dx / n;
+            mean_y += dy / n;
+            // dx is the pre-update delta, (y - mean_y) the post-update
+            // one — the standard stable co-moment recurrence.
+            cxy += dx * (y - mean_y);
+            m2x += dx * (x - mean_x);
+            m2y += dy * (y - mean_y);
+            all_finite &= x.is_finite() && y.is_finite();
+        }
+        Comoments {
+            count,
+            mean_x,
+            mean_y,
+            m2x,
+            m2y,
+            cxy,
+            all_finite,
+        }
+    }
+
+    /// Population covariance (0 when fewer than 2 pairs).
+    pub fn covariance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.cxy / self.count as f64
+        }
+    }
+
+    /// Pearson correlation; `None` when fewer than 2 pairs or either
+    /// series is (numerically) constant.
+    pub fn pearson(&self) -> Option<f64> {
+        if self.count < 2 {
+            return None;
+        }
+        // `is_normal()` also rejects constant series whose sum of
+        // squares is zero or subnormal, without a bare float comparison.
+        if !self.m2x.is_normal() || !self.m2y.is_normal() {
+            return None;
+        }
+        Some(self.cxy / (self.m2x.sqrt() * self.m2y.sqrt()))
+    }
+}
+
 /// Exponentially weighted moving average.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Ewma {
@@ -398,6 +483,62 @@ mod tests {
             w.push(x);
         }
         assert!((w.cv() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comoments_match_two_pass() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let ys = [1.0, 3.0, 2.0, 5.0, 4.0, 6.0, 8.0, 7.0];
+        let c = Comoments::of(&xs, &ys);
+        assert_eq!(c.count, 8);
+        let mx = xs.iter().sum::<f64>() / 8.0;
+        let my = ys.iter().sum::<f64>() / 8.0;
+        let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        assert!((c.mean_x - mx).abs() < 1e-12);
+        assert!((c.mean_y - my).abs() < 1e-12);
+        assert!((c.cxy - cov).abs() < 1e-12);
+        assert!(c.all_finite);
+        let r = c.pearson().unwrap();
+        assert!((-1.0..=1.0).contains(&r) && r > 0.5, "r = {r}");
+    }
+
+    #[test]
+    fn comoments_large_mean_stability() {
+        // Pearson on a large-mean pair (mean/σ ≈ 1e9): the textbook
+        // Σxy − ΣxΣy/n form loses every significant digit here, while
+        // the co-moment recurrence stays within ~n·ε·mean/σ of the
+        // exact answer.
+        let base = 1e9;
+        let xs: Vec<f64> = (0..64).map(|i| base + (i as f64 * 0.7).sin()).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * (x - base) + base).collect();
+        let r = Comoments::of(&xs, &ys).pearson().unwrap();
+        assert!((r - 1.0).abs() < 1e-6, "r = {r}");
+
+        // The cancellation-prone form, for contrast: its covariance
+        // error is on the order of ε·mean² ≈ 10², versus a true
+        // covariance of n·σ² ≈ 10² — pure noise.
+        let n = xs.len() as f64;
+        let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
+        let sx: f64 = xs.iter().sum();
+        let sy: f64 = ys.iter().sum();
+        let sxx: f64 = xs.iter().map(|x| x * x).sum();
+        let syy: f64 = ys.iter().map(|y| y * y).sum();
+        let naive = (sxy - sx * sy / n) / ((sxx - sx * sx / n).sqrt() * (syy - sy * sy / n).sqrt());
+        assert!(
+            !naive.is_finite() || (naive - 1.0).abs() > 1e-3,
+            "textbook form unexpectedly accurate: {naive}"
+        );
+    }
+
+    #[test]
+    fn comoments_degenerate() {
+        assert!(Comoments::of(&[], &[]).pearson().is_none());
+        assert!(Comoments::of(&[1.0], &[2.0]).pearson().is_none());
+        assert!(Comoments::of(&[1.0, 2.0], &[5.0, 5.0]).pearson().is_none());
+        let c = Comoments::of(&[1.0, f64::NAN], &[2.0, 3.0]);
+        assert!(!c.all_finite);
+        // Shorter slice wins the zip.
+        assert_eq!(Comoments::of(&[1.0, 2.0, 3.0], &[1.0, 2.0]).count, 2);
     }
 
     #[test]
