@@ -29,7 +29,34 @@ cargo bench -p cloudchar-bench --bench store -- --smoke
 echo "==> analysis bench smoke (FFT+prefix path must not trail the naive engine)"
 cargo bench -p cloudchar-bench --bench analysis -- --smoke
 
-echo "==> cargo run -p cloudchar-lint -- --json"
-cargo run --release -p cloudchar-lint -- --json
+echo "==> cargo run -p cloudchar-lint -- --json (schema + wall-clock budget)"
+lint_start=$(date +%s%N)
+lint_json=$(cargo run --release -p cloudchar-lint -- --json)
+lint_end=$(date +%s%N)
+echo "$lint_json"
+# The report layout is versioned: refuse to consume an unknown schema.
+echo "$lint_json" | grep -q '"schema":2' || {
+    echo "ci.sh: lint JSON schema mismatch (want \"schema\":2)" >&2
+    exit 1
+}
+# Per-rule counts must be present for every rule (zeros included).
+for rule in CL001 CL002 CL003 CL004 CL005 CL006 CL007 CL008 CL009 CL010 CL011 CL012; do
+    echo "$lint_json" | grep -q "\"$rule\":" || {
+        echo "ci.sh: lint JSON missing per-rule count for $rule" >&2
+        exit 1
+    }
+done
+echo "$lint_json" | grep -q '"stale_suppressions":\[\]' || {
+    echo "ci.sh: stale suppression entries present" >&2
+    exit 1
+}
+# Whole-workspace lint (including the cargo-run shim) must stay under 2s
+# so it remains cheap enough to gate every commit.
+lint_ms=$(( (lint_end - lint_start) / 1000000 ))
+echo "lint wall-clock: ${lint_ms}ms (budget 2000ms)"
+[ "$lint_ms" -lt 2000 ] || {
+    echo "ci.sh: lint pass exceeded its 2s wall-clock budget" >&2
+    exit 1
+}
 
 echo "==> ci.sh: all gates passed"

@@ -109,7 +109,20 @@ impl Nic {
     pub fn transmit(&mut self, now: SimTime, bytes: Bytes) -> SimTime {
         let start = self.tx_busy_until.max(now);
         let wire = self.spec.wire_time(bytes).mul_f64(self.fault_factor);
-        self.tx_busy_until = start + wire;
+        let done = start + wire;
+        cloudchar_simcore::audit::check(
+            "hw.nic.tx_monotonic",
+            now.as_nanos(),
+            done >= self.tx_busy_until && done >= now,
+            || {
+                format!(
+                    "tx completion {} ns before busy horizon {} ns",
+                    done.as_nanos(),
+                    self.tx_busy_until.as_nanos()
+                )
+            },
+        );
+        self.tx_busy_until = done;
         self.tx_bytes.add(bytes);
         self.tx_packets.add(bytes.div_ceil(1448).max(1));
         self.tx_busy_until + self.spec.latency

@@ -1,0 +1,318 @@
+//! Conservative workspace call graph and reachability.
+//!
+//! Call sites are token patterns (`name(`, `.name(`, `path::name(`);
+//! resolution is by name, narrowed through `use` imports and path
+//! qualifiers when they identify a type or module in the workspace.
+//! Anything that cannot be resolved — std calls, trait-object dispatch,
+//! closures held in variables — becomes an edge to the ⊤ node, which has
+//! no body and no outgoing edges. The result over-approximates the real
+//! call graph on workspace code (a call to `foo` reaches *every* `foo`
+//! the qualifier allows), which is the right bias for the rules built on
+//! it: CL008 must prove the *absence* of shared mutable state anywhere a
+//! pool worker might reach.
+
+use crate::parse::FileAst;
+use crate::symbols::{FnRef, Workspace};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Node id of the ⊤ node (unresolved callee).
+pub const TOP: usize = usize::MAX;
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `name(...)` with no receiver or path.
+    Bare,
+    /// `.name(...)` method call.
+    Method,
+    /// `qual::name(...)` path call; holds the immediate qualifier.
+    Path(String),
+}
+
+/// One syntactic call site.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Code-token index of the callee name.
+    pub tok: usize,
+    /// Callee name as written.
+    pub name: String,
+    /// Qualification shape.
+    pub kind: CallKind,
+}
+
+/// The workspace call graph: one node per function item plus ⊤.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// Node id per function, addressed by [`FnRef`].
+    pub node_of: BTreeMap<FnRef, usize>,
+    /// Function per node id (dense, parallel to `edges`).
+    pub fn_of: Vec<FnRef>,
+    /// Resolved callees per node; [`TOP`] marks an unresolved callee.
+    pub edges: Vec<Vec<usize>>,
+}
+
+/// Keywords and control constructs that look like `ident (` but are not
+/// calls.
+const NON_CALL: [&str; 10] = [
+    "if", "while", "for", "match", "return", "loop", "in", "move", "fn", "let",
+];
+
+/// Collect call sites in the code-token range `[lo, hi]` of one file.
+pub fn call_sites_in(ast: &FileAst, lo: usize, hi: usize) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    let hi = hi.min(ast.ctoks.len().saturating_sub(1));
+    for i in lo..=hi {
+        if ast.ctoks[i].kind != crate::lexer::TokKind::Ident {
+            continue;
+        }
+        if ast.text(i + 1) != "(" {
+            continue;
+        }
+        let name = ast.text(i).to_string();
+        if NON_CALL.contains(&name.as_str()) {
+            continue;
+        }
+        let prev = if i > 0 { ast.text(i - 1) } else { "" };
+        if prev == "fn" {
+            continue;
+        }
+        let kind = match prev {
+            "." => CallKind::Method,
+            "::" => CallKind::Path(if i >= 2 {
+                ast.text(i - 2).to_string()
+            } else {
+                String::new()
+            }),
+            _ => CallKind::Bare,
+        };
+        out.push(CallSite { tok: i, name, kind });
+    }
+    out
+}
+
+/// Resolve one call site in `file` to candidate nodes; an empty result
+/// means the site resolves only to ⊤.
+pub fn resolve(ws: &Workspace, graph_file: usize, site: &CallSite) -> Vec<FnRef> {
+    match &site.kind {
+        CallKind::Method => ws.methods.get(&site.name).cloned().unwrap_or_default(),
+        CallKind::Path(qual) => resolve_qualified(ws, qual, &site.name),
+        CallKind::Bare => {
+            let file = &ws.files[graph_file];
+            // A `use` import binding this name wins: resolve through its
+            // path (the rename target may differ from the local alias).
+            if let Some(u) = file.uses.iter().find(|u| u.alias == site.name) {
+                let target = u.segments.last().cloned().unwrap_or_default();
+                let qual = if u.segments.len() >= 2 {
+                    u.segments[u.segments.len() - 2].clone()
+                } else {
+                    String::new()
+                };
+                let hits = resolve_qualified(ws, &qual, &target);
+                if !hits.is_empty() {
+                    return hits;
+                }
+            }
+            // Same file next, then any function with the name.
+            let same_file: Vec<FnRef> = ws
+                .by_name
+                .get(&site.name)
+                .into_iter()
+                .flatten()
+                .filter(|r| r.file == graph_file)
+                .copied()
+                .collect();
+            if !same_file.is_empty() {
+                return same_file;
+            }
+            ws.by_name.get(&site.name).cloned().unwrap_or_default()
+        }
+    }
+}
+
+/// Resolve `qual::name`. An uppercase qualifier is a type: only that
+/// type's methods match (an unknown type is external → ⊤). A lowercase
+/// qualifier is a module path segment: prefer functions whose file or
+/// crate matches it, falling back to every function with the name.
+fn resolve_qualified(ws: &Workspace, qual: &str, name: &str) -> Vec<FnRef> {
+    let type_like = qual.chars().next().map(char::is_uppercase).unwrap_or(false);
+    if type_like {
+        return ws
+            .typed_methods
+            .get(&format!("{qual}::{name}"))
+            .cloned()
+            .unwrap_or_default();
+    }
+    let all: Vec<FnRef> = ws.by_name.get(name).cloned().unwrap_or_default();
+    if qual.is_empty() {
+        return all;
+    }
+    let scoped: Vec<FnRef> = all
+        .iter()
+        .filter(|&&r| ws.in_module(r, qual))
+        .copied()
+        .collect();
+    if scoped.is_empty() {
+        all
+    } else {
+        scoped
+    }
+}
+
+impl CallGraph {
+    /// Build the graph over every function body in the workspace.
+    pub fn build(ws: &Workspace) -> CallGraph {
+        let mut node_of = BTreeMap::new();
+        let mut fn_of = Vec::new();
+        for (fi, file) in ws.files.iter().enumerate() {
+            for ii in 0..file.fns.len() {
+                let r = FnRef { file: fi, item: ii };
+                node_of.insert(r, fn_of.len());
+                fn_of.push(r);
+            }
+        }
+        let mut edges = vec![Vec::new(); fn_of.len()];
+        for (node, &r) in fn_of.iter().enumerate() {
+            let f = ws.item(r);
+            let (lo, hi) = f.body;
+            let mut seen = BTreeSet::new();
+            for site in call_sites_in(ws.file(r), lo, hi) {
+                let targets = resolve(ws, r.file, &site);
+                if targets.is_empty() {
+                    seen.insert(TOP);
+                } else {
+                    for t in targets {
+                        seen.insert(node_of[&t]);
+                    }
+                }
+            }
+            edges[node] = seen.into_iter().collect();
+        }
+        CallGraph {
+            node_of,
+            fn_of,
+            edges,
+        }
+    }
+
+    /// BFS over the graph from `seeds`; returns, for each reached node,
+    /// the node it was first reached from (seeds map to themselves).
+    /// The ⊤ node is absorbing: it is never expanded.
+    pub fn reachable(&self, seeds: &[usize]) -> BTreeMap<usize, usize> {
+        let mut from: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &s in seeds {
+            if s != TOP && !from.contains_key(&s) {
+                from.insert(s, s);
+                queue.push_back(s);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            for &m in &self.edges[n] {
+                if m != TOP && !from.contains_key(&m) {
+                    from.insert(m, n);
+                    queue.push_back(m);
+                }
+            }
+        }
+        from
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        Workspace::build(
+            files
+                .iter()
+                .map(|(rel, src)| parse_file(rel, src))
+                .collect(),
+        )
+    }
+
+    fn node(ws: &Workspace, g: &CallGraph, name: &str) -> usize {
+        let r = ws.by_name[name][0];
+        g.node_of[&r]
+    }
+
+    #[test]
+    fn same_file_calls_resolve() {
+        let ws = ws(&[(
+            "crates/simcore/src/a.rs",
+            "fn a() { b(); }\nfn b() { c(); }\nfn c() {}\n",
+        )]);
+        let g = CallGraph::build(&ws);
+        let reach = g.reachable(&[node(&ws, &g, "a")]);
+        assert!(reach.contains_key(&node(&ws, &g, "c")));
+        // And c was reached from b.
+        assert_eq!(reach[&node(&ws, &g, "c")], node(&ws, &g, "b"));
+    }
+
+    #[test]
+    fn cross_file_calls_resolve_via_use() {
+        let ws = ws(&[
+            (
+                "crates/core/src/x.rs",
+                "use crate::helper::work;\nfn top() { work(); }\n",
+            ),
+            ("crates/core/src/helper.rs", "pub fn work() {}\n"),
+        ]);
+        let g = CallGraph::build(&ws);
+        let reach = g.reachable(&[node(&ws, &g, "top")]);
+        assert!(reach.contains_key(&node(&ws, &g, "work")));
+    }
+
+    #[test]
+    fn type_qualified_calls_hit_only_that_impl() {
+        let ws = ws(&[
+            ("crates/core/src/x.rs", "fn top() { Alpha::go(); }\n"),
+            (
+                "crates/core/src/y.rs",
+                "impl Alpha { pub fn go() {} }\nimpl Beta { pub fn go() {} }\n",
+            ),
+        ]);
+        let g = CallGraph::build(&ws);
+        let reach = g.reachable(&[node(&ws, &g, "top")]);
+        let alpha = g.node_of[&ws.typed_methods["Alpha::go"][0]];
+        let beta = g.node_of[&ws.typed_methods["Beta::go"][0]];
+        assert!(reach.contains_key(&alpha));
+        assert!(!reach.contains_key(&beta));
+    }
+
+    #[test]
+    fn method_calls_reach_all_same_named_impls() {
+        let ws = ws(&[(
+            "crates/core/src/x.rs",
+            "fn top(s: S) { s.go(); }\nimpl S { fn go(&self) {} }\nimpl T { fn go(&self) {} }\n",
+        )]);
+        let g = CallGraph::build(&ws);
+        let reach = g.reachable(&[node(&ws, &g, "top")]);
+        assert!(reach.contains_key(&g.node_of[&ws.typed_methods["S::go"][0]]));
+        assert!(reach.contains_key(&g.node_of[&ws.typed_methods["T::go"][0]]));
+    }
+
+    #[test]
+    fn unknown_calls_go_to_top_and_stop() {
+        let ws = ws(&[(
+            "crates/core/src/x.rs",
+            "fn top() { std::mem::drop(1); format_args(1); }\n",
+        )]);
+        let g = CallGraph::build(&ws);
+        let n = node(&ws, &g, "top");
+        assert!(g.edges[n].contains(&TOP));
+        let reach = g.reachable(&[n]);
+        assert_eq!(reach.len(), 1, "⊤ is not expanded");
+    }
+
+    #[test]
+    fn macros_and_keywords_are_not_call_sites() {
+        let ws = ws(&[(
+            "crates/core/src/x.rs",
+            "fn top() { if (a) {} while (b) {} assert!(c); vec![1]; }\n",
+        )]);
+        let g = CallGraph::build(&ws);
+        assert!(g.edges[node(&ws, &g, "top")].is_empty());
+    }
+}

@@ -1,0 +1,620 @@
+//! A real Rust lexer for the lint pipeline.
+//!
+//! The v1 scanner masked comments/strings with an ad-hoc state machine
+//! and substring-matched rules against the result. That breaks down on
+//! exactly the token forms Rust makes hard: raw strings with hash fences
+//! (`r#"…"#`), nested block comments (`/* /* */ */`), and the
+//! char-literal / lifetime ambiguity (`'a'` vs `<'a>`). This module
+//! lexes source into a proper token stream with byte spans and line
+//! numbers; everything downstream — masking, item parsing, the call
+//! graph, and the rules — consumes tokens instead of guessing at text.
+//!
+//! The lexer is lossless (every byte of input is covered by exactly one
+//! token, in order) and never fails: unterminated literals extend to end
+//! of input and unknown bytes become [`TokKind::Unknown`] tokens, so the
+//! lint pass degrades gracefully on half-written code.
+
+/// Token class, coarse but sufficient for lint rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the lexer does not separate them) and raw
+    /// identifiers (`r#type`).
+    Ident,
+    /// Lifetime or loop label: `'a`, `'static`, `'_`.
+    Lifetime,
+    /// Numeric literal, including suffixed forms (`1_000u64`, `2.5f64`,
+    /// `1e-9`, `0xFF`).
+    Num,
+    /// String-ish literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `'\n'`, `b'a'`.
+    Char,
+    /// `// …` comment (non-doc).
+    LineComment,
+    /// `/* … */` comment (non-doc), nesting handled.
+    BlockComment,
+    /// Doc comment: `///`, `//!`, `/** … */`, `/*! … */`.
+    DocComment,
+    /// Punctuation / operator, possibly multi-char (`::`, `->`, `+=`).
+    Punct,
+    /// Whitespace run (kept so the stream is lossless).
+    Space,
+    /// Anything the lexer does not recognize (stray byte).
+    Unknown,
+}
+
+/// One token: kind plus byte span into the source and 1-based line.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub lo: usize,
+    /// Byte offset one past the last byte.
+    pub hi: usize,
+    /// 1-based line number of the token's first byte.
+    pub line: usize,
+}
+
+impl Tok {
+    /// The token's text.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        src.get(self.lo..self.hi).unwrap_or("")
+    }
+
+    /// Whether this token is lexically code (not a comment or space).
+    pub fn is_code(&self) -> bool {
+        !matches!(
+            self.kind,
+            TokKind::LineComment | TokKind::BlockComment | TokKind::DocComment | TokKind::Space
+        )
+    }
+}
+
+/// Multi-char punctuation recognized as single tokens. `<<`/`>>` are
+/// deliberately left as two tokens so angle-bracket matching in the
+/// parser stays trivial; no rule needs shift operators.
+const PUNCT2: [&str; 16] = [
+    "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "^=", "..",
+];
+
+struct Cursor<'s> {
+    src: &'s str,
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    line: usize,
+}
+
+impl<'s> Cursor<'s> {
+    fn new(src: &'s str) -> Self {
+        Cursor {
+            src,
+            chars: src.char_indices().collect(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    fn byte_at(&self, idx: usize) -> usize {
+        self.chars
+            .get(idx)
+            .map(|&(b, _)| b)
+            .unwrap_or(self.src.len())
+    }
+
+    /// Advance `n` chars, counting newlines.
+    fn bump(&mut self, n: usize) {
+        for _ in 0..n {
+            if let Some(&(_, c)) = self.chars.get(self.pos) {
+                if c == '\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into a lossless token stream.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let lo = cur.byte_at(cur.pos);
+        let line = cur.line;
+        let kind = lex_one(&mut cur, c);
+        let hi = cur.byte_at(cur.pos);
+        out.push(Tok { kind, lo, hi, line });
+    }
+    out
+}
+
+/// Lex one token starting at `c`; advances the cursor past it.
+fn lex_one(cur: &mut Cursor<'_>, c: char) -> TokKind {
+    if c.is_whitespace() {
+        let mut n = 0;
+        while cur.peek(n).is_some_and(char::is_whitespace) {
+            n += 1;
+        }
+        cur.bump(n);
+        return TokKind::Space;
+    }
+    if c == '/' {
+        match cur.peek(1) {
+            Some('/') => return lex_line_comment(cur),
+            Some('*') => return lex_block_comment(cur),
+            _ => {}
+        }
+    }
+    // Raw strings / byte strings: r"…", r#"…"#, b"…", br#"…"#, b'…'.
+    if c == 'r' || c == 'b' {
+        if let Some(kind) = lex_prefixed_literal(cur) {
+            return kind;
+        }
+    }
+    if c == '"' {
+        lex_string(cur, 0);
+        return TokKind::Str;
+    }
+    if c == '\'' {
+        return lex_quote(cur);
+    }
+    if is_ident_start(c) {
+        let mut n = 1;
+        while cur.peek(n).is_some_and(is_ident_continue) {
+            n += 1;
+        }
+        cur.bump(n);
+        return TokKind::Ident;
+    }
+    if c.is_ascii_digit() {
+        return lex_number(cur);
+    }
+    // Multi-char punctuation (longest match first via the fixed table;
+    // all entries are 2 chars, `..=` is handled as `..` then `=`, which
+    // no rule distinguishes).
+    if let Some(d) = cur.peek(1) {
+        let pair: String = [c, d].iter().collect();
+        if PUNCT2.contains(&pair.as_str()) {
+            cur.bump(2);
+            return TokKind::Punct;
+        }
+    }
+    if c.is_ascii_punctuation() {
+        cur.bump(1);
+        return TokKind::Punct;
+    }
+    cur.bump(1);
+    TokKind::Unknown
+}
+
+fn lex_line_comment(cur: &mut Cursor<'_>) -> TokKind {
+    // Doc line comments: `///` (but not `////…`) and `//!`.
+    let doc = matches!(
+        (cur.peek(2), cur.peek(3)),
+        (Some('/'), Some(c)) if c != '/'
+    ) || cur.peek(2) == Some('!')
+        || (cur.peek(2) == Some('/') && cur.peek(3).is_none());
+    let mut n = 2;
+    while cur.peek(n).is_some_and(|c| c != '\n') {
+        n += 1;
+    }
+    cur.bump(n);
+    if doc {
+        TokKind::DocComment
+    } else {
+        TokKind::LineComment
+    }
+}
+
+fn lex_block_comment(cur: &mut Cursor<'_>) -> TokKind {
+    // Doc block comments: `/**` (but not `/***` or the empty `/**/`)
+    // and `/*!`.
+    let doc = (cur.peek(2) == Some('*') && !matches!(cur.peek(3), Some('*') | Some('/') | None))
+        || cur.peek(2) == Some('!');
+    let mut depth = 0usize;
+    let mut n = 0;
+    loop {
+        match (cur.peek(n), cur.peek(n + 1)) {
+            (Some('/'), Some('*')) => {
+                depth += 1;
+                n += 2;
+            }
+            (Some('*'), Some('/')) => {
+                depth = depth.saturating_sub(1);
+                n += 2;
+                if depth == 0 {
+                    break;
+                }
+            }
+            (Some(_), _) => n += 1,
+            // Unterminated comment: swallow to end of input.
+            (None, _) => break,
+        }
+    }
+    cur.bump(n);
+    if doc {
+        TokKind::DocComment
+    } else {
+        TokKind::BlockComment
+    }
+}
+
+/// Try to lex a prefixed literal at the cursor (`r"…"`, `r#"…"#`,
+/// `b"…"`, `br#"…"#`, `b'…'`). Returns `None` (cursor untouched) when
+/// the prefix is actually an identifier (`raw`, `br`, `r#ident`, plain
+/// `b`), otherwise consumes the literal and returns its kind.
+fn lex_prefixed_literal(cur: &mut Cursor<'_>) -> Option<TokKind> {
+    let c0 = cur.peek(0)?;
+    let mut n = 1; // chars of prefix seen so far (c0)
+    let raw = c0 == 'r' || {
+        // c0 == 'b': optional raw marker next.
+        if cur.peek(n) == Some('r') {
+            n += 1;
+            true
+        } else {
+            false
+        }
+    };
+    if raw {
+        let mut hashes = 0;
+        while cur.peek(n + hashes) == Some('#') {
+            hashes += 1;
+        }
+        match cur.peek(n + hashes) {
+            Some('"') => {
+                cur.bump(n + hashes + 1);
+                lex_raw_string_tail(cur, hashes);
+                Some(TokKind::Str)
+            }
+            // `r#ident` raw identifier, or plain ident like `rate`.
+            _ => None,
+        }
+    } else {
+        // b"…" byte string or b'…' byte char.
+        match cur.peek(n) {
+            Some('"') => {
+                cur.bump(n);
+                lex_string(cur, 0);
+                Some(TokKind::Str)
+            }
+            Some('\'') => {
+                cur.bump(n);
+                lex_char(cur);
+                Some(TokKind::Char)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Consume a raw-string body after the opening quote, honoring the hash
+/// fence: the string ends at `"` followed by `hashes` `#`s. No escapes.
+fn lex_raw_string_tail(cur: &mut Cursor<'_>, hashes: usize) {
+    loop {
+        match cur.peek(0) {
+            Some('"') => {
+                let mut h = 0;
+                while h < hashes && cur.peek(1 + h) == Some('#') {
+                    h += 1;
+                }
+                if h == hashes {
+                    cur.bump(1 + hashes);
+                    return;
+                }
+                cur.bump(1);
+            }
+            Some(_) => cur.bump(1),
+            None => return, // unterminated
+        }
+    }
+}
+
+/// Consume a normal (escaped) string body; cursor sits on the opening
+/// quote. `_hashes` is unused but kept for signature symmetry.
+fn lex_string(cur: &mut Cursor<'_>, _hashes: usize) {
+    cur.bump(1); // opening quote
+    loop {
+        match cur.peek(0) {
+            Some('\\') => cur.bump(2),
+            Some('"') => {
+                cur.bump(1);
+                return;
+            }
+            Some(_) => cur.bump(1),
+            None => return, // unterminated
+        }
+    }
+}
+
+/// Consume a char literal body; cursor sits on the opening `'`.
+fn lex_char(cur: &mut Cursor<'_>) {
+    cur.bump(1); // opening quote
+    loop {
+        match cur.peek(0) {
+            Some('\\') => cur.bump(2),
+            Some('\'') => {
+                cur.bump(1);
+                return;
+            }
+            Some('\n') | None => return, // unterminated; don't eat lines
+            Some(_) => cur.bump(1),
+        }
+    }
+}
+
+/// Disambiguate `'` into a char literal or a lifetime/label.
+///
+/// Rules (mirroring rustc's lexer):
+/// * `'\…'` — char literal with escape.
+/// * `'X'` where X is any single char — char literal.
+/// * `'ident` not followed by a closing quote — lifetime/label.
+/// * anything else (`'('`, `'é'`, stray quote) — char literal attempt.
+fn lex_quote(cur: &mut Cursor<'_>) -> TokKind {
+    match (cur.peek(1), cur.peek(2)) {
+        (Some('\\'), _) => {
+            lex_char(cur);
+            TokKind::Char
+        }
+        (Some(c1), Some('\'')) if c1 != '\'' => {
+            // 'X' — always a char literal, even when X is ident-ish.
+            cur.bump(3);
+            TokKind::Char
+        }
+        (Some(c1), _) if is_ident_start(c1) => {
+            // Lifetime or label: consume the identifier.
+            let mut n = 2;
+            while cur.peek(n).is_some_and(is_ident_continue) {
+                n += 1;
+            }
+            cur.bump(n);
+            TokKind::Lifetime
+        }
+        (Some(_), _) => {
+            lex_char(cur);
+            TokKind::Char
+        }
+        (None, _) => {
+            cur.bump(1);
+            TokKind::Unknown
+        }
+    }
+}
+
+fn lex_number(cur: &mut Cursor<'_>) -> TokKind {
+    // Integer part. Hex letters (incl. `e`) count as digits only after
+    // an explicit `0x` prefix, so decimal `1e-9` keeps its exponent.
+    let mut n = 0;
+    if cur.peek(0) == Some('0') && matches!(cur.peek(1), Some('x') | Some('o') | Some('b')) {
+        n = 2;
+        while cur
+            .peek(n)
+            .is_some_and(|c| c.is_ascii_hexdigit() || c == '_')
+        {
+            n += 1;
+        }
+    } else {
+        while cur.peek(n).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+            n += 1;
+        }
+    }
+    // Fractional part: `.` followed by a digit (so `1..2` ranges and
+    // `1.method()` stay separate tokens).
+    if cur.peek(n) == Some('.') && cur.peek(n + 1).is_some_and(|c| c.is_ascii_digit()) {
+        n += 1;
+        while cur.peek(n).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+            n += 1;
+        }
+    }
+    // Exponent: `e`/`E` with optional sign — only when followed by a digit.
+    if matches!(cur.peek(n), Some('e') | Some('E')) {
+        let (sign, digit_at) = match cur.peek(n + 1) {
+            Some('+') | Some('-') => (1, n + 2),
+            _ => (0, n + 1),
+        };
+        if cur.peek(digit_at).is_some_and(|c| c.is_ascii_digit()) {
+            n += 1 + sign;
+            while cur.peek(n).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                n += 1;
+            }
+        }
+    }
+    // Type suffix (`u64`, `f32`, `usize`).
+    while cur.peek(n).is_some_and(is_ident_continue) {
+        n += 1;
+    }
+    cur.bump(n);
+    TokKind::Num
+}
+
+/// Replace comments, string literals and char literals with spaces,
+/// preserving newlines and the char positions of everything else — the
+/// token-accurate replacement for the v1 mask-and-match pass. Lifetimes
+/// survive (rules may need `'static`), doc comments are blanked like any
+/// other comment.
+pub fn mask_source(src: &str) -> String {
+    let mut out = String::with_capacity(src.len());
+    for tok in lex(src) {
+        let text = tok.text(src);
+        match tok.kind {
+            TokKind::Str
+            | TokKind::Char
+            | TokKind::LineComment
+            | TokKind::BlockComment
+            | TokKind::DocComment => {
+                for c in text.chars() {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                }
+            }
+            _ => out.push_str(text),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokKind::Space)
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    #[test]
+    fn lexes_idents_and_puncts() {
+        let ks = kinds("fn foo() -> u64 { a::b(x) }");
+        assert_eq!(ks[0], (TokKind::Ident, "fn"));
+        assert_eq!(ks[1], (TokKind::Ident, "foo"));
+        assert!(ks.contains(&(TokKind::Punct, "->")));
+        assert!(ks.contains(&(TokKind::Punct, "::")));
+    }
+
+    #[test]
+    fn raw_strings_with_hash_fences() {
+        let src = r###"let s = r#"panic! "quoted" inner"#; let t = 1;"###;
+        let ks = kinds(src);
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("panic!")));
+        assert!(ks.contains(&(TokKind::Ident, "t")));
+        // Everything after the raw string is still lexed as code.
+        assert!(ks.contains(&(TokKind::Num, "1")));
+    }
+
+    #[test]
+    fn raw_string_with_backslash_before_close() {
+        // In raw strings `\` is literal: r"\" is a complete string.
+        let src = "let s = r\"\\\"; x.f();";
+        let ks = kinds(src);
+        assert!(ks.contains(&(TokKind::Ident, "x")));
+        assert!(ks.contains(&(TokKind::Str, "r\"\\\"")));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let ks = kinds(r##"let a = b"bytes"; let c = b'x'; let r = br#"raw"#;"##);
+        assert!(ks.contains(&(TokKind::Str, "b\"bytes\"")));
+        assert!(ks.contains(&(TokKind::Char, "b'x'")));
+        assert!(ks.contains(&(TokKind::Str, "br#\"raw\"#")));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let ks = kinds("let r#type = 1; let rate = r#type;");
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Ident && *t == "r"));
+        assert!(ks.contains(&(TokKind::Ident, "rate")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still */ b";
+        let ks = kinds(src);
+        assert_eq!(ks.len(), 3);
+        assert_eq!(ks[0], (TokKind::Ident, "a"));
+        assert_eq!(ks[1].0, TokKind::BlockComment);
+        assert_eq!(ks[2], (TokKind::Ident, "b"));
+    }
+
+    #[test]
+    fn doc_comments_are_separate_kind() {
+        let ks = kinds("/// docs\n//! inner\n// plain\n/** block */\nfn f() {}");
+        let docs = ks.iter().filter(|(k, _)| *k == TokKind::DocComment).count();
+        let plain = ks
+            .iter()
+            .filter(|(k, _)| matches!(k, TokKind::LineComment | TokKind::BlockComment))
+            .count();
+        assert_eq!(docs, 3);
+        assert_eq!(plain, 1);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let ks = kinds("let c = 'a'; fn f<'a>(x: &'a str) -> &'static str { x } let d = '\\n';");
+        assert!(ks.contains(&(TokKind::Char, "'a'")));
+        assert!(ks.contains(&(TokKind::Lifetime, "'a")));
+        assert!(ks.contains(&(TokKind::Lifetime, "'static")));
+        assert!(ks.contains(&(TokKind::Char, "'\\n'")));
+    }
+
+    #[test]
+    fn lifetime_then_string_is_not_raw_string() {
+        // `&'r "x"` — the `r` belongs to the lifetime, not a raw-string
+        // prefix.
+        let ks = kinds("fn f<'r>(x: &'r str) { g(\"s\") }");
+        assert!(ks.contains(&(TokKind::Lifetime, "'r")));
+        assert!(ks.contains(&(TokKind::Str, "\"s\"")));
+    }
+
+    #[test]
+    fn punct_chars_in_char_literals() {
+        let ks = kinds("let a = '('; let b = '{'; let c = '\"';");
+        assert!(ks.contains(&(TokKind::Char, "'('")));
+        assert!(ks.contains(&(TokKind::Char, "'{'")));
+        assert!(ks.contains(&(TokKind::Char, "'\"'")));
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_exponents() {
+        let ks = kinds("1_000u64 + 2.5f64 - 1e-9 * 0xFF / 3..4");
+        assert!(ks.contains(&(TokKind::Num, "1_000u64")));
+        assert!(ks.contains(&(TokKind::Num, "2.5f64")));
+        assert!(ks.contains(&(TokKind::Num, "1e-9")));
+        assert!(ks.contains(&(TokKind::Num, "0xFF")));
+        // Range stays two numbers and a `..` punct.
+        assert!(ks.contains(&(TokKind::Punct, "..")));
+    }
+
+    #[test]
+    fn lossless_and_line_numbers() {
+        let src = "a\n  b /* x\n y */ c\n\"s\n t\"\nd";
+        let toks = lex(src);
+        let rebuilt: String = toks.iter().map(|t| t.text(src)).collect();
+        assert_eq!(rebuilt, src);
+        let line_of = |name: &str| {
+            toks.iter()
+                .find(|t| t.text(src) == name)
+                .map(|t| t.line)
+                .unwrap_or(0)
+        };
+        assert_eq!(line_of("a"), 1);
+        assert_eq!(line_of("b"), 2);
+        assert_eq!(line_of("c"), 3);
+        assert_eq!(line_of("d"), 6);
+    }
+
+    #[test]
+    fn mask_preserves_positions() {
+        let src = "let x = \"Instant::now\"; // Instant::now\nlet c = 'a'; /* panic! */ let l: &'static str = y;";
+        let m = mask_source(src);
+        assert!(!m.contains("Instant::now"));
+        assert!(!m.contains("panic!"));
+        assert!(m.contains("'static"));
+        assert_eq!(m.split('\n').count(), 2);
+        assert_eq!(m.chars().count(), src.chars().count());
+    }
+
+    #[test]
+    fn unterminated_forms_do_not_panic() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'", "b'", "let x = 'a"] {
+            let toks = lex(src);
+            let rebuilt: String = toks.iter().map(|t| t.text(src)).collect();
+            assert_eq!(rebuilt, src, "lossless on {src:?}");
+        }
+    }
+}

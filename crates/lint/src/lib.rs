@@ -3,8 +3,12 @@
 //! The simulation's headline guarantee is *reproducibility*: the same
 //! master seed must give byte-identical results, and figure/table output
 //! must not depend on hash-map iteration order or wall-clock reads.
-//! This crate enforces that guarantee statically with a small,
-//! dependency-free scanner (line/token level — no full parser needed):
+//! This crate enforces that guarantee statically with a dependency-free
+//! pipeline: a lossless Rust [`lexer`], an item-level [`parse`]r, a
+//! workspace [`symbols`] table, a conservative [`callgraph`], and the
+//! [`rules`] that run over all of it.
+//!
+//! Line rules (pattern matching over masked source):
 //!
 //! * **CL001** — no `Instant::now` / `SystemTime::now` / `thread_rng`
 //!   inside simulation crates (`simcore`, `hw`, `xen`, `rubis`,
@@ -22,36 +26,67 @@
 //! * **CL005** — no direct `.schedule_at(`/`.schedule_in(`/
 //!   `.schedule_periodic(` calls in fault-related library files: fault
 //!   timing must flow through `fault::install` so a `FaultPlan` stays
-//!   the single replayable source of truth. The sanctioned scheduling
-//!   site inside `fault::install` itself is suppressed.
+//!   the single replayable source of truth.
 //! * **CL006** — no host-keyed `BTreeMap<(String, …)>` /
-//!   `BTreeMap<(HostLabel, …)>` maps in sampling-path files
-//!   (`monitor::store`, `monitor::synth`, `core::workload`,
-//!   `core::batch`): the per-tick record path is columnar (interned
-//!   `HostId` + dense metric columns) and must never reintroduce a
-//!   string-keyed map lookup per sample. Benches keep the keyed
-//!   baseline for comparison and are exempt by file class.
+//!   `BTreeMap<(HostLabel, …)>` maps in sampling-path files: the
+//!   per-tick record path is columnar (interned `HostId` + dense metric
+//!   columns).
 //! * **CL007** — no `goertzel_power(` / `goertzel_periodogram(` /
 //!   `find_lag_naive(` / `cross_correlation(` calls in library or
-//!   binary code: the O(n²) per-bin Goertzel spectrum and per-shift
-//!   naive Pearson scan are kept in-tree *only* as test oracles for the
-//!   FFT + prefix-sum fast path. Their defining files
-//!   (`analysis::spectrum`, `analysis::lag`) and all tests/benches are
-//!   exempt.
+//!   binary code: the O(n²) oracles are test-only.
 //!
-//! The scanner masks comments, strings and char literals before
-//! matching, tracks `#[cfg(test)]` regions by brace matching, and
-//! reports `file:line` diagnostics with rule IDs. A machine-readable
-//! JSON summary is available from the binary via `--json`.
+//! Workspace rules (symbol table + call graph):
+//!
+//! * **CL008** — every function reachable from a `par_map_ordered_with`
+//!   worker region must be free of `Mutex`/`RwLock`/`RefCell`,
+//!   `static mut`, and `Ordering::Relaxed` — pool workers must not share
+//!   mutable state, or parallel replay stops being byte-identical.
+//! * **CL009** — RNG-stream discipline in simulation crates: no
+//!   `rng.clone()` (duplicated streams), no entropy-seeded constructors
+//!   (`from_entropy`, `OsRng`, `getrandom`); streams fork only through
+//!   `SimRng::derive`.
+//! * **CL010** — no unchecked `+`/`-`/`*` on raw nanosecond integers
+//!   (`.as_nanos()` results, `*_ns` variables) outside the audited
+//!   boundary files (`simcore::time`, `simcore::queue`); use
+//!   `checked_*`/`saturating_*` or the `SimTime`/`SimDuration` ops.
+//! * **CL011** — matches whose patterns name `FaultKind`, `Source` or
+//!   `Family` must be exhaustive (no `_` arm) in library code, so a new
+//!   variant forces handling at compile time.
+//! * **CL012** — library files that mutate simulated hardware/hypervisor
+//!   state (non-test `&mut self` methods in `hw`/`xen`/the engine) must
+//!   contain an `audit::` invariant check or a registered suppression.
+//!
+//! Suppressions are audited exceptions; entries that no longer match any
+//! finding are reported as *stale* and fail the run (escape hatch:
+//! `--allow-stale`). A machine-readable JSON summary (versioned
+//! `schema` field, per-rule counts) is available from the binary via
+//! `--json`.
 //!
 //! Run it as `cargo run -p cloudchar-lint`; the integration test
 //! `crates/lint/tests/lint_workspace.rs` runs the same pass so plain
 //! `cargo test` gates it.
 
+pub mod callgraph;
+pub mod lexer;
+pub mod parse;
+pub mod rules;
+pub mod symbols;
+
+pub use lexer::mask_source;
+pub use parse::{classify, parse_file, test_line_flags, FileClass};
+
+use crate::callgraph::CallGraph;
+use crate::symbols::Workspace;
 use serde::Serialize;
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+/// Version of the JSON report layout emitted by `--json`. Bump when a
+/// field is added/renamed so `ci.sh` can verify it consumes what it
+/// expects.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Crate directory names whose library code models the simulation and
 /// therefore must be free of wall-clock / ambient-randomness reads.
@@ -82,7 +117,7 @@ pub const ORACLE_DEF_FILES: [&str; 2] = [
 ];
 
 /// Rule registry: `(id, summary)` for every rule the scanner knows.
-pub const RULES: [(&str, &str); 7] = [
+pub const RULES: [(&str, &str); 12] = [
     (
         "CL001",
         "no Instant::now/SystemTime::now/thread_rng in simulation crates",
@@ -111,22 +146,27 @@ pub const RULES: [(&str, &str); 7] = [
         "CL007",
         "no Goertzel/naive-Pearson oracle calls outside their defining files and tests (use the FFT + prefix-sum fast path)",
     ),
+    (
+        "CL008",
+        "no Mutex/RwLock/RefCell, static mut, or Ordering::Relaxed reachable from par_map_ordered_with workers",
+    ),
+    (
+        "CL009",
+        "no rng.clone() or entropy-seeded RNG constructors in simulation crates (fork streams via SimRng::derive)",
+    ),
+    (
+        "CL010",
+        "no unchecked +/-/* on raw nanosecond integers outside simcore::time/queue (use checked_*/saturating_*)",
+    ),
+    (
+        "CL011",
+        "no wildcard _ arm in matches over FaultKind/Source/Family in library code",
+    ),
+    (
+        "CL012",
+        "files mutating engine/hw/xen state must carry an audit:: invariant check or a registered suppression",
+    ),
 ];
-
-/// How a file participates in the build, which decides rule applicability.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FileClass {
-    /// Library code — all rules apply.
-    Lib,
-    /// Binary target (`src/main.rs`, `src/bin/*`) — CL002 allowlisted.
-    Bin,
-    /// Integration/unit test file — CL002 allowlisted.
-    Test,
-    /// Example — CL002 allowlisted.
-    Example,
-    /// Bench target — CL001/CL002 allowlisted (wall-clock timing lives here).
-    Bench,
-}
 
 /// One `file:line` finding.
 #[derive(Debug, Clone, Serialize)]
@@ -139,35 +179,72 @@ pub struct Diagnostic {
     pub line: usize,
     /// Human-readable explanation.
     pub message: String,
-    /// The offending source line, trimmed.
+    /// The offending source line, trimmed (or a rule-specific marker for
+    /// file-level findings).
     pub snippet: String,
 }
 
 /// Result of a full workspace pass.
-#[derive(Debug, Default, Serialize)]
+#[derive(Debug, Serialize)]
 pub struct LintReport {
+    /// JSON layout version ([`SCHEMA_VERSION`]).
+    pub schema: u32,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
     /// Findings silenced by `crates/lint/suppressions.txt`.
     pub suppressed: usize,
+    /// Per-rule unsuppressed finding counts; every known rule is present
+    /// (zero included) so consumers can detect rule additions.
+    pub rule_counts: BTreeMap<String, usize>,
+    /// Suppression entries that silenced nothing this pass, formatted as
+    /// they appear in the file (`RULE PATH NEEDLE`). Non-empty makes the
+    /// run fail unless `--allow-stale` is passed.
+    pub stale_suppressions: Vec<String>,
     /// Unsuppressed findings, sorted by `(path, line, rule)`.
     pub violations: Vec<Diagnostic>,
 }
 
+impl Default for LintReport {
+    fn default() -> Self {
+        LintReport {
+            schema: SCHEMA_VERSION,
+            files_scanned: 0,
+            suppressed: 0,
+            rule_counts: RULES.iter().map(|(id, _)| (id.to_string(), 0)).collect(),
+            stale_suppressions: Vec::new(),
+            violations: Vec::new(),
+        }
+    }
+}
+
 impl LintReport {
-    /// Whether the pass found nothing (after suppressions).
+    /// Whether the pass found nothing (after suppressions) and every
+    /// suppression entry still matches something.
     pub fn is_clean(&self) -> bool {
-        self.violations.is_empty()
+        self.violations.is_empty() && self.stale_suppressions.is_empty()
     }
 
     /// One-line human summary.
     pub fn summary(&self) -> String {
         format!(
-            "{} files scanned, {} violations, {} suppressed",
+            "{} files scanned, {} violations, {} suppressed, {} stale suppression(s)",
             self.files_scanned,
             self.violations.len(),
-            self.suppressed
+            self.suppressed,
+            self.stale_suppressions.len()
         )
+    }
+
+    /// Finalize bookkeeping derived from `violations`.
+    fn tally(&mut self) {
+        self.violations
+            .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+        for (id, _) in RULES {
+            self.rule_counts.insert(id.to_string(), 0);
+        }
+        for d in &self.violations {
+            *self.rule_counts.entry(d.rule.clone()).or_insert(0) += 1;
+        }
     }
 }
 
@@ -181,6 +258,18 @@ pub struct Suppression {
     pub path: String,
     /// Substring of the raw source line that identifies the audited site.
     pub needle: String,
+}
+
+impl Suppression {
+    /// Whether this entry silences the diagnostic.
+    pub fn matches(&self, d: &Diagnostic) -> bool {
+        self.rule == d.rule && self.path == d.path && d.snippet.contains(&self.needle)
+    }
+
+    /// The entry as written in the suppressions file.
+    pub fn display(&self) -> String {
+        format!("{} {} {}", self.rule, self.path, self.needle)
+    }
 }
 
 /// Parse a suppressions file: one `RULE PATH NEEDLE...` triple per line,
@@ -206,446 +295,58 @@ pub fn parse_suppressions(text: &str) -> Vec<Suppression> {
     out
 }
 
-/// Replace comments, string literals and char literals with spaces,
-/// preserving newlines and byte positions of the remaining code, so
-/// substring rules never fire inside text.
-pub fn mask_source(src: &str) -> String {
-    let b: Vec<char> = src.chars().collect();
-    let n = b.len();
-    let mut out = String::with_capacity(src.len());
-    let mut i = 0;
-    // True when the previously emitted char could continue an identifier,
-    // so an `r"` here is the tail of `var"` (invalid anyway), not a raw string.
-    let mut prev_ident = false;
-    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
-    while i < n {
-        let c = b[i];
-        if c == '/' && i + 1 < n && b[i + 1] == '/' {
-            while i < n && b[i] != '\n' {
-                out.push(' ');
-                i += 1;
+/// Split diagnostics into kept and suppressed, and report which
+/// suppression entries silenced nothing (stale).
+pub fn apply_suppressions(
+    diags: Vec<Diagnostic>,
+    sups: &[Suppression],
+) -> (Vec<Diagnostic>, usize, Vec<String>) {
+    let mut used = vec![false; sups.len()];
+    let mut kept = Vec::new();
+    let mut suppressed = 0usize;
+    for d in diags {
+        let mut hit = false;
+        for (si, s) in sups.iter().enumerate() {
+            if s.matches(&d) {
+                used[si] = true;
+                hit = true;
             }
-            prev_ident = false;
-            continue;
         }
-        if c == '/' && i + 1 < n && b[i + 1] == '*' {
-            let mut depth = 0;
-            while i < n {
-                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
-                    depth += 1;
-                    out.push_str("  ");
-                    i += 2;
-                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
-                    depth -= 1;
-                    out.push_str("  ");
-                    i += 2;
-                    if depth == 0 {
-                        break;
-                    }
-                } else {
-                    out.push(blank(b[i]));
-                    i += 1;
-                }
-            }
-            prev_ident = false;
-            continue;
+        if hit {
+            suppressed += 1;
+        } else {
+            kept.push(d);
         }
-        // Raw (byte) strings: r"..", r#".."#, br#".."#.
-        if (c == 'r' || c == 'b') && !prev_ident {
-            let mut j = i;
-            if b[j] == 'b' && j + 1 < n && b[j + 1] == 'r' {
-                j += 1;
-            }
-            if b[j] == 'r' {
-                let mut k = j + 1;
-                let mut hashes = 0;
-                while k < n && b[k] == '#' {
-                    hashes += 1;
-                    k += 1;
-                }
-                if k < n && b[k] == '"' {
-                    for idx in i..=k {
-                        out.push(blank(b[idx]));
-                    }
-                    i = k + 1;
-                    while i < n {
-                        if b[i] == '"' {
-                            let mut h = 0;
-                            while h < hashes && i + 1 + h < n && b[i + 1 + h] == '#' {
-                                h += 1;
-                            }
-                            if h == hashes {
-                                for _ in 0..=hashes {
-                                    out.push(' ');
-                                }
-                                i += 1 + hashes;
-                                break;
-                            }
-                        }
-                        out.push(blank(b[i]));
-                        i += 1;
-                    }
-                    prev_ident = false;
-                    continue;
-                }
-            }
-            // Not a raw string start (e.g. raw identifier `r#type`):
-            // fall through and emit the char.
-        }
-        if c == '"' {
-            out.push(' ');
-            i += 1;
-            while i < n {
-                if b[i] == '\\' && i + 1 < n {
-                    out.push(' ');
-                    out.push(blank(b[i + 1]));
-                    i += 2;
-                } else if b[i] == '"' {
-                    out.push(' ');
-                    i += 1;
-                    break;
-                } else {
-                    out.push(blank(b[i]));
-                    i += 1;
-                }
-            }
-            prev_ident = false;
-            continue;
-        }
-        if c == '\'' {
-            // Distinguish char literals from lifetimes: '\x..' and 'x'
-            // are literals; 'a (no closing quote after one char) is a
-            // lifetime and is kept verbatim.
-            if i + 1 < n && b[i + 1] == '\\' {
-                out.push_str("  ");
-                i += 2;
-                while i < n && b[i] != '\'' {
-                    out.push(blank(b[i]));
-                    i += 1;
-                }
-                if i < n {
-                    out.push(' ');
-                    i += 1;
-                }
-                prev_ident = false;
-                continue;
-            }
-            if i + 2 < n && b[i + 2] == '\'' && b[i + 1] != '\'' {
-                out.push_str("   ");
-                i += 3;
-                prev_ident = false;
-                continue;
-            }
-            out.push('\'');
-            i += 1;
-            prev_ident = false;
-            continue;
-        }
-        out.push(c);
-        prev_ident = c.is_alphanumeric() || c == '_';
-        i += 1;
     }
+    let stale = sups
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|(s, _)| s.display())
+        .collect();
+    (kept, suppressed, stale)
+}
+
+/// Run the full rule set over a set of in-memory files (workspace-relative
+/// path, source). Returns unsuppressed findings sorted by
+/// `(path, line, rule)`.
+pub fn scan_files(inputs: &[(String, String)]) -> Vec<Diagnostic> {
+    let files = inputs
+        .iter()
+        .map(|(rel, text)| parse::parse_file(rel, text))
+        .collect();
+    let ws = Workspace::build(files);
+    let graph = CallGraph::build(&ws);
+    let mut out = rules::run_all(&ws, &graph);
+    out.sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
     out
-}
-
-/// Per-line flags marking `#[cfg(test)]` regions (attribute line through
-/// the closing brace of the following item), found by brace matching on
-/// the masked source.
-pub fn test_line_flags(masked: &str) -> Vec<bool> {
-    let n_lines = masked.split('\n').count();
-    let mut flags = vec![false; n_lines];
-    let b = masked.as_bytes();
-    let line_of = |pos: usize| -> usize {
-        b[..pos.min(b.len())]
-            .iter()
-            .filter(|&&c| c == b'\n')
-            .count()
-    };
-    for (start, _) in masked.match_indices("#[cfg(test)]") {
-        let mut i = start + "#[cfg(test)]".len();
-        while i < b.len() && b[i] != b'{' && b[i] != b';' {
-            i += 1;
-        }
-        let end = if i < b.len() && b[i] == b'{' {
-            let mut depth = 0usize;
-            let mut j = i;
-            loop {
-                if j >= b.len() {
-                    break j;
-                }
-                match b[j] {
-                    b'{' => depth += 1,
-                    b'}' => {
-                        depth -= 1;
-                        if depth == 0 {
-                            break j;
-                        }
-                    }
-                    _ => {}
-                }
-                j += 1;
-            }
-        } else {
-            i
-        };
-        let (ls, le) = (line_of(start), line_of(end));
-        for flag in flags.iter_mut().take(le + 1).skip(ls) {
-            *flag = true;
-        }
-    }
-    flags
-}
-
-/// Classify a workspace-relative path into `(crate dir name, class)`.
-/// Paths outside `crates/` (top-level `tests/`, `examples/`) get an
-/// empty crate name.
-pub fn classify(rel: &str) -> (String, FileClass) {
-    let parts: Vec<&str> = rel.split('/').collect();
-    let (krate, rest): (&str, &[&str]) = if parts.first() == Some(&"crates") && parts.len() > 1 {
-        (parts[1], &parts[2..])
-    } else {
-        ("", &parts[..])
-    };
-    let class = if rest.contains(&"tests") {
-        FileClass::Test
-    } else if rest.contains(&"examples") {
-        FileClass::Example
-    } else if rest.contains(&"benches") {
-        FileClass::Bench
-    } else if rest.contains(&"bin") || rest.last() == Some(&"main.rs") {
-        FileClass::Bin
-    } else {
-        FileClass::Lib
-    };
-    (krate.to_string(), class)
-}
-
-fn push_diag(out: &mut Vec<Diagnostic>, rule: &str, rel: &str, line: usize, msg: &str, raw: &str) {
-    out.push(Diagnostic {
-        rule: rule.to_string(),
-        path: rel.to_string(),
-        line,
-        message: msg.to_string(),
-        snippet: raw.trim().to_string(),
-    });
-}
-
-/// Last token before byte `pos` in `s` (identifier/number chars plus `.`).
-fn token_before(s: &str, pos: usize) -> &str {
-    let b = s.as_bytes();
-    let mut end = pos;
-    while end > 0 && b[end - 1] == b' ' {
-        end -= 1;
-    }
-    let mut start = end;
-    while start > 0 {
-        let c = b[start - 1];
-        if c.is_ascii_alphanumeric() || c == b'_' || c == b'.' {
-            start -= 1;
-        } else if (c == b'-' || c == b'+')
-            && start >= 2
-            && (b[start - 2] == b'e' || b[start - 2] == b'E')
-        {
-            // Exponent sign of a float literal like `1e-9`.
-            start -= 1;
-        } else {
-            break;
-        }
-    }
-    &s[start..end]
-}
-
-/// First token after byte `pos` in `s`.
-fn token_after(s: &str, pos: usize) -> &str {
-    let b = s.as_bytes();
-    let mut start = pos;
-    while start < b.len() && b[start] == b' ' {
-        start += 1;
-    }
-    let mut end = start;
-    while end < b.len() {
-        let c = b[end];
-        if c.is_ascii_alphanumeric() || c == b'_' || c == b'.' {
-            end += 1;
-        } else if (c == b'-' || c == b'+')
-            && end > start
-            && (b[end - 1] == b'e' || b[end - 1] == b'E')
-        {
-            end += 1;
-        } else {
-            break;
-        }
-    }
-    &s[start..end]
-}
-
-/// Whether a token is a float literal (`0.0`, `1.`, `1e-9`, `2.5f64`).
-fn is_float_literal(tok: &str) -> bool {
-    let tok = tok
-        .trim_end_matches("f64")
-        .trim_end_matches("f32")
-        .trim_end_matches('_');
-    if tok.is_empty() || !tok.as_bytes()[0].is_ascii_digit() {
-        return false;
-    }
-    (tok.contains('.') || tok.contains('e') || tok.contains('E')) && tok.parse::<f64>().is_ok()
-}
-
-/// Whether a masked line contains an `==`/`!=` whose operand is a float
-/// literal.
-fn has_float_eq(masked_line: &str) -> bool {
-    for (idx, _) in masked_line.match_indices("==") {
-        let before_op = if idx > 0 && masked_line.as_bytes()[idx - 1] == b'!' {
-            idx - 1
-        } else {
-            idx
-        };
-        if is_float_literal(token_before(masked_line, before_op))
-            || is_float_literal(token_after(masked_line, idx + 2))
-        {
-            return true;
-        }
-    }
-    // `!=` has a single `=` so it is not covered by the `==` search.
-    for (idx, _) in masked_line.match_indices("!=") {
-        if masked_line.as_bytes().get(idx + 2) == Some(&b'=') {
-            continue;
-        }
-        if is_float_literal(token_before(masked_line, idx))
-            || is_float_literal(token_after(masked_line, idx + 2))
-        {
-            return true;
-        }
-    }
-    false
 }
 
 /// Run every rule against one file's source, given its workspace-relative
-/// path (which decides crate and class). Returns unsuppressed findings.
+/// path (which decides crate and class). Cross-file rules see a
+/// single-file workspace. Returns unsuppressed findings.
 pub fn scan_source(rel: &str, text: &str) -> Vec<Diagnostic> {
-    let (krate, class) = classify(rel);
-    let masked = mask_source(text);
-    let in_test = test_line_flags(&masked);
-    let raw_lines: Vec<&str> = text.split('\n').collect();
-    let masked_lines: Vec<&str> = masked.split('\n').collect();
-    let mut out = Vec::new();
-
-    let sim_lib = class == FileClass::Lib && SIM_CRATES.contains(&krate.as_str());
-    let lib = class == FileClass::Lib;
-    let sorted_output = SORTED_OUTPUT_FILES.contains(&rel);
-    let analysis_lib = class == FileClass::Lib && krate == "analysis";
-    let fault_lib = lib && rel.contains("fault");
-    let sampling_path = lib && SAMPLING_PATH_FILES.contains(&rel);
-    let oracle_banned =
-        matches!(class, FileClass::Lib | FileClass::Bin) && !ORACLE_DEF_FILES.contains(&rel);
-
-    for (l, m) in masked_lines.iter().enumerate() {
-        if in_test.get(l).copied().unwrap_or(false) {
-            continue;
-        }
-        let raw = raw_lines.get(l).copied().unwrap_or("");
-        let lineno = l + 1;
-        if sim_lib {
-            for pat in ["Instant::now", "SystemTime::now", "thread_rng"] {
-                if m.contains(pat) {
-                    push_diag(
-                        &mut out,
-                        "CL001",
-                        rel,
-                        lineno,
-                        &format!("`{pat}` in simulation crate `{krate}` breaks replay determinism; derive all time/randomness from the simulation clock and seeded SimRng"),
-                        raw,
-                    );
-                }
-            }
-        }
-        if lib {
-            for pat in [".unwrap()", ".expect(", "panic!"] {
-                if m.contains(pat) {
-                    push_diag(
-                        &mut out,
-                        "CL002",
-                        rel,
-                        lineno,
-                        &format!("`{pat}` in library code; return Result/Option or add an audited entry to crates/lint/suppressions.txt"),
-                        raw,
-                    );
-                }
-            }
-        }
-        if sorted_output {
-            for pat in ["HashMap", "HashSet"] {
-                if m.contains(pat) {
-                    push_diag(
-                        &mut out,
-                        "CL003",
-                        rel,
-                        lineno,
-                        &format!("`{pat}` in report-producing file; iteration order feeds output — use BTreeMap/BTreeSet or sort explicitly"),
-                        raw,
-                    );
-                }
-            }
-        }
-        if fault_lib {
-            for pat in [".schedule_at(", ".schedule_in(", ".schedule_periodic("] {
-                if m.contains(pat) {
-                    push_diag(
-                        &mut out,
-                        "CL005",
-                        rel,
-                        lineno,
-                        &format!("`{pat}` in fault code bypasses the FaultPlan path; route fault timing through fault::install so plans stay replayable"),
-                        raw,
-                    );
-                }
-            }
-        }
-        if sampling_path {
-            for pat in ["BTreeMap<(String", "BTreeMap<(HostLabel"] {
-                if m.contains(pat) {
-                    push_diag(
-                        &mut out,
-                        "CL006",
-                        rel,
-                        lineno,
-                        &format!("`{pat}` host-keyed map on the sampling path; record through interned HostId + dense metric columns (SeriesStore::record_row)"),
-                        raw,
-                    );
-                }
-            }
-        }
-        if oracle_banned {
-            for pat in [
-                "goertzel_power(",
-                "goertzel_periodogram(",
-                "find_lag_naive(",
-                "cross_correlation(",
-            ] {
-                if m.contains(pat) {
-                    push_diag(
-                        &mut out,
-                        "CL007",
-                        rel,
-                        lineno,
-                        &format!("`{pat}` is the O(n²) test oracle; production code must use the FFT periodogram / prefix-sum lag scan (SeriesScratch, find_lag, cross_correlation_scan)"),
-                        raw,
-                    );
-                }
-            }
-        }
-        if analysis_lib && has_float_eq(m) {
-            push_diag(
-                &mut out,
-                "CL004",
-                rel,
-                lineno,
-                "bare f64 equality against a float literal; use an epsilon or is_normal()/is_finite() guards",
-                raw,
-            );
-        }
-    }
-    out
+    scan_files(&[(rel.to_string(), text.to_string())])
 }
 
 /// Recursively collect `.rs` files under `crates/`, `tests/` and
@@ -693,7 +394,7 @@ pub fn workspace_root() -> PathBuf {
 }
 
 /// Run the full pass over the workspace, applying the checked-in
-/// suppressions file.
+/// suppressions file and flagging stale entries.
 pub fn scan_workspace(root: &Path) -> io::Result<LintReport> {
     let sup_path = root.join("crates/lint/suppressions.txt");
     let sups = if sup_path.is_file() {
@@ -701,24 +402,20 @@ pub fn scan_workspace(root: &Path) -> io::Result<LintReport> {
     } else {
         Vec::new()
     };
-    let mut report = LintReport::default();
+    let mut inputs = Vec::new();
     for (abs, rel) in collect_rust_files(root)? {
-        let text = fs::read_to_string(&abs)?;
-        report.files_scanned += 1;
-        for d in scan_source(&rel, &text) {
-            let suppressed = sups
-                .iter()
-                .any(|s| s.rule == d.rule && s.path == d.path && d.snippet.contains(&s.needle));
-            if suppressed {
-                report.suppressed += 1;
-            } else {
-                report.violations.push(d);
-            }
-        }
+        inputs.push((rel, fs::read_to_string(&abs)?));
     }
-    report
-        .violations
-        .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    let mut report = LintReport {
+        files_scanned: inputs.len(),
+        ..LintReport::default()
+    };
+    let diags = scan_files(&inputs);
+    let (kept, suppressed, stale) = apply_suppressions(diags, &sups);
+    report.violations = kept;
+    report.suppressed = suppressed;
+    report.stale_suppressions = stale;
+    report.tally();
     Ok(report)
 }
 
@@ -749,31 +446,8 @@ mod tests {
     fn cfg_test_regions_are_flagged() {
         let src =
             "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}";
-        let flags = test_line_flags(&mask_source(src));
+        let flags = test_line_flags(src);
         assert_eq!(flags, vec![false, true, true, true, true, false]);
-    }
-
-    #[test]
-    fn classify_by_path() {
-        assert_eq!(
-            classify("crates/simcore/src/engine.rs"),
-            ("simcore".to_string(), FileClass::Lib)
-        );
-        assert_eq!(classify("crates/bench/src/bin/repro.rs").1, FileClass::Bin);
-        assert_eq!(classify("crates/hw/benches/b.rs").1, FileClass::Bench);
-        assert_eq!(classify("tests/audit.rs").1, FileClass::Test);
-        assert_eq!(classify("examples/quickstart.rs").1, FileClass::Example);
-        assert_eq!(classify("crates/lint/tests/x.rs").1, FileClass::Test);
-    }
-
-    #[test]
-    fn float_eq_detection() {
-        assert!(has_float_eq("if x == 0.0 {"));
-        assert!(has_float_eq("if 1e-9 != y {"));
-        assert!(has_float_eq("a == 2.5f64"));
-        assert!(!has_float_eq("if n == 0 {"));
-        assert!(!has_float_eq("a.len() == b.len()"));
-        assert!(!has_float_eq("let c = a <= 0.0;"));
     }
 
     #[test]
@@ -787,7 +461,42 @@ mod tests {
     }
 
     #[test]
-    fn scan_source_fires_each_rule() {
+    fn apply_suppressions_tracks_stale() {
+        let diags = vec![Diagnostic {
+            rule: "CL002".to_string(),
+            path: "crates/x/src/a.rs".to_string(),
+            line: 3,
+            message: String::new(),
+            snippet: "x.unwrap();".to_string(),
+        }];
+        let sups = parse_suppressions(
+            "CL002 crates/x/src/a.rs x.unwrap\nCL002 crates/x/src/a.rs no_such_site\n",
+        );
+        let (kept, suppressed, stale) = apply_suppressions(diags, &sups);
+        assert!(kept.is_empty());
+        assert_eq!(suppressed, 1);
+        assert_eq!(stale, vec!["CL002 crates/x/src/a.rs no_such_site"]);
+    }
+
+    #[test]
+    fn report_counts_every_rule() {
+        let mut r = LintReport::default();
+        assert_eq!(r.rule_counts.len(), RULES.len());
+        r.violations.push(Diagnostic {
+            rule: "CL003".to_string(),
+            path: "p".to_string(),
+            line: 1,
+            message: String::new(),
+            snippet: String::new(),
+        });
+        r.tally();
+        assert_eq!(r.rule_counts["CL003"], 1);
+        assert_eq!(r.rule_counts["CL001"], 0);
+        assert_eq!(r.schema, SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn scan_source_fires_each_line_rule() {
         let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); x.unwrap(); }\n";
         let d = scan_source("crates/simcore/src/x.rs", src);
         assert!(d.iter().any(|d| d.rule == "CL001"));
@@ -819,29 +528,17 @@ mod tests {
         let src = "struct S { m: BTreeMap<(String, MetricId), TimeSeries> }\n";
         let d = scan_source("crates/monitor/src/store.rs", src);
         assert!(d.iter().any(|d| d.rule == "CL006"));
-        let d = scan_source("crates/core/src/batch.rs", src);
-        assert!(d.iter().any(|d| d.rule == "CL006"));
-        // The keyed baseline in benches is exempt by file class...
         let d = scan_source("crates/bench/benches/store.rs", src);
         assert!(!d.iter().any(|d| d.rule == "CL006"));
-        // ...and off-path library files are not CL006's business.
         let d = scan_source("crates/core/src/report.rs", src);
         assert!(!d.iter().any(|d| d.rule == "CL006"));
         // CL007: oracle calls in library/binary code.
         let src = "fn f(xs: &[f64]) { let p = goertzel_periodogram(xs); let l = find_lag_naive(xs, xs, 5); }\n";
         let d = scan_source("crates/core/src/characterize.rs", src);
         assert_eq!(d.iter().filter(|d| d.rule == "CL007").count(), 2);
-        let d = scan_source("crates/bench/src/bin/repro.rs", src);
-        assert!(d.iter().any(|d| d.rule == "CL007"));
-        // The defining files are exempt (they hold the oracles)...
         let d = scan_source("crates/analysis/src/spectrum.rs", src);
         assert!(!d.iter().any(|d| d.rule == "CL007"));
-        let d = scan_source("crates/analysis/src/lag.rs", src);
-        assert!(!d.iter().any(|d| d.rule == "CL007"));
-        // ...as are tests and benches, which race oracle vs fast path.
         let d = scan_source("crates/analysis/tests/prop.rs", src);
-        assert!(!d.iter().any(|d| d.rule == "CL007"));
-        let d = scan_source("crates/bench/benches/analysis.rs", src);
         assert!(!d.iter().any(|d| d.rule == "CL007"));
         // The scan-based fast path does not trip the oracle pattern.
         let d = scan_source(
@@ -849,5 +546,29 @@ mod tests {
             "fn f(xs: &[f64]) { let s = cross_correlation_scan(xs, xs, 5); }\n",
         );
         assert!(!d.iter().any(|d| d.rule == "CL007"));
+    }
+
+    #[test]
+    fn scan_files_runs_cross_file_rules() {
+        // A worker closure calling a helper that locks a Mutex, across
+        // files: CL008 must follow the call edge.
+        let files = vec![
+            (
+                "crates/core/src/sweep2.rs".to_string(),
+                "use crate::helper::tally;\nfn run_all(items: &[u32]) {\n    par_map_ordered_with(items, 4, || (), |(), x| tally(*x));\n}\n"
+                    .to_string(),
+            ),
+            (
+                "crates/core/src/helper.rs".to_string(),
+                "pub fn tally(x: u32) -> u32 {\n    let m = std::sync::Mutex::new(x);\n    *m.lock().unwrap_or_else(|e| e.into_inner())\n}\n"
+                    .to_string(),
+            ),
+        ];
+        let d = scan_files(&files);
+        assert!(
+            d.iter()
+                .any(|d| d.rule == "CL008" && d.path == "crates/core/src/helper.rs"),
+            "diagnostics: {d:#?}"
+        );
     }
 }

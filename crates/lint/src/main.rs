@@ -1,21 +1,34 @@
 //! Command-line front end for the cloudchar lint pass.
 //!
 //! ```sh
-//! cargo run -p cloudchar-lint            # human-readable diagnostics
-//! cargo run -p cloudchar-lint -- --json  # machine-readable summary
-//! cargo run -p cloudchar-lint -- --fixture crates/lint/fixtures/violations.rs
+//! cargo run -p cloudchar-lint                # human-readable diagnostics
+//! cargo run -p cloudchar-lint -- --json      # machine-readable summary (schema v2)
+//! cargo run -p cloudchar-lint -- --allow-stale  # tolerate stale suppressions
+//! cargo run -p cloudchar-lint -- --fixture crates/lint/tests/fixtures/cl001_bad.rs
 //! ```
 //!
-//! Exits 0 when the workspace is clean, 1 when violations are found,
-//! 2 on I/O errors. `--fixture FILE` scans one file *as if* it were
-//! simulation-library code (self-test: it must exit non-zero on the
-//! checked-in fixture).
+//! Exits 0 when the workspace is clean, 1 when violations (or stale
+//! suppression entries, unless `--allow-stale`) are found, 2 on I/O
+//! errors. `--fixture FILE` scans one file under a set of virtual paths
+//! that activate every rule (self-test: it must exit non-zero on each
+//! checked-in `*_bad.rs` fixture).
 
-use cloudchar_lint::{scan_source, scan_workspace, workspace_root, LintReport};
+use cloudchar_lint::{scan_files, scan_workspace, workspace_root, LintReport};
+
+/// Virtual workspace paths a `--fixture` file is scanned under, chosen so
+/// every rule's file/crate gate is open for at least one of them.
+const FIXTURE_PATHS: [&str; 5] = [
+    "crates/monitor/src/store.rs",    // CL003 + CL006 + sim crate
+    "crates/analysis/src/fixture.rs", // CL004
+    "crates/core/src/faults.rs",      // CL005 + fault file
+    "crates/simcore/src/fixture.rs",  // CL001/2/8/9/10 sim-lib
+    "crates/hw/src/fixture.rs",       // CL012 audit scope
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
+    let allow_stale = args.iter().any(|a| a == "--allow-stale");
     let fixture = args
         .iter()
         .position(|a| a == "--fixture")
@@ -26,18 +39,16 @@ fn main() {
             let root = workspace_root();
             match std::fs::read_to_string(root.join(path)) {
                 Ok(text) => {
-                    // Scan the fixture under paths that activate every
-                    // rule: a sim-crate report file, an analysis file,
-                    // and a fault library file.
-                    let mut violations = scan_source("crates/monitor/src/store.rs", &text);
-                    violations.extend(scan_source("crates/analysis/src/fixture.rs", &text));
-                    violations.extend(scan_source("crates/core/src/faults.rs", &text));
-                    violations.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
-                    LintReport {
+                    let inputs: Vec<(String, String)> = FIXTURE_PATHS
+                        .iter()
+                        .map(|p| (p.to_string(), text.clone()))
+                        .collect();
+                    let mut report = LintReport {
                         files_scanned: 1,
-                        suppressed: 0,
-                        violations,
-                    }
+                        ..LintReport::default()
+                    };
+                    report.violations = scan_files(&inputs);
+                    report
                 }
                 Err(e) => {
                     eprintln!("cloudchar-lint: cannot read fixture {path}: {e}");
@@ -67,9 +78,13 @@ fn main() {
             println!("{}:{}: [{}] {}", d.path, d.line, d.rule, d.message);
             println!("    {}", d.snippet);
         }
+        for s in &report.stale_suppressions {
+            println!("stale suppression (matches nothing): {s}");
+        }
         println!("cloudchar-lint: {}", report.summary());
     }
-    if !report.is_clean() {
+    let stale_fails = !report.stale_suppressions.is_empty() && !allow_stale;
+    if !report.violations.is_empty() || stale_fails {
         std::process::exit(1);
     }
 }

@@ -1,0 +1,774 @@
+//! Item-level parser: per-file `fn` / `impl` / `use` extraction.
+//!
+//! Works on the [`crate::lexer`] token stream and extracts exactly what
+//! the workspace rules need:
+//!
+//! * every function item with its name, enclosing `impl` type, module
+//!   path, signature line, body token range, and whether it lives under
+//!   `#[cfg(test)]` / `#[test]`;
+//! * every `use` declaration flattened into `alias → path segments`
+//!   pairs (groups, globs and renames included);
+//! * per-line test flags, replacing the v1 brace-matching heuristic
+//!   (which only recognized the literal attribute `#[cfg(test)]` and
+//!   missed forms like `#[cfg(all(test, feature = "x"))]`).
+//!
+//! The parser is forgiving: it never fails on malformed input, it just
+//! extracts fewer items. Contexts (mod/impl/fn) are tracked on a stack
+//! keyed by brace depth, so stray braces in expressions (struct
+//! literals, blocks, closures) cannot desynchronize item boundaries.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// How a file participates in the build, which decides rule applicability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library code — all rules apply.
+    Lib,
+    /// Binary target (`src/main.rs`, `src/bin/*`) — CL002 allowlisted.
+    Bin,
+    /// Integration/unit test file — CL002 allowlisted.
+    Test,
+    /// Example — CL002 allowlisted.
+    Example,
+    /// Bench target — CL001/CL002 allowlisted (wall-clock timing lives here).
+    Bench,
+}
+
+/// Classify a workspace-relative path into `(crate dir name, class)`.
+/// Paths outside `crates/` (top-level `tests/`, `examples/`) get an
+/// empty crate name.
+pub fn classify(rel: &str) -> (String, FileClass) {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let (krate, rest): (&str, &[&str]) = if parts.first() == Some(&"crates") && parts.len() > 1 {
+        (parts[1], &parts[2..])
+    } else {
+        ("", &parts[..])
+    };
+    let class = if rest.contains(&"tests") {
+        FileClass::Test
+    } else if rest.contains(&"examples") {
+        FileClass::Example
+    } else if rest.contains(&"benches") {
+        FileClass::Bench
+    } else if rest.contains(&"bin") || rest.last() == Some(&"main.rs") {
+        FileClass::Bin
+    } else {
+        FileClass::Lib
+    };
+    (krate.to_string(), class)
+}
+
+/// One function item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl` type name, when declared inside an impl block.
+    pub self_ty: Option<String>,
+    /// Module path inside the file (inline `mod` names, outermost first).
+    pub mods: Vec<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Range of *code-token* indices covering the body, including both
+    /// braces: `ctoks[body.0] == "{"`, `ctoks[body.1] == "}"`.
+    pub body: (usize, usize),
+    /// Whether the function is test-only (`#[cfg(test)]` region,
+    /// `#[test]` attribute, or a file of test class).
+    pub is_test: bool,
+    /// Whether the signature takes `&mut self`.
+    pub mut_self: bool,
+}
+
+/// One flattened `use` import: `alias` is the name visible in this file.
+#[derive(Debug, Clone)]
+pub struct UseImport {
+    /// Local binding name (last segment, or the `as` rename).
+    pub alias: String,
+    /// Full path segments as written (e.g. `["cloudchar_simcore", "fault", "install"]`).
+    pub segments: Vec<String>,
+}
+
+/// Parse result for one file.
+#[derive(Debug)]
+pub struct FileAst {
+    /// Workspace-relative path.
+    pub rel: String,
+    /// Crate directory name (`simcore`, `core`, …; empty outside `crates/`).
+    pub krate: String,
+    /// File class from [`classify`].
+    pub class: FileClass,
+    /// Source text (owned so diagnostics can quote lines).
+    pub src: String,
+    /// Code tokens only (comments and whitespace stripped).
+    pub ctoks: Vec<Tok>,
+    /// Extracted function items.
+    pub fns: Vec<FnItem>,
+    /// Flattened `use` imports.
+    pub uses: Vec<UseImport>,
+    /// 0-based per-line flags: line belongs to a test item/region.
+    pub test_lines: Vec<bool>,
+}
+
+impl FileAst {
+    /// Token text helper.
+    pub fn text(&self, i: usize) -> &str {
+        self.ctoks.get(i).map(|t| t.text(&self.src)).unwrap_or("")
+    }
+
+    /// 1-based line of code token `i`.
+    pub fn line(&self, i: usize) -> usize {
+        self.ctoks.get(i).map(|t| t.line).unwrap_or(1)
+    }
+
+    /// The raw source line (1-based), trimmed.
+    pub fn raw_line(&self, line: usize) -> &str {
+        self.src
+            .split('\n')
+            .nth(line.saturating_sub(1))
+            .unwrap_or("")
+            .trim()
+    }
+
+    /// Whether 1-based `line` is inside a test item/region.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.class == FileClass::Test
+            || self
+                .test_lines
+                .get(line.saturating_sub(1))
+                .copied()
+                .unwrap_or(false)
+    }
+}
+
+/// Context kinds tracked on the parse stack.
+#[derive(Debug)]
+enum Ctx {
+    /// Inline module `mod name { … }`.
+    Mod(String),
+    /// `impl Type { … }` (type name) — `impl Trait for Type` records `Type`.
+    Impl(String),
+    /// Function body; index into `fns` to patch the end when it closes.
+    Fn(usize),
+    /// Any other brace-entered region (match body, struct literal, …).
+    Other,
+}
+
+struct Frame {
+    ctx: Ctx,
+    /// Whether this context is test-only (inherited).
+    is_test: bool,
+    /// 1-based line the region starts on (attribute line when the item
+    /// carries a test attribute) — with the closing-brace line, this
+    /// delimits the test-line flag range.
+    open_line: usize,
+}
+
+/// Parse one file into a [`FileAst`].
+pub fn parse_file(rel: &str, text: &str) -> FileAst {
+    let (krate, class) = classify(rel);
+    let toks = lex(text);
+    let ctoks: Vec<Tok> = toks.into_iter().filter(|t| t.is_code()).collect();
+    let n_lines = text.split('\n').count();
+
+    let mut fns: Vec<FnItem> = Vec::new();
+    let mut uses: Vec<UseImport> = Vec::new();
+    let mut test_lines = vec![false; n_lines];
+
+    let mut stack: Vec<Frame> = Vec::new();
+    // Attribute state for the *next* item at the current level.
+    let mut pending_test_attr = false;
+    // Byte line where the pending test attribute started (to flag the
+    // attribute lines themselves).
+    let mut pending_attr_line: Option<usize> = None;
+
+    let src = text;
+    let tok_text = |i: usize| -> &str { ctoks.get(i).map(|t| t.text(src)).unwrap_or("") };
+
+    let mut i = 0;
+    while i < ctoks.len() {
+        let t = ctoks[i];
+        let in_test = stack.last().map(|f| f.is_test).unwrap_or(false);
+        match t.kind {
+            TokKind::Punct => {
+                match t.text(src) {
+                    "#" => {
+                        // Attribute: `#[ … ]` or `#![ … ]`. Scan the
+                        // balanced bracket group for a test marker.
+                        let mut j = i + 1;
+                        if tok_text(j) == "!" {
+                            j += 1;
+                        }
+                        if tok_text(j) == "[" {
+                            let (end, is_testish) = scan_attr(&ctoks, src, j);
+                            if is_testish {
+                                pending_test_attr = true;
+                                pending_attr_line.get_or_insert(t.line);
+                            }
+                            i = end + 1;
+                            continue;
+                        }
+                        i += 1;
+                    }
+                    "{" => {
+                        stack.push(Frame {
+                            ctx: Ctx::Other,
+                            is_test: in_test || pending_test_attr,
+                            open_line: pending_attr_line.unwrap_or(t.line),
+                        });
+                        pending_test_attr = false;
+                        pending_attr_line = None;
+                        i += 1;
+                    }
+                    "}" => {
+                        if let Some(frame) = stack.pop() {
+                            if let Ctx::Fn(fi) = frame.ctx {
+                                if let Some(f) = fns.get_mut(fi) {
+                                    f.body.1 = i;
+                                }
+                            }
+                            if frame.is_test {
+                                flag_range(&mut test_lines, frame.open_line, t.line);
+                            }
+                        }
+                        i += 1;
+                    }
+                    ";" => {
+                        // An item ended without a body; a pending test
+                        // attribute covers it through this semicolon
+                        // (e.g. `#[cfg(test)] use …;`).
+                        if pending_test_attr {
+                            let lo = pending_attr_line.unwrap_or(t.line);
+                            flag_range(&mut test_lines, lo, t.line);
+                        }
+                        pending_test_attr = false;
+                        pending_attr_line = None;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            TokKind::Ident => match t.text(src) {
+                "use" => {
+                    let (end, mut imports) = parse_use(&ctoks, src, i + 1);
+                    uses.append(&mut imports);
+                    i = end;
+                }
+                "mod" => {
+                    let name = tok_text(i + 1).to_string();
+                    // `mod name;` is an out-of-line module: nothing to track.
+                    if tok_text(i + 2) == "{" {
+                        stack.push(Frame {
+                            ctx: Ctx::Mod(name),
+                            is_test: in_test || pending_test_attr,
+                            open_line: pending_attr_line.unwrap_or(t.line),
+                        });
+                        pending_test_attr = false;
+                        pending_attr_line = None;
+                        i += 3;
+                    } else {
+                        if pending_test_attr {
+                            let lo = pending_attr_line.unwrap_or(t.line);
+                            flag_range(&mut test_lines, lo, t.line);
+                        }
+                        pending_test_attr = false;
+                        pending_attr_line = None;
+                        i += 2;
+                    }
+                }
+                "impl" => {
+                    let (body_open, ty) = parse_impl_header(&ctoks, src, i + 1);
+                    if let Some(open) = body_open {
+                        stack.push(Frame {
+                            ctx: Ctx::Impl(ty),
+                            is_test: in_test || pending_test_attr,
+                            open_line: pending_attr_line.unwrap_or(t.line),
+                        });
+                        pending_test_attr = false;
+                        pending_attr_line = None;
+                        i = open + 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                "fn" => {
+                    let name = tok_text(i + 1).to_string();
+                    let (body_open, mut_self) = parse_fn_header(&ctoks, src, i + 2);
+                    let test = in_test || pending_test_attr || class == FileClass::Test;
+                    if let Some(open) = body_open {
+                        let self_ty = stack.iter().rev().find_map(|f| match &f.ctx {
+                            Ctx::Impl(ty) => Some(ty.clone()),
+                            _ => None,
+                        });
+                        let mods = stack
+                            .iter()
+                            .filter_map(|f| match &f.ctx {
+                                Ctx::Mod(m) => Some(m.clone()),
+                                _ => None,
+                            })
+                            .collect();
+                        fns.push(FnItem {
+                            name,
+                            self_ty,
+                            mods,
+                            line: t.line,
+                            body: (open, open),
+                            is_test: test,
+                            mut_self,
+                        });
+                        stack.push(Frame {
+                            ctx: Ctx::Fn(fns.len() - 1),
+                            is_test: test && class != FileClass::Test,
+                            open_line: pending_attr_line.unwrap_or(t.line),
+                        });
+                        pending_test_attr = false;
+                        pending_attr_line = None;
+                        i = open + 1;
+                    } else {
+                        // Trait method declaration or extern fn: no body.
+                        pending_test_attr = false;
+                        pending_attr_line = None;
+                        i += 2;
+                    }
+                }
+                _ => i += 1,
+            },
+            _ => i += 1,
+        }
+    }
+
+    // Any unterminated test frame flags through end of file.
+    for f in &stack {
+        if f.is_test {
+            flag_range(&mut test_lines, f.open_line, n_lines);
+        }
+    }
+
+    FileAst {
+        rel: rel.to_string(),
+        krate,
+        class,
+        src: text.to_string(),
+        ctoks,
+        fns,
+        uses,
+        test_lines,
+    }
+}
+
+/// Flag the 1-based inclusive line range `[lo, hi]` as test lines.
+fn flag_range(flags: &mut [bool], lo: usize, hi: usize) {
+    for l in lo..=hi {
+        if let Some(f) = flags.get_mut(l.saturating_sub(1)) {
+            *f = true;
+        }
+    }
+}
+
+/// Scan an attribute starting at the `[` token; returns (index of the
+/// closing `]`, whether the attribute marks test-only code). Test
+/// markers: a `test` path segment anywhere in the attribute (`#[test]`,
+/// `#[cfg(test)]`, `#[cfg(all(test, …))]`, `#[tokio::test]`).
+fn scan_attr(ctoks: &[Tok], src: &str, open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut testish = false;
+    let mut j = open;
+    while j < ctoks.len() {
+        let txt = ctoks[j].text(src);
+        match txt {
+            "[" | "(" => depth += 1,
+            "]" | ")" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return (j, testish);
+                }
+            }
+            "test" if ctoks[j].kind == TokKind::Ident => testish = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    (ctoks.len().saturating_sub(1), testish)
+}
+
+/// Parse a `use` declaration starting after the `use` keyword; returns
+/// (index one past the terminating `;`, flattened imports).
+fn parse_use(ctoks: &[Tok], src: &str, start: usize) -> (usize, Vec<UseImport>) {
+    // Collect the raw token texts up to `;`, then flatten groups.
+    let mut j = start;
+    let mut texts: Vec<&str> = Vec::new();
+    while j < ctoks.len() {
+        let txt = ctoks[j].text(src);
+        if txt == ";" {
+            j += 1;
+            break;
+        }
+        texts.push(txt);
+        j += 1;
+    }
+    let mut out = Vec::new();
+    flatten_use(&texts, &mut 0, &mut Vec::new(), &mut out);
+    (j, out)
+}
+
+/// Recursive-descent flattening of a use tree: `a::b::{c, d as e, f::*}`.
+fn flatten_use(
+    texts: &[&str],
+    pos: &mut usize,
+    prefix: &mut Vec<String>,
+    out: &mut Vec<UseImport>,
+) {
+    let base_len = prefix.len();
+    loop {
+        match texts.get(*pos) {
+            Some(&"{") => {
+                *pos += 1;
+                // Group: flatten each comma-separated subtree.
+                loop {
+                    match texts.get(*pos) {
+                        Some(&"}") => {
+                            *pos += 1;
+                            break;
+                        }
+                        Some(&",") => {
+                            *pos += 1;
+                        }
+                        Some(_) => flatten_use(texts, pos, prefix, out),
+                        None => break,
+                    }
+                }
+                break;
+            }
+            Some(&"::") => {
+                *pos += 1;
+            }
+            Some(&"*") => {
+                *pos += 1;
+                // Glob: record with a `*` alias; resolution treats it
+                // as "anything under this prefix".
+                out.push(UseImport {
+                    alias: "*".to_string(),
+                    segments: prefix.clone(),
+                });
+                break;
+            }
+            Some(&"as") => {
+                let alias = texts.get(*pos + 1).copied().unwrap_or("_").to_string();
+                *pos += 2;
+                out.push(UseImport {
+                    alias,
+                    segments: prefix.clone(),
+                });
+                prefix.truncate(base_len);
+                return;
+            }
+            Some(&seg)
+                if seg
+                    .chars()
+                    .next()
+                    .map(|c| c.is_alphanumeric() || c == '_')
+                    .unwrap_or(false) =>
+            {
+                prefix.push(seg.to_string());
+                *pos += 1;
+                // End of a leaf if the next token is not `::`; a
+                // trailing `as` renames the leaf.
+                match texts.get(*pos) {
+                    Some(&"::") => {}
+                    Some(&"as") => {
+                        let alias = texts.get(*pos + 1).copied().unwrap_or("_").to_string();
+                        *pos += 2;
+                        out.push(UseImport {
+                            alias,
+                            segments: prefix.clone(),
+                        });
+                        prefix.truncate(base_len);
+                        return;
+                    }
+                    _ => {
+                        out.push(UseImport {
+                            alias: prefix.last().cloned().unwrap_or_default(),
+                            segments: prefix.clone(),
+                        });
+                        prefix.truncate(base_len);
+                        return;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    prefix.truncate(base_len);
+}
+
+/// Parse an impl header after the `impl` keyword; returns (index of the
+/// body `{` if found, implemented type name). For `impl Trait for Type`
+/// the type after `for` wins; generic parameters are skipped.
+fn parse_impl_header(ctoks: &[Tok], src: &str, start: usize) -> (Option<usize>, String) {
+    let mut j = start;
+    // Skip `<…>` generics.
+    if ctoks.get(j).map(|t| t.text(src)) == Some("<") {
+        let mut angle = 0usize;
+        while j < ctoks.len() {
+            match ctoks[j].text(src) {
+                "<" => angle += 1,
+                ">" => {
+                    angle -= 1;
+                    if angle == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    let mut ty = String::new();
+    let mut after_for = false;
+    while j < ctoks.len() {
+        let txt = ctoks[j].text(src);
+        match txt {
+            "{" => return (Some(j), ty),
+            ";" => return (None, ty),
+            "for" => {
+                after_for = true;
+                ty.clear();
+                j += 1;
+            }
+            "where" => {
+                // Skip the where clause up to the body brace.
+                while j < ctoks.len() && ctoks[j].text(src) != "{" {
+                    j += 1;
+                }
+            }
+            _ => {
+                if ty.is_empty() && ctoks[j].kind == TokKind::Ident && txt != "dyn" {
+                    let _ = after_for;
+                    ty = txt.to_string();
+                }
+                j += 1;
+            }
+        }
+    }
+    (None, ty)
+}
+
+/// Parse a fn header starting at the token after the fn name; returns
+/// (index of the body `{` if any, whether the params contain `&mut self`).
+fn parse_fn_header(ctoks: &[Tok], src: &str, start: usize) -> (Option<usize>, bool) {
+    let mut j = start;
+    // Skip `<…>` generics before the parameter list.
+    if ctoks.get(j).map(|t| t.text(src)) == Some("<") {
+        let mut angle = 0usize;
+        while j < ctoks.len() {
+            match ctoks[j].text(src) {
+                "<" => angle += 1,
+                ">" => {
+                    angle -= 1;
+                    if angle == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                // A stray `(`/`{` means we mis-lexed; bail out safely.
+                "{" | ";" => return (None, false),
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    // Parameter list.
+    let mut mut_self = false;
+    if ctoks.get(j).map(|t| t.text(src)) == Some("(") {
+        let mut paren = 0usize;
+        let open = j;
+        while j < ctoks.len() {
+            match ctoks[j].text(src) {
+                "(" => paren += 1,
+                ")" => {
+                    paren -= 1;
+                    if paren == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        // `&mut self` (possibly `&'a mut self`) in the first params.
+        let mut k = open + 1;
+        while k < j && k < open + 6 {
+            if ctoks[k].text(src) == "mut" && ctoks[k + 1].text(src) == "self" {
+                mut_self = true;
+                break;
+            }
+            k += 1;
+        }
+        j += 1;
+    }
+    // Scan to the body `{` or a `;` at bracket depth 0 (return types and
+    // where clauses may contain parens/brackets but not braces).
+    let mut depth = 0usize;
+    while j < ctoks.len() {
+        match ctoks[j].text(src) {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth = depth.saturating_sub(1),
+            "{" if depth == 0 => return (Some(j), mut_self),
+            ";" if depth == 0 => return (None, mut_self),
+            _ => {}
+        }
+        j += 1;
+    }
+    (None, mut_self)
+}
+
+/// Per-line `#[cfg(test)]`-style flags for arbitrary source text — the
+/// v2 replacement for the v1 brace matcher, kept as a plain function for
+/// the line-rule scanner and back-compat tests.
+pub fn test_line_flags(src: &str) -> Vec<bool> {
+    parse_file("crates/unknown/src/x.rs", src).test_lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_by_path() {
+        assert_eq!(
+            classify("crates/simcore/src/engine.rs"),
+            ("simcore".to_string(), FileClass::Lib)
+        );
+        assert_eq!(classify("crates/bench/src/bin/repro.rs").1, FileClass::Bin);
+        assert_eq!(classify("crates/hw/benches/b.rs").1, FileClass::Bench);
+        assert_eq!(classify("tests/audit.rs").1, FileClass::Test);
+        assert_eq!(classify("examples/quickstart.rs").1, FileClass::Example);
+        assert_eq!(classify("crates/lint/tests/x.rs").1, FileClass::Test);
+    }
+
+    #[test]
+    fn extracts_fns_with_bodies() {
+        let src = "fn a() { b(); }\npub fn b() -> u64 { 1 }\n";
+        let ast = parse_file("crates/simcore/src/x.rs", src);
+        assert_eq!(ast.fns.len(), 2);
+        assert_eq!(ast.fns[0].name, "a");
+        assert_eq!(ast.fns[1].name, "b");
+        assert_eq!(ast.fns[0].line, 1);
+        assert_eq!(ast.fns[1].line, 2);
+        // Body ranges cover the braces.
+        let (lo, hi) = ast.fns[0].body;
+        assert_eq!(ast.text(lo), "{");
+        assert_eq!(ast.text(hi), "}");
+    }
+
+    #[test]
+    fn impl_methods_get_self_type() {
+        let src = "struct S;\nimpl S {\n    pub fn m(&mut self) {}\n    fn h(&self) {}\n}\nimpl std::fmt::Display for S {\n    fn fmt(&self) {}\n}\n";
+        let ast = parse_file("crates/hw/src/x.rs", src);
+        let m = ast.fns.iter().find(|f| f.name == "m").unwrap();
+        assert_eq!(m.self_ty.as_deref(), Some("S"));
+        assert!(m.mut_self);
+        let h = ast.fns.iter().find(|f| f.name == "h").unwrap();
+        assert!(!h.mut_self);
+        let fmt = ast.fns.iter().find(|f| f.name == "fmt").unwrap();
+        assert_eq!(fmt.self_ty.as_deref(), Some("S"));
+    }
+
+    #[test]
+    fn generic_fn_and_impl_headers() {
+        let src = "impl<'a, T: Clone> Foo<'a, T> {\n    fn g<W: Send>(x: &'a W) -> Vec<T> { Vec::new() }\n}\n";
+        let ast = parse_file("crates/core/src/x.rs", src);
+        let g = ast.fns.iter().find(|f| f.name == "g").unwrap();
+        assert_eq!(g.self_ty.as_deref(), Some("Foo"));
+    }
+
+    #[test]
+    fn use_trees_flatten() {
+        let src = "use a::b::c;\nuse x::{y, z as w, g::*};\nuse crate::experiment::{run, ExperimentResult};\n";
+        let ast = parse_file("crates/core/src/x.rs", src);
+        let find = |alias: &str| ast.uses.iter().find(|u| u.alias == alias);
+        assert_eq!(find("c").unwrap().segments, vec!["a", "b", "c"]);
+        assert_eq!(find("y").unwrap().segments, vec!["x", "y"]);
+        assert_eq!(find("w").unwrap().segments, vec!["x", "z"]);
+        assert_eq!(
+            find("run").unwrap().segments,
+            vec!["crate", "experiment", "run"]
+        );
+        // Glob import records the prefix with a `*` alias.
+        assert!(ast
+            .uses
+            .iter()
+            .any(|u| u.alias == "*" && u.segments == vec!["x", "g"]));
+    }
+
+    #[test]
+    fn cfg_test_regions_flag_lines() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.f(); }\n}\nfn lib2() {}\n";
+        let ast = parse_file("crates/simcore/src/x.rs", src);
+        assert_eq!(
+            ast.test_lines,
+            vec![false, true, true, true, true, false, false]
+        );
+        let t = ast.fns.iter().find(|f| f.name == "t").unwrap();
+        assert!(t.is_test);
+        assert!(!ast.fns.iter().find(|f| f.name == "lib").unwrap().is_test);
+    }
+
+    #[test]
+    fn cfg_all_test_is_recognized() {
+        // The v1 scanner only matched the literal `#[cfg(test)]` and
+        // missed composite cfg predicates.
+        let src = "#[cfg(all(test, feature = \"slow\"))]\nmod tests {\n    fn t() {}\n}\n";
+        let ast = parse_file("crates/simcore/src/x.rs", src);
+        assert!(ast.fns[0].is_test);
+        assert!(ast.test_lines[..3].iter().all(|&f| f));
+    }
+
+    #[test]
+    fn test_mod_preamble_lines_are_flagged() {
+        // Lines between the mod's opening brace and its first item (use
+        // declarations, blanks) are part of the test region too.
+        let src = "#[cfg(test)]\nmod tests {\n    use super::*;\n\n    fn t() {}\n}\nfn lib() {}\n";
+        let ast = parse_file("crates/simcore/src/x.rs", src);
+        assert!(
+            ast.test_lines[..6].iter().all(|&f| f),
+            "flags: {:?}",
+            ast.test_lines
+        );
+        assert!(!ast.test_lines[6]);
+    }
+
+    #[test]
+    fn test_attr_marks_single_fn() {
+        let src = "#[test]\nfn check() { assert!(true); }\nfn lib() {}\n";
+        let ast = parse_file("crates/simcore/src/x.rs", src);
+        assert!(ast.fns.iter().find(|f| f.name == "check").unwrap().is_test);
+        assert!(!ast.fns.iter().find(|f| f.name == "lib").unwrap().is_test);
+    }
+
+    #[test]
+    fn struct_literals_do_not_desync_items() {
+        let src =
+            "static X: P = P { a: 1 };\nfn f() { let p = P { a: 2 }; g(p); }\nfn g(_: P) {}\n";
+        let ast = parse_file("crates/simcore/src/x.rs", src);
+        assert_eq!(ast.fns.len(), 2);
+        assert_eq!(ast.fns[1].name, "g");
+        assert_eq!(ast.fns[1].line, 3);
+    }
+
+    #[test]
+    fn nested_mods_record_path() {
+        let src = "mod outer {\n    mod inner {\n        fn deep() {}\n    }\n}\n";
+        let ast = parse_file("crates/simcore/src/x.rs", src);
+        assert_eq!(ast.fns[0].mods, vec!["outer", "inner"]);
+    }
+
+    #[test]
+    fn malformed_input_is_safe() {
+        for src in ["fn", "fn (", "impl {", "use ;", "fn f() {", "}}}", "#["] {
+            let ast = parse_file("crates/simcore/src/x.rs", src);
+            let _ = ast.fns.len();
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Workspace symbol table.
+//!
+//! Indexes every parsed file's function items by name so the call graph
+//! can resolve call sites conservatively: a bare name maps to every
+//! function with that name (narrowed by `use` imports and path
+//! qualifiers when available), a method name maps to every `impl` method
+//! with that name.
+
+use crate::parse::{FileAst, FnItem};
+use std::collections::BTreeMap;
+
+/// Reference to one function item: indices into
+/// [`Workspace::files`] and [`FileAst::fns`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FnRef {
+    /// Index into [`Workspace::files`].
+    pub file: usize,
+    /// Index into that file's [`FileAst::fns`].
+    pub item: usize,
+}
+
+/// The parsed workspace plus name indexes.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Parsed files, in input order.
+    pub files: Vec<FileAst>,
+    /// Every function, free or method, by bare name.
+    pub by_name: BTreeMap<String, Vec<FnRef>>,
+    /// `impl` methods by bare name.
+    pub methods: BTreeMap<String, Vec<FnRef>>,
+    /// `impl` methods by `"Type::name"`.
+    pub typed_methods: BTreeMap<String, Vec<FnRef>>,
+}
+
+impl Workspace {
+    /// Build the indexes over a set of parsed files.
+    pub fn build(files: Vec<FileAst>) -> Self {
+        let mut by_name: BTreeMap<String, Vec<FnRef>> = BTreeMap::new();
+        let mut methods: BTreeMap<String, Vec<FnRef>> = BTreeMap::new();
+        let mut typed_methods: BTreeMap<String, Vec<FnRef>> = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            for (ii, f) in file.fns.iter().enumerate() {
+                let r = FnRef { file: fi, item: ii };
+                by_name.entry(f.name.clone()).or_default().push(r);
+                if let Some(ty) = &f.self_ty {
+                    methods.entry(f.name.clone()).or_default().push(r);
+                    typed_methods
+                        .entry(format!("{ty}::{}", f.name))
+                        .or_default()
+                        .push(r);
+                }
+            }
+        }
+        Workspace {
+            files,
+            by_name,
+            methods,
+            typed_methods,
+        }
+    }
+
+    /// The function item a reference points at.
+    pub fn item(&self, r: FnRef) -> &FnItem {
+        &self.files[r.file].fns[r.item]
+    }
+
+    /// The file a reference points into.
+    pub fn file(&self, r: FnRef) -> &FileAst {
+        &self.files[r.file]
+    }
+
+    /// Whether `module` plausibly names the scope of `r`'s file: its file
+    /// stem, one of its inline modules, or its crate directory (with or
+    /// without the `cloudchar_` lib-name prefix).
+    pub fn in_module(&self, r: FnRef, module: &str) -> bool {
+        let file = &self.files[r.file];
+        let stem = file
+            .rel
+            .rsplit('/')
+            .next()
+            .and_then(|n| n.strip_suffix(".rs"))
+            .unwrap_or("");
+        let krate_of = module.strip_prefix("cloudchar_").unwrap_or(module);
+        stem == module
+            || file.krate == krate_of
+            || self.files[r.file].fns[r.item]
+                .mods
+                .iter()
+                .any(|m| m == module)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+
+    fn ws() -> Workspace {
+        Workspace::build(vec![
+            parse_file(
+                "crates/simcore/src/engine.rs",
+                "pub fn run() {}\nimpl Engine {\n    pub fn step(&mut self) {}\n}\n",
+            ),
+            parse_file("crates/hw/src/disk.rs", "pub fn run() {}\n"),
+        ])
+    }
+
+    #[test]
+    fn indexes_by_name_and_type() {
+        let ws = ws();
+        assert_eq!(ws.by_name["run"].len(), 2);
+        assert_eq!(ws.methods["step"].len(), 1);
+        assert_eq!(ws.typed_methods["Engine::step"].len(), 1);
+        let step = ws.typed_methods["Engine::step"][0];
+        assert_eq!(ws.item(step).name, "step");
+        assert!(ws.item(step).mut_self);
+    }
+
+    #[test]
+    fn module_scoping() {
+        let ws = ws();
+        let engine_run = ws.by_name["run"][0];
+        assert!(ws.in_module(engine_run, "engine"));
+        assert!(ws.in_module(engine_run, "simcore"));
+        assert!(ws.in_module(engine_run, "cloudchar_simcore"));
+        assert!(!ws.in_module(engine_run, "disk"));
+    }
+}

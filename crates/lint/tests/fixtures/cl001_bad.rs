@@ -1,0 +1,6 @@
+//! CL001 fixture: wall-clock reads inside a simulation crate.
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

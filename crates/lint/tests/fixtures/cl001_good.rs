@@ -1,0 +1,6 @@
+//! CL001 fixture: time flows from the simulation clock.
+use crate::SimTime;
+
+pub fn stamp(now: SimTime) -> SimTime {
+    now
+}

@@ -1,0 +1,4 @@
+//! CL002 fixture: panicking accessor in library code.
+pub fn pick(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,4 @@
+//! CL002 fixture: fallible accessor returns Option.
+pub fn pick(xs: &[u64]) -> Option<u64> {
+    xs.first().copied()
+}

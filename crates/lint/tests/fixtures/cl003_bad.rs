@@ -1,0 +1,7 @@
+//! CL003 fixture: hash-ordered map in a report-producing file.
+use std::collections::HashMap;
+
+pub fn tally(names: &[String]) -> usize {
+    let m: HashMap<&str, usize> = HashMap::new();
+    m.len() + names.len()
+}

@@ -1,0 +1,7 @@
+//! CL003 fixture: deterministic iteration order.
+use std::collections::BTreeMap;
+
+pub fn tally(names: &[String]) -> usize {
+    let m: BTreeMap<&str, usize> = BTreeMap::new();
+    m.len() + names.len()
+}

@@ -1,0 +1,4 @@
+//! CL004 fixture: bare float equality in analysis code.
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0
+}

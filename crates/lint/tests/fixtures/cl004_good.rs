@@ -1,0 +1,4 @@
+//! CL004 fixture: epsilon comparison.
+pub fn is_zero(x: f64) -> bool {
+    x.abs() < 1e-12
+}

@@ -1,0 +1,4 @@
+//! CL005 fixture: fault code scheduling engine events directly.
+pub fn arm<W>(e: &mut Engine<W>, t: SimTime, cb: Callback<W>) {
+    e.schedule_at(t, cb);
+}

@@ -1,0 +1,4 @@
+//! CL005 fixture: fault timing stays inside the replayable plan.
+pub fn arm(plan: &mut FaultPlan, ev: FaultEvent) {
+    plan.push(ev);
+}

@@ -1,0 +1,6 @@
+//! CL006 fixture: host-keyed map on the sampling path.
+use std::collections::BTreeMap;
+
+pub struct Keyed {
+    pub series: BTreeMap<(String, MetricId), Vec<f64>>,
+}

@@ -1,0 +1,5 @@
+//! CL006 fixture: interned hosts with dense metric columns.
+pub struct Columnar {
+    pub hosts: Vec<HostId>,
+    pub columns: Vec<Vec<f64>>,
+}

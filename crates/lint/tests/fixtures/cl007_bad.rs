@@ -1,0 +1,4 @@
+//! CL007 fixture: O(n^2) oracle call in production code.
+pub fn spectrum(xs: &[f64]) -> Vec<f64> {
+    goertzel_periodogram(xs)
+}

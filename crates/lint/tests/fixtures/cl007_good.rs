@@ -1,0 +1,4 @@
+//! CL007 fixture: the fast scan path.
+pub fn lag(xs: &[f64]) -> Vec<f64> {
+    cross_correlation_scan(xs, xs, 5)
+}

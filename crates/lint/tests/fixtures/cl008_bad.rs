@@ -1,0 +1,16 @@
+//! CL008 fixture: pool worker reaches shared mutable state through a
+//! helper call.
+use std::sync::Mutex;
+
+pub fn run_all(items: &[u64]) -> Vec<u64> {
+    par_map_ordered_with(items, 4, || (), |(), x| tally(*x))
+}
+
+fn tally(x: u64) -> u64 {
+    let m = Mutex::new(x);
+    if let Ok(g) = m.lock() {
+        *g
+    } else {
+        0
+    }
+}

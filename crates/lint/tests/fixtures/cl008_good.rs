@@ -1,0 +1,8 @@
+//! CL008 fixture: workers call only pure helpers.
+pub fn run_all(items: &[u64]) -> Vec<u64> {
+    par_map_ordered_with(items, 4, || (), |(), x| tally(*x))
+}
+
+fn tally(x: u64) -> u64 {
+    x.wrapping_mul(2654435761)
+}

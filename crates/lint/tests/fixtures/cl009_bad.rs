@@ -1,0 +1,8 @@
+//! CL009 fixture: duplicated and entropy-seeded RNG streams.
+pub fn fork(rng: &SimRng) -> SimRng {
+    rng.clone()
+}
+
+pub fn fresh() -> SmallRng {
+    SmallRng::from_entropy()
+}

@@ -1,0 +1,4 @@
+//! CL009 fixture: streams fork through the named-derive API.
+pub fn fork(rng: &mut SimRng) -> SimRng {
+    rng.derive("worker")
+}

@@ -1,0 +1,4 @@
+//! CL010 fixture: unchecked arithmetic on raw nanosecond integers.
+pub fn next_tick(start_ns: u64, interval_ns: u64, i: u64) -> u64 {
+    start_ns + interval_ns * i
+}

@@ -1,0 +1,4 @@
+//! CL010 fixture: saturating arithmetic on raw nanosecond integers.
+pub fn next_tick(start_ns: u64, interval_ns: u64, i: u64) -> u64 {
+    start_ns.saturating_add(interval_ns.saturating_mul(i))
+}

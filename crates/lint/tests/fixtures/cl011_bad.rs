@@ -1,0 +1,7 @@
+//! CL011 fixture: wildcard arm in a match over a watched enum.
+pub fn label(kind: FaultKind) -> &'static str {
+    match kind {
+        FaultKind::CpuHog => "cpu",
+        _ => "other",
+    }
+}

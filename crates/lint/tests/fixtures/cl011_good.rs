@@ -1,0 +1,8 @@
+//! CL011 fixture: every variant spelled out.
+pub fn label(kind: FaultKind) -> &'static str {
+    match kind {
+        FaultKind::CpuHog => "cpu",
+        FaultKind::MemLeak => "mem",
+        FaultKind::DiskSlow => "disk",
+    }
+}

@@ -1,0 +1,10 @@
+//! CL012 fixture: hardware-state mutation with no audit coverage.
+pub struct Widget {
+    count: u64,
+}
+
+impl Widget {
+    pub fn bump(&mut self) {
+        self.count = self.count.saturating_add(1);
+    }
+}

@@ -1,0 +1,14 @@
+//! CL012 fixture: mutation site carries an audit invariant check.
+pub struct Widget {
+    count: u64,
+}
+
+impl Widget {
+    pub fn bump(&mut self) {
+        let next = self.count.saturating_add(1);
+        cloudchar_simcore::audit::check("hw.widget.monotonic", 0, next >= self.count, || {
+            String::from("counter wrapped")
+        });
+        self.count = next;
+    }
+}

@@ -1,7 +1,31 @@
 //! Gate the workspace on the lint pass: `cargo test` fails if any rule
-//! regresses, and the self-test fixture proves every rule can fire.
+//! regresses, every rule's fixture pair is verified (bad fires, good is
+//! clean), and regression tests pin the v1 scanner bugs the v2 lexer
+//! pipeline fixed.
 
-use cloudchar_lint::{parse_suppressions, scan_source, scan_workspace, workspace_root, RULES};
+use cloudchar_lint::{
+    apply_suppressions, collect_rust_files, mask_source, parse_suppressions, scan_source,
+    scan_workspace, test_line_flags, workspace_root, LintReport, RULES, SCHEMA_VERSION,
+};
+use std::fs;
+
+/// Virtual workspace path each rule's fixtures are scanned under, chosen
+/// so the rule's file/crate gate is open. Kept in sync with the binary's
+/// `--fixture` mode.
+const FIXTURE_TABLE: [(&str, &str); 12] = [
+    ("CL001", "crates/simcore/src/fixture.rs"),
+    ("CL002", "crates/simcore/src/fixture.rs"),
+    ("CL003", "crates/monitor/src/store.rs"),
+    ("CL004", "crates/analysis/src/fixture.rs"),
+    ("CL005", "crates/core/src/faults.rs"),
+    ("CL006", "crates/monitor/src/store.rs"),
+    ("CL007", "crates/core/src/characterize.rs"),
+    ("CL008", "crates/core/src/fixture.rs"),
+    ("CL009", "crates/simcore/src/fixture.rs"),
+    ("CL010", "crates/monitor/src/fixture.rs"),
+    ("CL011", "crates/simcore/src/fixture.rs"),
+    ("CL012", "crates/hw/src/fixture.rs"),
+];
 
 #[test]
 fn workspace_is_lint_clean() {
@@ -13,36 +37,51 @@ fn workspace_is_lint_clean() {
         .map(|d| format!("{}:{}: [{}] {}", d.path, d.line, d.rule, d.snippet))
         .collect();
     assert!(
-        report.is_clean(),
+        report.violations.is_empty(),
         "lint violations:\n{}",
         rendered.join("\n")
     );
+    assert!(
+        report.stale_suppressions.is_empty(),
+        "stale suppressions:\n{}",
+        report.stale_suppressions.join("\n")
+    );
+    assert!(report.is_clean());
 }
 
 #[test]
-fn fixture_triggers_every_rule() {
-    let fixture = workspace_root().join("crates/lint/fixtures/violations.rs");
-    let text = std::fs::read_to_string(fixture).expect("fixture readable");
-    // Scan under the same paths the binary's --fixture mode uses: one
-    // that activates CL001/CL002/CL003, one that activates CL004, and a
-    // fault library path that activates CL005.
-    let mut diags = scan_source("crates/monitor/src/store.rs", &text);
-    diags.extend(scan_source("crates/analysis/src/fixture.rs", &text));
-    diags.extend(scan_source("crates/core/src/faults.rs", &text));
-    for (rule, _) in RULES {
+fn every_rule_has_a_verified_failing_fixture_pair() {
+    let dir = workspace_root().join("crates/lint/tests/fixtures");
+    for (rule, vpath) in FIXTURE_TABLE {
+        let stem = rule.to_lowercase();
+        let bad = fs::read_to_string(dir.join(format!("{stem}_bad.rs")))
+            .unwrap_or_else(|e| panic!("{stem}_bad.rs unreadable: {e}"));
+        let good = fs::read_to_string(dir.join(format!("{stem}_good.rs")))
+            .unwrap_or_else(|e| panic!("{stem}_good.rs unreadable: {e}"));
+        let bad_diags = scan_source(vpath, &bad);
         assert!(
-            diags.iter().any(|d| d.rule == rule),
-            "fixture did not trigger {rule}; diagnostics: {diags:?}"
+            bad_diags.iter().any(|d| d.rule == rule),
+            "{stem}_bad.rs under {vpath} did not fire {rule}; got: {bad_diags:#?}"
+        );
+        let good_diags = scan_source(vpath, &good);
+        assert!(
+            good_diags.is_empty(),
+            "{stem}_good.rs under {vpath} must be fully clean; got: {good_diags:#?}"
         );
     }
-    // Non-empty findings is what makes the binary exit non-zero.
-    assert!(!diags.is_empty());
+    // The table is the coverage contract: every registered rule appears.
+    for (id, _) in RULES {
+        assert!(
+            FIXTURE_TABLE.iter().any(|(r, _)| *r == id),
+            "rule {id} has no fixture pair"
+        );
+    }
 }
 
 #[test]
 fn fixture_is_never_walked() {
-    // The fixture must not pollute the real pass.
-    let files = cloudchar_lint::collect_rust_files(&workspace_root()).expect("walk");
+    // The fixtures must not pollute the real pass.
+    let files = collect_rust_files(&workspace_root()).expect("walk");
     assert!(files.iter().all(|(_, rel)| !rel.contains("fixtures/")));
     // But the walk does include library sources and integration tests.
     assert!(files
@@ -64,17 +103,29 @@ fn suppressions_are_rule_and_path_scoped() {
 }
 
 #[test]
+fn stale_suppressions_are_detected() {
+    let diags = scan_source("crates/simcore/src/y.rs", "fn f() { x.unwrap(); }\n");
+    let sups = parse_suppressions(
+        "CL002 crates/simcore/src/y.rs x.unwrap\nCL002 crates/simcore/src/y.rs long_gone_site\n",
+    );
+    let (kept, suppressed, stale) = apply_suppressions(diags, &sups);
+    assert!(kept.is_empty());
+    assert_eq!(suppressed, 1);
+    assert_eq!(stale, vec!["CL002 crates/simcore/src/y.rs long_gone_site"]);
+}
+
+#[test]
 fn every_checked_in_suppression_still_matches_a_finding() {
-    // Stale suppressions hide nothing but rot the audit trail: each
-    // entry must still silence at least one real finding.
+    // The same property scan_workspace enforces via stale detection,
+    // re-verified here per entry against a single-file scan so a failure
+    // names the exact rotted line.
     let root = workspace_root();
-    let text =
-        std::fs::read_to_string(root.join("crates/lint/suppressions.txt")).expect("suppressions");
+    let text = fs::read_to_string(root.join("crates/lint/suppressions.txt")).expect("suppressions");
     let sups = parse_suppressions(&text);
     assert!(!sups.is_empty());
     for s in &sups {
         let path = root.join(&s.path);
-        let src = std::fs::read_to_string(&path)
+        let src = fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("suppressed file {} unreadable: {e}", s.path));
         let hits = scan_source(&s.path, &src);
         assert!(
@@ -85,5 +136,138 @@ fn every_checked_in_suppression_still_matches_a_finding() {
             s.path,
             s.needle
         );
+    }
+}
+
+#[test]
+fn json_report_schema_is_versioned() {
+    let report = LintReport::default();
+    let json = serde_json::to_string(&report).expect("serialize");
+    assert!(
+        json.contains(&format!("\"schema\":{SCHEMA_VERSION}")),
+        "{json}"
+    );
+    for (id, _) in RULES {
+        assert!(
+            json.contains(&format!("\"{id}\":0")),
+            "missing {id} in {json}"
+        );
+    }
+    assert!(json.contains("\"stale_suppressions\":[]"));
+    assert!(json.contains("\"violations\":[]"));
+}
+
+/// Regression tests against the v1 scanner. Each test embeds the v1
+/// behaviour inline (the literal-attribute brace matcher, raw substring
+/// matching) and asserts that the v2 pipeline fixes it while the legacy
+/// logic demonstrably still has the bug.
+mod legacy {
+    use super::*;
+
+    /// The v1 test-region tracker verbatim: finds the *literal* text
+    /// `#[cfg(test)]` in the masked source and brace-matches from there.
+    fn legacy_test_line_flags(masked: &str) -> Vec<bool> {
+        let n_lines = masked.split('\n').count();
+        let mut flags = vec![false; n_lines];
+        let b = masked.as_bytes();
+        let line_of = |pos: usize| -> usize {
+            b[..pos.min(b.len())]
+                .iter()
+                .filter(|&&c| c == b'\n')
+                .count()
+        };
+        for (start, _) in masked.match_indices("#[cfg(test)]") {
+            let mut i = start + "#[cfg(test)]".len();
+            while i < b.len() && b[i] != b'{' && b[i] != b';' {
+                i += 1;
+            }
+            let end = if i < b.len() && b[i] == b'{' {
+                let mut depth = 0usize;
+                let mut j = i;
+                loop {
+                    if j >= b.len() {
+                        break j;
+                    }
+                    match b[j] {
+                        b'{' => depth += 1,
+                        b'}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break j;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            } else {
+                i
+            };
+            let (ls, le) = (line_of(start), line_of(end));
+            for flag in flags.iter_mut().take(le + 1).skip(ls) {
+                *flag = true;
+            }
+        }
+        flags
+    }
+
+    #[test]
+    fn spaced_cfg_test_attribute_is_recognized() {
+        // `#[cfg( test )]` is the same attribute after tokenization, but
+        // the v1 literal matcher missed it and flagged nothing.
+        let src = "#[cfg( test )]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        let legacy = legacy_test_line_flags(&mask_source(src));
+        assert!(legacy.iter().all(|&f| !f), "v1 missed the spaced form");
+        let v2 = test_line_flags(src);
+        assert!(v2[..4].iter().all(|&f| f), "v2 flags: {v2:?}");
+        // End to end: the unwrap inside the test mod no longer fires.
+        assert!(scan_source("crates/simcore/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn composite_cfg_predicates_are_recognized() {
+        // `#[cfg(all(test, feature = "slow"))]` is test-only code; v1
+        // only knew the exact `#[cfg(test)]` spelling.
+        let src =
+            "#[cfg(all(test, feature = \"slow\"))]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        let legacy = legacy_test_line_flags(&mask_source(src));
+        assert!(legacy.iter().all(|&f| !f), "v1 missed composite cfg");
+        assert!(test_line_flags(src)[..4].iter().all(|&f| f));
+        assert!(scan_source("crates/simcore/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_attribute_exempts_single_functions() {
+        // A `#[test]` fn outside any `#[cfg(test)]` mod (it happens in
+        // doctest-ish helper layouts) is test code; v1 flagged nothing
+        // and CL002 fired on its asserts.
+        let src = "#[test]\nfn check() { x.unwrap(); }\nfn lib() -> u64 { 1 }\n";
+        let legacy = legacy_test_line_flags(&mask_source(src));
+        assert!(legacy.iter().all(|&f| !f));
+        let d = scan_source("crates/simcore/src/x.rs", src);
+        assert!(d.is_empty(), "v2 must exempt #[test] fns; got {d:#?}");
+    }
+
+    #[test]
+    fn substring_matches_respect_identifier_boundaries() {
+        // v1 matched rule patterns with raw `contains`, so `MyHashMap`
+        // tripped CL003 and `thread_rng_free` tripped CL001.
+        let src = "pub struct MyHashMap;\npub fn thread_rng_free() {}\n";
+        assert!(src.contains("HashMap") && src.contains("thread_rng"));
+        let d = scan_source("crates/monitor/src/store.rs", src);
+        assert!(
+            d.is_empty(),
+            "boundary-crossing matches must not fire: {d:#?}"
+        );
+    }
+
+    #[test]
+    fn cfg_test_use_declarations_are_exempt() {
+        // `#[cfg(test)] use …;` has no braces; the v1 matcher flagged
+        // only up to the `;` scan start and left the line exposed when
+        // the attribute and item shared a line after masking shifts.
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn lib() -> u64 { 1 }\n";
+        let d = scan_source("crates/monitor/src/store.rs", src);
+        assert!(d.is_empty(), "test-only use must not fire CL003: {d:#?}");
     }
 }

@@ -68,7 +68,7 @@ impl TimeSeries {
 
     /// Timestamp of sample `i`.
     pub fn time_of(&self, i: usize) -> SimTime {
-        self.start + SimDuration::from_nanos(self.interval.as_nanos() * i as u64)
+        self.start + SimDuration::from_nanos(self.interval.as_nanos().saturating_mul(i as u64))
     }
 
     /// One-pass summary moments (count, mean, M2, sum, min, max).
@@ -411,7 +411,8 @@ impl SeriesStore {
             .map(|s| (s.start, s.interval))
             .unwrap_or((SimTime::ZERO, SimDuration::from_secs(2)));
         for i in 0..n {
-            let t = timing.0 + SimDuration::from_nanos(timing.1.as_nanos() * i as u64);
+            let t =
+                timing.0 + SimDuration::from_nanos(timing.1.as_nanos().saturating_mul(i as u64));
             out.push_str(&format!("{:.1}", t.as_secs_f64()));
             for (h, m, _) in columns {
                 let v = self

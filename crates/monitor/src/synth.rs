@@ -513,7 +513,7 @@ fn resolve_layout(source: Source) -> Vec<MetricId> {
                 .unwrap_or_else(|| panic!("perf metric {name} missing"));
             ids.push(id);
         }),
-        _ => emit_sysstat(&probe, |name, _| {
+        Source::HypervisorSysstat | Source::VmSysstat => emit_sysstat(&probe, |name, _| {
             let name = name.to_string();
             let id = c
                 .find(&name, source)
@@ -527,7 +527,7 @@ fn resolve_layout(source: Source) -> Vec<MetricId> {
 fn sysstat_layout(source: Source) -> &'static [MetricId] {
     let cell = match source {
         Source::HypervisorSysstat => &HV_SYSSTAT_LAYOUT,
-        _ => &VM_SYSSTAT_LAYOUT,
+        Source::VmSysstat | Source::PerfCounter => &VM_SYSSTAT_LAYOUT,
     };
     cell.get_or_init(|| resolve_layout(source))
 }

@@ -161,6 +161,19 @@ impl Domain {
         self.overhead_cycles -= overhead_part;
         let app_part = self.work.drain(budget - overhead_part, out);
         let total = overhead_part + app_part;
+        // No clock here: domains execute inside a scheduler slice, so the
+        // audit is stamped at 0 (see audit module docs on clockless sites).
+        cloudchar_simcore::audit::check(
+            "xen.domain.execute_within_budget",
+            0,
+            total <= budget * (1.0 + 1e-9) && self.overhead_cycles >= 0.0,
+            || {
+                format!(
+                    "executed {total} cycles against budget {budget} (overhead left {})",
+                    self.overhead_cycles
+                )
+            },
+        );
         self.virt_cycles.add(total.round() as u64);
         total
     }
