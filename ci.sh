@@ -29,6 +29,23 @@ cargo bench -p cloudchar-bench --bench store -- --smoke
 echo "==> analysis bench smoke (FFT+prefix path must not trail the naive engine)"
 cargo bench -p cloudchar-bench --bench analysis -- --smoke
 
+echo "==> clients bench smoke (cohort wheel: >=10x fewer generator events per tick at 100k)"
+cargo bench -p cloudchar-bench --bench clients -- --smoke
+
+echo "==> fleet smoke (100k-client cohort run, release, wall-clock budget)"
+fleet_start=$(date +%s%N)
+cargo test -q --release -p cloudchar-core --test fleet
+fleet_end=$(date +%s%N)
+fleet_ms=$(( (fleet_end - fleet_start) / 1000000 ))
+echo "fleet wall-clock: ${fleet_ms}ms (budget 60000ms)"
+[ "$fleet_ms" -lt 60000 ] || {
+    echo "ci.sh: fleet smoke exceeded its 60s wall-clock budget" >&2
+    exit 1
+}
+
+echo "==> repro fleet-scale smoke (--fast --clients 100000 ratios)"
+cargo run --release -p cloudchar-bench --bin repro -- --fast --clients 100000 ratios > /dev/null
+
 echo "==> cargo run -p cloudchar-lint -- --json (schema + wall-clock budget)"
 lint_start=$(date +%s%N)
 lint_json=$(cargo run --release -p cloudchar-lint -- --json)

@@ -10,6 +10,7 @@
 //! cargo run --release -p cloudchar-bench --bin repro -- fault-roundtrip
 //! cargo run --release -p cloudchar-bench --bin repro -- characterize --full --jobs 8
 //! cargo run --release -p cloudchar-bench --bin repro -- --fast --faults plan.json fig1
+//! cargo run --release -p cloudchar-bench --bin repro -- --fast --clients 100000 fig1
 //! ```
 //!
 //! `--faults <plan.json|scenario>` injects a fault schedule into every
@@ -17,6 +18,11 @@
 //! `FaultPlan` JSON file or one of the built-in scenario names
 //! (`db-crash`, `web-throttle`, `noisy-neighbor`); a fault report with
 //! before/during/after deltas is appended for each experiment that ran.
+//!
+//! `--clients N` overrides the emulated client population for every
+//! experiment the run performs (validated against the cohort's
+//! `MAX_CLIENTS` ceiling) — the fleet-scale smoke knob: the columnar
+//! cohort makes `--fast --clients 100000` a seconds-long run.
 //!
 //! `scenarios` runs the three built-in chaos scenarios one by one
 //! (virtualized browsing deployment) and prints their availability dip
@@ -66,6 +72,7 @@ enum Key {
 struct Lab {
     fast: bool,
     faults: Option<String>,
+    clients: Option<u32>,
     cache: HashMap<Key, ExperimentResult>,
 }
 
@@ -84,10 +91,13 @@ impl Lab {
         };
         if let Some(spec) = &self.faults {
             cfg.faults = resolve_plan(spec, cfg.duration.as_secs_f64());
-            if let Err(e) = cfg.validate() {
-                eprintln!("[repro] fault plan rejected: {e}");
-                std::process::exit(2);
-            }
+        }
+        if let Some(n) = self.clients {
+            cfg.clients = n;
+        }
+        if let Err(e) = cfg.validate() {
+            eprintln!("[repro] configuration rejected: {e}");
+            std::process::exit(2);
         }
         cfg
     }
@@ -706,6 +716,7 @@ fn main() {
     let mut sweep: usize = 1;
     let mut jobs: usize = default_jobs();
     let mut faults: Option<String> = None;
+    let mut clients: Option<u32> = None;
     let mut cmds: Vec<String> = Vec::new();
     let mut it = args
         .into_iter()
@@ -717,6 +728,10 @@ fn main() {
             jobs = j;
         } else if let Some(f) = take_value(&arg, "--faults", &mut it) {
             faults = Some(f);
+        } else if let Some(n) = take_count(&arg, "--clients", &mut it) {
+            // Validated (> 0, <= MAX_CLIENTS) by cfg.validate() per run;
+            // saturate so an absurd value still hits the ceiling check.
+            clients = Some(u32::try_from(n).unwrap_or(u32::MAX));
         } else {
             cmds.push(arg);
         }
@@ -730,6 +745,7 @@ fn main() {
     let mut lab = Lab {
         fast,
         faults,
+        clients,
         cache: HashMap::new(),
     };
     let all = cmds.iter().any(|c| c == "all");

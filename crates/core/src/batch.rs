@@ -10,6 +10,11 @@
 //! substrates and is profiled by the same 518-metric monitor, so
 //! interactive (RUBiS) and batch workloads can be characterized
 //! side-by-side on virtualized and non-virtualized deployments.
+//!
+//! Unlike the interactive workload there is no client population here —
+//! tasks are driven by split/shuffle completions, not think timers — so
+//! the columnar client cohort and its timer wheel (`workload.rs`,
+//! DESIGN.md §13) intentionally do not apply to this module.
 
 use crate::config::Deployment;
 use crate::phys::{HostIoPolicy, PhysPlatform};

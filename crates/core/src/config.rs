@@ -62,6 +62,12 @@ pub struct ExperimentConfig {
 }
 
 impl ExperimentConfig {
+    /// Largest client population the columnar cohort is sized (and
+    /// tested) for. One million clients is the ROADMAP's
+    /// production-scale target; the cap mostly guards against typos
+    /// (`--clients 10000000`) silently allocating tens of GB.
+    pub const MAX_CLIENTS: u32 = 1_000_000;
+
     /// The paper's experiment: 1000 clients, 7 s think time (inside the
     /// client model), ~20 min, 2 s samples.
     pub fn paper(deployment: Deployment, mix: WorkloadMix) -> Self {
@@ -111,6 +117,13 @@ impl ExperimentConfig {
     pub fn validate(&self) -> Result<(), String> {
         if self.clients == 0 {
             return Err("clients must be > 0".into());
+        }
+        if self.clients > Self::MAX_CLIENTS {
+            return Err(format!(
+                "clients must be <= {} (cohort scale ceiling), got {}",
+                Self::MAX_CLIENTS,
+                self.clients
+            ));
         }
         if self.sample_interval > self.duration {
             return Err("sample interval exceeds run duration".into());
@@ -170,6 +183,17 @@ mod tests {
             browsing_fraction: 2.0,
         };
         assert!(c3.validate().is_err());
+    }
+
+    #[test]
+    fn validate_bounds_the_client_scale_knob() {
+        let mut c = ExperimentConfig::fast(Deployment::Virtualized, WorkloadMix::BROWSING);
+        c.clients = 100_000;
+        assert_eq!(c.validate(), Ok(()), "100k-client smoke scale is legal");
+        c.clients = ExperimentConfig::MAX_CLIENTS;
+        assert_eq!(c.validate(), Ok(()), "the 1M ceiling itself is legal");
+        c.clients = ExperimentConfig::MAX_CLIENTS + 1;
+        assert!(c.validate().is_err(), "past the ceiling is rejected");
     }
 
     #[test]

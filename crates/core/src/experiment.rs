@@ -8,7 +8,7 @@ use crate::workload::{bootstrap, World};
 use cloudchar_analysis::Resource;
 use cloudchar_hw::ServerSpec;
 use cloudchar_monitor::{catalog, FaultSummary, SeriesStore, Source};
-use cloudchar_rubis::{ClientPopulation, Database, MySqlServer, WebAppServer};
+use cloudchar_rubis::{ClientCohort, Database, MySqlServer, WebAppServer};
 use cloudchar_simcore::{audit, Engine, SimRng};
 use serde::{Deserialize, Serialize};
 
@@ -70,7 +70,7 @@ pub fn run(cfg: ExperimentConfig) -> ExperimentResult {
     // early-run read decay of Figure 3 remains visible.
     mysql.prewarm(0.6);
     let web = WebAppServer::new(cfg.web);
-    let clients = ClientPopulation::new(cfg.clients, cfg.mix, &mut client_rng);
+    let clients = ClientCohort::new(cfg.clients, cfg.mix, &mut client_rng);
     let platform = match cfg.deployment {
         Deployment::Virtualized => Platform::Virt(Box::new(VirtPlatform::new(
             spec,

@@ -23,11 +23,11 @@ use cloudchar_monitor::{
 };
 use cloudchar_rubis::interactions::EntityRanges;
 use cloudchar_rubis::{
-    queries_for, ClientPopulation, Interaction, InteractionProfile, MySqlServer, Query,
-    RetryDecision, RetryPolicy, WebAppServer,
+    queries_for, ClientCohort, Interaction, InteractionProfile, MySqlServer, Query, RetryDecision,
+    RetryPolicy, WebAppServer,
 };
 use cloudchar_simcore::stats::{LogHistogram, Welford};
-use cloudchar_simcore::{Dist, Engine, EventId, Sample, SimDuration, SimRng, SimTime};
+use cloudchar_simcore::{Dist, Engine, EventId, Sample, SimDuration, SimRng, SimTime, TimerWheel};
 use std::collections::{HashMap, VecDeque};
 
 /// Phase of an in-flight request.
@@ -91,8 +91,8 @@ pub struct World {
     pub web: WebAppServer,
     /// MySQL tier model.
     pub mysql: MySqlServer,
-    /// Emulated client population.
-    pub clients: ClientPopulation,
+    /// Emulated client population, stored column-wise.
+    pub clients: ClientCohort,
     /// Sampled metric series.
     pub store: SeriesStore,
     /// Requests completed end-to-end.
@@ -108,6 +108,9 @@ pub struct World {
     pub interaction_latency: Vec<Welford>,
     cfg: ExperimentConfig,
     rng: SimRng,
+    /// Batched think-timer wakeups: one engine event per armed bucket
+    /// instead of one per client (see [`cloudchar_simcore::wheel`]).
+    wheel: TimerWheel,
     faults: FaultState,
     inflight: HashMap<u64, Request>,
     pending_web: VecDeque<u64>,
@@ -125,7 +128,7 @@ impl World {
         platform: Platform,
         web: WebAppServer,
         mysql: MySqlServer,
-        clients: ClientPopulation,
+        clients: ClientCohort,
         rng: SimRng,
         fault_rng: SimRng,
     ) -> Self {
@@ -149,6 +152,9 @@ impl World {
             interaction_latency: vec![Welford::new(); Interaction::ALL.len()],
             cfg,
             rng,
+            // 256 one-second buckets: a 256 s horizon, comfortably above
+            // the longest delay ever armed (the 120 s think-time cap).
+            wheel: TimerWheel::new(SimDuration::from_secs(1), 256),
             faults,
             inflight: HashMap::new(),
             pending_web: VecDeque::new(),
@@ -206,13 +212,13 @@ impl World {
 /// quanta, housekeeping and sampling.
 pub fn bootstrap(engine: &mut Engine<World>, world: &mut World) {
     let end = world.cfg.end_time();
-    // Staggered session starts.
+    // Staggered session starts, armed on the timer wheel: the offsets
+    // draw from the RNG exactly as the per-client path did, but the
+    // engine only sees one event per wheel bucket.
     let ramp = world.cfg.rampup.as_secs_f64().max(0.001);
     for session in 0..world.cfg.clients {
         let offset = Dist::Uniform { lo: 0.0, hi: ramp }.sample(&mut world.rng);
-        engine.schedule_at(SimTime::from_secs_f64(offset), move |e, w| {
-            fire_request(e, w, session);
-        });
+        arm_wake(engine, world, session, SimTime::from_secs_f64(offset));
     }
     // Scheduler quantum.
     let quantum = world.platform.quantum();
@@ -238,6 +244,49 @@ pub fn bootstrap(engine: &mut Engine<World>, world: &mut World) {
         take_sample(e, w);
         e.now() < end
     });
+}
+
+/// Arm `session`'s next wakeup (initial start, think time, retry
+/// backoff, abandon pause) on the timer wheel, scheduling an engine
+/// event for its bucket only when the wheel asks for one. The entry is
+/// tagged with the session's current epoch so wakeups invalidated by a
+/// later `bump_epoch` are dropped at drain time.
+fn arm_wake(engine: &mut Engine<World>, world: &mut World, session: u32, at: SimTime) {
+    let epoch = world.clients.epoch(session);
+    if let Some((slot, deadline)) = world.wheel.arm(at, session, epoch) {
+        engine.schedule_at(deadline, move |e, w| wheel_fire(e, w, slot));
+    }
+}
+
+/// Drain one wheel bucket. Fires every wakeup due at the current
+/// instant, then — while the bucket's next deadline lands strictly
+/// before the engine's next unrelated event — advances the clock to it
+/// and keeps draining, batching many client wakes into this one engine
+/// dispatch. Each wake still observes its exact armed nanosecond on the
+/// clock, so the run is byte-identical to the per-client-event path.
+fn wheel_fire(engine: &mut Engine<World>, world: &mut World, slot: usize) {
+    if !world.wheel.begin_fire(slot, engine.now()) {
+        return; // superseded by an earlier arm; the live event covers it
+    }
+    let end = world.cfg.end_time();
+    loop {
+        while let Some((session, epoch)) = world.wheel.pop_due(slot, engine.now()) {
+            if world.clients.epoch(session) == epoch {
+                fire_request(engine, world, session);
+            }
+        }
+        let Some(next) = world.wheel.next_deadline(slot) else {
+            return; // bucket drained; the next arm re-schedules it
+        };
+        let horizon = engine.peek_next_time();
+        if next <= end && horizon.map_or(true, |h| next < h) {
+            engine.advance_now_to(next);
+        } else {
+            world.wheel.commit(slot, next);
+            engine.schedule_at(next, move |e, w| wheel_fire(e, w, slot));
+            return;
+        }
+    }
 }
 
 fn fire_request(engine: &mut Engine<World>, world: &mut World, session: u32) {
@@ -475,7 +524,8 @@ fn client_done(engine: &mut Engine<World>, world: &mut World, id: u64, session: 
         return;
     }
     let think = world.clients.think_time(session, &mut world.rng);
-    engine.schedule_in(think, move |e, w| fire_request(e, w, session));
+    let at = engine.now() + think;
+    arm_wake(engine, world, session, at);
 }
 
 fn request_timeout(engine: &mut Engine<World>, world: &mut World, id: u64) {
@@ -547,7 +597,12 @@ fn fail_removed(
     if engine.now() >= world.cfg.end_time() {
         return;
     }
-    engine.schedule_in(pause, move |e, w| fire_request(e, w, session));
+    // Invalidate anything still armed for this session before resuming
+    // it: the retry wake must be the only one that can fire (the
+    // epoch-guard class of bug PR 3 fixed for timeouts).
+    world.clients.bump_epoch(session);
+    let at = engine.now() + pause;
+    arm_wake(engine, world, session, at);
 }
 
 fn housekeeping(engine: &mut Engine<World>, world: &mut World) {
@@ -639,7 +694,7 @@ mod tests {
         let db = Database::generate(DbScale::small(), &mut db_rng);
         let mysql = MySqlServer::new(db, cfg.mysql);
         let web = WebAppServer::new(cfg.web);
-        let clients = ClientPopulation::new(cfg.clients, cfg.mix, &mut client_rng);
+        let clients = ClientCohort::new(cfg.clients, cfg.mix, &mut client_rng);
         let platform = Platform::Phys(Box::new(PhysPlatform::new(
             cloudchar_hw::ServerSpec::hp_proliant(),
             HostIoPolicy::default(),
@@ -697,6 +752,37 @@ mod tests {
         fail_request(&mut engine, &mut world, id, FailCause::Timeout);
         assert_eq!(world.web.queued(), 0, "queue slot must be released");
         assert!(world.pending_web.is_empty());
+    }
+
+    #[test]
+    fn stale_wake_after_epoch_bump_is_dropped_and_fresh_wake_resumes() {
+        // Regression for the epoch-guard bug class: a think timer armed
+        // before a session abandoned (epoch bump) must be inert when its
+        // bucket drains, while a wake armed under the current epoch must
+        // still resume the session.
+        let mut world = tiny_world(true);
+        let mut engine: Engine<World> = Engine::new();
+        arm_wake(&mut engine, &mut world, 0, SimTime::from_secs(1));
+        world.clients.bump_epoch(0);
+        engine.run_until(&mut world, SimTime::from_secs(2));
+        assert_eq!(world.inflight_count(), 0, "stale wake fired a request");
+        arm_wake(&mut engine, &mut world, 0, SimTime::from_secs(3));
+        engine.run_until(&mut world, SimTime::from_secs(4));
+        assert_eq!(world.inflight_count(), 1, "fresh wake must resume");
+    }
+
+    #[test]
+    fn superseded_bucket_event_is_inert() {
+        // Two wakes in one bucket, the later armed first: the original
+        // bucket event is superseded and must not drain anything early.
+        let mut world = tiny_world(false);
+        let mut engine: Engine<World> = Engine::new();
+        arm_wake(&mut engine, &mut world, 0, SimTime::from_secs_f64(0.7));
+        arm_wake(&mut engine, &mut world, 1, SimTime::from_secs_f64(0.3));
+        engine.run_until(&mut world, SimTime::from_secs(1));
+        // Both wakes fired exactly once despite the superseded event.
+        assert_eq!(world.inflight_count(), 2);
+        assert_eq!(world.next_req, 2);
     }
 
     #[test]

@@ -30,7 +30,10 @@
 //! * **CL006** — no host-keyed `BTreeMap<(String, …)>` /
 //!   `BTreeMap<(HostLabel, …)>` maps in sampling-path files: the
 //!   per-tick record path is columnar (interned `HostId` + dense metric
-//!   columns).
+//!   columns). On cohort-path files the same rule forbids per-client
+//!   heap allocation (`Box::new(` / `Vec<Session>` / `VecDeque<`)
+//!   inside the per-tick advance loop: client state lives in dense
+//!   parallel columns and inline wheel-bucket entries.
 //! * **CL007** — no `goertzel_power(` / `goertzel_periodogram(` /
 //!   `find_lag_naive(` / `cross_correlation(` calls in library or
 //!   binary code: the O(n²) oracles are test-only.
@@ -109,6 +112,11 @@ pub const SAMPLING_PATH_FILES: [&str; 4] = [
     "crates/core/src/batch.rs",
 ];
 
+/// Files on the per-tick client-cohort hot path, which must stay
+/// columnar: no per-client heap allocation (CL006's cohort half).
+pub const COHORT_PATH_FILES: [&str; 2] =
+    ["crates/rubis/src/cohort.rs", "crates/simcore/src/wheel.rs"];
+
 /// Files that *define* the naive analysis oracles and are therefore
 /// exempt from CL007.
 pub const ORACLE_DEF_FILES: [&str; 2] = [
@@ -140,7 +148,7 @@ pub const RULES: [(&str, &str); 12] = [
     ),
     (
         "CL006",
-        "no host-keyed BTreeMap<(String/HostLabel, ..)> on the sampling path (use interned HostId columns)",
+        "no host-keyed BTreeMap<(String/HostLabel, ..)> on the sampling path, no per-client Box/Vec<Session>/VecDeque allocation on the cohort path (use dense columns)",
     ),
     (
         "CL007",
@@ -532,6 +540,20 @@ mod tests {
         assert!(!d.iter().any(|d| d.rule == "CL006"));
         let d = scan_source("crates/core/src/report.rs", src);
         assert!(!d.iter().any(|d| d.rule == "CL006"));
+        // CL006's cohort half: per-client heap allocation on the cohort
+        // hot path, but not in cohort tests or unrelated library files.
+        let src = "fn spawn() { let s = Box::new(Session::default()); q: VecDeque<u32>; }\n";
+        let d = scan_source("crates/rubis/src/cohort.rs", src);
+        assert_eq!(d.iter().filter(|d| d.rule == "CL006").count(), 2);
+        let d = scan_source(
+            "crates/simcore/src/wheel.rs",
+            "fn f() { let b = Box::new(1); }\n",
+        );
+        assert!(d.iter().any(|d| d.rule == "CL006"));
+        let d = scan_source("crates/rubis/src/client.rs", src);
+        assert!(!d.iter().any(|d| d.rule == "CL006"));
+        let d = scan_source("crates/rubis/tests/prop_cohort.rs", src);
+        assert!(d.is_empty());
         // CL007: oracle calls in library/binary code.
         let src = "fn f(xs: &[f64]) { let p = goertzel_periodogram(xs); let l = find_lag_naive(xs, xs, 5); }\n";
         let d = scan_source("crates/core/src/characterize.rs", src);

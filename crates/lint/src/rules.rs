@@ -8,7 +8,10 @@ use crate::callgraph::{call_sites_in, resolve, CallGraph};
 use crate::lexer::{mask_source, TokKind};
 use crate::parse::{FileAst, FileClass};
 use crate::symbols::Workspace;
-use crate::{Diagnostic, ORACLE_DEF_FILES, SAMPLING_PATH_FILES, SIM_CRATES, SORTED_OUTPUT_FILES};
+use crate::{
+    Diagnostic, COHORT_PATH_FILES, ORACLE_DEF_FILES, SAMPLING_PATH_FILES, SIM_CRATES,
+    SORTED_OUTPUT_FILES,
+};
 use std::collections::BTreeSet;
 
 /// Files holding the audited raw-nanosecond boundary math, exempt from
@@ -86,6 +89,7 @@ fn line_rules(ast: &FileAst, out: &mut Vec<Diagnostic>) {
     let analysis_lib = lib && krate == "analysis";
     let fault_lib = lib && rel.contains("fault");
     let sampling_path = lib && SAMPLING_PATH_FILES.contains(&rel);
+    let cohort_path = lib && COHORT_PATH_FILES.contains(&rel);
     let oracle_banned =
         matches!(class, FileClass::Lib | FileClass::Bin) && !ORACLE_DEF_FILES.contains(&rel);
 
@@ -144,6 +148,15 @@ fn line_rules(ast: &FileAst, out: &mut Vec<Diagnostic>) {
                 if line_has(m, pat) {
                     push_diag(out, "CL006", ast, lineno, format!(
                         "`{pat}` host-keyed map on the sampling path; record through interned HostId + dense metric columns (SeriesStore::record_row)"
+                    ));
+                }
+            }
+        }
+        if cohort_path {
+            for pat in ["Box::new(", "Vec<Session>", "VecDeque<"] {
+                if line_has(m, pat) {
+                    push_diag(out, "CL006", ast, lineno, format!(
+                        "`{pat}` allocates per-client heap state on the cohort hot path; keep client state in dense parallel columns and inline wheel-bucket entries"
                     ));
                 }
             }

@@ -1,6 +1,11 @@
-//! CL006 fixture: host-keyed map on the sampling path.
+//! CL006 fixture: host-keyed map on the sampling path, and per-client
+//! heap allocation on the cohort path.
 use std::collections::BTreeMap;
 
 pub struct Keyed {
     pub series: BTreeMap<(String, MetricId), Vec<f64>>,
+}
+
+pub fn spawn_client(mix: Mix) -> Box<Session> {
+    Box::new(Session::new(mix))
 }

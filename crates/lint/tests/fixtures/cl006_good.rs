@@ -1,5 +1,7 @@
-//! CL006 fixture: interned hosts with dense metric columns.
+//! CL006 fixture: interned hosts with dense metric columns; client
+//! state in dense parallel columns.
 pub struct Columnar {
     pub hosts: Vec<HostId>,
     pub columns: Vec<Vec<f64>>,
+    pub epochs: Vec<u64>,
 }

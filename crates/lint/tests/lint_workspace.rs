@@ -12,13 +12,16 @@ use std::fs;
 /// Virtual workspace path each rule's fixtures are scanned under, chosen
 /// so the rule's file/crate gate is open. Kept in sync with the binary's
 /// `--fixture` mode.
-const FIXTURE_TABLE: [(&str, &str); 12] = [
+const FIXTURE_TABLE: [(&str, &str); 13] = [
     ("CL001", "crates/simcore/src/fixture.rs"),
     ("CL002", "crates/simcore/src/fixture.rs"),
     ("CL003", "crates/monitor/src/store.rs"),
     ("CL004", "crates/analysis/src/fixture.rs"),
     ("CL005", "crates/core/src/faults.rs"),
     ("CL006", "crates/monitor/src/store.rs"),
+    // CL006's cohort half: the same pair must fire (bad) / stay clean
+    // (good) under a cohort-path file too.
+    ("CL006", "crates/rubis/src/cohort.rs"),
     ("CL007", "crates/core/src/characterize.rs"),
     ("CL008", "crates/core/src/fixture.rs"),
     ("CL009", "crates/simcore/src/fixture.rs"),

@@ -13,6 +13,9 @@
 //! * [`transition`] — the browsing and bidding Markov mixes;
 //! * [`client`] — the closed-population client emulator (1000 clients,
 //!   7 s think time in the paper);
+//! * [`cohort`] — the same population as parallel columns, for
+//!   100k–1M-client runs (the per-object path stays as its test
+//!   oracle);
 //! * [`webserver`] — the Apache prefork + PHP tier with worker-pool
 //!   dynamics that generate the paper's RAM "jumps".
 //!
@@ -23,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod cohort;
 pub mod db;
 pub mod interactions;
 pub mod schema;
@@ -31,6 +35,7 @@ pub mod transition;
 pub mod webserver;
 
 pub use client::{ClientPopulation, RetryDecision, RetryPolicy, Session, WorkloadMix};
+pub use cohort::ClientCohort;
 pub use db::{Database, DbWork, MySqlConfig, MySqlServer, Query};
 pub use interactions::{queries_for, EntityRanges, Interaction, InteractionProfile};
 pub use schema::{DbScale, ItemId, UserId};

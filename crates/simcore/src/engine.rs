@@ -79,6 +79,51 @@ impl<W> Engine<W> {
         self.queue.len()
     }
 
+    /// Time of the earliest pending (non-cancelled) event, if any.
+    ///
+    /// Cancelled entries found at the head of the queue are popped and
+    /// discarded, exactly as [`Engine::run_until`] would have skipped
+    /// them, so peeking never changes which events eventually execute.
+    pub fn peek_next_time(&mut self) -> Option<SimTime> {
+        loop {
+            let (time_ns, seq) = self.queue.peek()?;
+            if self.cancelled.contains(&seq) {
+                let _ = self.queue.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(SimTime::from_nanos(time_ns));
+        }
+    }
+
+    /// Advance the clock to `t` from inside an executing handler without
+    /// popping an event.
+    ///
+    /// Batched handlers (the timer wheel) use this to process several
+    /// deadlines inside one engine event while keeping every deadline's
+    /// exact nanosecond on the clock. `t` must not precede the current
+    /// clock and must not pass the next pending event — either would
+    /// reorder execution relative to the unbatched schedule.
+    pub fn advance_now_to(&mut self, t: SimTime) {
+        assert!(
+            t >= self.now,
+            "cannot rewind the clock: {} < {}",
+            t,
+            self.now
+        );
+        let bound = self.peek_next_time();
+        let in_bounds = bound.map_or(true, |b| t <= b);
+        debug_assert!(in_bounds, "manual advance past the next pending event");
+        crate::audit::check("engine.time_monotonic", t.as_nanos(), in_bounds, || {
+            format!(
+                "manual advance to {} ns passes the next pending event at {:?} ns",
+                t.as_nanos(),
+                bound.map(SimTime::as_nanos)
+            )
+        });
+        self.now = t;
+    }
+
     /// Schedule `action` at absolute time `time`.
     ///
     /// Panics if `time` is in the past — the engine never rewinds.
@@ -324,6 +369,52 @@ mod tests {
         eng.set_event_limit(100);
         let mut w = World::default();
         eng.schedule_periodic(at(0), SimDuration::from_nanos(1), |_, _| true);
+        eng.run(&mut w);
+    }
+
+    #[test]
+    fn peek_next_time_skips_cancelled_heads() {
+        let mut eng: Engine<World> = Engine::new();
+        let a = eng.schedule_at(at(1), |_, _| {});
+        let b = eng.schedule_at(at(2), |_, _| {});
+        eng.schedule_at(at(3), |_, _| {});
+        eng.cancel(a);
+        eng.cancel(b);
+        assert_eq!(eng.peek_next_time(), Some(at(3)));
+        // The cancelled heads were discarded for good.
+        assert_eq!(eng.pending(), 1);
+        let mut w = World::default();
+        assert_eq!(eng.run(&mut w), 1);
+    }
+
+    #[test]
+    fn peek_next_time_empty_queue_is_none() {
+        let mut eng: Engine<World> = Engine::new();
+        assert_eq!(eng.peek_next_time(), None);
+    }
+
+    #[test]
+    fn advance_now_to_moves_clock_inside_handler() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        eng.schedule_at(at(1), |e, w: &mut World| {
+            e.advance_now_to(at(4));
+            w.log.push((e.now().as_nanos(), "batched"));
+        });
+        eng.schedule_at(at(5), |e, w: &mut World| {
+            w.log.push((e.now().as_nanos(), "next"));
+        });
+        eng.run(&mut w);
+        let times: Vec<u64> = w.log.iter().map(|(t, _)| *t).collect();
+        assert_eq!(times, vec![4_000_000_000, 5_000_000_000]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot rewind the clock")]
+    fn advance_now_to_rejects_rewind() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        eng.schedule_at(at(3), |e, _| e.advance_now_to(at(1)));
         eng.run(&mut w);
     }
 

@@ -4,7 +4,7 @@
 //! `cloudchar` testbed — the reproduction of *"Characterizing Workload of
 //! Web Applications on Virtualized Servers"* (Wang et al.).
 //!
-//! The crate provides eight building blocks:
+//! The crate provides nine building blocks:
 //!
 //! * [`time`] — integer-nanosecond simulated time ([`SimTime`],
 //!   [`SimDuration`]);
@@ -15,6 +15,8 @@
 //! * [`queue`] — the pending-event set, a hierarchical calendar queue
 //!   ([`CalendarQueue`]);
 //! * [`engine`] — the event scheduler and clock ([`Engine`]);
+//! * [`wheel`] — batched timer buckets for client populations
+//!   ([`TimerWheel`]);
 //! * [`fault`] — deterministic fault-injection schedules ([`FaultPlan`]);
 //! * [`stats`] — streaming accumulators ([`Welford`], [`Counter`], …).
 //!
@@ -50,6 +52,7 @@ pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod wheel;
 
 pub use audit::AuditReport;
 pub use dist::{Dist, Sample};
@@ -59,3 +62,4 @@ pub use queue::CalendarQueue;
 pub use rng::SimRng;
 pub use stats::{Counter, Ewma, LogHistogram, Welford};
 pub use time::{SimDuration, SimTime};
+pub use wheel::TimerWheel;
