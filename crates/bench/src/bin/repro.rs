@@ -11,7 +11,16 @@
 //! cargo run --release -p cloudchar-bench --bin repro -- characterize --full --jobs 8
 //! cargo run --release -p cloudchar-bench --bin repro -- --fast --faults plan.json fig1
 //! cargo run --release -p cloudchar-bench --bin repro -- --fast --clients 100000 fig1
+//! cargo run --release -p cloudchar-bench --bin repro -- --fast --engine sharded --jobs 4 fig1
+//! cargo run --release -p cloudchar-bench --bin repro -- fleet --hosts 100 --jobs 4
 //! ```
+//!
+//! `--engine sharded` routes every experiment through the sharded
+//! runner (`--jobs` worker threads) instead of the single-queue engine;
+//! outputs are byte-identical by construction. `fleet` runs the
+//! multi-host topology — a generator shard plus one shard per physical
+//! host (`--hosts 13` paper testbed, `--hosts 100` scale-out) — where
+//! `--jobs` parallelism acts across hosts.
 //!
 //! `--faults <plan.json|scenario>` injects a fault schedule into every
 //! experiment the run performs. The value is either a path to a
@@ -52,8 +61,8 @@
 use cloudchar_analysis::{summarize, Resource};
 use cloudchar_core::{
     default_jobs, paper_values, q1_tier_lag, q2_ram_jumps, q3_disk_cv, ratio_report, run,
-    run_seeds_jobs, scenario, scenario_report, Deployment, ExperimentConfig, ExperimentResult,
-    SCENARIOS,
+    run_fleet, run_seeds_jobs, run_sharded, scenario, scenario_report, Deployment,
+    ExperimentConfig, ExperimentResult, FleetConfig, SCENARIOS,
 };
 use cloudchar_monitor::catalog;
 use cloudchar_rubis::WorkloadMix;
@@ -73,6 +82,12 @@ struct Lab {
     fast: bool,
     faults: Option<String>,
     clients: Option<u32>,
+    /// `--engine sharded` routes every experiment through the sharded
+    /// runner (`--jobs` worker threads); default is the single-queue
+    /// engine. Results are byte-identical either way — the differential
+    /// harness in `tests/shard_equiv.rs` pins that.
+    sharded: bool,
+    jobs: usize,
     cache: HashMap<Key, ExperimentResult>,
 }
 
@@ -117,7 +132,11 @@ impl Lab {
                 cfg.duration.as_secs_f64()
             );
             let t0 = std::time::Instant::now();
-            let result = run(cfg);
+            let result = if self.sharded {
+                run_sharded(cfg, self.jobs)
+            } else {
+                run(cfg)
+            };
             eprintln!(
                 "[repro]   done in {:.1}s ({} requests, {} events)",
                 t0.elapsed().as_secs_f64(),
@@ -686,6 +705,53 @@ fn characterize_cmd(lab: &mut Lab, full: bool, jobs: usize) {
     }
 }
 
+/// `fleet` — run the multi-host sharded fleet (generator shard + one
+/// shard per physical host) and print its throughput, availability and
+/// parallel-runner statistics. `--hosts 13` is the paper topology,
+/// `--hosts 100` the scale-out configuration; `--jobs` sets the worker
+/// threads; `--faults <spec>` injects the plan into pod 0 only.
+fn fleet_cmd(hosts: usize, jobs: usize, faults: &Option<String>) {
+    let mut cfg = if hosts >= 100 {
+        FleetConfig::fleet100()
+    } else {
+        FleetConfig::paper13()
+    };
+    if let Some(spec) = faults {
+        cfg.base.faults = resolve_plan(spec, cfg.base.duration.as_secs_f64());
+        cfg.fault_pod = Some(0);
+    }
+    println!(
+        "== Fleet: {} hosts ({} pods + generator), {} sessions, {:.0}s, jobs={jobs} ==",
+        cfg.hosts(),
+        cfg.pods,
+        cfg.base.clients,
+        cfg.base.duration.as_secs_f64()
+    );
+    let t0 = std::time::Instant::now();
+    let r = run_fleet(&cfg, jobs);
+    let wall = t0.elapsed().as_secs_f64();
+    let s = &r.stats;
+    println!(
+        "  {} ok, {} failed ({} retries, {} abandons)  mean latency {:.1} ms  fingerprint {:#018x}",
+        r.completed,
+        r.failed,
+        r.retries,
+        r.abandons,
+        r.response_time_mean_s * 1e3,
+        r.fingerprint()
+    );
+    let avail = r.availability_over(0, r.availability.len());
+    let ideal = if s.critical_units > 0 {
+        s.units as f64 / s.critical_units as f64
+    } else {
+        1.0
+    };
+    println!(
+        "  availability {:.4}  wall {:.2}s  rounds {}  units {}  messages {}  ideal speedup {:.2}x",
+        avail, wall, s.rounds, s.units, s.messages, ideal
+    );
+}
+
 /// `--name value` / `--name=value` string flag; `None` when `arg` is not
 /// this flag.
 fn take_value(arg: &str, name: &str, it: &mut impl Iterator<Item = String>) -> Option<String> {
@@ -717,6 +783,8 @@ fn main() {
     let mut jobs: usize = default_jobs();
     let mut faults: Option<String> = None;
     let mut clients: Option<u32> = None;
+    let mut engine: Option<String> = None;
+    let mut hosts: usize = 13;
     let mut cmds: Vec<String> = Vec::new();
     let mut it = args
         .into_iter()
@@ -728,6 +796,10 @@ fn main() {
             jobs = j;
         } else if let Some(f) = take_value(&arg, "--faults", &mut it) {
             faults = Some(f);
+        } else if let Some(e) = take_value(&arg, "--engine", &mut it) {
+            engine = Some(e);
+        } else if let Some(h) = take_count(&arg, "--hosts", &mut it) {
+            hosts = h;
         } else if let Some(n) = take_count(&arg, "--clients", &mut it) {
             // Validated (> 0, <= MAX_CLIENTS) by cfg.validate() per run;
             // saturate so an absurd value still hits the ceiling check.
@@ -742,10 +814,20 @@ fn main() {
     if audit {
         cloudchar_simcore::audit::enable();
     }
+    let sharded = match engine.as_deref() {
+        None | Some("legacy") | Some("single-queue") => false,
+        Some("sharded") => true,
+        Some(other) => {
+            eprintln!("[repro] --engine must be legacy|sharded, got {other:?}");
+            std::process::exit(2);
+        }
+    };
     let mut lab = Lab {
         fast,
         faults,
         clients,
+        sharded,
+        jobs,
         cache: HashMap::new(),
     };
     let all = cmds.iter().any(|c| c == "all");
@@ -792,6 +874,10 @@ fn main() {
     // `scenarios` is opt-in: three extra full runs don't ride with `all`.
     if cmds.iter().any(|c| c == "scenarios") {
         scenarios_cmd(fast);
+    }
+    // `fleet` is opt-in too: the multi-host topology is its own scale.
+    if cmds.iter().any(|c| c == "fleet") {
+        fleet_cmd(hosts, jobs, &lab.faults);
     }
     if want("fault-roundtrip") {
         fault_roundtrip_cmd();

@@ -9,7 +9,8 @@ use cloudchar_analysis::Resource;
 use cloudchar_hw::ServerSpec;
 use cloudchar_monitor::{catalog, FaultSummary, SeriesStore, Source};
 use cloudchar_rubis::{ClientCohort, Database, MySqlServer, WebAppServer};
-use cloudchar_simcore::{audit, Engine, SimRng};
+use cloudchar_simcore::shard::{RunMode, ShardCtx, ShardLogic, ShardedEngine, Topology};
+use cloudchar_simcore::{audit, Engine, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of one experiment run.
@@ -55,6 +56,57 @@ fn degraded_spec(factor: f64) -> ServerSpec {
 
 /// Run one experiment to completion.
 pub fn run(cfg: ExperimentConfig) -> ExperimentResult {
+    let (mut engine, mut world) = build(&cfg);
+    engine.run_until(&mut world, cfg.end_time());
+    finalize(cfg, engine, world)
+}
+
+/// Run one experiment through the sharded runner.
+///
+/// An [`ExperimentConfig`] world is *one* physical host (both RUBiS
+/// tiers in VMs on it, or two directly-cabled servers sharing one
+/// event stream), so it maps onto a single shard wrapping the whole
+/// engine/world pair — byte-identical to [`run`] by construction, at
+/// any `jobs`, which is exactly what `tests/shard_equiv.rs` pins.
+/// Multi-host parallelism lives in [`crate::fleet`], where each pod is
+/// its own shard.
+pub fn run_sharded(cfg: ExperimentConfig, jobs: usize) -> ExperimentResult {
+    let (engine, world) = build(&cfg);
+    let mut sharded = ShardedEngine::new(Topology::new(1), vec![MonoShard { engine, world }]);
+    sharded.run(cfg.end_time(), RunMode::Windowed { jobs: jobs.max(1) });
+    let Some(MonoShard { engine, world }) = sharded.into_logics().pop() else {
+        unreachable!("one shard in, one shard out");
+    };
+    finalize(cfg, engine, world)
+}
+
+/// The whole single-host experiment as one shard: no in-links means an
+/// unbounded horizon, so the runner executes it in a single window.
+struct MonoShard {
+    engine: Engine<World>,
+    world: World,
+}
+
+impl ShardLogic for MonoShard {
+    type Msg = ();
+
+    fn next_local(&mut self) -> Option<SimTime> {
+        self.engine.peek_next_time()
+    }
+
+    fn run_local(&mut self, ctx: &mut ShardCtx<'_, ()>) -> u64 {
+        self.engine.run_before(&mut self.world, ctx.limit())
+    }
+
+    fn on_message(&mut self, _ctx: &mut ShardCtx<'_, ()>, _src: u32, _msg: ()) {
+        unreachable!("a single-shard topology has no channels");
+    }
+}
+
+/// Build the engine/world pair of an experiment: platform, application
+/// models, bootstrap events, and any fault plan — everything up to the
+/// first event execution.
+fn build(cfg: &ExperimentConfig) -> (Engine<World>, World) {
     cfg.validate().expect("invalid experiment config");
     let master = SimRng::new(cfg.seed);
     let mut db_rng = master.derive("db-gen");
@@ -89,12 +141,6 @@ pub fn run(cfg: ExperimentConfig) -> ExperimentResult {
             platform_rng,
         ))),
     };
-    let hosts: Vec<String> = platform
-        .host_labels()
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
-
     let mut world = World::new(
         cfg.clone(),
         platform,
@@ -109,8 +155,17 @@ pub fn run(cfg: ExperimentConfig) -> ExperimentResult {
     if !cfg.faults.is_empty() {
         crate::faults::install_plan(&cfg.faults, &mut engine, &mut world);
     }
-    engine.run_until(&mut world, cfg.end_time());
+    (engine, world)
+}
 
+/// Extract the [`ExperimentResult`] of a completed engine/world pair.
+fn finalize(cfg: ExperimentConfig, engine: Engine<World>, world: World) -> ExperimentResult {
+    let hosts: Vec<String> = world
+        .platform
+        .host_labels()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     if audit::is_enabled() {
         // Every sampled series must hold exactly one point per sampling
         // tick at the configured cadence (the paper's 2 s interval).

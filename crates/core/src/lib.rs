@@ -33,6 +33,7 @@ pub mod compare;
 pub mod config;
 pub mod experiment;
 pub mod faults;
+pub mod fleet;
 pub mod phys;
 pub mod platform;
 pub mod report;
@@ -50,8 +51,9 @@ pub use compare::{
     r3_nonvirt_vs_virt, r4_physical_percent, ratio_report, RatioReport,
 };
 pub use config::{Deployment, ExperimentConfig};
-pub use experiment::{run, ExperimentResult};
+pub use experiment::{run, run_sharded, ExperimentResult};
 pub use faults::{install_plan, scenario, scenario_report, PhaseDelta, ScenarioReport, SCENARIOS};
+pub use fleet::{run_fleet, run_fleet_mode, FleetConfig, FleetMsg, FleetResult};
 pub use phys::{HostIoPolicy, PhysPlatform};
 pub use platform::{Platform, Tier, TierLoad};
 pub use report::{render_report, render_report_jobs, ReportInputs};

@@ -58,6 +58,11 @@
 //! * **CL012** — library files that mutate simulated hardware/hypervisor
 //!   state (non-test `&mut self` methods in `hw`/`xen`/the engine) must
 //!   contain an `audit::` invariant check or a registered suppression.
+//! * **CL013** — shard-logic files (code that runs *inside* a shard of
+//!   the parallel sharded engine) must not share state across shards:
+//!   no `Arc`, `Rc`, locks, cells, atomics, `static mut`, or
+//!   `thread_local!`. Cross-shard communication happens only through
+//!   typed channel messages, so parallel replay stays byte-identical.
 //!
 //! Suppressions are audited exceptions; entries that no longer match any
 //! finding are reported as *stale* and fail the run (escape hatch:
@@ -124,8 +129,14 @@ pub const ORACLE_DEF_FILES: [&str; 2] = [
     "crates/analysis/src/lag.rs",
 ];
 
+/// Files whose code runs inside a shard of the parallel sharded engine
+/// and must therefore own its state exclusively (CL013): no shared-state
+/// primitives — cross-shard traffic is channel messages only.
+pub const SHARD_LOGIC_FILES: [&str; 2] =
+    ["crates/core/src/fleet.rs", "crates/core/src/experiment.rs"];
+
 /// Rule registry: `(id, summary)` for every rule the scanner knows.
-pub const RULES: [(&str, &str); 12] = [
+pub const RULES: [(&str, &str); 13] = [
     (
         "CL001",
         "no Instant::now/SystemTime::now/thread_rng in simulation crates",
@@ -173,6 +184,10 @@ pub const RULES: [(&str, &str); 12] = [
     (
         "CL012",
         "files mutating engine/hw/xen state must carry an audit:: invariant check or a registered suppression",
+    ),
+    (
+        "CL013",
+        "no Arc/Rc/locks/cells/atomics/static mut/thread_local! in shard-logic files (cross-shard state travels as channel messages)",
     ),
 ];
 

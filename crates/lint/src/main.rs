@@ -17,13 +17,14 @@ use cloudchar_lint::{scan_files, scan_workspace, workspace_root, LintReport};
 
 /// Virtual workspace paths a `--fixture` file is scanned under, chosen so
 /// every rule's file/crate gate is open for at least one of them.
-const FIXTURE_PATHS: [&str; 6] = [
+const FIXTURE_PATHS: [&str; 7] = [
     "crates/monitor/src/store.rs",    // CL003 + CL006 + sim crate
     "crates/rubis/src/cohort.rs",     // CL006 cohort half
     "crates/analysis/src/fixture.rs", // CL004
     "crates/core/src/faults.rs",      // CL005 + fault file
     "crates/simcore/src/fixture.rs",  // CL001/2/8/9/10 sim-lib
     "crates/hw/src/fixture.rs",       // CL012 audit scope
+    "crates/core/src/fleet.rs",       // CL013 shard-logic scope
 ];
 
 fn main() {

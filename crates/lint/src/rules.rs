@@ -1,5 +1,6 @@
-//! Rule evaluation: CL001–CL007 line rules over masked source, and the
-//! cross-file rules CL008–CL012 over the parsed workspace + call graph.
+//! Rule evaluation: CL001–CL007 and CL013 line rules over masked
+//! source, and the cross-file rules CL008–CL012 over the parsed
+//! workspace + call graph.
 //!
 //! Per-rule rationale lives in `DESIGN.md §12`; the registry of rule IDs
 //! is [`crate::RULES`].
@@ -9,8 +10,8 @@ use crate::lexer::{mask_source, TokKind};
 use crate::parse::{FileAst, FileClass};
 use crate::symbols::Workspace;
 use crate::{
-    Diagnostic, COHORT_PATH_FILES, ORACLE_DEF_FILES, SAMPLING_PATH_FILES, SIM_CRATES,
-    SORTED_OUTPUT_FILES,
+    Diagnostic, COHORT_PATH_FILES, ORACLE_DEF_FILES, SAMPLING_PATH_FILES, SHARD_LOGIC_FILES,
+    SIM_CRATES, SORTED_OUTPUT_FILES,
 };
 use std::collections::BTreeSet;
 
@@ -90,6 +91,7 @@ fn line_rules(ast: &FileAst, out: &mut Vec<Diagnostic>) {
     let fault_lib = lib && rel.contains("fault");
     let sampling_path = lib && SAMPLING_PATH_FILES.contains(&rel);
     let cohort_path = lib && COHORT_PATH_FILES.contains(&rel);
+    let shard_logic = lib && SHARD_LOGIC_FILES.contains(&rel);
     let oracle_banned =
         matches!(class, FileClass::Lib | FileClass::Bin) && !ORACLE_DEF_FILES.contains(&rel);
 
@@ -157,6 +159,28 @@ fn line_rules(ast: &FileAst, out: &mut Vec<Diagnostic>) {
                 if line_has(m, pat) {
                     push_diag(out, "CL006", ast, lineno, format!(
                         "`{pat}` allocates per-client heap state on the cohort hot path; keep client state in dense parallel columns and inline wheel-bucket entries"
+                    ));
+                }
+            }
+        }
+        if shard_logic {
+            for pat in [
+                "Arc<",
+                "Rc<",
+                "Mutex",
+                "RwLock",
+                "RefCell",
+                "Cell<",
+                "static mut",
+                "thread_local!",
+                "AtomicBool",
+                "AtomicUsize",
+                "AtomicU64",
+                "AtomicU32",
+            ] {
+                if line_has(m, pat) {
+                    push_diag(out, "CL013", ast, lineno, format!(
+                        "`{pat}` shares state across shards; a shard owns its queue/clock/RNG exclusively — cross-shard traffic must be typed channel messages (ShardCtx::send)"
                     ));
                 }
             }

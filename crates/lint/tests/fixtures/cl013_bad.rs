@@ -1,0 +1,14 @@
+//! CL013 fixture: shard logic sharing mutable state across shards.
+use std::sync::{Arc, Mutex};
+
+pub struct SharedShard {
+    counter: Arc<Mutex<u64>>,
+}
+
+impl SharedShard {
+    pub fn bump(&self) {
+        if let Ok(mut n) = self.counter.lock() {
+            *n = n.saturating_add(1);
+        }
+    }
+}

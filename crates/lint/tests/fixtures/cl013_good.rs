@@ -1,0 +1,26 @@
+//! CL013 fixture: shard state owned exclusively; cross-shard data
+//! travels as plain message values drained from an outbox.
+
+pub struct Envelope {
+    pub src: u32,
+    pub value: u64,
+}
+
+pub struct Shard {
+    total: u64,
+    outbox: Vec<Envelope>,
+}
+
+impl Shard {
+    pub fn on_message(&mut self, msg: Envelope) {
+        let next = self.total.saturating_add(msg.value);
+        cloudchar_simcore::audit::check("shard.total.monotonic", 0, next >= self.total, || {
+            String::from("shard total wrapped")
+        });
+        self.total = next;
+    }
+
+    pub fn drain(&mut self) -> Vec<Envelope> {
+        std::mem::take(&mut self.outbox)
+    }
+}

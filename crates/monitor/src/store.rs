@@ -379,6 +379,28 @@ impl SeriesStore {
         self.len() == 0
     }
 
+    /// Absorb every series of `other`, prefixing each of its host
+    /// labels with `prefix` — how the fleet runner folds per-pod stores
+    /// into one sweep-wide store without label collisions. Panics if a
+    /// renamed `(host, metric)` series already exists here: pods own
+    /// disjoint hosts by construction, and a collision means two shards
+    /// sampled the same host.
+    pub fn merge_renamed(&mut self, other: SeriesStore, prefix: &str) {
+        for (hi, host) in other.hosts.iter().enumerate() {
+            let renamed = format!("{prefix}{host}");
+            let id = self.host_id(&renamed);
+            for (ci, col) in other.blocks[hi].iter().enumerate() {
+                let Some(series) = col else { continue };
+                let slot = self.column_mut(id, MetricId(ci as u16));
+                assert!(
+                    slot.is_none(),
+                    "merge_renamed: series {renamed}/{ci} already present"
+                );
+                *slot = Some(series.clone());
+            }
+        }
+    }
+
     /// Export one series as `(seconds, value)` rows.
     pub fn to_rows(&self, host: &str, metric: MetricId) -> Vec<(f64, f64)> {
         match self.get(host, metric) {
@@ -551,6 +573,35 @@ mod tests {
                 ("web-vm".to_string(), 2),
             ]
         );
+    }
+
+    #[test]
+    fn merge_renamed_prefixes_and_keeps_series() {
+        let start = SimTime::ZERO;
+        let dt = SimDuration::from_secs(2);
+        let mut pod = SeriesStore::new();
+        pod.record("web-vm", mid(1), start, dt, 3.0);
+        pod.record("dom0", mid(0), start, dt, 5.0);
+        let mut fleet = SeriesStore::new();
+        fleet.record("gen", mid(0), start, dt, 1.0);
+        fleet.merge_renamed(pod, "pod00/");
+        assert_eq!(fleet.get("pod00/web-vm", mid(1)).unwrap().values, vec![3.0]);
+        assert_eq!(fleet.get("pod00/dom0", mid(0)).unwrap().values, vec![5.0]);
+        assert_eq!(fleet.get("gen", mid(0)).unwrap().values, vec![1.0]);
+        assert_eq!(fleet.len(), 3);
+        assert_eq!(fleet.hosts(), vec!["gen", "pod00/dom0", "pod00/web-vm"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already present")]
+    fn merge_renamed_rejects_collisions() {
+        let start = SimTime::ZERO;
+        let dt = SimDuration::from_secs(2);
+        let mut a = SeriesStore::new();
+        a.record("p/web-vm", mid(1), start, dt, 1.0);
+        let mut b = SeriesStore::new();
+        b.record("web-vm", mid(1), start, dt, 2.0);
+        a.merge_renamed(b, "p/");
     }
 
     #[test]

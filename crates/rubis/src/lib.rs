@@ -17,7 +17,8 @@
 //!   100k–1M-client runs (the per-object path stays as its test
 //!   oracle);
 //! * [`webserver`] — the Apache prefork + PHP tier with worker-pool
-//!   dynamics that generate the paper's RAM "jumps".
+//!   dynamics that generate the paper's RAM "jumps";
+//! * [`wire`] — typed client↔tier message envelopes for sharded runs.
 //!
 //! The crate is engine-agnostic: all models are passive state machines
 //! driven by `cloudchar-core`'s orchestrator, so the same application
@@ -33,6 +34,7 @@ pub mod schema;
 pub mod storage;
 pub mod transition;
 pub mod webserver;
+pub mod wire;
 
 pub use client::{ClientPopulation, RetryDecision, RetryPolicy, Session, WorkloadMix};
 pub use cohort::ClientCohort;
@@ -41,3 +43,4 @@ pub use interactions::{queries_for, EntityRanges, Interaction, InteractionProfil
 pub use schema::{DbScale, ItemId, UserId};
 pub use transition::{Mix, NextAction, TransitionTable};
 pub use webserver::{WebAppServer, WebConfig};
+pub use wire::{CompletionEnvelope, Outcome, QueryEnvelope, RequestEnvelope};

@@ -20,7 +20,7 @@ use std::collections::HashSet;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(u64);
 
-type Action<W> = Box<dyn FnOnce(&mut Engine<W>, &mut W)>;
+type Action<W> = Box<dyn FnOnce(&mut Engine<W>, &mut W) + Send>;
 
 struct Entry<W> {
     time: SimTime,
@@ -130,7 +130,7 @@ impl<W> Engine<W> {
     pub fn schedule_at(
         &mut self,
         time: SimTime,
-        action: impl FnOnce(&mut Engine<W>, &mut W) + 'static,
+        action: impl FnOnce(&mut Engine<W>, &mut W) + Send + 'static,
     ) -> EventId {
         assert!(
             time >= self.now,
@@ -148,7 +148,7 @@ impl<W> Engine<W> {
     pub fn schedule_in(
         &mut self,
         delay: SimDuration,
-        action: impl FnOnce(&mut Engine<W>, &mut W) + 'static,
+        action: impl FnOnce(&mut Engine<W>, &mut W) + Send + 'static,
     ) -> EventId {
         let t = self.now + delay;
         self.schedule_at(t, action)
@@ -178,6 +178,43 @@ impl<W> Engine<W> {
     /// by this call.
     pub fn run(&mut self, world: &mut W) -> u64 {
         self.run_until(world, SimTime::MAX)
+    }
+
+    /// Execute all events with `time < bound` (strictly), leaving the
+    /// clock at the last executed event instead of advancing it to
+    /// `bound`. Returns the number of events executed by this call.
+    ///
+    /// This is the sharded runner's local-drain primitive (see
+    /// [`crate::shard`]): a shard may only execute up to its
+    /// conservative horizon, and the clock must stay behind the horizon
+    /// so a cross-shard message at `t < bound` can still be delivered at
+    /// its exact nanosecond via [`Engine::advance_now_to`].
+    pub fn run_before(&mut self, world: &mut W, bound: SimTime) -> u64 {
+        let start_executed = self.executed;
+        while self.peek_next_time().is_some_and(|t| t < bound) {
+            let Some(entry) = self.pop_next() else { break };
+            crate::audit::check(
+                "engine.time_monotonic",
+                entry.time.as_nanos(),
+                entry.time >= self.now,
+                || {
+                    format!(
+                        "event at {} ns scheduled before current clock {} ns",
+                        entry.time.as_nanos(),
+                        self.now.as_nanos()
+                    )
+                },
+            );
+            self.now = entry.time;
+            self.executed += 1;
+            assert!(
+                self.executed <= self.event_limit,
+                "event limit exceeded ({}): probable scheduling feedback loop",
+                self.event_limit
+            );
+            (entry.action)(self, world);
+        }
+        self.executed - start_executed
     }
 
     /// Execute all events with `time <= deadline`, then advance the clock
@@ -229,7 +266,7 @@ impl<W> Engine<W> {
         &mut self,
         start: SimTime,
         interval: SimDuration,
-        tick: impl FnMut(&mut Engine<W>, &mut W) -> bool + 'static,
+        tick: impl FnMut(&mut Engine<W>, &mut W) -> bool + Send + 'static,
     ) -> EventId {
         assert!(
             interval > SimDuration::ZERO,
@@ -243,7 +280,7 @@ impl<W> Engine<W> {
 
 fn periodic_step<W, F>(engine: &mut Engine<W>, world: &mut W, interval: SimDuration, mut tick: F)
 where
-    F: FnMut(&mut Engine<W>, &mut W) -> bool + 'static,
+    F: FnMut(&mut Engine<W>, &mut W) -> bool + Send + 'static,
 {
     if tick(engine, world) {
         engine.schedule_in(interval, move |e, w| periodic_step(e, w, interval, tick));

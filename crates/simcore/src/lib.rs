@@ -4,7 +4,7 @@
 //! `cloudchar` testbed — the reproduction of *"Characterizing Workload of
 //! Web Applications on Virtualized Servers"* (Wang et al.).
 //!
-//! The crate provides nine building blocks:
+//! The crate provides ten building blocks:
 //!
 //! * [`time`] — integer-nanosecond simulated time ([`SimTime`],
 //!   [`SimDuration`]);
@@ -17,6 +17,8 @@
 //! * [`engine`] — the event scheduler and clock ([`Engine`]);
 //! * [`wheel`] — batched timer buckets for client populations
 //!   ([`TimerWheel`]);
+//! * [`shard`] — conservative parallel execution over per-host event
+//!   queues ([`ShardedEngine`]);
 //! * [`fault`] — deterministic fault-injection schedules ([`FaultPlan`]);
 //! * [`stats`] — streaming accumulators ([`Welford`], [`Counter`], …).
 //!
@@ -50,6 +52,7 @@ pub mod engine;
 pub mod fault;
 pub mod queue;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod wheel;
@@ -60,6 +63,7 @@ pub use engine::{Engine, EventId};
 pub use fault::{FaultEvent, FaultKind, FaultPhase, FaultPlan, FaultTier};
 pub use queue::CalendarQueue;
 pub use rng::SimRng;
+pub use shard::{RunMode, ShardCtx, ShardId, ShardLogic, ShardStats, ShardedEngine, Topology};
 pub use stats::{Counter, Ewma, LogHistogram, Welford};
 pub use time::{SimDuration, SimTime};
 pub use wheel::TimerWheel;

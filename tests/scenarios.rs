@@ -10,12 +10,12 @@
 //! the R-claim signs outside the fault window.
 
 use cloudchar_core::{
-    run, run_seeds_jobs, scenario, scenario_report, Deployment, ExperimentConfig, ExperimentResult,
-    SCENARIOS,
+    run, run_fleet, run_seeds_jobs, run_sharded, scenario, scenario_report, Deployment,
+    ExperimentConfig, ExperimentResult, FleetConfig, SCENARIOS,
 };
 use cloudchar_monitor::catalog;
 use cloudchar_rubis::WorkloadMix;
-use cloudchar_simcore::FaultPlan;
+use cloudchar_simcore::{FaultPlan, SimDuration};
 
 fn faulted_cfg(name: &str, seed: u64) -> ExperimentConfig {
     let mut c = ExperimentConfig::fast(Deployment::Virtualized, WorkloadMix::BROWSING);
@@ -144,6 +144,96 @@ fn db_crash_preserves_r_claim_signs_outside_the_window() {
     assert!(
         db_during < 0.5 * db,
         "crashed DB tier still drew {db_during} of {db} cycles"
+    );
+}
+
+#[test]
+fn scenarios_pin_identical_envelopes_across_shard_jobs() {
+    // The availability envelope and per-host phase deltas of a chaos
+    // scenario are part of the deterministic contract: the sharded
+    // runner at any worker count must pin the exact same windows and
+    // the exact same numbers as the legacy engine.
+    for name in ["db-crash", "noisy-neighbor"] {
+        let legacy = run(faulted_cfg(name, 42));
+        let s1 = run_sharded(faulted_cfg(name, 42), 1);
+        let s4 = run_sharded(faulted_cfg(name, 42), 4);
+        assert_eq!(
+            fingerprint(&legacy),
+            fingerprint(&s1),
+            "{name}: sharded jobs=1 diverged"
+        );
+        assert_eq!(
+            fingerprint(&legacy),
+            fingerprint(&s4),
+            "{name}: sharded jobs=4 diverged"
+        );
+        assert_eq!(legacy.faults, s4.faults, "{name}: fault summaries");
+        let a = scenario_report(&legacy).expect("phase report computable");
+        let b = scenario_report(&s4).expect("phase report computable");
+        assert_eq!(a.window, b.window, "{name}: availability window");
+        for (x, y) in [
+            (a.availability_before, b.availability_before),
+            (a.availability_during, b.availability_during),
+            (a.availability_after, b.availability_after),
+        ] {
+            assert_eq!(x.to_bits(), y.to_bits(), "{name}: availability drifted");
+        }
+        assert_eq!(a.deltas.len(), b.deltas.len(), "{name}: delta rows");
+        for (x, y) in a.deltas.iter().zip(&b.deltas) {
+            assert_eq!(x.host, y.host, "{name}: delta host order");
+            assert_eq!(
+                x.during.to_bits(),
+                y.during.to_bits(),
+                "{name}: {} in-window delta drifted",
+                x.host
+            );
+        }
+    }
+}
+
+#[test]
+fn fleet_db_crash_is_isolated_to_its_pod() {
+    // Crash the MySQL domain of pod 0 only. The conservative protocol
+    // must not let that stall the neighbor shards: every sampling
+    // window inside the crash still completes requests on pods 1 and 2,
+    // and pod 0 comes back after its clear event — at any worker count.
+    let mut cfg = FleetConfig::paper13();
+    cfg.pods = 3;
+    cfg.base.clients = 90;
+    cfg.base.duration = SimDuration::from_secs(60);
+    cfg.base.rampup = SimDuration::from_secs(5);
+    cfg.base.faults = scenario("db-crash", 60.0).expect("built-in scenario");
+    cfg.fault_pod = Some(0);
+    let serial = run_fleet(&cfg, 1);
+    let parallel = run_fleet(&cfg, 4);
+    assert_eq!(
+        serial.fingerprint(),
+        parallel.fingerprint(),
+        "fleet jobs=1 vs jobs=4 diverged under faults"
+    );
+    let r = parallel;
+    assert!(r.failed > 0, "crash produced no failures");
+    // db-crash: MySQL domain down 24 s..33 s (+2 s reboot). Sample
+    // window i covers (2i, 2i+2] seconds, so 13..16 sit fully inside.
+    let during = 13..16usize;
+    let dip = r.availability_over(during.start, during.end);
+    assert!(dip < 0.95, "availability during the crash {dip}");
+    let after = r.availability_over(19, r.availability.len());
+    assert!(after > 0.99, "availability after reboot {after}");
+    for i in during.clone() {
+        for pod in 1..3 {
+            assert!(
+                r.ok_by_pod[i][pod] > 0,
+                "pod {pod} stalled in crash window {i}: {:?}",
+                r.ok_by_pod[i]
+            );
+        }
+    }
+    let pod0_during: u64 = during.clone().map(|i| r.ok_by_pod[i][0]).sum();
+    let pod0_after: u64 = (19..r.ok_by_pod.len()).map(|i| r.ok_by_pod[i][0]).sum();
+    assert!(
+        pod0_after > pod0_during,
+        "pod 0 never recovered: {pod0_during} during vs {pod0_after} after"
     );
 }
 
