@@ -93,9 +93,30 @@ impl SeriesScratch {
     /// and accumulates the total AC power in one shared pass.
     /// Invalidates all lazily-built products of the previous load.
     pub fn load(&mut self, xs: &[f64]) -> &mut Self {
+        self.begin_load();
+        self.extend_load(xs);
+        self.finish_load();
+        self
+    }
+
+    /// Start an incremental load (the streaming counterpart of
+    /// [`load`](SeriesScratch::load)): clears the value buffer so
+    /// decoded chunks can be appended with
+    /// [`extend_load`](SeriesScratch::extend_load).
+    pub fn begin_load(&mut self) {
         self.values.clear();
+    }
+
+    /// Append one decoded chunk of the series being loaded.
+    pub fn extend_load(&mut self, xs: &[f64]) {
         self.values.extend_from_slice(xs);
-        self.moments = Moments::of(xs);
+    }
+
+    /// Finish an incremental load: computes the fused moments, centers
+    /// the series and accumulates the total AC power — bit-identical to
+    /// a single [`load`](SeriesScratch::load) of the concatenation.
+    pub fn finish_load(&mut self) {
+        self.moments = Moments::of(&self.values);
         self.mean = if self.moments.count > 0 {
             self.moments.sum / self.moments.count as f64
         } else {
@@ -108,7 +129,6 @@ impl SeriesScratch {
         self.sorted_valid = false;
         self.prefix_valid = false;
         self.peaks_valid = false;
-        self
     }
 
     /// Number of loaded samples.

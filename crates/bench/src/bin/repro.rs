@@ -13,6 +13,9 @@
 //! cargo run --release -p cloudchar-bench --bin repro -- --fast --clients 100000 fig1
 //! cargo run --release -p cloudchar-bench --bin repro -- --fast --engine sharded --jobs 4 fig1
 //! cargo run --release -p cloudchar-bench --bin repro -- fleet --hosts 100 --jobs 4
+//! cargo run --release -p cloudchar-bench --bin repro -- --trace-out traces fig1 characterize
+//! cargo run --release -p cloudchar-bench --bin repro -- --trace-in traces characterize --jobs 4
+//! cargo run --release -p cloudchar-bench --bin repro -- fleet --hosts 100 --trace-out traces
 //! ```
 //!
 //! `--engine sharded` routes every experiment through the sharded
@@ -53,6 +56,15 @@
 //! raw series) on the worker pool, instead of the per-resource rollups;
 //! `--jobs` bounds the pool for `characterize` either way.
 //!
+//! `--trace-out <dir>` runs each experiment with the streaming chunk
+//! writer: samples go straight to compressed `.cctr` files under
+//! `<dir>` and figures/characterization stream back off disk with
+//! bounded memory, byte-identical to the in-memory path.
+//! `--trace-in <dir>` skips the runs entirely and re-analyzes traces
+//! written by an earlier `--trace-out`. With `fleet`, `--trace-out`
+//! streams one `podNN.cctr` per pod and the printed fingerprint is
+//! folded back off disk.
+//!
 //! Experiments: the virtualized (§4.1) and non-virtualized (§4.2)
 //! deployments, each under the browsing and bidding compositions, at
 //! the paper's scale (1000 clients, 7 s think time, 20 minutes, 2 s
@@ -60,15 +72,17 @@
 
 use cloudchar_analysis::{summarize, Resource};
 use cloudchar_core::{
-    default_jobs, paper_values, q1_tier_lag, q2_ram_jumps, q3_disk_cv, ratio_report, run,
-    run_fleet, run_seeds_jobs, run_sharded, scenario, scenario_report, Deployment,
-    ExperimentConfig, ExperimentResult, FleetConfig, SCENARIOS,
+    default_jobs, full_characterize_trace, paper_values, q1_tier_lag, q2_ram_jumps, q3_disk_cv,
+    ratio_report, run, run_fleet, run_fleet_traced, run_seeds_jobs, run_sharded, run_traced,
+    scenario, scenario_report, write_csv_streaming, Deployment, ExperimentConfig, ExperimentResult,
+    FleetConfig, ResourceCursor, TraceDir, SCENARIOS,
 };
 use cloudchar_monitor::catalog;
 use cloudchar_rubis::WorkloadMix;
 use cloudchar_simcore::FaultPlan;
 use std::collections::HashMap;
 use std::io::Write as _;
+use std::path::Path;
 
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 enum Key {
@@ -88,6 +102,14 @@ struct Lab {
     /// harness in `tests/shard_equiv.rs` pins that.
     sharded: bool,
     jobs: usize,
+    /// `--trace-out <dir>`: run experiments with the streaming chunk
+    /// writer and analyze the on-disk store instead of a resident one.
+    trace_out: Option<String>,
+    /// `--trace-in <dir>`: skip the runs and analyze traces written by
+    /// an earlier `--trace-out` invocation.
+    trace_in: Option<String>,
+    /// Keys already traced this invocation (under `--trace-out`).
+    traced: Vec<Key>,
     cache: HashMap<Key, ExperimentResult>,
 }
 
@@ -147,6 +169,66 @@ impl Lab {
         }
         &self.cache[&key]
     }
+
+    /// Out-of-core mode: figures and characterization stream from
+    /// on-disk chunk traces instead of resident stores.
+    fn trace_mode(&self) -> bool {
+        self.trace_in.is_some() || self.trace_out.is_some()
+    }
+
+    /// On-disk trace file for `key`: reuse an existing one under
+    /// `--trace-in`, or run the experiment now with the streaming chunk
+    /// writer under `--trace-out`. `None` when neither flag is set.
+    fn trace(&mut self, key: Key) -> Option<String> {
+        let name = match key {
+            Key::VirtBrowse => "virt_browse",
+            Key::VirtBid => "virt_bid",
+            Key::PhysBrowse => "phys_browse",
+            Key::PhysBid => "phys_bid",
+        };
+        if let Some(dir) = &self.trace_in {
+            let path = format!("{dir}/{name}.cctr");
+            if !Path::new(&path).is_file() {
+                eprintln!(
+                    "[repro] --trace-in: {path} not found (write it first with --trace-out {dir})"
+                );
+                std::process::exit(2);
+            }
+            return Some(path);
+        }
+        let dir = self.trace_out.clone()?;
+        let path = format!("{dir}/{name}.cctr");
+        if !self.traced.contains(&key) {
+            let cfg = self.config(key);
+            must(std::fs::create_dir_all(&dir), "create trace dir");
+            eprintln!(
+                "[repro] running {name} with streaming trace → {path}: {} clients × {:.0}s …",
+                cfg.clients,
+                cfg.duration.as_secs_f64()
+            );
+            let t0 = std::time::Instant::now();
+            let result = must(run_traced(cfg, Path::new(&path)), "write trace");
+            eprintln!(
+                "[repro]   done in {:.1}s ({} requests, {} events)",
+                t0.elapsed().as_secs_f64(),
+                result.completed,
+                result.events
+            );
+            self.traced.push(key);
+        }
+        Some(path)
+    }
+}
+
+/// Unwrap a trace I/O result or exit(2) with a user-facing message.
+fn must<T>(r: std::io::Result<T>, what: &str) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("[repro] {what}: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn write_csv(path: &str, header: &str, cols: &[&[f64]], dt_s: f64) {
@@ -162,6 +244,78 @@ fn write_csv(path: &str, header: &str, cols: &[&[f64]], dt_s: f64) {
         writeln!(f, "{row}").unwrap();
     }
     eprintln!("[repro]   wrote {path}");
+}
+
+/// Streaming counterpart of `series_stats`: one pass over the derived
+/// chunks, never materializing the series.
+fn series_stats_streaming(
+    label: &str,
+    trace: &TraceDir,
+    resource: Resource,
+    host: &str,
+    dt: f64,
+) -> String {
+    let mut cur = must(ResourceCursor::new(trace, resource, host, dt), "open trace");
+    let (mut n, mut sum, mut sumsq) = (0u64, 0.0f64, 0.0f64);
+    let mut max = f64::NEG_INFINITY;
+    while let Some(v) = must(cur.next_value(), "decode trace chunk") {
+        n += 1;
+        sum += v;
+        sumsq += v * v;
+        max = max.max(v);
+    }
+    if n == 0 {
+        return format!("{label}: (empty)");
+    }
+    let mean = sum / n as f64;
+    let var = (sumsq / n as f64 - mean * mean).max(0.0);
+    let cv = if mean != 0.0 { var.sqrt() / mean } else { 0.0 };
+    format!("{label:<26} mean {mean:>12.4e}  max {max:>12.4e}  cv {cv:>5.2}")
+}
+
+/// Render one figure's panels straight off the on-disk traces: stats
+/// and CSV rows stream one decoded chunk at a time per column.
+fn figure_traced(
+    lab: &mut Lab,
+    fig: u8,
+    resource: Resource,
+    hosts: &[&str],
+    panels: &[&str],
+    keys: (Key, Key),
+) {
+    let dt = 2.0;
+    let bp = lab.trace(keys.0).expect("trace mode");
+    let qp = lab.trace(keys.1).expect("trace mode");
+    let browse = must(TraceDir::open(Path::new(&bp)), "open browse trace");
+    let bid = must(TraceDir::open(Path::new(&qp)), "open bid trace");
+    std::fs::create_dir_all("results").expect("create results dir");
+    for (i, panel) in panels.iter().enumerate() {
+        let host = hosts[i];
+        let label = format!("{panel} browse");
+        println!(
+            "  {}",
+            series_stats_streaming(&label, &browse, resource, host, dt)
+        );
+        let label = format!("{panel} bid");
+        println!(
+            "  {}",
+            series_stats_streaming(&label, &bid, resource, host, dt)
+        );
+        let path = format!("results/fig{fig}_{host}.csv");
+        let mut cols = [
+            must(
+                ResourceCursor::new(&browse, resource, host, dt),
+                "open trace",
+            ),
+            must(ResourceCursor::new(&bid, resource, host, dt), "open trace"),
+        ];
+        must(
+            write_csv_streaming(Path::new(&path), "t_s,browse,bid", &mut cols, dt),
+            "stream csv",
+        );
+        eprintln!("[repro]   wrote {path}");
+    }
+    println!();
 }
 
 fn series_stats(label: &str, xs: &[f64]) -> String {
@@ -355,6 +509,17 @@ fn virt_figure(lab: &mut Lab, fig: u8) {
     println!("== Figure {fig}: {resource:?} ({unit}) — virtualized, browse vs bid ==");
     let hosts = ["web-vm", "mysql-vm", "dom0"];
     let panels = ["Web+App. (VM)", "Mysql (VM)", "Domain0"];
+    if lab.trace_mode() {
+        figure_traced(
+            lab,
+            fig,
+            resource,
+            &hosts,
+            &panels,
+            (Key::VirtBrowse, Key::VirtBid),
+        );
+        return;
+    }
     let dt = 2.0;
     let browse: Vec<Vec<f64>> = {
         let r = lab.get(Key::VirtBrowse);
@@ -395,6 +560,17 @@ fn phys_figure(lab: &mut Lab, fig: u8) {
     println!("== Figure {fig}: {resource:?} ({unit}) — non-virtualized, browse vs bid ==");
     let hosts = ["web-pm", "mysql-pm"];
     let panels = ["Web+App. (PM)", "Mysql (PM)"];
+    if lab.trace_mode() {
+        figure_traced(
+            lab,
+            fig,
+            resource,
+            &hosts,
+            &panels,
+            (Key::PhysBrowse, Key::PhysBid),
+        );
+        return;
+    }
     let dt = 2.0;
     let browse: Vec<Vec<f64>> = {
         let r = lab.get(Key::PhysBrowse);
@@ -679,6 +855,29 @@ fn report_cmd(lab: &mut Lab) {
 }
 
 fn characterize_cmd(lab: &mut Lab, full: bool, jobs: usize) {
+    if lab.trace_mode() {
+        // Trace-backed characterization implies the full catalog: the
+        // on-disk store holds every raw series, and the streaming path
+        // profiles each one with a single series resident per worker.
+        println!("== Workload characterization: full metric catalog (out-of-core) ==");
+        for (key, label) in [
+            (Key::VirtBrowse, "virtualized/browsing"),
+            (Key::VirtBid, "virtualized/bidding"),
+        ] {
+            let path = lab.trace(key).expect("trace mode");
+            let trace = must(TraceDir::open(Path::new(&path)), "open trace");
+            println!("--- {label} ---");
+            let t0 = std::time::Instant::now();
+            let fc = must(full_characterize_trace(&trace, jobs), "characterize trace");
+            eprintln!(
+                "[repro]   profiled {} series out of core on {jobs} worker(s) in {:.2}s",
+                fc.profiles.len(),
+                t0.elapsed().as_secs_f64()
+            );
+            println!("{fc}");
+        }
+        return;
+    }
     if full {
         println!("== Workload characterization: full metric catalog ==");
     } else {
@@ -710,7 +909,7 @@ fn characterize_cmd(lab: &mut Lab, full: bool, jobs: usize) {
 /// parallel-runner statistics. `--hosts 13` is the paper topology,
 /// `--hosts 100` the scale-out configuration; `--jobs` sets the worker
 /// threads; `--faults <spec>` injects the plan into pod 0 only.
-fn fleet_cmd(hosts: usize, jobs: usize, faults: &Option<String>) {
+fn fleet_cmd(hosts: usize, jobs: usize, faults: &Option<String>, trace_out: &Option<String>) {
     let mut cfg = if hosts >= 100 {
         FleetConfig::fleet100()
     } else {
@@ -728,17 +927,33 @@ fn fleet_cmd(hosts: usize, jobs: usize, faults: &Option<String>) {
         cfg.base.duration.as_secs_f64()
     );
     let t0 = std::time::Instant::now();
-    let r = run_fleet(&cfg, jobs);
+    let (r, fp) = match trace_out {
+        Some(dir) => {
+            // Pod samples stream to `dir/podNN.cctr`; the fingerprint's
+            // series fold is streamed back off disk, so it matches the
+            // untraced run without ever holding the store in memory.
+            eprintln!("[repro] streaming pod traces → {dir}/podNN.cctr …");
+            let r = must(run_fleet_traced(&cfg, jobs, Path::new(dir)), "fleet trace");
+            let trace = must(TraceDir::open(Path::new(dir)), "open fleet trace");
+            let h = must(trace.fold_values(0xcbf2_9ce4_8422_2325), "hash fleet trace");
+            let fp = r.counter_fingerprint(h);
+            (r, fp)
+        }
+        None => {
+            let r = run_fleet(&cfg, jobs);
+            let fp = r.fingerprint();
+            (r, fp)
+        }
+    };
     let wall = t0.elapsed().as_secs_f64();
     let s = &r.stats;
     println!(
-        "  {} ok, {} failed ({} retries, {} abandons)  mean latency {:.1} ms  fingerprint {:#018x}",
+        "  {} ok, {} failed ({} retries, {} abandons)  mean latency {:.1} ms  fingerprint {fp:#018x}",
         r.completed,
         r.failed,
         r.retries,
         r.abandons,
         r.response_time_mean_s * 1e3,
-        r.fingerprint()
     );
     let avail = r.availability_over(0, r.availability.len());
     let ideal = if s.critical_units > 0 {
@@ -785,6 +1000,8 @@ fn main() {
     let mut clients: Option<u32> = None;
     let mut engine: Option<String> = None;
     let mut hosts: usize = 13;
+    let mut trace_out: Option<String> = None;
+    let mut trace_in: Option<String> = None;
     let mut cmds: Vec<String> = Vec::new();
     let mut it = args
         .into_iter()
@@ -800,6 +1017,10 @@ fn main() {
             engine = Some(e);
         } else if let Some(h) = take_count(&arg, "--hosts", &mut it) {
             hosts = h;
+        } else if let Some(d) = take_value(&arg, "--trace-out", &mut it) {
+            trace_out = Some(d);
+        } else if let Some(d) = take_value(&arg, "--trace-in", &mut it) {
+            trace_in = Some(d);
         } else if let Some(n) = take_count(&arg, "--clients", &mut it) {
             // Validated (> 0, <= MAX_CLIENTS) by cfg.validate() per run;
             // saturate so an absurd value still hits the ceiling check.
@@ -822,12 +1043,19 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if trace_in.is_some() && trace_out.is_some() {
+        eprintln!("[repro] --trace-in and --trace-out are mutually exclusive");
+        std::process::exit(2);
+    }
     let mut lab = Lab {
         fast,
         faults,
         clients,
         sharded,
         jobs,
+        trace_out: trace_out.clone(),
+        trace_in,
+        traced: Vec::new(),
         cache: HashMap::new(),
     };
     let all = cmds.iter().any(|c| c == "all");
@@ -877,7 +1105,7 @@ fn main() {
     }
     // `fleet` is opt-in too: the multi-host topology is its own scale.
     if cmds.iter().any(|c| c == "fleet") {
-        fleet_cmd(hosts, jobs, &lab.faults);
+        fleet_cmd(hosts, jobs, &lab.faults, &trace_out);
     }
     if want("fault-roundtrip") {
         fault_roundtrip_cmd();

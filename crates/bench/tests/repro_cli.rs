@@ -96,6 +96,59 @@ fn fast_characterize_full_profiles_the_catalog() {
 }
 
 #[test]
+fn fast_trace_out_then_trace_in_characterizes_out_of_core() {
+    // Write compressed traces with --trace-out, then re-analyze them
+    // with --trace-in: the second invocation must not rerun anything —
+    // it reads `<dir>/<name>.cctr` and characterizes off disk.
+    let dir = std::env::temp_dir().join("cloudchar-repro-cli-traces");
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_str().expect("utf-8 temp dir");
+    let (_, stderr) = repro(&["--fast", "--trace-out", dir_s, "fig1"]);
+    assert!(
+        stderr.contains("streaming trace"),
+        "missing trace-out log\n{stderr}"
+    );
+    for name in ["virt_browse.cctr", "virt_bid.cctr"] {
+        assert!(dir.join(name).is_file(), "missing trace file {name}");
+    }
+    let (stdout, stderr) = repro(&["--fast", "--trace-in", dir_s, "characterize", "--jobs", "2"]);
+    assert!(
+        stdout.contains("== Workload characterization: full metric catalog (out-of-core) =="),
+        "{stdout}"
+    );
+    assert_eq!(
+        stdout.matches("full-catalog characterization:").count(),
+        2,
+        "{stdout}"
+    );
+    assert!(
+        stderr.contains("out of core"),
+        "missing streaming log\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("running virt"),
+        "--trace-in must not rerun experiments\n{stderr}"
+    );
+}
+
+#[test]
+fn trace_in_missing_file_fails_with_hint() {
+    let dir = std::env::temp_dir().join("cloudchar-repro-cli-missing");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--fast", "--trace-in", dir.to_str().expect("utf-8"), "fig1"])
+        .current_dir(std::env::temp_dir())
+        .output()
+        .expect("repro runs");
+    assert!(!out.status.success(), "missing trace dir must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--trace-out"),
+        "error must hint at --trace-out\n{stderr}"
+    );
+}
+
+#[test]
 fn fast_qualitative_commands_run() {
     let (stdout, _) = repro(&["--fast", "lag", "jumps", "variance"]);
     assert!(stdout.contains("Q1: web→db workload lag"));

@@ -71,7 +71,7 @@ pub struct Characterization {
 /// summary, best fit, lag-1 autocorrelation, jump count (window 15,
 /// threshold 10% of the mean) and the dominant period in seconds.
 /// Returns `None` when the series is empty or non-finite.
-fn profile_loaded(
+pub(crate) fn profile_loaded(
     scratch: &mut SeriesScratch,
     dt_s: f64,
 ) -> Option<(

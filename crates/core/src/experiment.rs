@@ -7,7 +7,7 @@ use crate::virt::VirtPlatform;
 use crate::workload::{bootstrap, World};
 use cloudchar_analysis::Resource;
 use cloudchar_hw::ServerSpec;
-use cloudchar_monitor::{catalog, FaultSummary, SeriesStore, Source};
+use cloudchar_monitor::{catalog, ChunkWriter, FaultSummary, SeriesStore, Source};
 use cloudchar_rubis::{ClientCohort, Database, MySqlServer, WebAppServer};
 use cloudchar_simcore::shard::{RunMode, ShardCtx, ShardLogic, ShardedEngine, Topology};
 use cloudchar_simcore::{audit, Engine, SimRng, SimTime};
@@ -59,6 +59,32 @@ pub fn run(cfg: ExperimentConfig) -> ExperimentResult {
     let (mut engine, mut world) = build(&cfg);
     engine.run_until(&mut world, cfg.end_time());
     finalize(cfg, engine, world)
+}
+
+/// Run one experiment with the sampling tick spilling to a chunked
+/// compressed trace file at `path` instead of the in-memory store:
+/// resident series memory stays bounded by the open-chunk working set
+/// however long the run is. The simulation itself is byte-identical to
+/// [`run`] (tracing only redirects the sample sink), so counters,
+/// latencies and the replay fingerprint are unchanged; the returned
+/// result's `store` is empty, and analysis reads the trace through
+/// [`crate::trace`].
+pub fn run_traced(
+    cfg: ExperimentConfig,
+    path: &std::path::Path,
+) -> std::io::Result<ExperimentResult> {
+    let writer = ChunkWriter::create(path, "", cloudchar_monitor::CHUNK_SAMPLES)?;
+    let (mut engine, mut world) = build(&cfg);
+    world.set_trace_writer(writer);
+    engine.run_until(&mut world, cfg.end_time());
+    let (writer, deferred) = world.take_trace();
+    if let Some(e) = deferred {
+        return Err(e);
+    }
+    if let Some(mut w) = writer {
+        w.finish()?;
+    }
+    Ok(finalize(cfg, engine, world))
 }
 
 /// Run one experiment through the sharded runner.

@@ -30,7 +30,9 @@ use crate::config::ExperimentConfig;
 use crate::platform::{Platform, Tier, TierLoad};
 use crate::virt::{VirtOptions, VirtPlatform};
 use cloudchar_hw::{ServerSpec, WorkToken};
-use cloudchar_monitor::{synthesize_perf_into, synthesize_sysstat_into, SampleRow, SeriesStore};
+use cloudchar_monitor::{
+    synthesize_perf_into, synthesize_sysstat_into, ChunkWriter, SampleRow, SeriesStore,
+};
 use cloudchar_rubis::interactions::EntityRanges;
 use cloudchar_rubis::{
     queries_for, ClientCohort, CompletionEnvelope, Database, Interaction, InteractionProfile,
@@ -173,15 +175,24 @@ impl FleetResult {
     /// counters — the replay fingerprint the differential tests pin.
     pub fn fingerprint(&self) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (_, _, series) in self.store.iter() {
+            for &v in &series.values {
+                h ^= v.to_bits();
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        self.counter_fingerprint(h)
+    }
+
+    /// Continue the replay fingerprint from `h` — the FNV fold of the
+    /// sampled series (what [`FleetResult::fingerprint`] computes from
+    /// `store`, or `TraceDir::fold_values` streams off disk for a
+    /// traced run) — over the client-side counters.
+    pub fn counter_fingerprint(&self, mut h: u64) -> u64 {
         let mut fold = |bits: u64| {
             h ^= bits;
             h = h.wrapping_mul(0x100_0000_01b3);
         };
-        for (_, _, series) in self.store.iter() {
-            for &v in &series.values {
-                fold(v.to_bits());
-            }
-        }
         for &a in &self.availability {
             fold(a.to_bits());
         }
@@ -396,6 +407,13 @@ struct PodInner {
     /// Completions awaiting the channel back to the generator:
     /// `(event time, envelope)`, flushed by `run_local`.
     outbox: Vec<(SimTime, CompletionEnvelope)>,
+    /// Streaming trace sink: when set, samples bypass `store` and are
+    /// appended to this pod's on-disk chunk file (labels pre-prefixed
+    /// `podNN/`). Owned by the shard — no cross-shard sharing (CL013).
+    trace: Option<ChunkWriter>,
+    /// First trace I/O error, deferred to the end of the run (the
+    /// sampling tick cannot abort the simulation mid-event).
+    trace_err: Option<std::io::Error>,
 }
 
 impl PodInner {
@@ -690,8 +708,18 @@ fn pod_sample(engine: &mut Engine<PodInner>, w: &mut PodInner) {
         if s.has_perf {
             synthesize_perf_into(&s.raw, &mut w.sample_row);
         }
-        let host = w.store.host_id(s.host);
-        w.store.record_row(host, start, dt, &w.sample_row);
+        if let Some(writer) = w.trace.as_mut() {
+            let host = writer.host_id(s.host);
+            if let Err(e) = writer.record_row(host, start, dt, &w.sample_row) {
+                if w.trace_err.is_none() {
+                    w.trace_err = Some(e);
+                }
+                w.trace = None;
+            }
+        } else {
+            let host = w.store.host_id(s.host);
+            w.store.record_row(host, start, dt, &w.sample_row);
+        }
     }
     let _ = engine;
 }
@@ -791,6 +819,8 @@ fn build_pod(cfg: &FleetConfig, index: u32, master: &SimRng) -> PodShard {
         faults_enabled: false,
         completions_scratch: Vec::new(),
         outbox: Vec::new(),
+        trace: None,
+        trace_err: None,
     };
     let mut engine: Engine<PodInner> = Engine::new();
     let end = base.end_time();
@@ -828,6 +858,53 @@ fn build_pod(cfg: &FleetConfig, index: u32, master: &SimRng) -> PodShard {
 /// [`RunMode::SingleQueue`] as the equivalence oracle).
 pub fn run_fleet_mode(cfg: &FleetConfig, mode: RunMode) -> FleetResult {
     cfg.validate().expect("invalid fleet config");
+    // With no trace writers attached the runner cannot produce an I/O
+    // error; the deferred-error slot stays empty by construction.
+    let (result, _no_trace_err) = run_fleet_inner(cfg, mode, None);
+    result
+}
+
+/// Run a fleet with `jobs` workers, streaming every pod's samples to
+/// `dir/podNN.cctr` instead of resident [`SeriesStore`]s: the returned
+/// result's `store` is empty, and `TraceDir::open(dir)` serves the
+/// sampled series out of core. Host labels are written pre-prefixed
+/// (`podNN/host`), matching the labels an untraced run's merged store
+/// carries.
+pub fn run_fleet_traced(
+    cfg: &FleetConfig,
+    jobs: usize,
+    dir: &std::path::Path,
+) -> std::io::Result<FleetResult> {
+    if let Err(e) = cfg.validate() {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidInput, e));
+    }
+    std::fs::create_dir_all(dir)?;
+    let mut writers = Vec::with_capacity(cfg.pods as usize);
+    for pod in 0..cfg.pods {
+        let path = dir.join(format!("pod{pod:02}.cctr"));
+        writers.push(ChunkWriter::create(
+            &path,
+            &format!("pod{pod:02}/"),
+            cloudchar_monitor::CHUNK_SAMPLES,
+        )?);
+    }
+    let mode = RunMode::Windowed { jobs: jobs.max(1) };
+    let (result, trace_err) = run_fleet_inner(cfg, mode, Some(writers));
+    match trace_err {
+        Some(e) => Err(e),
+        None => Ok(result),
+    }
+}
+
+/// The shared fleet runner. `traces`, when present, holds one
+/// [`ChunkWriter`] per pod (in pod order); each is moved into its pod's
+/// shard before the run and finalized after. The first deferred or
+/// finalization I/O error comes back alongside the result.
+fn run_fleet_inner(
+    cfg: &FleetConfig,
+    mode: RunMode,
+    traces: Option<Vec<ChunkWriter>>,
+) -> (FleetResult, Option<std::io::Error>) {
     let base = &cfg.base;
     let master = SimRng::new(base.seed);
     let mut client_rng = master.derive("fleet-clients");
@@ -865,9 +942,12 @@ pub fn run_fleet_mode(cfg: &FleetConfig, mode: RunMode) -> FleetResult {
     let mut topo = Topology::new(1 + cfg.pods);
     let mut shards: Vec<FleetShard> = Vec::with_capacity(1 + cfg.pods as usize);
     shards.push(FleetShard::Gen(gen));
+    let mut writers = traces.into_iter().flatten();
     for pod in 0..cfg.pods {
         topo.link_both(GEN_SHARD, 1 + pod, cfg.link_latency);
-        shards.push(FleetShard::Pod(build_pod(cfg, pod, &master)));
+        let mut shard = build_pod(cfg, pod, &master);
+        shard.inner.trace = writers.next();
+        shards.push(FleetShard::Pod(shard));
     }
     let mut engine = ShardedEngine::new(topo, shards);
     let stats = engine.run(cfg.end_time(), mode);
@@ -880,6 +960,7 @@ pub fn run_fleet_mode(cfg: &FleetConfig, mode: RunMode) -> FleetResult {
     let mut latency = Welford::new();
     let mut availability = Vec::new();
     let mut ok_by_pod = Vec::new();
+    let mut trace_err: Option<std::io::Error> = None;
     for (i, shard) in engine.into_logics().into_iter().enumerate() {
         match shard {
             FleetShard::Gen(g) => {
@@ -892,11 +973,24 @@ pub fn run_fleet_mode(cfg: &FleetConfig, mode: RunMode) -> FleetResult {
                 ok_by_pod = g.ok_by_pod;
             }
             FleetShard::Pod(p) => {
-                store.merge_renamed(p.inner.store, &format!("pod{:02}/", i - 1));
+                let mut inner = p.inner;
+                if let Some(e) = inner.trace_err.take() {
+                    if trace_err.is_none() {
+                        trace_err = Some(e);
+                    }
+                }
+                if let Some(mut w) = inner.trace.take() {
+                    if let Err(e) = w.finish() {
+                        if trace_err.is_none() {
+                            trace_err = Some(e);
+                        }
+                    }
+                }
+                store.merge_renamed(inner.store, &format!("pod{:02}/", i - 1));
             }
         }
     }
-    FleetResult {
+    let result = FleetResult {
         pods: cfg.pods,
         store,
         completed,
@@ -908,7 +1002,8 @@ pub fn run_fleet_mode(cfg: &FleetConfig, mode: RunMode) -> FleetResult {
         availability,
         ok_by_pod,
         stats,
-    }
+    };
+    (result, trace_err)
 }
 
 /// Run a fleet with `jobs` worker threads (1 = serial windowed rounds).

@@ -38,6 +38,7 @@ pub mod phys;
 pub mod platform;
 pub mod report;
 pub mod sweep;
+pub mod trace;
 pub mod virt;
 pub mod workload;
 
@@ -51,14 +52,15 @@ pub use compare::{
     r3_nonvirt_vs_virt, r4_physical_percent, ratio_report, RatioReport,
 };
 pub use config::{Deployment, ExperimentConfig};
-pub use experiment::{run, run_sharded, ExperimentResult};
+pub use experiment::{run, run_sharded, run_traced, ExperimentResult};
 pub use faults::{install_plan, scenario, scenario_report, PhaseDelta, ScenarioReport, SCENARIOS};
-pub use fleet::{run_fleet, run_fleet_mode, FleetConfig, FleetMsg, FleetResult};
+pub use fleet::{run_fleet, run_fleet_mode, run_fleet_traced, FleetConfig, FleetMsg, FleetResult};
 pub use phys::{HostIoPolicy, PhysPlatform};
 pub use platform::{Platform, Tier, TierLoad};
 pub use report::{render_report, render_report_jobs, ReportInputs};
 pub use sweep::{
     default_jobs, par_map_ordered_with, run_seeds, run_seeds_jobs, sweep_stat, SweepStat,
 };
+pub use trace::{full_characterize_trace, write_csv_streaming, ResourceCursor, TraceDir};
 pub use virt::{VirtOptions, VirtPlatform};
 pub use workload::World;

@@ -18,8 +18,8 @@ use crate::config::ExperimentConfig;
 use crate::platform::{Platform, Tier, TierLoad};
 use cloudchar_hw::WorkToken;
 use cloudchar_monitor::{
-    synthesize_perf_into, synthesize_sysstat_into, FaultMonitor, FaultSummary, SampleRow,
-    SeriesStore,
+    synthesize_perf_into, synthesize_sysstat_into, ChunkWriter, FaultMonitor, FaultSummary,
+    SampleRow, SeriesStore,
 };
 use cloudchar_rubis::interactions::EntityRanges;
 use cloudchar_rubis::{
@@ -118,6 +118,13 @@ pub struct World {
     tcp_opened: u64,
     completions_scratch: Vec<(Tier, WorkToken)>,
     sample_row: SampleRow,
+    /// Streaming trace writer: when armed, sampled rows spill to disk
+    /// chunk by chunk instead of accumulating in `store`.
+    trace: Option<ChunkWriter>,
+    /// First I/O error hit by the trace writer, deferred because the
+    /// sampling tick runs inside an engine callback that cannot return
+    /// `Result`; surfaced by [`World::take_trace`].
+    trace_err: Option<std::io::Error>,
 }
 
 impl World {
@@ -162,7 +169,21 @@ impl World {
             tcp_opened: 0,
             completions_scratch: Vec::new(),
             sample_row: SampleRow::with_capacity(cloudchar_monitor::TOTAL_METRICS),
+            trace: None,
+            trace_err: None,
         }
+    }
+
+    /// Arm trace spilling: sampled rows go to `writer` (sealed chunks
+    /// land on disk) and the in-memory `store` stays empty of series.
+    pub fn set_trace_writer(&mut self, writer: ChunkWriter) {
+        self.trace = Some(writer);
+    }
+
+    /// Disarm tracing, returning the writer (so the caller can
+    /// `finish` it) and any I/O error the sampling tick deferred.
+    pub fn take_trace(&mut self) -> (Option<ChunkWriter>, Option<std::io::Error>) {
+        (self.trace.take(), self.trace_err.take())
     }
 
     /// Requests currently in flight (for tests).
@@ -663,8 +684,20 @@ fn take_sample(engine: &mut Engine<World>, world: &mut World) {
         if s.has_perf {
             synthesize_perf_into(&s.raw, &mut world.sample_row);
         }
-        let host = world.store.host_id(s.host);
-        world.store.record_row(host, start, dt, &world.sample_row);
+        if let Some(writer) = world.trace.as_mut() {
+            let host = writer.host_id(s.host);
+            if let Err(e) = writer.record_row(host, start, dt, &world.sample_row) {
+                // Deferred: the tick can't return Result through the
+                // engine. Disarm so one bad disk reports one error.
+                if world.trace_err.is_none() {
+                    world.trace_err = Some(e);
+                }
+                world.trace = None;
+            }
+        } else {
+            let host = world.store.host_id(s.host);
+            world.store.record_row(host, start, dt, &world.sample_row);
+        }
     }
     let _ = engine;
 }

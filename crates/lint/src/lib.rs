@@ -63,6 +63,11 @@
 //!   no `Arc`, `Rc`, locks, cells, atomics, `static mut`, or
 //!   `thread_local!`. Cross-shard communication happens only through
 //!   typed channel messages, so parallel replay stays byte-identical.
+//! * **CL014** — streaming-path files (the chunk codec and the
+//!   out-of-core trace consumers) must not materialize a whole series:
+//!   no `.to_vec()`, no `collect::<Vec<f64>>`, no
+//!   `Vec::with_capacity(series_len`. The point of the on-disk store is
+//!   bounded memory; one full-series copy silently voids it.
 //!
 //! Suppressions are audited exceptions; entries that no longer match any
 //! finding are reported as *stale* and fail the run (escape hatch:
@@ -135,8 +140,13 @@ pub const ORACLE_DEF_FILES: [&str; 2] = [
 pub const SHARD_LOGIC_FILES: [&str; 2] =
     ["crates/core/src/fleet.rs", "crates/core/src/experiment.rs"];
 
+/// Files on the out-of-core streaming path, which must keep memory
+/// bounded by the chunk size (CL014): no whole-series materialization.
+pub const STREAMING_PATH_FILES: [&str; 2] =
+    ["crates/monitor/src/chunk.rs", "crates/core/src/trace.rs"];
+
 /// Rule registry: `(id, summary)` for every rule the scanner knows.
-pub const RULES: [(&str, &str); 13] = [
+pub const RULES: [(&str, &str); 14] = [
     (
         "CL001",
         "no Instant::now/SystemTime::now/thread_rng in simulation crates",
@@ -188,6 +198,10 @@ pub const RULES: [(&str, &str); 13] = [
     (
         "CL013",
         "no Arc/Rc/locks/cells/atomics/static mut/thread_local! in shard-logic files (cross-shard state travels as channel messages)",
+    ),
+    (
+        "CL014",
+        "no whole-series materialization (.to_vec()/collect::<Vec<f64>>/with_capacity(series_len) in streaming-path files (decode one chunk at a time)",
     ),
 ];
 

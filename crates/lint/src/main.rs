@@ -17,7 +17,7 @@ use cloudchar_lint::{scan_files, scan_workspace, workspace_root, LintReport};
 
 /// Virtual workspace paths a `--fixture` file is scanned under, chosen so
 /// every rule's file/crate gate is open for at least one of them.
-const FIXTURE_PATHS: [&str; 7] = [
+const FIXTURE_PATHS: [&str; 8] = [
     "crates/monitor/src/store.rs",    // CL003 + CL006 + sim crate
     "crates/rubis/src/cohort.rs",     // CL006 cohort half
     "crates/analysis/src/fixture.rs", // CL004
@@ -25,6 +25,7 @@ const FIXTURE_PATHS: [&str; 7] = [
     "crates/simcore/src/fixture.rs",  // CL001/2/8/9/10 sim-lib
     "crates/hw/src/fixture.rs",       // CL012 audit scope
     "crates/core/src/fleet.rs",       // CL013 shard-logic scope
+    "crates/core/src/trace.rs",       // CL014 streaming path
 ];
 
 fn main() {

@@ -1,5 +1,5 @@
-//! Rule evaluation: CL001–CL007 and CL013 line rules over masked
-//! source, and the cross-file rules CL008–CL012 over the parsed
+//! Rule evaluation: CL001–CL007, CL013 and CL014 line rules over
+//! masked source, and the cross-file rules CL008–CL012 over the parsed
 //! workspace + call graph.
 //!
 //! Per-rule rationale lives in `DESIGN.md §12`; the registry of rule IDs
@@ -11,7 +11,7 @@ use crate::parse::{FileAst, FileClass};
 use crate::symbols::Workspace;
 use crate::{
     Diagnostic, COHORT_PATH_FILES, ORACLE_DEF_FILES, SAMPLING_PATH_FILES, SHARD_LOGIC_FILES,
-    SIM_CRATES, SORTED_OUTPUT_FILES,
+    SIM_CRATES, SORTED_OUTPUT_FILES, STREAMING_PATH_FILES,
 };
 use std::collections::BTreeSet;
 
@@ -92,6 +92,7 @@ fn line_rules(ast: &FileAst, out: &mut Vec<Diagnostic>) {
     let sampling_path = lib && SAMPLING_PATH_FILES.contains(&rel);
     let cohort_path = lib && COHORT_PATH_FILES.contains(&rel);
     let shard_logic = lib && SHARD_LOGIC_FILES.contains(&rel);
+    let streaming_path = lib && STREAMING_PATH_FILES.contains(&rel);
     let oracle_banned =
         matches!(class, FileClass::Lib | FileClass::Bin) && !ORACLE_DEF_FILES.contains(&rel);
 
@@ -181,6 +182,19 @@ fn line_rules(ast: &FileAst, out: &mut Vec<Diagnostic>) {
                 if line_has(m, pat) {
                     push_diag(out, "CL013", ast, lineno, format!(
                         "`{pat}` shares state across shards; a shard owns its queue/clock/RNG exclusively — cross-shard traffic must be typed channel messages (ShardCtx::send)"
+                    ));
+                }
+            }
+        }
+        if streaming_path {
+            for pat in [
+                ".to_vec()",
+                "collect::<Vec<f64>>",
+                "Vec::with_capacity(series_len",
+            ] {
+                if line_has(m, pat) {
+                    push_diag(out, "CL014", ast, lineno, format!(
+                        "`{pat}` materializes a whole series on the streaming path; decode one chunk at a time (SeriesCursor::next_chunk) so memory stays bounded by the chunk size"
                     ));
                 }
             }

@@ -1,0 +1,14 @@
+//! CL014 fixture: out-of-core consumer materializing whole series.
+
+pub fn materialize(chunks: &[Vec<f64>], series_len: usize) -> Vec<f64> {
+    let mut all = Vec::with_capacity(series_len);
+    for chunk in chunks {
+        let copy = chunk.iter().copied().collect::<Vec<f64>>();
+        all.extend(copy);
+    }
+    all
+}
+
+pub fn snapshot(tail: &[f64]) -> Vec<f64> {
+    tail.to_vec()
+}

@@ -1,0 +1,24 @@
+//! CL014 fixture: chunk-at-a-time streaming keeps memory bounded.
+
+pub struct Accum {
+    count: u64,
+    sum: f64,
+}
+
+impl Accum {
+    #[must_use]
+    pub fn absorb_chunk(self, chunk: &[f64]) -> Self {
+        chunk.iter().fold(self, |a, &v| Accum {
+            count: a.count.saturating_add(1),
+            sum: a.sum + v,
+        })
+    }
+
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+}

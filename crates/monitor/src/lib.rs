@@ -11,12 +11,16 @@
 //!   model activity, sar-style;
 //! * [`store`] — per-`(host, metric)` time series with figure-ready
 //!   export;
+//! * [`chunk`] — the compressed chunked on-disk trace format
+//!   (delta-of-delta + Gorilla XOR) with streaming writer/reader for
+//!   out-of-core analysis;
 //! * [`fault`] — fault-visible metrics (error rate, retries,
 //!   availability, attribution windows) kept outside the pinned catalog.
 
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod chunk;
 pub mod fault;
 pub mod metric;
 pub mod sar;
@@ -24,6 +28,7 @@ pub mod store;
 pub mod synth;
 
 pub use catalog::{catalog, MetricCatalog, PERF_METRICS, SYSSTAT_METRICS, TOTAL_METRICS};
+pub use chunk::{ChunkReader, ChunkWriter, SeriesCursor, CHUNK_SAMPLES};
 pub use fault::{FaultMonitor, FaultSummary, FaultWindow};
 pub use metric::{Family, MetricDef, MetricId, Source, Unit};
 pub use sar::render_sar;

@@ -384,19 +384,21 @@ impl SeriesStore {
     /// into one sweep-wide store without label collisions. Panics if a
     /// renamed `(host, metric)` series already exists here: pods own
     /// disjoint hosts by construction, and a collision means two shards
-    /// sampled the same host.
+    /// sampled the same host. Consumes `other` and *moves* every series
+    /// across (no clone), so folding N pod stores does not double peak
+    /// memory at finalize.
     pub fn merge_renamed(&mut self, other: SeriesStore, prefix: &str) {
-        for (hi, host) in other.hosts.iter().enumerate() {
+        for (host, block) in other.hosts.into_iter().zip(other.blocks) {
             let renamed = format!("{prefix}{host}");
             let id = self.host_id(&renamed);
-            for (ci, col) in other.blocks[hi].iter().enumerate() {
+            for (ci, col) in block.into_iter().enumerate() {
                 let Some(series) = col else { continue };
                 let slot = self.column_mut(id, MetricId(ci as u16));
                 assert!(
                     slot.is_none(),
                     "merge_renamed: series {renamed}/{ci} already present"
                 );
-                *slot = Some(series.clone());
+                *slot = Some(series);
             }
         }
     }

@@ -1,0 +1,228 @@
+//! Bit-level I/O for the compressed trace codec.
+//!
+//! [`BitWriter`] packs an MSB-first bit stream into a byte buffer and
+//! [`BitReader`] walks one back out. They are the substrate for the
+//! delta-of-delta timestamp and Gorilla-style XOR float encodings in
+//! `monitor::chunk`: every control code and payload there is a
+//! fixed-width big-endian bit field, so the only primitives needed are
+//! "append the low `n` bits of a `u64`" and "read the next `n` bits".
+//!
+//! The writer is infallible (it grows its buffer); the reader returns
+//! `None` once the stream is exhausted so truncated input surfaces as a
+//! decode error instead of a panic.
+
+/// Zig-zag encode a signed delta so small magnitudes of either sign get
+/// small unsigned codes (`0 → 0`, `-1 → 1`, `1 → 2`, `-2 → 3`, …).
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Append-only MSB-first bit buffer.
+///
+/// `clear` keeps the allocation, so a sealed chunk's writer can be
+/// reused for the next chunk without reallocating — the steady-state
+/// sampling tick performs zero heap allocation.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    nbits: usize,
+}
+
+impl BitWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Number of bits written so far.
+    pub fn len_bits(&self) -> usize {
+        self.nbits
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.nbits == 0
+    }
+
+    /// Capacity of the backing buffer in bytes (resident-memory proxy).
+    pub fn capacity_bytes(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Reset to empty, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.nbits = 0;
+    }
+
+    /// The packed bytes; the final byte is zero-padded on the right.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Append the low `n` bits of `value`, most significant first.
+    /// `n` must be ≤ 64; `n == 0` is a no-op.
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= 64);
+        let mut left = n;
+        while left > 0 {
+            let off = self.nbits & 7;
+            if off == 0 {
+                self.buf.push(0);
+            }
+            let free = (8 - off) as u32;
+            let take = free.min(left);
+            let shift = left - take;
+            let chunk = if take == 64 {
+                value
+            } else {
+                (value >> shift) & ((1u64 << take) - 1)
+            };
+            let idx = self.buf.len() - 1;
+            self.buf[idx] |= (chunk as u8) << (free - take);
+            self.nbits += take as usize;
+            left -= take;
+        }
+    }
+
+    /// Append a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(bit as u64, 1);
+    }
+}
+
+/// MSB-first reader over a packed byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    limit: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Reader over every bit of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        BitReader {
+            buf,
+            pos: 0,
+            limit: buf.len() * 8,
+        }
+    }
+
+    /// Bits consumed so far.
+    pub fn pos_bits(&self) -> usize {
+        self.pos
+    }
+
+    /// Read the next `n` bits as the low bits of a `u64`, or `None` if
+    /// fewer than `n` bits remain. `n` must be ≤ 64.
+    pub fn read_bits(&mut self, n: u32) -> Option<u64> {
+        debug_assert!(n <= 64);
+        if self.pos.checked_add(n as usize)? > self.limit {
+            return None;
+        }
+        let mut out = 0u64;
+        let mut left = n;
+        while left > 0 {
+            let byte = self.buf[self.pos >> 3];
+            let off = (self.pos & 7) as u32;
+            let avail = 8 - off;
+            let take = avail.min(left);
+            let chunk = (byte >> (avail - take)) as u64 & ((1u64 << take) - 1);
+            out = if take == 64 {
+                chunk
+            } else {
+                (out << take) | chunk
+            };
+            self.pos += take as usize;
+            left -= take;
+        }
+        Some(out)
+    }
+
+    /// Read a single bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Option<bool> {
+        self.read_bits(1).map(|b| b != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 12345, -54321] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn bits_round_trip_mixed_widths() {
+        let mut w = BitWriter::new();
+        let fields: [(u64, u32); 8] = [
+            (1, 1),
+            (0b1011, 4),
+            (0x3ff, 10),
+            (u64::MAX, 64),
+            (0, 7),
+            (0xdead_beef, 32),
+            (1, 1),
+            (0x1_ffff_ffff, 33),
+        ];
+        for (v, n) in fields {
+            w.write_bits(v, n);
+        }
+        let mut r = BitReader::new(w.as_bytes());
+        for (v, n) in fields {
+            assert_eq!(r.read_bits(n), Some(v), "width {n}");
+        }
+    }
+
+    #[test]
+    fn reader_refuses_overrun() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        let mut r = BitReader::new(w.as_bytes());
+        // The final byte is padded to 8 bits; reading past them fails.
+        assert!(r.read_bits(8).is_some());
+        assert_eq!(r.read_bits(1), None);
+        let mut r2 = BitReader::new(&[]);
+        assert_eq!(r2.read_bits(1), None);
+        assert_eq!(r2.read_bits(0), Some(0));
+    }
+
+    #[test]
+    fn clear_keeps_allocation() {
+        let mut w = BitWriter::new();
+        w.write_bits(u64::MAX, 64);
+        let cap = w.capacity_bytes();
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.capacity_bytes(), cap);
+        w.write_bits(0b01, 2);
+        let mut r = BitReader::new(w.as_bytes());
+        assert_eq!(r.read_bits(2), Some(0b01));
+    }
+
+    #[test]
+    fn msb_first_layout() {
+        let mut w = BitWriter::new();
+        w.write_bit(true);
+        w.write_bits(0, 3);
+        w.write_bits(0b1111, 4);
+        assert_eq!(w.as_bytes(), &[0b1000_1111]);
+    }
+}

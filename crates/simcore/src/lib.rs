@@ -4,11 +4,13 @@
 //! `cloudchar` testbed — the reproduction of *"Characterizing Workload of
 //! Web Applications on Virtualized Servers"* (Wang et al.).
 //!
-//! The crate provides ten building blocks:
+//! The crate provides eleven building blocks:
 //!
 //! * [`time`] — integer-nanosecond simulated time ([`SimTime`],
 //!   [`SimDuration`]);
 //! * [`audit`] — opt-in runtime invariant checks ([`AuditReport`]);
+//! * [`bits`] — MSB-first bit-level I/O for the compressed trace codec
+//!   ([`BitWriter`], [`BitReader`]);
 //! * [`rng`] — seeded, named-stream random numbers ([`SimRng`]);
 //! * [`dist`] — the probability distributions workload and device models
 //!   draw from ([`Dist`]);
@@ -47,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod bits;
 pub mod dist;
 pub mod engine;
 pub mod fault;
@@ -58,6 +61,7 @@ pub mod time;
 pub mod wheel;
 
 pub use audit::AuditReport;
+pub use bits::{BitReader, BitWriter};
 pub use dist::{Dist, Sample};
 pub use engine::{Engine, EventId};
 pub use fault::{FaultEvent, FaultKind, FaultPhase, FaultPlan, FaultTier};
