@@ -38,6 +38,9 @@ cargo bench -p cloudchar-bench --bench shard -- --smoke
 echo "==> trace bench smoke (>=4x compression, round-trip fingerprint, out-of-core fig CSVs byte-equal)"
 cargo bench -p cloudchar-bench --bench trace -- --smoke
 
+echo "==> online bench smoke (incremental per-tick update >=10x batch recompute at W=600, 1e-9 oracle parity)"
+cargo bench -p cloudchar-bench --bench online -- --smoke
+
 echo "==> sharded-engine differential harness (legacy vs jobs=1 vs jobs=4, golden hashes)"
 cargo test -q --release -p cloudchar-core --test shard_equiv
 
@@ -66,7 +69,7 @@ echo "$lint_json" | grep -q '"schema":2' || {
     exit 1
 }
 # Per-rule counts must be present for every rule (zeros included).
-for rule in CL001 CL002 CL003 CL004 CL005 CL006 CL007 CL008 CL009 CL010 CL011 CL012 CL013 CL014; do
+for rule in CL001 CL002 CL003 CL004 CL005 CL006 CL007 CL008 CL009 CL010 CL011 CL012 CL013 CL014 CL015; do
     echo "$lint_json" | grep -q "\"$rule\":" || {
         echo "ci.sh: lint JSON missing per-rule count for $rule" >&2
         exit 1

@@ -19,7 +19,10 @@
 //!   periodogram;
 //! * [`scratch`] — the reusable shared-pass workspace
 //!   ([`SeriesScratch`]) that makes profiling thousands of series
-//!   allocation-free.
+//!   allocation-free;
+//! * [`online`] — incremental sliding-window kernels
+//!   ([`OnlineProfiler`]) that maintain the same statistics live, one
+//!   sample at a time, with the batch engines as the oracle.
 
 #![warn(missing_docs)]
 
@@ -28,6 +31,7 @@ pub mod fit;
 pub mod histogram;
 pub mod jumps;
 pub mod lag;
+pub mod online;
 pub mod ratios;
 pub mod scratch;
 pub mod spectrum;
@@ -38,6 +42,7 @@ pub use fit::{best_fit, fit_all, FitResult, Fitted};
 pub use histogram::HistogramModel;
 pub use jumps::{detect_jumps, is_smoother, Jump};
 pub use lag::{cross_correlation, cross_correlation_scan, find_lag, find_lag_naive, LagResult};
+pub use online::{OnlineProfile, OnlineProfiler};
 pub use ratios::{
     aggregate_ratio, demand_ratio, elementwise_sum, mean_ratio, percent_more, Resource,
     ResourceRatios,

@@ -1,0 +1,899 @@
+//! Incremental sliding-window characterization kernels.
+//!
+//! The batch pipeline recomputes every statistic from the full series
+//! on each call — O(W log W) per profile once the sort and the FFT are
+//! counted. That is the wrong shape for live monitoring, where one new
+//! sample arrives per 2 s tick and the window shifts by one: almost all
+//! of the work is recomputation of unchanged state. [`OnlineProfiler`]
+//! replaces the per-tick recompute with incremental updates:
+//!
+//! * **sliding moments** — Welford add plus the exact algebraic evict
+//!   (`mean' = (n·mean − x)/(n−1)`, `m2' = m2 − (x−mean')(x−mean)`),
+//!   O(1) per sample;
+//! * **sliding DFT periodogram** — every bin `k ∈ 1..=W/2` advances by
+//!   one complex rotation per sample
+//!   (`S_k' = (S_k − x_old + x_new)·e^{+2πik/W}`), so the full spectrum
+//!   costs O(W) rotations per tick instead of an O(W log W) transform;
+//!   works for any window length (no power-of-two or Bluestein padding);
+//! * **sliding autocorrelation** — one co-moment add/evict per
+//!   configured lag, pairing the new sample with its lag-`k` ring
+//!   neighbor;
+//! * **rolling jump candidates** — the two `jump_window`-mean deltas of
+//!   the batch detector, computed once per sample from raw ring values
+//!   (candidates are immutable once their after-window completes) and
+//!   replayed against the emission-time threshold.
+//!
+//! **Drift bounding.** The evict updates are exact algebra but not
+//! exact floating point; error accumulates linearly in the number of
+//! evictions. Two deamortized rescans bound it: every push directly
+//! recomputes *one* DFT bin from the ring (full spectrum cycle every
+//! W/2 pushes), and every W pushes the moments, sum and lag co-moments
+//! are recomputed in batch summation order. The residual error is
+//! ~W·ε relative — orders of magnitude inside the 1e-9 oracle
+//! tolerance the tests pin.
+//!
+//! **Oracle strategy.** The batch engines stay authoritative: the tests
+//! in this module drive random series through both paths and require
+//! agreement within 1e-9 on every emitted statistic, and the `online`
+//! benchmark re-asserts parity before timing. Non-finite samples enter
+//! the accumulators as 0.0 (with a resident count, so the state heals
+//! as they evict) and suppress emission exactly like `summarize`'s
+//! `Option` guard.
+
+use crate::jumps::Jump;
+use crate::spectrum::{self, Peak};
+use crate::summary::{self, Summary};
+use cloudchar_simcore::stats::{Comoments, Moments, WindowRing};
+use serde::{Deserialize, Serialize};
+
+/// Non-finite samples are carried in the incremental accumulators as
+/// 0.0 so the state never poisons; a resident count gates emission.
+fn sanitize(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else {
+        0.0
+    }
+}
+
+/// Sliding co-moment accumulator over `(x[i], x[i+k])` pairs: the
+/// incremental counterpart of [`Comoments::of`], with an exact
+/// algebraic evict.
+#[derive(Debug, Clone, Copy, Default)]
+struct SlideCo {
+    count: usize,
+    mean_x: f64,
+    mean_y: f64,
+    m2x: f64,
+    m2y: f64,
+    cxy: f64,
+}
+
+impl SlideCo {
+    fn add(&mut self, x: f64, y: f64) {
+        self.count += 1;
+        let n = self.count as f64;
+        let dx = x - self.mean_x;
+        let dy = y - self.mean_y;
+        self.mean_x += dx / n;
+        self.mean_y += dy / n;
+        self.cxy += dx * (y - self.mean_y);
+        self.m2x += dx * (x - self.mean_x);
+        self.m2y += dy * (y - self.mean_y);
+    }
+
+    fn evict(&mut self, x: f64, y: f64) {
+        if self.count <= 1 {
+            *self = SlideCo::default();
+            return;
+        }
+        let n = self.count as f64;
+        let mx_prev = (n * self.mean_x - x) / (n - 1.0);
+        let my_prev = (n * self.mean_y - y) / (n - 1.0);
+        self.cxy -= (x - mx_prev) * (y - self.mean_y);
+        self.m2x -= (x - mx_prev) * (x - self.mean_x);
+        self.m2y -= (y - my_prev) * (y - self.mean_y);
+        self.mean_x = mx_prev;
+        self.mean_y = my_prev;
+        self.count -= 1;
+    }
+
+    /// View as batch [`Comoments`]. Drift can push an exactly-zero M2
+    /// a hair negative; clamping restores the batch invariant (M2 ≥ 0)
+    /// so `pearson`'s constant-series guard keeps firing.
+    fn comoments(&self) -> Comoments {
+        Comoments {
+            count: self.count,
+            mean_x: self.mean_x,
+            mean_y: self.mean_y,
+            m2x: self.m2x.max(0.0),
+            m2y: self.m2y.max(0.0),
+            cxy: self.cxy,
+            all_finite: true,
+        }
+    }
+}
+
+/// One live window snapshot: what the batch per-series profile reports,
+/// emitted from incremental state.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineProfile {
+    /// Samples pushed into the profiler so far (window position).
+    pub samples_seen: u64,
+    /// Samples currently in the window (`min(samples_seen, window)`).
+    pub window_len: usize,
+    /// Descriptive statistics of the window; `None` while the window is
+    /// empty or holds non-finite samples (the `summarize` guard).
+    pub summary: Option<Summary>,
+    /// Autocorrelation per configured lag, `autocorrelation` semantics.
+    pub autocorr: Vec<(usize, Option<f64>)>,
+    /// Merged level shifts inside the window (indices window-relative).
+    pub jumps: Vec<Jump>,
+    /// Dominant periodic component of the full window, if any.
+    pub dominant: Option<Peak>,
+}
+
+/// Incremental per-series profiler over a fixed-length sliding window.
+///
+/// Feed one sample per tick with [`push`](OnlineProfiler::push) (O(W)
+/// rotations, no allocation); snapshot the current window with
+/// [`profile_into`](OnlineProfiler::profile_into) whenever a profile is
+/// wanted. Periodicity is reported once the window is full — the
+/// sliding DFT is defined over exactly `window` samples.
+#[derive(Debug, Clone)]
+pub struct OnlineProfiler {
+    window: usize,
+    lags: Vec<usize>,
+    jump_window: usize,
+    min_power: f64,
+    max_peaks: usize,
+
+    ring: WindowRing,
+    /// Jump candidate deltas keyed by absolute sample index: the newest
+    /// entry is the candidate at `samples_seen − jump_window`.
+    cands: WindowRing,
+    total: u64,
+    /// Non-finite samples currently resident in the window.
+    nonfinite: usize,
+
+    // Sliding moments of the sanitized window (count = ring.len()).
+    mean: f64,
+    m2: f64,
+    sum: f64,
+    co: Vec<SlideCo>,
+
+    // Sliding DFT bins k = 1..=window/2 and the shared twiddle table
+    // cos/sin(2πj/window).
+    bins_re: Vec<f64>,
+    bins_im: Vec<f64>,
+    cos_t: Vec<f64>,
+    sin_t: Vec<f64>,
+    /// Next bin to deamortized-rescan (cycles 1..=window/2 once full).
+    refresh_k: usize,
+    /// Pushes since the last full moments/co-moments rescan.
+    since_rescan: usize,
+
+    // Emission scratch, reused across snapshots.
+    sorted: Vec<f64>,
+    peaks: Vec<Peak>,
+    ranked: Vec<Peak>,
+    raw_jumps: Vec<Jump>,
+}
+
+impl OnlineProfiler {
+    /// Profiler over a `window`-sample sliding window with the batch
+    /// characterization defaults: lag set `[1]`, jump window 15, peak
+    /// policy (min power 0.10, 1 peak).
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 1, "window must be >= 1");
+        let kbins = window / 2;
+        let mut cos_t = Vec::with_capacity(window);
+        let mut sin_t = Vec::with_capacity(window);
+        for j in 0..window {
+            let angle = std::f64::consts::TAU * j as f64 / window as f64;
+            cos_t.push(angle.cos());
+            sin_t.push(angle.sin());
+        }
+        OnlineProfiler {
+            window,
+            lags: vec![1],
+            jump_window: 15,
+            min_power: 0.10,
+            max_peaks: 1,
+            ring: WindowRing::new(window),
+            cands: WindowRing::new(window),
+            total: 0,
+            nonfinite: 0,
+            mean: 0.0,
+            m2: 0.0,
+            sum: 0.0,
+            co: vec![SlideCo::default()],
+            bins_re: vec![0.0; kbins],
+            bins_im: vec![0.0; kbins],
+            cos_t,
+            sin_t,
+            refresh_k: 0,
+            since_rescan: 0,
+            sorted: Vec::new(),
+            peaks: Vec::new(),
+            ranked: Vec::new(),
+            raw_jumps: Vec::new(),
+        }
+    }
+
+    /// Replace the autocorrelation lag set (each lag ≥ 1).
+    pub fn with_lags(mut self, lags: &[usize]) -> Self {
+        assert!(lags.iter().all(|&k| k >= 1), "lags must be >= 1");
+        assert!(self.total == 0, "configure before pushing samples");
+        self.lags = lags.to_vec();
+        self.co = vec![SlideCo::default(); lags.len()];
+        self
+    }
+
+    /// Replace the jump detection half-window (≥ 1 samples per side).
+    pub fn with_jump_window(mut self, jump_window: usize) -> Self {
+        assert!(jump_window >= 1, "jump window must be >= 1");
+        assert!(self.total == 0, "configure before pushing samples");
+        self.jump_window = jump_window;
+        self
+    }
+
+    /// Replace the peak ranking policy (minimum normalized power and
+    /// maximum reported peaks).
+    pub fn with_peak_policy(mut self, min_power: f64, max_peaks: usize) -> Self {
+        self.min_power = min_power;
+        self.max_peaks = max_peaks;
+        self
+    }
+
+    /// Window capacity in samples.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no sample has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Whether the window is full (periodicity becomes available).
+    pub fn is_full(&self) -> bool {
+        self.ring.is_full()
+    }
+
+    /// Samples pushed over the profiler's lifetime.
+    pub fn samples_seen(&self) -> u64 {
+        self.total
+    }
+
+    /// Forget all samples, keeping configuration and buffers.
+    pub fn reset(&mut self) {
+        self.ring.clear();
+        self.cands.clear();
+        self.total = 0;
+        self.nonfinite = 0;
+        self.mean = 0.0;
+        self.m2 = 0.0;
+        self.sum = 0.0;
+        for c in &mut self.co {
+            *c = SlideCo::default();
+        }
+        self.bins_re.iter_mut().for_each(|b| *b = 0.0);
+        self.bins_im.iter_mut().for_each(|b| *b = 0.0);
+        self.refresh_k = 0;
+        self.since_rescan = 0;
+    }
+
+    /// Absorb one sample: evict-and-add every incremental accumulator,
+    /// advance the sliding DFT, record the newest jump candidate, and
+    /// run the deamortized drift rescans. No allocation.
+    pub fn push(&mut self, x: f64) {
+        let xs = sanitize(x);
+        let w = self.window;
+        self.total += 1;
+        let evicted = self.ring.push(x);
+        let len = self.ring.len();
+
+        if !x.is_finite() {
+            self.nonfinite += 1;
+        }
+        if let Some(o) = evicted {
+            if !o.is_finite() {
+                self.nonfinite -= 1;
+            }
+        }
+
+        // Sliding moments: exact-algebra evict, then Welford add.
+        if let Some(o) = evicted {
+            let os = sanitize(o);
+            if w == 1 {
+                self.mean = 0.0;
+                self.m2 = 0.0;
+            } else {
+                let n = w as f64;
+                let mean_prev = (n * self.mean - os) / (n - 1.0);
+                self.m2 -= (os - mean_prev) * (os - self.mean);
+                self.mean = mean_prev;
+            }
+            self.sum -= os;
+        }
+        let n = len as f64;
+        let d = xs - self.mean;
+        self.mean += d / n;
+        self.m2 += d * (xs - self.mean);
+        self.sum += xs;
+
+        // Sliding co-moments per lag. After the push the window is
+        // new[0..len]; the evicted pair was (old[0], old[k]) =
+        // (evicted, new[k−1]) and the added pair is
+        // (new[len−1−k], x_new).
+        for (i, &k) in self.lags.iter().enumerate() {
+            if len > k {
+                if let Some(o) = evicted {
+                    let y = sanitize(self.ring.get(k - 1));
+                    self.co[i].evict(sanitize(o), y);
+                }
+                let px = sanitize(self.ring.get(len - 1 - k));
+                self.co[i].add(px, xs);
+            }
+        }
+
+        // Sliding DFT: every bin absorbs (x_new − x_old) then rotates
+        // one sample forward. During warm-up the implicit window is
+        // zero-padded on the old side, so x_old is 0.
+        let diff = xs - sanitize(evicted.unwrap_or(0.0));
+        for i in 0..self.bins_re.len() {
+            let re = self.bins_re[i] + diff;
+            let im = self.bins_im[i];
+            let (c, s) = (self.cos_t[i + 1], self.sin_t[i + 1]);
+            self.bins_re[i] = re * c - im * s;
+            self.bins_im[i] = re * s + im * c;
+        }
+
+        // Newest jump candidate: the delta of the two adjacent
+        // jump-window means ending at this sample, from raw ring values
+        // (drift-free, immutable once computed).
+        let wj = self.jump_window;
+        if len >= 2 * wj {
+            let mut before = 0.0;
+            for i in (len - 2 * wj)..(len - wj) {
+                before += self.ring.get(i);
+            }
+            let mut after = 0.0;
+            for i in (len - wj)..len {
+                after += self.ring.get(i);
+            }
+            let delta = after / wj as f64 - before / wj as f64;
+            self.cands.push(delta);
+        }
+
+        // Deamortized rescans: one DFT bin per push once the window is
+        // full (full spectrum cycle every window/2 pushes) ...
+        if self.ring.is_full() && !self.bins_re.is_empty() {
+            self.refresh_k = if self.refresh_k >= self.bins_re.len() {
+                1
+            } else {
+                self.refresh_k + 1
+            };
+            self.rescan_bin(self.refresh_k);
+        }
+        // ... and a full moments/co-moments rescan every window pushes.
+        self.since_rescan += 1;
+        if self.since_rescan >= w {
+            self.rescan_moments();
+            self.since_rescan = 0;
+        }
+    }
+
+    /// Directly recompute DFT bin `k` from the ring (batch phase
+    /// convention: sample 0 at the oldest slot), replacing the rotated
+    /// value and discarding its accumulated drift.
+    fn rescan_bin(&mut self, k: usize) {
+        let w = self.window;
+        let mut re = 0.0;
+        let mut im = 0.0;
+        let mut idx = 0usize;
+        for v in self.ring.iter() {
+            let x = sanitize(v);
+            re += x * self.cos_t[idx];
+            im -= x * self.sin_t[idx];
+            idx += k;
+            if idx >= w {
+                idx -= w;
+            }
+        }
+        self.bins_re[k - 1] = re;
+        self.bins_im[k - 1] = im;
+    }
+
+    /// Recompute moments, sum and every lag co-moment in batch
+    /// summation order (oldest → newest), zeroing accumulated drift.
+    fn rescan_moments(&mut self) {
+        let mut count = 0usize;
+        let mut mean = 0.0;
+        let mut m2 = 0.0;
+        let mut sum = 0.0;
+        for v in self.ring.iter() {
+            let x = sanitize(v);
+            count += 1;
+            let d = x - mean;
+            mean += d / count as f64;
+            m2 += d * (x - mean);
+            sum += x;
+        }
+        self.mean = mean;
+        self.m2 = m2;
+        self.sum = sum;
+        let len = self.ring.len();
+        for (i, &k) in self.lags.iter().enumerate() {
+            let mut co = SlideCo::default();
+            if len > k {
+                for j in 0..(len - k) {
+                    co.add(sanitize(self.ring.get(j)), sanitize(self.ring.get(j + k)));
+                }
+            }
+            self.co[i] = co;
+        }
+    }
+
+    /// Batch-order co-moments over raw ring pairs — the fallback used
+    /// while non-finite samples are resident, so NaN propagation (and
+    /// the resulting `None`) matches the batch path exactly.
+    fn ring_comoments(&self, k: usize) -> Comoments {
+        let len = self.ring.len();
+        let mut count = 0usize;
+        let mut mean_x = 0.0;
+        let mut mean_y = 0.0;
+        let mut m2x = 0.0;
+        let mut m2y = 0.0;
+        let mut cxy = 0.0;
+        let mut all_finite = true;
+        if len > k {
+            for i in 0..(len - k) {
+                let x = self.ring.get(i);
+                let y = self.ring.get(i + k);
+                count += 1;
+                let n = count as f64;
+                let dx = x - mean_x;
+                let dy = y - mean_y;
+                mean_x += dx / n;
+                mean_y += dy / n;
+                cxy += dx * (y - mean_y);
+                m2x += dx * (x - mean_x);
+                m2y += dy * (y - mean_y);
+                all_finite &= x.is_finite() && y.is_finite();
+            }
+        }
+        Comoments {
+            count,
+            mean_x,
+            mean_y,
+            m2x,
+            m2y,
+            cxy,
+            all_finite,
+        }
+    }
+
+    /// Snapshot the current window into `out`, reusing its buffers —
+    /// allocation-free once the vectors are warm. Summary and jumps are
+    /// suppressed (like `summarize`) while non-finite samples are
+    /// resident; periodicity additionally requires a full window.
+    pub fn profile_into(&mut self, out: &mut OnlineProfile) {
+        let len = self.ring.len();
+        out.samples_seen = self.total;
+        out.window_len = len;
+        out.summary = None;
+        out.autocorr.clear();
+        out.jumps.clear();
+        out.dominant = None;
+        let clean = self.nonfinite == 0;
+
+        if clean && len > 0 {
+            self.sorted.clear();
+            self.sorted.extend(self.ring.iter());
+            self.sorted.sort_by(f64::total_cmp);
+            let m = Moments {
+                count: len,
+                mean: self.sum / len as f64,
+                m2: self.m2.max(0.0),
+                sum: self.sum,
+                min: self.sorted[0],
+                max: self.sorted[len - 1],
+                all_finite: true,
+            };
+            out.summary = Some(summary::summary_from_parts(&m, &self.sorted));
+        }
+
+        for (i, &k) in self.lags.iter().enumerate() {
+            let r = if len < k + 2 {
+                None
+            } else if clean {
+                self.co[i].comoments().pearson()
+            } else {
+                self.ring_comoments(k).pearson()
+            };
+            out.autocorr.push((k, r));
+        }
+
+        if clean && self.ring.is_full() {
+            let w = self.window;
+            let total_power = self.m2.max(0.0);
+            self.peaks.clear();
+            if w >= 8 && total_power > 0.0 {
+                for (i, (&re, &im)) in self.bins_re.iter().zip(&self.bins_im).enumerate() {
+                    let k = i + 1;
+                    let p = re * re + im * im;
+                    self.peaks.push(Peak {
+                        period_samples: w as f64 / k as f64,
+                        power: (if 2 * k == w { 1.0 } else { 2.0 }) * p / (w as f64 * total_power),
+                    });
+                }
+            }
+            spectrum::rank_peaks(
+                &self.peaks,
+                self.min_power,
+                self.max_peaks,
+                &mut self.ranked,
+            );
+            out.dominant = self.ranked.first().copied();
+        }
+
+        if let Some(s) = &out.summary {
+            let threshold = (s.mean.abs() * 0.10).max(1e-9);
+            let wj = self.jump_window;
+            if len >= 2 * wj {
+                self.raw_jumps.clear();
+                let newest = self.cands.len() - 1;
+                for i in wj..=(len - wj) {
+                    // Candidate for window index i: the newest candidate
+                    // sits at window index len − wj.
+                    let idx = newest - ((len - wj) - i);
+                    let delta = self.cands.get(idx);
+                    if delta.abs() >= threshold {
+                        self.raw_jumps.push(Jump {
+                            index: i,
+                            magnitude: delta,
+                        });
+                    }
+                }
+                for &j in &self.raw_jumps {
+                    match out.jumps.last_mut() {
+                        Some(last) if j.index - last.index < wj => {
+                            if j.magnitude.abs() > last.magnitude.abs() {
+                                *last = j;
+                            }
+                        }
+                        _ => out.jumps.push(j),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`profile_into`](OnlineProfiler::profile_into).
+    pub fn profile(&mut self) -> OnlineProfile {
+        let mut out = OnlineProfile::default();
+        self.profile_into(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeriesScratch;
+
+    /// House pseudo-noise series: offset sine plus noise plus a level
+    /// step after the midpoint — the same recipe the scratch tests use.
+    fn series(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|i| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let noise = ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+                100.0
+                    + 20.0 * (i as f64 * std::f64::consts::TAU / 30.0).sin()
+                    + 5.0 * noise
+                    + if i > n / 2 { 40.0 } else { 0.0 }
+            })
+            .collect()
+    }
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+    }
+
+    /// Batch reference profile of one window slice, replicating the
+    /// characterization defaults (`profile_loaded` semantics).
+    fn batch_profile(
+        scratch: &mut SeriesScratch,
+        xs: &[f64],
+        lags: &[usize],
+        jump_window: usize,
+        min_power: f64,
+        max_peaks: usize,
+    ) -> (Option<Summary>, Vec<Option<f64>>, Vec<Jump>, Option<Peak>) {
+        scratch.load(xs);
+        let summary = scratch.summary();
+        let autocorr: Vec<Option<f64>> = lags.iter().map(|&k| scratch.autocorrelation(k)).collect();
+        let jumps = match &summary {
+            Some(s) => {
+                let threshold = (s.mean.abs() * 0.10).max(1e-9);
+                scratch.detect_jumps(jump_window, threshold).to_vec()
+            }
+            None => Vec::new(),
+        };
+        let dominant = scratch
+            .dominant_periods(min_power, max_peaks)
+            .first()
+            .copied();
+        (summary, autocorr, jumps, dominant)
+    }
+
+    fn assert_profile_matches(
+        online: &OnlineProfile,
+        batch: &(Option<Summary>, Vec<Option<f64>>, Vec<Jump>, Option<Peak>),
+        full: bool,
+        ctx: &str,
+    ) {
+        let (bs, bac, bj, bd) = batch;
+        match (&online.summary, bs) {
+            (Some(o), Some(b)) => {
+                assert_eq!(o.n, b.n, "{ctx}: n");
+                for (name, ov, bv) in [
+                    ("mean", o.mean, b.mean),
+                    ("variance", o.variance, b.variance),
+                    ("std_dev", o.std_dev, b.std_dev),
+                    ("cv", o.cv, b.cv),
+                    ("min", o.min, b.min),
+                    ("max", o.max, b.max),
+                    ("p50", o.p50, b.p50),
+                    ("p95", o.p95, b.p95),
+                    ("total", o.total, b.total),
+                ] {
+                    assert!(close(ov, bv), "{ctx}: summary.{name} {ov} vs {bv}");
+                }
+            }
+            (None, None) => {}
+            (o, b) => panic!("{ctx}: summary presence {} vs {}", o.is_some(), b.is_some()),
+        }
+        assert_eq!(online.autocorr.len(), bac.len(), "{ctx}: lag count");
+        for ((k, oa), ba) in online.autocorr.iter().zip(bac) {
+            match (oa, ba) {
+                (Some(ov), Some(bv)) => {
+                    assert!(close(*ov, *bv), "{ctx}: autocorr[{k}] {ov} vs {bv}")
+                }
+                (None, None) => {}
+                (o, b) => panic!(
+                    "{ctx}: autocorr[{k}] presence {} vs {}",
+                    o.is_some(),
+                    b.is_some()
+                ),
+            }
+        }
+        assert_eq!(online.jumps.len(), bj.len(), "{ctx}: jump count");
+        for (oj, bjj) in online.jumps.iter().zip(bj) {
+            assert_eq!(oj.index, bjj.index, "{ctx}: jump index");
+            assert!(
+                close(oj.magnitude, bjj.magnitude),
+                "{ctx}: jump magnitude {} vs {}",
+                oj.magnitude,
+                bjj.magnitude
+            );
+        }
+        // Periodicity is defined only over full windows online.
+        if full {
+            match (&online.dominant, bd) {
+                (Some(op), Some(bp)) => {
+                    assert_eq!(op.period_samples, bp.period_samples, "{ctx}: period");
+                    assert!(
+                        close(op.power, bp.power),
+                        "{ctx}: power {} vs {}",
+                        op.power,
+                        bp.power
+                    );
+                }
+                (None, None) => {}
+                (o, b) => panic!(
+                    "{ctx}: dominant presence {} vs {}",
+                    o.is_some(),
+                    b.is_some()
+                ),
+            }
+        } else {
+            assert!(online.dominant.is_none(), "{ctx}: partial-window spectrum");
+        }
+    }
+
+    /// The core parity property: at every push, online ≡ batch over the
+    /// trailing window — through warm-up, the first eviction and deep
+    /// into steady state; window = 1 and window = len included.
+    #[test]
+    fn online_matches_batch_at_every_push() {
+        let mut scratch = SeriesScratch::new();
+        for (seed, n) in [(1u64, 180usize), (7, 120)] {
+            let xs = series(n, seed);
+            for window in [1usize, 7, 32, 60, n] {
+                let mut p = OnlineProfiler::new(window);
+                let mut out = OnlineProfile::default();
+                for t in 0..n {
+                    p.push(xs[t]);
+                    p.profile_into(&mut out);
+                    let lo = (t + 1).saturating_sub(window);
+                    let slice = &xs[lo..=t];
+                    assert_eq!(out.window_len, slice.len());
+                    assert_eq!(out.samples_seen, (t + 1) as u64);
+                    let batch = batch_profile(&mut scratch, slice, &[1], 15, 0.10, 1);
+                    assert_profile_matches(
+                        &out,
+                        &batch,
+                        slice.len() == window,
+                        &format!("seed {seed} window {window} t {t}"),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Multi-lag autocorrelation parity across eviction boundaries.
+    #[test]
+    fn multi_lag_autocorrelation_matches_batch() {
+        let xs = series(150, 11);
+        let lags = [1usize, 2, 5, 30];
+        let window = 48;
+        let mut p = OnlineProfiler::new(window).with_lags(&lags);
+        let mut out = OnlineProfile::default();
+        let mut scratch = SeriesScratch::new();
+        for t in 0..xs.len() {
+            p.push(xs[t]);
+            p.profile_into(&mut out);
+            let lo = (t + 1).saturating_sub(window);
+            scratch.load(&xs[lo..=t]);
+            for (i, &k) in lags.iter().enumerate() {
+                let (ok, ov) = out.autocorr[i];
+                assert_eq!(ok, k);
+                let bv = scratch.autocorrelation(k);
+                match (ov, bv) {
+                    (Some(a), Some(b)) => assert!(close(a, b), "t {t} lag {k}: {a} vs {b}"),
+                    (None, None) => {}
+                    (a, b) => panic!("t {t} lag {k}: {} vs {}", a.is_some(), b.is_some()),
+                }
+            }
+        }
+    }
+
+    /// A constant run must stay degenerate through evictions: variance
+    /// 0, no autocorrelation, no spectrum, no jumps — exactly as batch.
+    #[test]
+    fn constant_run_stays_degenerate() {
+        let window = 40;
+        let mut p = OnlineProfiler::new(window);
+        let mut out = OnlineProfile::default();
+        let mut scratch = SeriesScratch::new();
+        let xs = vec![5.0; 130];
+        for t in 0..xs.len() {
+            p.push(xs[t]);
+            p.profile_into(&mut out);
+            let s = out.summary.as_ref().expect("constant summary");
+            assert_eq!(s.mean, 5.0, "t {t}");
+            assert_eq!(s.variance, 0.0, "t {t}");
+            assert_eq!(out.autocorr[0].1, None, "t {t}");
+            assert!(out.dominant.is_none(), "t {t}");
+            assert!(out.jumps.is_empty(), "t {t}");
+            let lo = (t + 1).saturating_sub(window);
+            let batch = batch_profile(&mut scratch, &xs[lo..=t], &[1], 15, 0.10, 1);
+            assert_profile_matches(&out, &batch, t + 1 >= window, &format!("t {t}"));
+        }
+    }
+
+    /// Non-finite samples suppress emission exactly like `summarize`'s
+    /// guard, and the incremental state heals once they evict.
+    #[test]
+    fn nan_guard_matches_summarize_and_heals() {
+        let window = 24;
+        let mut xs = series(100, 3);
+        xs[40] = f64::NAN;
+        xs[41] = f64::INFINITY;
+        let mut p = OnlineProfiler::new(window);
+        let mut out = OnlineProfile::default();
+        let mut scratch = SeriesScratch::new();
+        for t in 0..xs.len() {
+            p.push(xs[t]);
+            p.profile_into(&mut out);
+            let lo = (t + 1).saturating_sub(window);
+            let slice = &xs[lo..=t];
+            let dirty = slice.iter().any(|x| !x.is_finite());
+            assert_eq!(out.summary.is_none(), dirty, "t {t}");
+            let batch = batch_profile(&mut scratch, slice, &[1], 15, 0.10, 1);
+            assert_profile_matches(&out, &batch, slice.len() == window, &format!("nan t {t}"));
+        }
+        // The run ends clean: the final window profiles normally.
+        assert!(out.summary.is_some());
+    }
+
+    /// Drift regression: tens of thousands of evictions without an
+    /// external reload must stay within the 1e-9 oracle envelope — the
+    /// deamortized rescans are what bound the error.
+    #[test]
+    fn deamortized_rescan_bounds_drift() {
+        let window = 64;
+        let n = 50 * window;
+        let xs = series(n, 17);
+        let mut p = OnlineProfiler::new(window);
+        let mut out = OnlineProfile::default();
+        let mut scratch = SeriesScratch::new();
+        for t in 0..n {
+            p.push(xs[t]);
+            // Sparse compares at an awkward stride (and the very end) —
+            // enough to catch drift at arbitrary rescan phases.
+            if t % 97 == 0 || t == n - 1 {
+                p.profile_into(&mut out);
+                let lo = (t + 1).saturating_sub(window);
+                let batch = batch_profile(&mut scratch, &xs[lo..=t], &[1], 15, 0.10, 1);
+                assert_profile_matches(&out, &batch, t + 1 >= window, &format!("drift t {t}"));
+            }
+        }
+    }
+
+    /// The full sliding periodogram (not just the ranked peak) matches
+    /// the batch FFT spectrum bin-for-bin on a full window.
+    #[test]
+    fn sliding_dft_matches_fft_spectrum() {
+        for window in [60usize, 64, 101] {
+            let xs = series(3 * window, 23);
+            let mut p = OnlineProfiler::new(window).with_peak_policy(0.0, usize::MAX);
+            for &x in &xs {
+                p.push(x);
+            }
+            let mut out = OnlineProfile::default();
+            p.profile_into(&mut out);
+            let tail = &xs[xs.len() - window..];
+            let batch = crate::periodogram(tail);
+            assert_eq!(p.peaks.len(), batch.len(), "window {window}");
+            for (o, b) in p.peaks.iter().zip(&batch) {
+                assert_eq!(o.period_samples, b.period_samples);
+                assert!(
+                    close(o.power, b.power),
+                    "window {window} period {}: {} vs {}",
+                    o.period_samples,
+                    o.power,
+                    b.power
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reset_forgets_the_stream() {
+        let xs = series(90, 5);
+        let mut p = OnlineProfiler::new(30);
+        for &x in &xs {
+            p.push(x);
+        }
+        p.reset();
+        assert_eq!(p.samples_seen(), 0);
+        assert!(p.is_empty());
+        // After a reset the profiler behaves like a fresh one.
+        let mut fresh = OnlineProfiler::new(30);
+        for &x in &xs[..45] {
+            p.push(x);
+            fresh.push(x);
+        }
+        assert_eq!(p.profile(), fresh.profile());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be >= 1")]
+    fn rejects_zero_window() {
+        let _ = OnlineProfiler::new(0);
+    }
+}

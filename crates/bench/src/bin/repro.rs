@@ -16,6 +16,9 @@
 //! cargo run --release -p cloudchar-bench --bin repro -- --trace-out traces fig1 characterize
 //! cargo run --release -p cloudchar-bench --bin repro -- --trace-in traces characterize --jobs 4
 //! cargo run --release -p cloudchar-bench --bin repro -- fleet --hosts 100 --trace-out traces
+//! cargo run --release -p cloudchar-bench --bin repro -- --fast run --online --window 60
+//! cargo run --release -p cloudchar-bench --bin repro -- --fast fleet --online --jobs 4
+//! cargo run --release -p cloudchar-bench --bin repro -- run --help
 //! ```
 //!
 //! `--engine sharded` routes every experiment through the sharded
@@ -56,6 +59,13 @@
 //! raw series) on the worker pool, instead of the per-resource rollups;
 //! `--jobs` bounds the pool for `characterize` either way.
 //!
+//! `--online` (with `--window W`, default 60 samples) arms live
+//! sliding-window characterization: `run` and `fleet` feed every 2 s
+//! sample into incremental per-host profilers and print a per-window
+//! profile line (summary, lag-1 autocorrelation, dominant period,
+//! jumps) as the run executes — O(1) amortized per tick, composing
+//! with `--trace-out` and `--engine sharded` without perturbing either.
+//!
 //! `--trace-out <dir>` runs each experiment with the streaming chunk
 //! writer: samples go straight to compressed `.cctr` files under
 //! `<dir>` and figures/characterization stream back off disk with
@@ -73,9 +83,9 @@
 use cloudchar_analysis::{summarize, Resource};
 use cloudchar_core::{
     default_jobs, full_characterize_trace, paper_values, q1_tier_lag, q2_ram_jumps, q3_disk_cv,
-    ratio_report, run, run_fleet, run_fleet_traced, run_seeds_jobs, run_sharded, run_traced,
-    scenario, scenario_report, write_csv_streaming, Deployment, ExperimentConfig, ExperimentResult,
-    FleetConfig, ResourceCursor, TraceDir, SCENARIOS,
+    ratio_report, run, run_fleet_opts, run_opts, run_seeds_jobs, run_sharded, run_traced, scenario,
+    scenario_report, write_csv_streaming, Deployment, ExperimentConfig, ExperimentResult,
+    FleetConfig, ResourceCursor, RunOptions, TraceDir, SCENARIOS,
 };
 use cloudchar_monitor::catalog;
 use cloudchar_rubis::WorkloadMix;
@@ -904,12 +914,64 @@ fn characterize_cmd(lab: &mut Lab, full: bool, jobs: usize) {
     }
 }
 
+/// `run` — one experiment (virtualized/browsing) through the
+/// composable runner: `--online --window W` prints live per-host
+/// profiles, and the run composes with `--trace-out` and
+/// `--engine sharded`.
+fn run_cmd(lab: &Lab, online: Option<usize>) {
+    let cfg = lab.config(Key::VirtBrowse);
+    let trace_path = lab.trace_out.as_ref().map(|dir| {
+        must(std::fs::create_dir_all(dir), "create trace dir");
+        std::path::PathBuf::from(format!("{dir}/virt_browse.cctr"))
+    });
+    let opts = RunOptions {
+        trace_out: trace_path.clone(),
+        online_window: online,
+        sharded_jobs: lab.sharded.then_some(lab.jobs),
+    };
+    println!(
+        "== Run: virtualized/browsing ({} clients × {:.0}s) ==",
+        cfg.clients,
+        cfg.duration.as_secs_f64()
+    );
+    eprintln!("[repro] running virtualized/browsing …");
+    let t0 = std::time::Instant::now();
+    let (r, report) = must(run_opts(cfg, &opts), "run experiment");
+    eprintln!(
+        "[repro]   done in {:.1}s ({} requests, {} events)",
+        t0.elapsed().as_secs_f64(),
+        r.completed,
+        r.events
+    );
+    println!(
+        "  {} requests  mean latency {:.1} ms  p95 {:.1} ms",
+        r.completed,
+        r.response_time_mean_s * 1e3,
+        r.response_time_p95_s * 1e3
+    );
+    if let Some(path) = &trace_path {
+        eprintln!("[repro]   wrote {}", path.display());
+    }
+    if let Some(report) = report {
+        println!("  online profiles (window {} samples):", report.window);
+        print!("{report}");
+    }
+    println!();
+}
+
 /// `fleet` — run the multi-host sharded fleet (generator shard + one
 /// shard per physical host) and print its throughput, availability and
 /// parallel-runner statistics. `--hosts 13` is the paper topology,
 /// `--hosts 100` the scale-out configuration; `--jobs` sets the worker
-/// threads; `--faults <spec>` injects the plan into pod 0 only.
-fn fleet_cmd(hosts: usize, jobs: usize, faults: &Option<String>, trace_out: &Option<String>) {
+/// threads; `--faults <spec>` injects the plan into pod 0 only;
+/// `--online` prints live per-pod window profiles.
+fn fleet_cmd(
+    hosts: usize,
+    jobs: usize,
+    faults: &Option<String>,
+    trace_out: &Option<String>,
+    online: Option<usize>,
+) {
     let mut cfg = if hosts >= 100 {
         FleetConfig::fleet100()
     } else {
@@ -933,14 +995,17 @@ fn fleet_cmd(hosts: usize, jobs: usize, faults: &Option<String>, trace_out: &Opt
             // series fold is streamed back off disk, so it matches the
             // untraced run without ever holding the store in memory.
             eprintln!("[repro] streaming pod traces → {dir}/podNN.cctr …");
-            let r = must(run_fleet_traced(&cfg, jobs, Path::new(dir)), "fleet trace");
+            let r = must(
+                run_fleet_opts(&cfg, jobs, Some(Path::new(dir)), online),
+                "fleet trace",
+            );
             let trace = must(TraceDir::open(Path::new(dir)), "open fleet trace");
             let h = must(trace.fold_values(0xcbf2_9ce4_8422_2325), "hash fleet trace");
             let fp = r.counter_fingerprint(h);
             (r, fp)
         }
         None => {
-            let r = run_fleet(&cfg, jobs);
+            let r = must(run_fleet_opts(&cfg, jobs, None, online), "fleet run");
             let fp = r.fingerprint();
             (r, fp)
         }
@@ -965,6 +1030,123 @@ fn fleet_cmd(hosts: usize, jobs: usize, faults: &Option<String>, trace_out: &Opt
         "  availability {:.4}  wall {:.2}s  rounds {}  units {}  messages {}  ideal speedup {:.2}x",
         avail, wall, s.rounds, s.units, s.messages, ideal
     );
+    if let Some(report) = &r.online {
+        println!("  online profiles (window {} samples):", report.window);
+        print!("{report}");
+    }
+}
+
+/// The flag block shared by every subcommand's help: one source of
+/// truth so `run`, `fleet`, `characterize` and the figures never drift
+/// on which global flags they accept.
+const HELP_COMMON: &str = "\
+Global flags (accepted by every subcommand):
+  --fast                 reduced-scale runs (seconds instead of minutes)
+  --engine <legacy|sharded>
+                         event engine; sharded fans one run across --jobs
+                         worker threads with byte-identical output
+  --jobs <N>             worker-pool width for parallel stages
+  --clients <N>          override the emulated client population
+  --faults <plan.json|scenario>
+                         inject a fault schedule (db-crash, web-throttle,
+                         noisy-neighbor, or a FaultPlan JSON file)
+  --trace-out <dir>      stream samples to compressed .cctr traces in <dir>
+  --trace-in <dir>       skip the runs; analyze traces written by an
+                         earlier --trace-out
+  --online               live sliding-window characterization on the 2 s
+                         sampling tick (run and fleet print per-window
+                         profiles as the run executes)
+  --window <W>           online window length in samples (default 60)
+  --audit                enable the runtime invariant auditor";
+
+/// Print help for `topic` (a subcommand name) or the global overview,
+/// then exit 0.
+fn print_help(topic: Option<&str>) -> ! {
+    match topic {
+        Some("run") => {
+            println!("repro run — one composable experiment run (virtualized/browsing)");
+            println!();
+            println!("Usage: repro [flags] run");
+            println!();
+            println!("Runs a single experiment through the composable runner:");
+            println!("  --online [--window W]  print live per-host online profiles");
+            println!("  --trace-out <dir>      stream samples to <dir>/virt_browse.cctr");
+            println!("  --trace-in <dir>       (not applicable: run always executes)");
+            println!("  --engine sharded       run on the sharded engine (--jobs threads)");
+            println!("  --clients <N>          override the client population");
+            println!();
+            println!("{HELP_COMMON}");
+        }
+        Some("fleet") => {
+            println!("repro fleet — multi-host sharded fleet");
+            println!();
+            println!("Usage: repro [flags] fleet [--hosts N]");
+            println!();
+            println!("  --hosts <N>            13 = paper testbed, >=100 = scale-out");
+            println!("  --online [--window W]  live per-pod online profiles (podNN/host)");
+            println!("  --trace-out <dir>      stream one <dir>/podNN.cctr per pod");
+            println!("  --trace-in <dir>       (not applicable: fleet always executes)");
+            println!("  --engine / --clients   accepted for symmetry with run");
+            println!("  --faults <spec>        inject the plan into pod 0 only");
+            println!();
+            println!("{HELP_COMMON}");
+        }
+        Some("characterize") => {
+            println!("repro characterize — workload characterization");
+            println!();
+            println!("Usage: repro [flags] characterize [--full]");
+            println!();
+            println!("  --full                 profile the entire 518-metric catalog");
+            println!("  --jobs <N>             worker pool for per-series profiling");
+            println!("  --trace-out <dir>      run with streaming traces, then profile");
+            println!("                         out of core (implies the full catalog)");
+            println!("  --trace-in <dir>       profile existing traces without rerunning");
+            println!("  --engine sharded       route the backing runs through the");
+            println!("                         sharded engine; --clients <N> scales them");
+            println!();
+            println!("{HELP_COMMON}");
+        }
+        Some(t) if t == "figures" || (t.starts_with("fig") && t.len() == 4) => {
+            println!("repro fig1..fig8 — the paper's resource figures");
+            println!();
+            println!("Usage: repro [flags] fig1 [fig2 ...]");
+            println!();
+            println!("  fig1-4: virtualized cpu/ram/disk/net; fig5-8: non-virtualized.");
+            println!("  CSVs land in results/figN_<host>.csv.");
+            println!("  --trace-out <dir>      stream the backing runs to .cctr traces");
+            println!("                         and render the figures off disk");
+            println!("  --trace-in <dir>       render from existing traces, no reruns");
+            println!("  --engine sharded       sharded backing runs (byte-identical)");
+            println!("  --clients <N>          scale the backing runs");
+            println!();
+            println!("{HELP_COMMON}");
+        }
+        _ => {
+            println!("repro — regenerate every table and figure of the paper");
+            println!();
+            println!("Usage: repro [flags] [command ...]   (default: all)");
+            println!();
+            println!("Commands:");
+            println!("  all              table1, fig1-8, ratios, lag, jumps, variance,");
+            println!("                   characterize, report, mixes, fault-roundtrip");
+            println!("  table1           sample of the 518-metric catalog");
+            println!("  fig1..fig8       resource figures (repro figures --help)");
+            println!("  ratios           R1-R4 tables; --sweep N for a seed ensemble");
+            println!("  lag jumps variance");
+            println!("                   qualitative claims Q1-Q3");
+            println!("  characterize     per-resource or --full catalog profiling");
+            println!("                   (repro characterize --help)");
+            println!("  run              one composable run (repro run --help)");
+            println!("  fleet            multi-host fleet (repro fleet --help)");
+            println!("  scenarios        the three built-in chaos scenarios (opt-in)");
+            println!("  fault-roundtrip  fault-plan JSON round-trip smoke");
+            println!("  report           write results/REPORT.md");
+            println!("  mixes            all five paper request compositions");
+            println!();
+            println!("{HELP_COMMON}");
+        }
+    }
+    std::process::exit(0)
 }
 
 /// `--name value` / `--name=value` string flag; `None` when `arg` is not
@@ -991,11 +1173,17 @@ fn take_count(arg: &str, name: &str, it: &mut impl Iterator<Item = String>) -> O
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        let topic = args.iter().find(|a| !a.starts_with('-'));
+        print_help(topic.map(String::as_str));
+    }
     let fast = args.iter().any(|a| a == "--fast");
     let audit = args.iter().any(|a| a == "--audit");
     let full = args.iter().any(|a| a == "--full");
+    let online_flag = args.iter().any(|a| a == "--online");
     let mut sweep: usize = 1;
     let mut jobs: usize = default_jobs();
+    let mut window: usize = 60;
     let mut faults: Option<String> = None;
     let mut clients: Option<u32> = None;
     let mut engine: Option<String> = None;
@@ -1005,12 +1193,14 @@ fn main() {
     let mut cmds: Vec<String> = Vec::new();
     let mut it = args
         .into_iter()
-        .filter(|a| a != "--fast" && a != "--audit" && a != "--full");
+        .filter(|a| a != "--fast" && a != "--audit" && a != "--full" && a != "--online");
     while let Some(arg) = it.next() {
         if let Some(n) = take_count(&arg, "--sweep", &mut it) {
             sweep = n;
         } else if let Some(j) = take_count(&arg, "--jobs", &mut it) {
             jobs = j;
+        } else if let Some(w) = take_count(&arg, "--window", &mut it) {
+            window = w;
         } else if let Some(f) = take_value(&arg, "--faults", &mut it) {
             faults = Some(f);
         } else if let Some(e) = take_value(&arg, "--engine", &mut it) {
@@ -1103,9 +1293,15 @@ fn main() {
     if cmds.iter().any(|c| c == "scenarios") {
         scenarios_cmd(fast);
     }
+    // `run` is opt-in: one composable experiment (live profiles, traces).
+    if cmds.iter().any(|c| c == "run") {
+        let online = online_flag.then_some(window);
+        run_cmd(&lab, online);
+    }
     // `fleet` is opt-in too: the multi-host topology is its own scale.
     if cmds.iter().any(|c| c == "fleet") {
-        fleet_cmd(hosts, jobs, &lab.faults, &trace_out);
+        let online = online_flag.then_some(window);
+        fleet_cmd(hosts, jobs, &lab.faults, &trace_out, online);
     }
     if want("fault-roundtrip") {
         fault_roundtrip_cmd();

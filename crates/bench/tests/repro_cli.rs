@@ -149,6 +149,81 @@ fn trace_in_missing_file_fails_with_hint() {
 }
 
 #[test]
+fn help_lists_shared_flags_for_every_subcommand() {
+    // The satellite contract: global help and each subcommand's help
+    // must list the shared flags consistently — no drift between what
+    // run/fleet/characterize/figures claim to accept.
+    let shared = ["--trace-out", "--trace-in", "--clients", "--engine"];
+    let (global, _) = repro(&["--help"]);
+    for flag in shared {
+        assert!(
+            global.contains(flag),
+            "global help missing {flag}\n{global}"
+        );
+    }
+    for topic in ["run", "fleet", "characterize", "figures"] {
+        let (stdout, _) = repro(&[topic, "--help"]);
+        assert!(
+            stdout.contains(&format!("repro {topic}")) || stdout.contains("fig1..fig8"),
+            "help for {topic} missing its usage header\n{stdout}"
+        );
+        for flag in shared {
+            assert!(
+                stdout.contains(flag),
+                "{topic} help missing {flag}\n{stdout}"
+            );
+        }
+        assert!(
+            stdout.contains("--online") && stdout.contains("--window"),
+            "{topic} help missing the online flags\n{stdout}"
+        );
+    }
+    // `fig3 --help` routes to the figures topic.
+    let (stdout, _) = repro(&["fig3", "-h"]);
+    assert!(stdout.contains("fig1..fig8"), "{stdout}");
+}
+
+#[test]
+fn fast_run_online_prints_live_profiles() {
+    let (stdout, _) = repro(&["--fast", "run", "--online", "--window", "20"]);
+    assert!(
+        stdout.contains("online profiles (window 20 samples):"),
+        "{stdout}"
+    );
+    // Every host × resource series reports windows with the full
+    // profile line: summary, lag-1 autocorrelation, period, jumps.
+    for host in ["web-vm", "mysql-vm", "dom0"] {
+        for res in ["cpu", "ram", "disk", "net"] {
+            assert!(
+                stdout
+                    .lines()
+                    .any(|l| l.contains(host) && l.contains(&format!(" {res} "))),
+                "missing {host}/{res} snapshot\n{stdout}"
+            );
+        }
+    }
+    for piece in ["mean=", "cv=", "ac1=", "jumps="] {
+        assert!(stdout.contains(piece), "missing {piece}\n{stdout}");
+    }
+}
+
+#[test]
+fn fast_fleet_online_prefixes_pod_hosts() {
+    let (stdout, _) = repro(&[
+        "--fast", "fleet", "--online", "--window", "15", "--jobs", "2",
+    ]);
+    assert!(
+        stdout.contains("online profiles (window 15 samples):"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("pod00/web-vm"), "{stdout}");
+    assert!(stdout.contains("pod03/dom0"), "{stdout}");
+    // Live profiling must not perturb the simulation: the fingerprint
+    // line is still printed (pinned byte-identical by the fleet tests).
+    assert!(stdout.contains("fingerprint 0x"), "{stdout}");
+}
+
+#[test]
 fn fast_qualitative_commands_run() {
     let (stdout, _) = repro(&["--fast", "lag", "jumps", "variance"]);
     assert!(stdout.contains("Q1: web→db workload lag"));

@@ -1,6 +1,7 @@
 //! Experiment execution and result extraction.
 
 use crate::config::{Deployment, ExperimentConfig};
+use crate::online::{OnlineBank, OnlineReport};
 use crate::phys::{HostIoPolicy, PhysPlatform};
 use crate::platform::Platform;
 use crate::virt::VirtPlatform;
@@ -73,10 +74,61 @@ pub fn run_traced(
     cfg: ExperimentConfig,
     path: &std::path::Path,
 ) -> std::io::Result<ExperimentResult> {
-    let writer = ChunkWriter::create(path, "", cloudchar_monitor::CHUNK_SAMPLES)?;
-    let (mut engine, mut world) = build(&cfg);
-    world.set_trace_writer(writer);
-    engine.run_until(&mut world, cfg.end_time());
+    let opts = RunOptions {
+        trace_out: Some(path.to_path_buf()),
+        ..RunOptions::default()
+    };
+    run_opts(cfg, &opts).map(|(result, _)| result)
+}
+
+/// Composable run options: the sinks and observers a run can carry.
+/// All combinations are valid — tracing redirects the sample sink,
+/// online profiling only observes, and the sharded engine produces
+/// byte-identical events — so the simulation itself never changes.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Spill sampled rows to a chunked compressed trace at this path
+    /// (the in-memory store stays empty), as in [`run_traced`].
+    pub trace_out: Option<std::path::PathBuf>,
+    /// Arm live online characterization over sliding windows of this
+    /// many samples; the run returns an [`OnlineReport`].
+    pub online_window: Option<usize>,
+    /// Route through the sharded runner with this many worker threads,
+    /// as in [`run_sharded`].
+    pub sharded_jobs: Option<usize>,
+}
+
+/// Run one experiment with composable [`RunOptions`]. The second
+/// element of the result is the online report when
+/// [`RunOptions::online_window`] was set.
+pub fn run_opts(
+    cfg: ExperimentConfig,
+    opts: &RunOptions,
+) -> std::io::Result<(ExperimentResult, Option<OnlineReport>)> {
+    let (engine, mut world) = build(&cfg);
+    if let Some(path) = &opts.trace_out {
+        let writer = ChunkWriter::create(path, "", cloudchar_monitor::CHUNK_SAMPLES)?;
+        world.set_trace_writer(writer);
+    }
+    if let Some(window) = opts.online_window {
+        world.set_online(OnlineBank::new(window, cfg.sample_interval.as_secs_f64()));
+    }
+    let (engine, mut world) = match opts.sharded_jobs {
+        Some(jobs) => {
+            let mut sharded =
+                ShardedEngine::new(Topology::new(1), vec![MonoShard { engine, world }]);
+            sharded.run(cfg.end_time(), RunMode::Windowed { jobs: jobs.max(1) });
+            let Some(MonoShard { engine, world }) = sharded.into_logics().pop() else {
+                unreachable!("one shard in, one shard out");
+            };
+            (engine, world)
+        }
+        None => {
+            let mut engine = engine;
+            engine.run_until(&mut world, cfg.end_time());
+            (engine, world)
+        }
+    };
     let (writer, deferred) = world.take_trace();
     if let Some(e) = deferred {
         return Err(e);
@@ -84,7 +136,8 @@ pub fn run_traced(
     if let Some(mut w) = writer {
         w.finish()?;
     }
-    Ok(finalize(cfg, engine, world))
+    let online = world.take_online().map(OnlineBank::finish);
+    Ok((finalize(cfg, engine, world), online))
 }
 
 /// Run one experiment through the sharded runner.
@@ -426,6 +479,114 @@ mod tests {
             assert!((a.2 - b.2).abs() <= 1e-12 * (1.0 + b.2.abs()));
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    /// `|a - b|` within 1e-9 relative-or-absolute, the online-vs-batch
+    /// parity bound.
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+    }
+
+    #[test]
+    fn online_tail_matches_batch_over_trailing_window() {
+        use cloudchar_analysis::SeriesScratch;
+        let cfg = ExperimentConfig::fast(Deployment::Virtualized, WorkloadMix::BROWSING);
+        let window = 32usize;
+        let opts = RunOptions {
+            online_window: Some(window),
+            ..RunOptions::default()
+        };
+        let (r, report) = run_opts(cfg, &opts).unwrap();
+        let report = report.expect("online was armed");
+        assert_eq!(report.window, window);
+        let mut scratch = SeriesScratch::new();
+        for host in &r.hosts {
+            for (resource, series) in [
+                ("cpu", r.cpu_cycles(host)),
+                ("ram", r.ram_mb(host)),
+                ("disk", r.disk_kb(host)),
+                ("net", r.net_kb(host)),
+            ] {
+                let snap = report
+                    .snapshots
+                    .iter()
+                    .rev()
+                    .find(|s| s.host == *host && s.resource == resource)
+                    .unwrap_or_else(|| panic!("{host}/{resource} snapshot"));
+                assert_eq!(snap.profile.samples_seen as usize, series.len());
+                let tail = &series[series.len().saturating_sub(window)..];
+                assert_eq!(snap.profile.window_len, tail.len());
+                scratch.load(tail);
+                let batch = scratch.summary().expect("finite series");
+                let online = snap.profile.summary.as_ref().expect("clean window");
+                assert!(close(online.mean, batch.mean), "{host}/{resource} mean");
+                assert!(
+                    close(online.std_dev, batch.std_dev),
+                    "{host}/{resource} std"
+                );
+                assert!(close(online.min, batch.min), "{host}/{resource} min");
+                assert!(close(online.max, batch.max), "{host}/{resource} max");
+                assert!(close(online.p95, batch.p95), "{host}/{resource} p95");
+                let (k, r1) = snap.profile.autocorr[0];
+                assert_eq!(k, 1);
+                match (r1, scratch.autocorrelation(1)) {
+                    (Some(a), Some(b)) => assert!(close(a, b), "{host}/{resource} ac1"),
+                    (a, b) => assert_eq!(a, b, "{host}/{resource} ac1 option"),
+                }
+                let threshold = (batch.mean.abs() * 0.10).max(1e-9);
+                let jumps = scratch.detect_jumps(15, threshold).to_vec();
+                assert_eq!(
+                    snap.profile.jumps.len(),
+                    jumps.len(),
+                    "{host}/{resource} jumps"
+                );
+                for (o, b) in snap.profile.jumps.iter().zip(&jumps) {
+                    assert_eq!(o.index, b.index);
+                    assert!(close(o.magnitude, b.magnitude));
+                }
+                let dominant = scratch.dominant_periods(0.10, 1).first().copied();
+                match (&snap.profile.dominant, &dominant) {
+                    (Some(o), Some(b)) => {
+                        assert_eq!(o.period_samples, b.period_samples, "{host}/{resource}");
+                        assert!(close(o.power, b.power), "{host}/{resource} power");
+                    }
+                    (o, b) => assert_eq!(o.is_some(), b.is_some(), "{host}/{resource} period"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn online_profiling_does_not_perturb_the_run() {
+        let cfg = ExperimentConfig::fast(Deployment::Virtualized, WorkloadMix::BIDDING);
+        let plain = run(cfg.clone());
+        let opts = RunOptions {
+            online_window: Some(16),
+            ..RunOptions::default()
+        };
+        let (observed, report) = run_opts(cfg, &opts).unwrap();
+        assert!(report.is_some());
+        assert_eq!(plain.completed, observed.completed);
+        assert_eq!(plain.events, observed.events);
+        assert_eq!(plain.cpu_cycles("web-vm"), observed.cpu_cycles("web-vm"));
+        assert_eq!(plain.net_kb("web-vm"), observed.net_kb("web-vm"));
+        assert_eq!(plain.disk_kb("dom0"), observed.disk_kb("dom0"));
+    }
+
+    #[test]
+    fn online_composes_with_sharded_engine() {
+        let cfg = ExperimentConfig::fast(Deployment::Virtualized, WorkloadMix::BROWSING);
+        let plain = run(cfg.clone());
+        let opts = RunOptions {
+            online_window: Some(16),
+            sharded_jobs: Some(2),
+            ..RunOptions::default()
+        };
+        let (sharded, report) = run_opts(cfg, &opts).unwrap();
+        let report = report.expect("online was armed");
+        assert!(!report.snapshots.is_empty());
+        assert_eq!(plain.completed, sharded.completed);
+        assert_eq!(plain.cpu_cycles("web-vm"), sharded.cpu_cycles("web-vm"));
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! another shard only as messages through [`ShardCtx::send`].
 
 use crate::config::ExperimentConfig;
+use crate::online::{OnlineBank, OnlineReport};
 use crate::platform::{Platform, Tier, TierLoad};
 use crate::virt::{VirtOptions, VirtPlatform};
 use cloudchar_hw::{ServerSpec, WorkToken};
@@ -41,7 +42,7 @@ use cloudchar_rubis::{
 use cloudchar_simcore::shard::{
     RunMode, ShardCtx, ShardId, ShardLogic, ShardStats, ShardedEngine, Topology,
 };
-use cloudchar_simcore::stats::Welford;
+use cloudchar_simcore::stats::{IntervalTally, Welford};
 use cloudchar_simcore::{
     fault, Dist, Engine, FaultKind, FaultPhase, Sample, SimDuration, SimRng, SimTime,
 };
@@ -168,6 +169,11 @@ pub struct FleetResult {
     pub ok_by_pod: Vec<Vec<u64>>,
     /// Runner counters (rounds, units, critical path, messages).
     pub stats: ShardStats,
+    /// Live per-pod online profiles (host labels prefixed `podNN/`);
+    /// present when the run was armed with an online window. Kept out
+    /// of [`FleetResult::fingerprint`] — online profiling observes the
+    /// sampled rows, it never changes them.
+    pub online: Option<OnlineReport>,
 }
 
 impl FleetResult {
@@ -241,8 +247,11 @@ struct GenShard {
     retries: u64,
     abandons: u64,
     latency: Welford,
-    window_ok: u64,
-    window_err: u64,
+    /// Availability bucket of the current sampling interval — the same
+    /// shared tally [`cloudchar_monitor::FaultMonitor`] uses, closed by
+    /// [`GenShard::sample_tick`] with an identical ok/attempted fold,
+    /// so the pinned availability fingerprints are unchanged.
+    window: IntervalTally,
     window_ok_by_pod: Vec<u64>,
     availability: Vec<f64>,
     ok_by_pod: Vec<Vec<u64>>,
@@ -259,16 +268,9 @@ impl GenShard {
     }
 
     fn sample_tick(&mut self, t: SimTime) {
-        let total = self.window_ok + self.window_err;
-        let avail = if total == 0 {
-            1.0
-        } else {
-            self.window_ok as f64 / total as f64
-        };
+        let (avail, _err, _retries) = self.window.close();
         self.availability.push(avail);
         self.ok_by_pod.push(self.window_ok_by_pod.clone());
-        self.window_ok = 0;
-        self.window_err = 0;
         self.window_ok_by_pod.iter_mut().for_each(|n| *n = 0);
         let next = t + self.sample_interval;
         if next <= self.end {
@@ -328,7 +330,7 @@ impl ShardLogic for GenShard {
         let pause = match env.outcome {
             Outcome::Ok => {
                 self.completed += 1;
-                self.window_ok += 1;
+                self.window.record_ok();
                 let pod = (src.saturating_sub(1)) as usize;
                 if let Some(n) = self.window_ok_by_pod.get_mut(pod) {
                     *n += 1;
@@ -341,7 +343,7 @@ impl ShardLogic for GenShard {
             }
             Outcome::Failed => {
                 self.failed += 1;
-                self.window_err += 1;
+                self.window.record_fail();
                 match self
                     .cohort
                     .on_failure(env.session, &self.policy, &mut self.retry_rng)
@@ -414,6 +416,10 @@ struct PodInner {
     /// First trace I/O error, deferred to the end of the run (the
     /// sampling tick cannot abort the simulation mid-event).
     trace_err: Option<std::io::Error>,
+    /// Live sliding-window profilers of this pod's hosts. Shard-owned
+    /// like the trace writer (CL013): banks fan across the `--jobs`
+    /// pool with the pods and merge only after `into_logics`.
+    online: Option<OnlineBank>,
 }
 
 impl PodInner {
@@ -708,6 +714,11 @@ fn pod_sample(engine: &mut Engine<PodInner>, w: &mut PodInner) {
         if s.has_perf {
             synthesize_perf_into(&s.raw, &mut w.sample_row);
         }
+        if let Some(bank) = w.online.as_mut() {
+            // Observe the row before routing: online profiling composes
+            // with both the resident store and the streaming trace.
+            bank.record(s.host, &w.sample_row);
+        }
         if let Some(writer) = w.trace.as_mut() {
             let host = writer.host_id(s.host);
             if let Err(e) = writer.record_row(host, start, dt, &w.sample_row) {
@@ -821,6 +832,7 @@ fn build_pod(cfg: &FleetConfig, index: u32, master: &SimRng) -> PodShard {
         outbox: Vec::new(),
         trace: None,
         trace_err: None,
+        online: None,
     };
     let mut engine: Engine<PodInner> = Engine::new();
     let end = base.end_time();
@@ -860,8 +872,47 @@ pub fn run_fleet_mode(cfg: &FleetConfig, mode: RunMode) -> FleetResult {
     cfg.validate().expect("invalid fleet config");
     // With no trace writers attached the runner cannot produce an I/O
     // error; the deferred-error slot stays empty by construction.
-    let (result, _no_trace_err) = run_fleet_inner(cfg, mode, None);
+    let (result, _no_trace_err) = run_fleet_inner(cfg, mode, None, None);
     result
+}
+
+/// Run a fleet with composable sinks and observers: `trace_dir` streams
+/// pod samples to `dir/podNN.cctr` as in [`run_fleet_traced`], and
+/// `online_window` arms live sliding-window profiling per pod (the
+/// result's `online` report carries `podNN/`-prefixed snapshots). All
+/// combinations are valid; neither option changes the simulation, its
+/// counters, or the replay fingerprint.
+pub fn run_fleet_opts(
+    cfg: &FleetConfig,
+    jobs: usize,
+    trace_dir: Option<&std::path::Path>,
+    online_window: Option<usize>,
+) -> std::io::Result<FleetResult> {
+    if let Err(e) = cfg.validate() {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidInput, e));
+    }
+    let writers = match trace_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir)?;
+            let mut writers = Vec::with_capacity(cfg.pods as usize);
+            for pod in 0..cfg.pods {
+                let path = dir.join(format!("pod{pod:02}.cctr"));
+                writers.push(ChunkWriter::create(
+                    &path,
+                    &format!("pod{pod:02}/"),
+                    cloudchar_monitor::CHUNK_SAMPLES,
+                )?);
+            }
+            Some(writers)
+        }
+        None => None,
+    };
+    let mode = RunMode::Windowed { jobs: jobs.max(1) };
+    let (result, trace_err) = run_fleet_inner(cfg, mode, writers, online_window);
+    match trace_err {
+        Some(e) => Err(e),
+        None => Ok(result),
+    }
 }
 
 /// Run a fleet with `jobs` workers, streaming every pod's samples to
@@ -875,25 +926,7 @@ pub fn run_fleet_traced(
     jobs: usize,
     dir: &std::path::Path,
 ) -> std::io::Result<FleetResult> {
-    if let Err(e) = cfg.validate() {
-        return Err(std::io::Error::new(std::io::ErrorKind::InvalidInput, e));
-    }
-    std::fs::create_dir_all(dir)?;
-    let mut writers = Vec::with_capacity(cfg.pods as usize);
-    for pod in 0..cfg.pods {
-        let path = dir.join(format!("pod{pod:02}.cctr"));
-        writers.push(ChunkWriter::create(
-            &path,
-            &format!("pod{pod:02}/"),
-            cloudchar_monitor::CHUNK_SAMPLES,
-        )?);
-    }
-    let mode = RunMode::Windowed { jobs: jobs.max(1) };
-    let (result, trace_err) = run_fleet_inner(cfg, mode, Some(writers));
-    match trace_err {
-        Some(e) => Err(e),
-        None => Ok(result),
-    }
+    run_fleet_opts(cfg, jobs, Some(dir), None)
 }
 
 /// The shared fleet runner. `traces`, when present, holds one
@@ -904,6 +937,7 @@ fn run_fleet_inner(
     cfg: &FleetConfig,
     mode: RunMode,
     traces: Option<Vec<ChunkWriter>>,
+    online_window: Option<usize>,
 ) -> (FleetResult, Option<std::io::Error>) {
     let base = &cfg.base;
     let master = SimRng::new(base.seed);
@@ -924,8 +958,7 @@ fn run_fleet_inner(
         retries: 0,
         abandons: 0,
         latency: Welford::new(),
-        window_ok: 0,
-        window_err: 0,
+        window: IntervalTally::new(),
         window_ok_by_pod: vec![0; cfg.pods as usize],
         availability: Vec::new(),
         ok_by_pod: Vec::new(),
@@ -943,10 +976,12 @@ fn run_fleet_inner(
     let mut shards: Vec<FleetShard> = Vec::with_capacity(1 + cfg.pods as usize);
     shards.push(FleetShard::Gen(gen));
     let mut writers = traces.into_iter().flatten();
+    let dt_s = base.sample_interval.as_secs_f64();
     for pod in 0..cfg.pods {
         topo.link_both(GEN_SHARD, 1 + pod, cfg.link_latency);
         let mut shard = build_pod(cfg, pod, &master);
         shard.inner.trace = writers.next();
+        shard.inner.online = online_window.map(|w| OnlineBank::new(w, dt_s));
         shards.push(FleetShard::Pod(shard));
     }
     let mut engine = ShardedEngine::new(topo, shards);
@@ -961,6 +996,10 @@ fn run_fleet_inner(
     let mut availability = Vec::new();
     let mut ok_by_pod = Vec::new();
     let mut trace_err: Option<std::io::Error> = None;
+    let mut online = online_window.map(|w| OnlineReport {
+        window: w,
+        snapshots: Vec::new(),
+    });
     for (i, shard) in engine.into_logics().into_iter().enumerate() {
         match shard {
             FleetShard::Gen(g) => {
@@ -986,6 +1025,9 @@ fn run_fleet_inner(
                         }
                     }
                 }
+                if let (Some(report), Some(bank)) = (online.as_mut(), inner.online.take()) {
+                    report.absorb_renamed(bank.finish(), &format!("pod{:02}/", i - 1));
+                }
                 store.merge_renamed(inner.store, &format!("pod{:02}/", i - 1));
             }
         }
@@ -1002,6 +1044,7 @@ fn run_fleet_inner(
         availability,
         ok_by_pod,
         stats,
+        online,
     };
     (result, trace_err)
 }

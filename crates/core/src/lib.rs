@@ -34,6 +34,7 @@ pub mod config;
 pub mod experiment;
 pub mod faults;
 pub mod fleet;
+pub mod online;
 pub mod phys;
 pub mod platform;
 pub mod report;
@@ -52,9 +53,12 @@ pub use compare::{
     r3_nonvirt_vs_virt, r4_physical_percent, ratio_report, RatioReport,
 };
 pub use config::{Deployment, ExperimentConfig};
-pub use experiment::{run, run_sharded, run_traced, ExperimentResult};
+pub use experiment::{run, run_opts, run_sharded, run_traced, ExperimentResult, RunOptions};
 pub use faults::{install_plan, scenario, scenario_report, PhaseDelta, ScenarioReport, SCENARIOS};
-pub use fleet::{run_fleet, run_fleet_mode, run_fleet_traced, FleetConfig, FleetMsg, FleetResult};
+pub use fleet::{
+    run_fleet, run_fleet_mode, run_fleet_opts, run_fleet_traced, FleetConfig, FleetMsg, FleetResult,
+};
+pub use online::{OnlineBank, OnlineReport, OnlineSnapshot};
 pub use phys::{HostIoPolicy, PhysPlatform};
 pub use platform::{Platform, Tier, TierLoad};
 pub use report::{render_report, render_report_jobs, ReportInputs};

@@ -15,6 +15,7 @@
 //! control the paper's comparison requires.
 
 use crate::config::ExperimentConfig;
+use crate::online::OnlineBank;
 use crate::platform::{Platform, Tier, TierLoad};
 use cloudchar_hw::WorkToken;
 use cloudchar_monitor::{
@@ -125,6 +126,10 @@ pub struct World {
     /// sampling tick runs inside an engine callback that cannot return
     /// `Result`; surfaced by [`World::take_trace`].
     trace_err: Option<std::io::Error>,
+    /// Live sliding-window profilers: when armed, every sampled row
+    /// also feeds the per-host online characterization (composes with
+    /// tracing — the row is fed before it is routed to either sink).
+    online: Option<OnlineBank>,
 }
 
 impl World {
@@ -171,6 +176,7 @@ impl World {
             sample_row: SampleRow::with_capacity(cloudchar_monitor::TOTAL_METRICS),
             trace: None,
             trace_err: None,
+            online: None,
         }
     }
 
@@ -184,6 +190,18 @@ impl World {
     /// `finish` it) and any I/O error the sampling tick deferred.
     pub fn take_trace(&mut self) -> (Option<ChunkWriter>, Option<std::io::Error>) {
         (self.trace.take(), self.trace_err.take())
+    }
+
+    /// Arm live online characterization: every sampled row also feeds
+    /// the bank's per-host sliding-window profilers.
+    pub fn set_online(&mut self, bank: OnlineBank) {
+        self.online = Some(bank);
+    }
+
+    /// Disarm online characterization, returning the bank so the caller
+    /// can `finish` it into an [`crate::online::OnlineReport`].
+    pub fn take_online(&mut self) -> Option<OnlineBank> {
+        self.online.take()
     }
 
     /// Requests currently in flight (for tests).
@@ -683,6 +701,11 @@ fn take_sample(engine: &mut Engine<World>, world: &mut World) {
         synthesize_sysstat_into(&s.raw, s.sysstat_source, &mut world.sample_row);
         if s.has_perf {
             synthesize_perf_into(&s.raw, &mut world.sample_row);
+        }
+        if let Some(bank) = world.online.as_mut() {
+            // Online profiling observes the row before it is routed, so
+            // it composes with both sinks and perturbs neither.
+            bank.record(s.host, &world.sample_row);
         }
         if let Some(writer) = world.trace.as_mut() {
             let host = writer.host_id(s.host);

@@ -37,6 +37,10 @@
 //! * **CL007** — no `goertzel_power(` / `goertzel_periodogram(` /
 //!   `find_lag_naive(` / `cross_correlation(` calls in library or
 //!   binary code: the O(n²) oracles are test-only.
+//! * **CL015** — no batch-recompute entry points (`SeriesScratch::`,
+//!   `full_characterize`, `periodogram(`) in online-path files: the
+//!   live profiling tick is O(1) amortized through the incremental
+//!   kernels; the batch engine stays the test-only parity oracle.
 //!
 //! Workspace rules (symbol table + call graph):
 //!
@@ -145,8 +149,17 @@ pub const SHARD_LOGIC_FILES: [&str; 2] =
 pub const STREAMING_PATH_FILES: [&str; 2] =
     ["crates/monitor/src/chunk.rs", "crates/core/src/trace.rs"];
 
+/// Files on the per-tick online-profiling path, which must stay
+/// incremental (CL015): no batch-recompute entry points — the batch
+/// kernels are the test-only parity oracle for the online state.
+pub const ONLINE_PATH_FILES: [&str; 3] = [
+    "crates/analysis/src/online.rs",
+    "crates/monitor/src/online.rs",
+    "crates/core/src/online.rs",
+];
+
 /// Rule registry: `(id, summary)` for every rule the scanner knows.
-pub const RULES: [(&str, &str); 14] = [
+pub const RULES: [(&str, &str); 15] = [
     (
         "CL001",
         "no Instant::now/SystemTime::now/thread_rng in simulation crates",
@@ -202,6 +215,10 @@ pub const RULES: [(&str, &str); 14] = [
     (
         "CL014",
         "no whole-series materialization (.to_vec()/collect::<Vec<f64>>/with_capacity(series_len) in streaming-path files (decode one chunk at a time)",
+    ),
+    (
+        "CL015",
+        "no batch-recompute entry points (SeriesScratch::/full_characterize/periodogram() in online-path files (push through the incremental kernels; batch is the test oracle)",
     ),
 ];
 

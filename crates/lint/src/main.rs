@@ -17,7 +17,7 @@ use cloudchar_lint::{scan_files, scan_workspace, workspace_root, LintReport};
 
 /// Virtual workspace paths a `--fixture` file is scanned under, chosen so
 /// every rule's file/crate gate is open for at least one of them.
-const FIXTURE_PATHS: [&str; 8] = [
+const FIXTURE_PATHS: [&str; 9] = [
     "crates/monitor/src/store.rs",    // CL003 + CL006 + sim crate
     "crates/rubis/src/cohort.rs",     // CL006 cohort half
     "crates/analysis/src/fixture.rs", // CL004
@@ -26,6 +26,7 @@ const FIXTURE_PATHS: [&str; 8] = [
     "crates/hw/src/fixture.rs",       // CL012 audit scope
     "crates/core/src/fleet.rs",       // CL013 shard-logic scope
     "crates/core/src/trace.rs",       // CL014 streaming path
+    "crates/analysis/src/online.rs",  // CL015 online path
 ];
 
 fn main() {

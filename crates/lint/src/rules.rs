@@ -1,4 +1,4 @@
-//! Rule evaluation: CL001–CL007, CL013 and CL014 line rules over
+//! Rule evaluation: CL001–CL007 and CL013–CL015 line rules over
 //! masked source, and the cross-file rules CL008–CL012 over the parsed
 //! workspace + call graph.
 //!
@@ -10,8 +10,8 @@ use crate::lexer::{mask_source, TokKind};
 use crate::parse::{FileAst, FileClass};
 use crate::symbols::Workspace;
 use crate::{
-    Diagnostic, COHORT_PATH_FILES, ORACLE_DEF_FILES, SAMPLING_PATH_FILES, SHARD_LOGIC_FILES,
-    SIM_CRATES, SORTED_OUTPUT_FILES, STREAMING_PATH_FILES,
+    Diagnostic, COHORT_PATH_FILES, ONLINE_PATH_FILES, ORACLE_DEF_FILES, SAMPLING_PATH_FILES,
+    SHARD_LOGIC_FILES, SIM_CRATES, SORTED_OUTPUT_FILES, STREAMING_PATH_FILES,
 };
 use std::collections::BTreeSet;
 
@@ -93,6 +93,7 @@ fn line_rules(ast: &FileAst, out: &mut Vec<Diagnostic>) {
     let cohort_path = lib && COHORT_PATH_FILES.contains(&rel);
     let shard_logic = lib && SHARD_LOGIC_FILES.contains(&rel);
     let streaming_path = lib && STREAMING_PATH_FILES.contains(&rel);
+    let online_path = lib && ONLINE_PATH_FILES.contains(&rel);
     let oracle_banned =
         matches!(class, FileClass::Lib | FileClass::Bin) && !ORACLE_DEF_FILES.contains(&rel);
 
@@ -195,6 +196,15 @@ fn line_rules(ast: &FileAst, out: &mut Vec<Diagnostic>) {
                 if line_has(m, pat) {
                     push_diag(out, "CL014", ast, lineno, format!(
                         "`{pat}` materializes a whole series on the streaming path; decode one chunk at a time (SeriesCursor::next_chunk) so memory stays bounded by the chunk size"
+                    ));
+                }
+            }
+        }
+        if online_path {
+            for pat in ["SeriesScratch::", "full_characterize", "periodogram("] {
+                if line_has(m, pat) {
+                    push_diag(out, "CL015", ast, lineno, format!(
+                        "`{pat}` recomputes a whole window on the live profiling tick; push through the incremental kernels (OnlineProfiler) and keep the batch engine as the test-only parity oracle"
                     ));
                 }
             }

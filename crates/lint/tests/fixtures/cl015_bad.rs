@@ -1,0 +1,10 @@
+//! CL015 fixture: live profiling tick that recomputes the whole window
+//! with the batch engine instead of updating incremental state.
+
+pub fn tick_profile(window: &[f64]) -> usize {
+    let mut scratch = SeriesScratch::new();
+    scratch.load(window);
+    let peaks = periodogram(window);
+    let profiles = full_characterize(window, 4);
+    peaks.len() + profiles
+}

@@ -1,0 +1,23 @@
+//! CL015 fixture: the incremental online path — per-tick pushes update
+//! sliding state in place; the batch engine stays the test-only oracle.
+
+pub struct LiveSeries {
+    profiler: OnlineProfiler,
+    ticks: u64,
+}
+
+impl LiveSeries {
+    pub fn observe(&mut self, x: f64) -> Option<OnlineProfile> {
+        self.profiler.push(x);
+        let next = self.ticks.saturating_add(1);
+        cloudchar_simcore::audit::check("online.ticks.monotonic", 0, next > self.ticks, || {
+            format!("tick counter wrapped: {} -> {next}", self.ticks)
+        });
+        self.ticks = next;
+        if self.ticks % self.profiler.window() as u64 == 0 {
+            Some(self.profiler.profile())
+        } else {
+            None
+        }
+    }
+}

@@ -12,7 +12,7 @@ use std::fs;
 /// Virtual workspace path each rule's fixtures are scanned under, chosen
 /// so the rule's file/crate gate is open. Kept in sync with the binary's
 /// `--fixture` mode.
-const FIXTURE_TABLE: [(&str, &str); 15] = [
+const FIXTURE_TABLE: [(&str, &str); 16] = [
     ("CL001", "crates/simcore/src/fixture.rs"),
     ("CL002", "crates/simcore/src/fixture.rs"),
     ("CL003", "crates/monitor/src/store.rs"),
@@ -30,6 +30,7 @@ const FIXTURE_TABLE: [(&str, &str); 15] = [
     ("CL012", "crates/hw/src/fixture.rs"),
     ("CL013", "crates/core/src/fleet.rs"),
     ("CL014", "crates/core/src/trace.rs"),
+    ("CL015", "crates/analysis/src/online.rs"),
 ];
 
 #[test]

@@ -11,6 +11,7 @@
 //! At the end of a run the monitor condenses into a serializable
 //! [`FaultSummary`] carried alongside the experiment result.
 
+use cloudchar_simcore::stats::IntervalTally;
 use serde::{Deserialize, Serialize};
 
 /// One fault's attribution window: which injected fault was active when,
@@ -103,9 +104,7 @@ pub struct FaultMonitor {
     timeouts: u64,
     retries: u64,
     abandons: u64,
-    interval_ok: u64,
-    interval_fail: u64,
-    interval_retries: u64,
+    interval: IntervalTally,
     availability: Vec<f64>,
     error_rate: Vec<f64>,
     retries_per_interval: Vec<f64>,
@@ -121,25 +120,25 @@ impl FaultMonitor {
     /// Record a successfully completed request.
     pub fn record_ok(&mut self) {
         self.ok += 1;
-        self.interval_ok += 1;
+        self.interval.record_ok();
     }
 
     /// Record a request failed by a server-side error.
     pub fn record_error(&mut self) {
         self.errors += 1;
-        self.interval_fail += 1;
+        self.interval.record_fail();
     }
 
     /// Record a request abandoned by its client-side timeout.
     pub fn record_timeout(&mut self) {
         self.timeouts += 1;
-        self.interval_fail += 1;
+        self.interval.record_fail();
     }
 
     /// Record a client retry attempt.
     pub fn record_retry(&mut self) {
         self.retries += 1;
-        self.interval_retries += 1;
+        self.interval.record_retry();
     }
 
     /// Record a session abandoning its page after repeated failures.
@@ -160,19 +159,10 @@ impl FaultMonitor {
     /// attempts that succeeded (an idle interval counts as fully
     /// available), error rate its complement over attempts.
     pub fn sample(&mut self) {
-        let attempted = self.interval_ok + self.interval_fail;
-        let (avail, err) = if attempted == 0 {
-            (1.0, 0.0)
-        } else {
-            let a = self.interval_ok as f64 / attempted as f64;
-            (a, 1.0 - a)
-        };
+        let (avail, err, retries) = self.interval.close();
         self.availability.push(avail);
         self.error_rate.push(err);
-        self.retries_per_interval.push(self.interval_retries as f64);
-        self.interval_ok = 0;
-        self.interval_fail = 0;
-        self.interval_retries = 0;
+        self.retries_per_interval.push(retries as f64);
     }
 
     /// Number of closed sample intervals.

@@ -15,7 +15,9 @@
 //!   (delta-of-delta + Gorilla XOR) with streaming writer/reader for
 //!   out-of-core analysis;
 //! * [`fault`] — fault-visible metrics (error rate, retries,
-//!   availability, attribution windows) kept outside the pinned catalog.
+//!   availability, attribution windows) kept outside the pinned catalog;
+//! * [`online`] — per-tick resource demand extraction ([`ResourceTap`])
+//!   feeding the live sliding-window profilers.
 
 #![warn(missing_docs)]
 
@@ -23,6 +25,7 @@ pub mod catalog;
 pub mod chunk;
 pub mod fault;
 pub mod metric;
+pub mod online;
 pub mod sar;
 pub mod store;
 pub mod synth;
@@ -31,6 +34,7 @@ pub use catalog::{catalog, MetricCatalog, PERF_METRICS, SYSSTAT_METRICS, TOTAL_M
 pub use chunk::{ChunkReader, ChunkWriter, SeriesCursor, CHUNK_SAMPLES};
 pub use fault::{FaultMonitor, FaultSummary, FaultWindow};
 pub use metric::{Family, MetricDef, MetricId, Source, Unit};
+pub use online::{ResourceTap, RESOURCE_NAMES};
 pub use sar::render_sar;
 pub use store::{HostId, SampleRow, SeriesStore, TimeSeries};
 pub use synth::{

@@ -1,0 +1,134 @@
+//! Per-tick resource demand extraction for online characterization.
+//!
+//! The batch pipeline derives the four figure resources (CPU cycles,
+//! RAM MB, disk KB, network KB) from completed
+//! [`crate::store::SeriesStore`] series after the run. Live profiling
+//! needs the same four numbers *during* the 2 s sampling tick, straight
+//! from the freshly synthesized [`SampleRow`] and before it is written
+//! to the store or a trace. [`ResourceTap`] resolves the contributing
+//! [`MetricId`]s once per host at arm time and then extracts all four
+//! demands in a single allocation-free pass per row, applying exactly
+//! the unit conversions of the batch `resource_series` accessors so the
+//! online and post-hoc views of a run agree bit-for-bit.
+
+use crate::catalog::catalog;
+use crate::metric::{MetricId, Source};
+use crate::store::SampleRow;
+
+/// Display labels of the four extracted resources, in
+/// [`ResourceTap::extract`] order.
+pub const RESOURCE_NAMES: [&str; 4] = ["cpu", "ram", "disk", "net"];
+
+/// Resolved metric handles for one host's per-tick resource demands.
+#[derive(Debug, Clone, Copy)]
+pub struct ResourceTap {
+    cpu_cycles: MetricId,
+    ram_kb: MetricId,
+    disk_read: MetricId,
+    disk_write: MetricId,
+    net_rx: MetricId,
+    net_tx: MetricId,
+    dt_s: f64,
+}
+
+impl ResourceTap {
+    /// Resolve the tap for `host` (VM hosts report through the VM
+    /// sysstat plane, everything else through the hypervisor plane)
+    /// with sample interval `dt_s` seconds. Returns `None` only if the
+    /// pinned catalog were to lose one of the six contributing metrics.
+    pub fn new(host: &str, dt_s: f64) -> Option<Self> {
+        let source = if host.ends_with("-vm") {
+            Source::VmSysstat
+        } else {
+            Source::HypervisorSysstat
+        };
+        let c = catalog();
+        Some(ResourceTap {
+            cpu_cycles: c.find("cycles", Source::PerfCounter)?,
+            ram_kb: c.find("kbmemused", source)?,
+            disk_read: c.find("bread/s", source)?,
+            disk_write: c.find("bwrtn/s", source)?,
+            net_rx: c.find("eth0-rxkB/s", source)?,
+            net_tx: c.find("eth0-txkB/s", source)?,
+            dt_s,
+        })
+    }
+
+    /// Extract `[cpu cycles, ram MB, disk KB, net KB]` from one
+    /// synthesized sample row, in [`RESOURCE_NAMES`] order and the
+    /// exact units (and floating-point expression order) of the batch
+    /// `resource_series` accessors. Metrics absent from the row — e.g.
+    /// perf counters on a host without the perf plane — extract as 0.
+    pub fn extract(&self, row: &SampleRow) -> [f64; 4] {
+        let mut cycles = 0.0;
+        let mut ram_kb = 0.0;
+        let mut read = 0.0;
+        let mut write = 0.0;
+        let mut rx = 0.0;
+        let mut tx = 0.0;
+        for &(id, v) in row.entries() {
+            if id == self.cpu_cycles {
+                cycles = v;
+            } else if id == self.ram_kb {
+                ram_kb = v;
+            } else if id == self.disk_read {
+                read = v;
+            } else if id == self.disk_write {
+                write = v;
+            } else if id == self.net_rx {
+                rx = v;
+            } else if id == self.net_tx {
+                tx = v;
+            }
+        }
+        [
+            cycles,
+            ram_kb / 1024.0,
+            (read + write) * 512.0 * self.dt_s / 1024.0,
+            (rx + tx) * self.dt_s,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_for_both_planes() {
+        let vm = ResourceTap::new("web-vm", 2.0).expect("vm tap");
+        let hv = ResourceTap::new("dom0", 2.0).expect("hypervisor tap");
+        // Perf plane is shared; the sysstat plane differs per host kind.
+        assert_eq!(vm.cpu_cycles, hv.cpu_cycles);
+        assert_ne!(vm.ram_kb, hv.ram_kb);
+    }
+
+    #[test]
+    fn extracts_with_batch_unit_conversions() {
+        let tap = ResourceTap::new("web-vm", 2.0).expect("tap");
+        let mut row = SampleRow::new();
+        row.push(tap.cpu_cycles, 1.5e9);
+        row.push(tap.ram_kb, 2048.0);
+        row.push(tap.disk_read, 100.0);
+        row.push(tap.disk_write, 50.0);
+        row.push(tap.net_rx, 30.0);
+        row.push(tap.net_tx, 10.0);
+        // An unrelated metric must not perturb the extraction.
+        let other = catalog()
+            .find("ldavg-1", Source::VmSysstat)
+            .expect("ldavg-1");
+        row.push(other, 9.9);
+        let [cpu, ram, disk, net] = tap.extract(&row);
+        assert_eq!(cpu, 1.5e9);
+        assert_eq!(ram, 2.0);
+        assert_eq!(disk, (100.0 + 50.0) * 512.0 * 2.0 / 1024.0);
+        assert_eq!(net, (30.0 + 10.0) * 2.0);
+    }
+
+    #[test]
+    fn missing_metrics_extract_as_zero() {
+        let tap = ResourceTap::new("mysql-vm", 2.0).expect("tap");
+        let row = SampleRow::new();
+        assert_eq!(tap.extract(&row), [0.0; 4]);
+    }
+}

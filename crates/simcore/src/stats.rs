@@ -426,6 +426,142 @@ impl LogHistogram {
     }
 }
 
+/// Fixed-capacity sliding window over an `f64` stream.
+///
+/// The ring is the one windowing implementation shared by the online
+/// analysis kernels (`cloudchar-analysis`) and the fault monitor's
+/// per-interval bookkeeping: pushes are O(1), the oldest sample falls
+/// out once the ring is full, and no allocation happens after
+/// construction.
+#[derive(Debug, Clone)]
+pub struct WindowRing {
+    buf: Vec<f64>,
+    /// Requested capacity (`Vec::capacity` may over-allocate).
+    cap: usize,
+    /// Physical index of the oldest sample (0 until the ring first
+    /// fills, so logical index `i` is always `(head + i) % cap`).
+    head: usize,
+}
+
+impl WindowRing {
+    /// Empty ring holding at most `capacity` samples.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be > 0");
+        WindowRing {
+            buf: Vec::with_capacity(capacity),
+            cap: capacity,
+            head: 0,
+        }
+    }
+
+    /// Maximum number of samples the window holds.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the window holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Whether the window is at capacity (every push now evicts).
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.cap
+    }
+
+    /// Append `x`; once the window is full, returns the evicted oldest
+    /// sample.
+    pub fn push(&mut self, x: f64) -> Option<f64> {
+        if self.buf.len() < self.cap {
+            self.buf.push(x);
+            None
+        } else {
+            let evicted = std::mem::replace(&mut self.buf[self.head], x);
+            self.head = (self.head + 1) % self.cap;
+            Some(evicted)
+        }
+    }
+
+    /// Sample `i` in window order (0 = oldest, `len() - 1` = newest).
+    pub fn get(&self, i: usize) -> f64 {
+        assert!(i < self.buf.len(), "window index out of range");
+        self.buf[(self.head + i) % self.cap]
+    }
+
+    /// Iterate the window oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        (0..self.buf.len()).map(move |i| self.get(i))
+    }
+
+    /// Drop every sample, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
+}
+
+/// Per-interval success/failure/retry tally with idle-interval
+/// semantics: `close` reports availability 1.0 (and error rate 0.0)
+/// when nothing was attempted, otherwise `ok / attempted`.
+///
+/// This is the interval bookkeeping the fault monitor and the fleet's
+/// availability sampler both need; keeping it here means one definition
+/// of "idle interval" across the workspace.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct IntervalTally {
+    ok: u64,
+    fail: u64,
+    retries: u64,
+}
+
+impl IntervalTally {
+    /// Fresh zeroed tally.
+    pub fn new() -> Self {
+        IntervalTally::default()
+    }
+
+    /// Record one successful attempt.
+    pub fn record_ok(&mut self) {
+        self.ok += 1;
+    }
+
+    /// Record one failed attempt.
+    pub fn record_fail(&mut self) {
+        self.fail += 1;
+    }
+
+    /// Record one retry (not an attempt; orthogonal to ok/fail).
+    pub fn record_retry(&mut self) {
+        self.retries += 1;
+    }
+
+    /// Attempts recorded this interval.
+    pub fn attempted(&self) -> u64 {
+        self.ok + self.fail
+    }
+
+    /// Close the interval: `(availability, error_rate, retries)`,
+    /// resetting the tally for the next interval. An idle interval
+    /// (nothing attempted) closes as fully available.
+    pub fn close(&mut self) -> (f64, f64, u64) {
+        let attempted = self.ok + self.fail;
+        let (avail, err) = if attempted == 0 {
+            (1.0, 0.0)
+        } else {
+            let a = self.ok as f64 / attempted as f64;
+            (a, 1.0 - a)
+        };
+        let retries = self.retries;
+        *self = IntervalTally::default();
+        (avail, err, retries)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -599,5 +735,70 @@ mod tests {
         h.push(1e9); // way past hi — lands in the unbounded final bucket
         assert_eq!(h.total(), 1);
         assert!(h.quantile(1.0).is_some());
+    }
+
+    #[test]
+    fn window_ring_fills_then_evicts_in_order() {
+        let mut r = WindowRing::new(3);
+        assert!(r.is_empty());
+        assert_eq!(r.capacity(), 3);
+        assert_eq!(r.push(1.0), None);
+        assert_eq!(r.push(2.0), None);
+        assert!(!r.is_full());
+        assert_eq!(r.push(3.0), None);
+        assert!(r.is_full());
+        assert_eq!(r.push(4.0), Some(1.0));
+        assert_eq!(r.push(5.0), Some(2.0));
+        let window: Vec<f64> = r.iter().collect();
+        assert_eq!(window, vec![3.0, 4.0, 5.0]);
+        assert_eq!(r.get(0), 3.0);
+        assert_eq!(r.get(2), 5.0);
+        // Wrap all the way around a second time.
+        for i in 6..=9 {
+            r.push(i as f64);
+        }
+        let window: Vec<f64> = r.iter().collect();
+        assert_eq!(window, vec![7.0, 8.0, 9.0]);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.capacity(), 3);
+        assert_eq!(r.push(10.0), None);
+        assert_eq!(r.get(0), 10.0);
+    }
+
+    #[test]
+    fn window_ring_capacity_one() {
+        let mut r = WindowRing::new(1);
+        assert_eq!(r.push(1.0), None);
+        assert_eq!(r.push(2.0), Some(1.0));
+        assert_eq!(r.push(3.0), Some(2.0));
+        assert_eq!(r.get(0), 3.0);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "window capacity must be > 0")]
+    fn window_ring_rejects_zero_capacity() {
+        let _ = WindowRing::new(0);
+    }
+
+    #[test]
+    fn interval_tally_idle_and_active() {
+        let mut t = IntervalTally::new();
+        // Idle interval: fully available by convention.
+        assert_eq!(t.close(), (1.0, 0.0, 0));
+        for _ in 0..3 {
+            t.record_ok();
+        }
+        t.record_fail();
+        t.record_retry();
+        assert_eq!(t.attempted(), 4);
+        let (avail, err, retries) = t.close();
+        assert!((avail - 0.75).abs() < 1e-12);
+        assert!((err - 0.25).abs() < 1e-12);
+        assert_eq!(retries, 1);
+        // The close reset the tally.
+        assert_eq!(t.attempted(), 0);
+        assert_eq!(t.close(), (1.0, 0.0, 0));
     }
 }
